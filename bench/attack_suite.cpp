@@ -1,0 +1,152 @@
+// E3 — the paper's security claim (Sec. II-A / IV) as a measurement: every
+// oracle-guided attack succeeds against a conventional chip's scan
+// interface and fails against an OraP chip, for all locking schemes.
+// Also reports the classic SAT-resistance landscape (SARLock / Anti-SAT
+// need ~2^k DIPs; weighted locking needs few but has high HD — OraP lets
+// the designer keep the high-HD scheme).
+
+#include <cstdio>
+#include <iostream>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "attacks/simple_attacks.h"
+#include "bench_common.h"
+#include "chip/chip.h"
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/table.h"
+
+using namespace orap;
+
+namespace {
+
+Netlist attack_target(std::size_t gates, std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 28;
+  spec.num_gates = gates;
+  spec.depth = 9;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+std::string status_str(const SatAttackResult& r, const BitVec& correct,
+                       const LockedCircuit& lc) {
+  if (r.status != SatAttackResult::Status::kKeyFound) return "no key";
+  // Functional check via random samples.
+  GoldenOracle golden(lc);
+  const std::size_t miss = verify_key_against_oracle(lc, r.key, golden, 128, 3);
+  if (miss == 0) return "KEY RECOVERED";
+  (void)correct;
+  return "wrong key";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.banner("Attack suite: golden scan oracle vs OraP scan oracle");
+  const std::size_t gates = args.full ? 2000 : 600;
+
+  // --- part 1: SAT-attack DIP counts across schemes (golden oracle) ------
+  {
+    Table t({"Scheme", "Key bits", "HD%", "SAT DIPs", "Outcome"});
+    const Netlist n = attack_target(gates, 42);
+    struct Case {
+      const char* name;
+      LockedCircuit lc;
+    };
+    Case cases[] = {
+        {"random XOR", lock_random_xor(n, 16, 1)},
+        {"weighted k=3", lock_weighted(n, 18, 3, 2)},
+        {"SARLock", lock_sarlock(n, 10, 3)},
+        {"Anti-SAT", lock_antisat(n, 16, 4)},
+        {"XOR+SARLock", lock_xor_plus_sarlock(n, 8, 10, 5)},
+    };
+    for (auto& c : cases) {
+      const HdResult hd = hamming_corruptibility(c.lc, 16, 8, 9);
+      GoldenOracle oracle(c.lc);
+      SatAttackOptions opts;
+      opts.max_iterations = 4096;
+      const SatAttackResult r = sat_attack(c.lc, oracle, opts);
+      t.add_row({c.name, std::to_string(c.lc.num_key_inputs),
+                 Table::num(hd.hd_percent), std::to_string(r.iterations),
+                 status_str(r, c.lc.correct_key, c.lc)});
+      std::fflush(stdout);
+    }
+    std::printf("-- SAT attack with golden (conventional scan) oracle --\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- part 2: all attacks, golden vs OraP -------------------------------
+  {
+    Table t({"Attack", "Oracle", "Iter/queries", "Outcome"});
+    const Netlist n = attack_target(gates, 43);
+
+    auto run_against = [&](const char* oracle_name, Oracle& oracle,
+                           const LockedCircuit& view, const BitVec& correct) {
+      {
+        const SatAttackResult r = sat_attack(view, oracle);
+        t.add_row({"SAT", oracle_name, std::to_string(r.oracle_queries),
+                   status_str(r, correct, view)});
+      }
+      {
+        const SatAttackResult r = appsat_attack(view, oracle);
+        t.add_row({"AppSAT", oracle_name, std::to_string(r.oracle_queries),
+                   status_str(r, correct, view)});
+      }
+      {
+        const SatAttackResult r = double_dip_attack(view, oracle);
+        t.add_row({"Double-DIP", oracle_name, std::to_string(r.oracle_queries),
+                   status_str(r, correct, view)});
+      }
+      {
+        const HillClimbResult r = hill_climb_attack(view, oracle);
+        GoldenOracle golden(view);
+        const bool ok =
+            verify_key_against_oracle(view, r.key, golden, 128, 3) == 0;
+        t.add_row({"hill-climb", oracle_name, std::to_string(r.oracle_queries),
+                   ok ? "KEY RECOVERED" : "wrong key"});
+      }
+      {
+        const SensitizationResult r = sensitization_attack(view, oracle);
+        std::size_t right = 0;
+        for (std::size_t i = 0; i < correct.size(); ++i)
+          if (r.key_bits[i] >= 0 && r.key_bits[i] == (correct.get(i) ? 1 : 0))
+            ++right;
+        t.add_row({"sensitize", oracle_name, std::to_string(r.oracle_queries),
+                   std::to_string(right) + "/" +
+                       std::to_string(correct.size()) + " bits correct"});
+      }
+    };
+
+    {
+      const LockedCircuit lc = lock_weighted(n, 18, 3, 6);
+      GoldenOracle oracle(lc);
+      run_against("golden scan", oracle, lc, lc.correct_key);
+    }
+    {
+      LockedCircuit lc = lock_weighted(n, 18, 3, 6);
+      const BitVec correct = lc.correct_key;
+      OrapOptions opt;
+      opt.variant = OrapVariant::kModified;
+      OrapChip chip(std::move(lc), 8, opt, 7);
+      ChipScanOracle oracle(chip);
+      run_against("OraP scan", oracle, chip.locked_circuit(), correct);
+    }
+    std::printf("-- full attack suite: weighted locking (18-bit key) --\n");
+    t.print(std::cout);
+  }
+  std::printf(
+      "\nReading: with the golden oracle the SAT-class attacks recover the "
+      "key in a handful\nof DIPs (hill climbing and sensitization already "
+      "fail against weighted locking's\nentangled key bits — the IOLTS'17 "
+      "claim). Through OraP's scan interface the oracle\nonly exposes "
+      "locked responses, so every attack converges on functionally-wrong\n"
+      "keys. OraP + weighted locking = SAT resistance *and* ~40%% HD output "
+      "corruption\n(Table I), which SARLock/Anti-SAT cannot offer.\n");
+  return 0;
+}

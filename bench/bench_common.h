@@ -1,0 +1,49 @@
+#pragma once
+// Shared plumbing for the table-reproduction benches: --full / --scale
+// command-line handling and the paper's reference numbers for
+// side-by-side printing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace orap::bench {
+
+struct BenchArgs {
+  double scale = 0.15;  // default: reduced-cost mode
+  bool full = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        a.full = true;
+        a.scale = 1.0;
+      } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        a.scale = std::atof(argv[i] + 8);
+        a.full = a.scale >= 1.0;
+      } else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf(
+            "usage: %s [--full | --scale=<0..1>]\n"
+            "  --full       paper-scale circuits (slow: minutes)\n"
+            "  --scale=S    shrink benchmark circuits to S of paper size\n",
+            argv[0]);
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+
+  void banner(const char* what) const {
+    std::printf("== %s ==\n", what);
+    if (full)
+      std::printf("mode: FULL (paper-scale circuits)\n\n");
+    else
+      std::printf("mode: reduced (scale=%.2f of paper gate counts; run with "
+                  "--full for paper scale)\n\n",
+                  scale);
+  }
+};
+
+}  // namespace orap::bench

@@ -1,0 +1,63 @@
+// E3b — SAT-attack effort scaling: DIP count vs key size across schemes.
+// This is the figure every SAT-resistance paper draws: point-function
+// schemes (SARLock / Anti-SAT) force ~2^k DIPs while high-corruption
+// schemes collapse in a handful — which is why the paper pairs OraP (kills
+// the oracle) with weighted locking (keeps the corruption).
+
+#include <cstdio>
+#include <iostream>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "bench_common.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/table.h"
+
+using namespace orap;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.banner("SAT-attack DIP count vs key size");
+
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 20;
+  spec.num_gates = args.full ? 1200 : 400;
+  spec.depth = 9;
+  spec.seed = 71;
+  const Netlist n = generate_circuit(spec);
+
+  const std::size_t max_sar = args.full ? 12 : 10;
+  Table t({"Key bits", "weighted DIPs", "random-XOR DIPs", "SARLock DIPs",
+           "2^k"});
+  for (std::size_t k = 4; k <= max_sar; k += 2) {
+    SatAttackOptions opts;
+    opts.max_iterations = (std::int64_t{1} << (max_sar + 1));
+
+    const LockedCircuit wl = lock_weighted(n, k, 2, 81);
+    GoldenOracle o1(wl);
+    const auto r1 = sat_attack(wl, o1, opts);
+
+    const LockedCircuit xr = lock_random_xor(n, k, 82);
+    GoldenOracle o2(xr);
+    const auto r2 = sat_attack(xr, o2, opts);
+
+    const LockedCircuit sar = lock_sarlock(n, k, 83);
+    GoldenOracle o3(sar);
+    const auto r3 = sat_attack(sar, o3, opts);
+
+    t.add_row({std::to_string(k), std::to_string(r1.iterations),
+               std::to_string(r2.iterations), std::to_string(r3.iterations),
+               std::to_string(std::size_t{1} << k)});
+    std::fflush(stdout);
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading: SARLock tracks the 2^k wall (one wrong key eliminated per "
+      "DIP);\nweighted and random-XOR locking stay flat — strong corruption "
+      "means every DIP\nprunes half the key space. SAT resistance and "
+      "output corruption trade off,\nunless the oracle itself is removed "
+      "(OraP).\n");
+  return 0;
+}

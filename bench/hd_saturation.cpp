@@ -1,0 +1,55 @@
+// E1b — the paper's key-size selection methodology (Sec. IV): "we set 256
+// as maximum key size. However, we stopped with smaller key sizes if
+// output corruptibility with HD = 50% had been achieved ... or if output
+// corruptibility, in terms of HD, saturated." This bench sweeps the key
+// size for several benchmark profiles and shows the HD curve saturating —
+// the reason Table I's column 4 varies between 97 and 256.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/table.h"
+
+using namespace orap;
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.banner("HD vs key size: the Table I column-4 selection rule");
+
+  const std::size_t hd_words = args.full ? 256 : 32;
+  const char* circuits[] = {"s38417", "b18", "b20"};
+
+  for (const char* name : circuits) {
+    const BenchmarkProfile& p = benchmark_profile(name);
+    const Netlist n = make_benchmark(p, args.scale);
+    Table t({"Key size", "# key gates", "HD%", "delta"});
+    double prev = 0.0;
+    for (const std::size_t key_bits :
+         {16u, 32u, 64u, 96u, 128u, 192u, 256u}) {
+      if (key_bits / p.ctrl_gate_inputs < 1) continue;
+      const LockedCircuit lc =
+          lock_weighted(n, key_bits, p.ctrl_gate_inputs, 77);
+      const HdResult hd = hamming_corruptibility(lc, hd_words, 6, 5);
+      t.add_row({std::to_string(key_bits),
+                 std::to_string(key_bits / p.ctrl_gate_inputs),
+                 Table::num(hd.hd_percent),
+                 Table::num(hd.hd_percent - prev, 2)});
+      prev = hd.hd_percent;
+      std::fflush(stdout);
+    }
+    std::printf("-- %s (ctrl gates: %zu inputs) --\n", name,
+                p.ctrl_gate_inputs);
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "Reading: HD climbs steeply with the first key gates, then "
+      "saturates well below\nthe optimum for circuits with very many "
+      "outputs (the b18 row of Table I stops at\n97 bits for exactly this "
+      "reason) and approaches 50%% for output-lean circuits.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E2 — reproduces Table II: stuck-at fault coverage and redundant+aborted
+// fault counts for the original vs. OraP-protected circuits.
+//
+// Flow (paper Sec. IV): pseudorandom fault simulation with dropping (the
+// HOPE phase), then deterministic SAT-ATPG classifying every leftover
+// fault as detected / redundant (UNSAT) / aborted (budget) — the Atalanta
+// phase. Key inputs are free to the ATPG because the LFSR key register is
+// part of the scan chains.
+
+#include <cstdio>
+#include <iostream>
+
+#include "atpg/atpg.h"
+#include "bench_common.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/table.h"
+
+using namespace orap;
+
+namespace {
+
+struct PaperRow {
+  double fc_orig, fc_prot;
+  int ra_orig, ra_prot;  // redundant + aborted
+};
+
+constexpr PaperRow kPaper[8] = {
+    {99.47, 99.50, 165, 165},   {95.85, 96.65, 1506, 1265},
+    {97.23, 99.08, 2122, 717},  {99.43, 99.45, 1513, 1468},
+    {99.03, 99.21, 5165, 4254}, {99.29, 99.33, 324, 318},
+    {99.18, 99.30, 381, 340},   {99.48, 99.50, 352, 346}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = bench::BenchArgs::parse(argc, argv);
+  if (!args.full && args.scale > 0.05) args.scale = 0.05;  // ATPG is heavy
+  args.banner("Table II: stuck-at fault coverage, original vs protected");
+
+  Table table({"Circuit", "FC% orig (paper)", "FC% orig (ours)",
+               "R+A orig (paper)", "R+A orig (ours)", "FC% prot (paper)",
+               "FC% prot (ours)", "R+A prot (paper)", "R+A prot (ours)"});
+
+  AtpgOptions opts;
+  opts.random_words = args.full ? 512 : 96;
+  // Hard redundancy proofs dominate the runtime; in reduced mode a lower
+  // abort budget reclassifies the hardest ones as aborted (exactly what
+  // Atalanta's backtrack limit does).
+  opts.conflict_budget = args.full ? 10000 : 2000;
+
+  const auto& profiles = paper_benchmarks();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const BenchmarkProfile& p = profiles[i];
+    const Netlist n = make_benchmark(p, args.scale);
+    const LockedCircuit lc =
+        lock_weighted(n, p.lfsr_size, p.ctrl_gate_inputs, 2000 + i);
+
+    opts.seed = 300 + i;
+    const AtpgResult orig = run_atpg(n, opts);
+    const AtpgResult prot = run_atpg(lc.netlist, opts);
+
+    table.add_row(
+        {p.name, Table::num(kPaper[i].fc_orig),
+         Table::num(orig.fault_coverage_pct()),
+         std::to_string(kPaper[i].ra_orig),
+         std::to_string(orig.redundant_plus_aborted()),
+         Table::num(kPaper[i].fc_prot), Table::num(prot.fault_coverage_pct()),
+         std::to_string(kPaper[i].ra_prot),
+         std::to_string(prot.redundant_plus_aborted())});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nExpected shape (matches the paper): FC of the protected version is "
+      ">= the original\n(key inputs act as scan-controllable test points), "
+      "and redundant+aborted does not grow.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// The attacker's perspective: run the full oracle-guided attack suite
+// (SAT, AppSAT, Double-DIP, hill climbing, key sensitization) against
+//   (a) a conventional chip whose scan chains expose golden responses, and
+//   (b) an OraP-protected chip.
+//
+// Run: ./build/examples/lock_and_attack
+
+#include <cstdio>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "attacks/simple_attacks.h"
+#include "chip/chip.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+
+using namespace orap;
+
+namespace {
+
+const char* status_name(SatAttackResult::Status s) {
+  switch (s) {
+    case SatAttackResult::Status::kKeyFound: return "key-found";
+    case SatAttackResult::Status::kIterationLimit: return "iteration-limit";
+    case SatAttackResult::Status::kSolverBudget: return "solver-budget";
+    case SatAttackResult::Status::kInconsistentOracle: return "inconsistent";
+  }
+  return "?";
+}
+
+void report(const char* attack, const char* target,
+            const SatAttackResult& r, bool key_correct) {
+  std::printf("  %-11s vs %-12s: %-15s iters=%-4zu queries=%-5zu key %s\n",
+              attack, target, status_name(r.status), r.iterations,
+              r.oracle_queries, key_correct ? "CORRECT" : "wrong/none");
+}
+
+}  // namespace
+
+int main() {
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 28;
+  spec.num_gates = 500;
+  spec.depth = 9;
+  spec.seed = 11;
+  const Netlist design = generate_circuit(spec);
+
+  std::printf("target: %zu-gate circuit, weighted locking, 18 key bits\n\n",
+              design.gate_count_no_inverters());
+
+  // --- (a) conventional chip: scan gives golden responses ---------------
+  {
+    const LockedCircuit lc = lock_weighted(design, 18, 3, 5);
+    GoldenOracle o_sat(lc), o_app(lc), o_hc(lc), o_sens(lc);
+
+    const SatAttackResult r1 = sat_attack(lc, o_sat);
+    report("SAT", "golden scan", r1, r1.key == lc.correct_key);
+
+    const SatAttackResult r2 = appsat_attack(lc, o_app);
+    report("AppSAT", "golden scan", r2, r2.key == lc.correct_key);
+
+    const HillClimbResult r3 = hill_climb_attack(lc, o_hc);
+    std::printf("  %-11s vs %-12s: bit-dist=%-4zu queries=%zu key %s\n",
+                "hill-climb", "golden scan", r3.mismatches, r3.oracle_queries,
+                r3.key == lc.correct_key ? "CORRECT" : "wrong");
+
+    const SensitizationResult r4 = sensitization_attack(lc, o_sens);
+    std::printf("  %-11s vs %-12s: resolved %zu/%zu key bits\n\n",
+                "sensitize", "golden scan", r4.resolved, lc.num_key_inputs);
+  }
+
+  // --- (b) OraP chip: scan clears the key register -----------------------
+  {
+    LockedCircuit lc = lock_weighted(design, 18, 3, 5);
+    const BitVec correct = lc.correct_key;
+    OrapOptions opt;
+    opt.variant = OrapVariant::kModified;
+    OrapChip chip(std::move(lc), /*num_pis=*/8, opt, 6);
+    const LockedCircuit& view = chip.locked_circuit();
+
+    ChipScanOracle o_sat(chip);
+    const SatAttackResult r1 = sat_attack(view, o_sat);
+    report("SAT", "OraP scan", r1, r1.key == correct);
+
+    ChipScanOracle o_app(chip);
+    const SatAttackResult r2 = appsat_attack(view, o_app);
+    report("AppSAT", "OraP scan", r2, r2.key == correct);
+
+    ChipScanOracle o_hc(chip);
+    const HillClimbResult r3 = hill_climb_attack(view, o_hc);
+    std::printf("  %-11s vs %-12s: bit-dist=%-4zu queries=%zu key %s\n"
+                "               (a perfect fit to the oracle is a perfect fit "
+                "to the LOCKED circuit)\n",
+                "hill-climb", "OraP scan", r3.mismatches, r3.oracle_queries,
+                r3.key == correct ? "CORRECT" : "wrong");
+
+    ChipScanOracle o_sens(chip);
+    const SensitizationResult r4 = sensitization_attack(view, o_sens);
+    std::size_t correct_bits = 0;
+    for (std::size_t i = 0; i < correct.size(); ++i)
+      if (r4.key_bits[i] >= 0 && r4.key_bits[i] == (correct.get(i) ? 1 : 0))
+        ++correct_bits;
+    std::printf("  %-11s vs %-12s: resolved %zu bits, %zu actually correct\n",
+                "sensitize", "OraP scan", r4.resolved, correct_bits);
+    std::printf("\nOraP verdict: every attack converges onto the *locked* "
+                "behaviour;\nthe correct key never leaves the chip.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Security analysis of Sec. III: an untrusted foundry inserts a Trojan to
+// defeat OraP's self-clearing key register. For each attack scenario
+// (a)-(e) this example shows (1) whether the Trojan works against the
+// basic and the modified scheme, and (2) what hardware payload it costs —
+// the quantity the designer maximizes so side-channel Trojan detection
+// catches the modification.
+//
+// Run: ./build/examples/trojan_analysis
+
+#include <cstdio>
+
+#include "chip/chip.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/rng.h"
+
+using namespace orap;
+
+namespace {
+
+OrapChip build_chip(const Netlist& core, OrapVariant variant, TrojanKind kind,
+                    std::uint64_t seed) {
+  LockedCircuit lc = lock_weighted(core, 32, 3, seed);
+  OrapOptions opt;
+  opt.variant = variant;
+  opt.trojan = kind;
+  return OrapChip(std::move(lc), /*num_pis=*/8, opt, seed + 1);
+}
+
+/// Does the triggered Trojan let the attacker obtain one golden response —
+/// or, for scenario (a), read the key straight off the scan-out pins?
+bool trojan_breaks_chip(OrapChip& chip, Rng& rng) {
+  chip.trigger_trojan();
+  chip.power_on();
+  if (chip.options().trojan == TrojanKind::kSuppressPulsePerCell) {
+    // The pulse reset is suppressed but the LFSR still scans: the first
+    // unload after unlock ships the key out through the scan pins.
+    chip.set_scan_enable(true);
+    const BitVec image = chip.scan_unload();
+    BitVec leaked(chip.lfsr_size());
+    for (std::size_t i = 0; i < chip.lfsr_size(); ++i) {
+      const auto pos = chip.scan_image_position(ScanCell::Kind::kLfsr, i);
+      leaked.set(i, image.get(*pos));
+    }
+    chip.exit_test_mode();
+    return leaked == chip.correct_key();
+  }
+  const std::size_t nd = chip.num_pis() + chip.num_state_ffs();
+  // Reference: the golden response of the locked core.
+  Simulator sim(chip.locked_circuit().netlist);
+  for (int t = 0; t < 8; ++t) {
+    const BitVec data = BitVec::random(nd, rng);
+    const BitVec golden = sim.run_single(
+        chip.locked_circuit().assemble_input(data, chip.correct_key()));
+    BitVec got;
+    if (chip.options().trojan == TrojanKind::kFreezeStateFfs) {
+      // Attack (e) protocol: preserve state across the unlock replay.
+      chip.set_scan_enable(true);
+      BitVec image(chip.scan_image_size());
+      for (std::size_t j = 0; j < chip.num_state_ffs(); ++j) {
+        const auto pos = chip.scan_image_position(ScanCell::Kind::kStateFf, j);
+        image.set(*pos, data.get(chip.num_pis() + j));
+      }
+      chip.scan_load(image);
+      chip.exit_test_mode();
+      BitVec pi(chip.num_pis());
+      for (std::size_t i = 0; i < chip.num_pis(); ++i) pi.set(i, data.get(i));
+      const BitVec po = chip.read_outputs(pi);
+      chip.clock(pi);
+      chip.set_scan_enable(true);
+      const BitVec out = chip.scan_unload();
+      got = BitVec(chip.num_pos() + chip.num_state_ffs());
+      for (std::size_t o = 0; o < chip.num_pos(); ++o) got.set(o, po.get(o));
+      for (std::size_t j = 0; j < chip.num_state_ffs(); ++j) {
+        const auto pos = chip.scan_image_position(ScanCell::Kind::kStateFf, j);
+        got.set(chip.num_pos() + j, out.get(*pos));
+      }
+      chip.exit_test_mode();
+    } else {
+      got = scan_oracle_query(chip, data);
+    }
+    if (got != golden) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 28;
+  spec.num_gates = 600;
+  spec.depth = 10;
+  spec.seed = 31;
+  const Netlist core = generate_circuit(spec);
+  Rng rng(32);
+
+  struct Scenario {
+    TrojanKind kind;
+    const char* name;
+  };
+  const Scenario scenarios[] = {
+      {TrojanKind::kSuppressPulsePerCell, "(a) suppress pulse per cell"},
+      {TrojanKind::kBypassLfsrInScan, "(b) bypass LFSR in scan"},
+      {TrojanKind::kShadowRegister, "(c) shadow key register"},
+      {TrojanKind::kXorTrees, "(d) XOR trees from seeds"},
+      {TrojanKind::kFreezeStateFfs, "(e) freeze state FFs"},
+  };
+
+  std::printf("%-30s | %-10s | %-10s | payload (GE)\n", "trojan scenario",
+              "vs basic", "vs modified");
+  std::printf("%.90s\n",
+              "-----------------------------------------------------------"
+              "-------------------------------");
+  for (const Scenario& sc : scenarios) {
+    OrapChip basic = build_chip(core, OrapVariant::kBasic, sc.kind, 100);
+    OrapChip modified = build_chip(core, OrapVariant::kModified, sc.kind, 200);
+    const bool b_ok = trojan_breaks_chip(basic, rng);
+    const bool m_ok = trojan_breaks_chip(modified, rng);
+    std::printf("%-30s | %-10s | %-10s | %8.1f  (%s)\n", sc.name,
+                b_ok ? "BREAKS" : "defended", m_ok ? "BREAKS" : "defended",
+                basic.trojan_cost().gate_equivalents,
+                basic.trojan_cost().description.c_str());
+  }
+  std::printf(
+      "\nNote (a): the key leaks at the scan-out pins even without oracle\n"
+      "queries once the pulse reset is suppressed — countered by keeping\n"
+      "LFSR cells in one side-channel-monitored segment (Sec. III-a).\n"
+      "Note (e): the modified scheme (Fig. 3) feeds locked responses into\n"
+      "the reseeding points, so frozen FFs corrupt the derived key.\n");
+  return 0;
+}

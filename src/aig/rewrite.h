@@ -1,0 +1,43 @@
+#pragma once
+// DAG-aware AIG resynthesis: 4-input cut enumeration with truth tables, a
+// memoized Shannon-decomposition function synthesizer with exact new-node
+// cost probing against the structural hash, and level-driven AND-tree
+// balancing. `resynthesize` chains them the way the paper runs ABC
+// (strash → refactor → rewrite) before measuring area/delay overhead.
+
+#include <cstdint>
+
+#include "aig/aig.h"
+
+namespace orap::aig {
+
+struct RewriteOptions {
+  int cuts_per_node = 6;
+  int passes = 3;       // rewrite iterations (stops early at fixpoint)
+  bool balance = true;  // run tree balancing first and last
+};
+
+/// One greedy reconstruction pass: every node is rebuilt either from its
+/// fanins or from the cheapest 4-cut resynthesis, whichever adds fewer new
+/// nodes. Constants and wire-equivalences discovered via cut truth tables
+/// are collapsed for free.
+Aig rewrite_pass(const Aig& in, const RewriteOptions& opts = {});
+
+/// Level-minimizing reconstruction: multi-input AND trees are regrouped
+/// Huffman-style (lowest-level operands first).
+Aig balance(const Aig& in);
+
+/// Refactor pass: every fanout-free cone with at most six leaves is
+/// re-expressed from its 64-bit truth table when that saves nodes — the
+/// larger-window complement to the 4-cut rewriter (ABC's `refactor`).
+Aig refactor_pass(const Aig& in);
+
+/// Full pipeline: balance, then rewrite passes to fixpoint, then balance.
+Aig resynthesize(const Aig& in, const RewriteOptions& opts = {});
+
+/// Resynthesized area/delay of a netlist (the Table I measurement): maps
+/// the netlist into an AIG, optimizes, and reports AND count + depth.
+AigStats resynthesized_stats(const Netlist& n,
+                             const RewriteOptions& opts = {});
+
+}  // namespace orap::aig

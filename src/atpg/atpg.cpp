@@ -1,0 +1,152 @@
+#include "atpg/atpg.h"
+
+#include "netlist/analysis.h"
+#include "sat/encode.h"
+
+namespace orap {
+
+namespace {
+
+/// Gates in the transitive fanout of the fault site (including the site).
+std::vector<bool> fanout_cone(const Netlist& n, GateId site) {
+  std::vector<bool> affected(n.num_gates(), false);
+  affected[site] = true;
+  for (GateId g = site + 1; g < n.num_gates(); ++g) {
+    for (const GateId f : n.fanins(g)) {
+      if (affected[f]) {
+        affected[g] = true;
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+}  // namespace
+
+std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
+                                    std::int64_t conflict_budget,
+                                    bool* aborted_out) {
+  if (aborted_out != nullptr) *aborted_out = false;
+
+  // Cone of influence: only the fanin support of the POs the fault can
+  // reach matters. Everything outside stays unconstrained (and its
+  // pattern bits default to 0), which keeps the CNF proportional to the
+  // fault's neighbourhood rather than the whole circuit.
+  const auto affected = fanout_cone(n, f.gate);
+  std::vector<GateId> reachable_pos;
+  for (const auto& po : n.outputs())
+    if (affected[po.gate]) reachable_pos.push_back(po.gate);
+  if (reachable_pos.empty()) return std::nullopt;  // cannot reach any PO
+  const auto needed = fanin_cone(n, reachable_pos);
+
+  sat::Solver s;
+  sat::Encoder e(s);
+
+  // Good copy, restricted to the cone of influence.
+  std::vector<sat::Var> gvar(n.num_gates(), sat::Encoder::kNoVar);
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!needed[g]) continue;
+    const GateType t = n.type(g);
+    if (t == GateType::kInput) {
+      gvar[g] = s.new_var();
+      continue;
+    }
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      gvar[g] = e.encode_gate(t, {});
+      continue;
+    }
+    std::vector<sat::Var> fi;
+    for (const GateId x : n.fanins(g)) fi.push_back(gvar[x]);
+    gvar[g] = e.encode_gate(t, fi);
+  }
+
+  // Faulty copy: clone only the fault's fanout cone; everything else is
+  // shared with the good copy.
+  std::vector<sat::Var> fvar(n.num_gates(), sat::Encoder::kNoVar);
+  const sat::Var stuck = s.new_var();
+  s.add_clause({sat::Lit(stuck, !f.stuck_value)});
+
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!needed[g]) continue;
+    if (!affected[g]) {
+      fvar[g] = gvar[g];
+      continue;
+    }
+    if (g == f.gate && f.pin < 0) {
+      fvar[g] = stuck;  // output stuck-at
+      continue;
+    }
+    const GateType t = n.type(g);
+    ORAP_CHECK_MSG(gate_type_is_logic(t),
+                   "fault site cone reached a non-logic gate");
+    std::vector<sat::Var> fi;
+    const auto fanins = n.fanins(g);
+    for (std::size_t p = 0; p < fanins.size(); ++p) {
+      if (g == f.gate && static_cast<std::int32_t>(p) == f.pin)
+        fi.push_back(stuck);
+      else
+        fi.push_back(fvar[fanins[p]]);
+    }
+    fvar[g] = e.encode_gate(t, fi);
+  }
+
+  // Miter: some affected PO differs.
+  std::vector<sat::Lit> any;
+  for (const GateId po_gate : reachable_pos)
+    any.push_back(sat::pos(e.encode_xor2(gvar[po_gate], fvar[po_gate])));
+  s.add_clause(any);
+
+  const auto res = s.solve({}, conflict_budget);
+  if (res == sat::Solver::Result::kUnknown) {
+    if (aborted_out != nullptr) *aborted_out = true;
+    return std::nullopt;
+  }
+  if (res == sat::Solver::Result::kUnsat) return std::nullopt;
+
+  BitVec pattern(n.num_inputs());
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    const GateId in = n.inputs()[i];
+    pattern.set(i, gvar[in] != sat::Encoder::kNoVar && s.model_value(gvar[in]));
+  }
+  return pattern;
+}
+
+AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts) {
+  AtpgResult result;
+  std::vector<Fault> remaining = collapse_faults(n);
+  result.total_faults = remaining.size();
+
+  FaultSimulator fsim(n);
+  Rng rng(opts.seed);
+  result.detected_random = fsim.run_random(opts.random_words, rng, remaining);
+
+  // Deterministic phase: SAT per leftover fault.
+  while (!remaining.empty()) {
+    const Fault f = remaining.back();
+    remaining.pop_back();
+    bool aborted = false;
+    const auto pattern = generate_test(n, f, opts.conflict_budget, &aborted);
+    if (!pattern.has_value()) {
+      if (aborted)
+        ++result.aborted;
+      else
+        ++result.redundant;
+      continue;
+    }
+    ORAP_CHECK_MSG(fsim.detects(*pattern, f),
+                   "ATPG produced a pattern that does not detect its fault");
+    ++result.detected_atpg;
+    result.patterns.push_back(*pattern);
+    if (opts.resimulate_new_patterns && !remaining.empty()) {
+      // The new pattern often detects other pending faults too.
+      std::vector<std::uint64_t> words(n.num_inputs());
+      for (std::size_t i = 0; i < n.num_inputs(); ++i)
+        words[i] = pattern->get(i) ? ~0ULL : 0ULL;
+      result.detected_atpg += fsim.run_block(words, remaining);
+    }
+  }
+  return result;
+}
+
+}  // namespace orap

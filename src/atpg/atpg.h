@@ -1,0 +1,59 @@
+#pragma once
+// SAT-based stuck-at ATPG (the Atalanta stand-in of the Table II flow).
+//
+// For each fault left over from the pseudorandom fault-simulation phase, a
+// good/faulty miter is encoded (sharing everything outside the fault's
+// fanout cone) and solved under a conflict budget:
+//   SAT     -> test pattern generated (validated in the fault simulator),
+//   UNSAT   -> fault is provably redundant,
+//   UNKNOWN -> aborted (budget exhausted), like Atalanta's backtrack limit.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/fault.h"
+#include "atpg/fault_sim.h"
+#include "util/bitvec.h"
+
+namespace orap {
+
+enum class FaultClass { kDetectedRandom, kDetectedAtpg, kRedundant, kAborted };
+
+struct AtpgOptions {
+  std::size_t random_words = 256;       // 64 patterns per word
+  std::int64_t conflict_budget = 10000; // per fault ("high effort"; harder
+                                        // proofs abort, as in Atalanta)
+  std::uint64_t seed = 1;
+  bool resimulate_new_patterns = true;  // drop more faults per ATPG pattern
+};
+
+struct AtpgResult {
+  std::size_t total_faults = 0;  // collapsed list
+  std::size_t detected_random = 0;
+  std::size_t detected_atpg = 0;
+  std::size_t redundant = 0;
+  std::size_t aborted = 0;
+  std::vector<BitVec> patterns;  // ATPG-phase patterns only
+
+  std::size_t detected() const { return detected_random + detected_atpg; }
+  double fault_coverage_pct() const {
+    return total_faults == 0
+               ? 100.0
+               : 100.0 * static_cast<double>(detected()) /
+                     static_cast<double>(total_faults);
+  }
+  std::size_t redundant_plus_aborted() const { return redundant + aborted; }
+};
+
+/// Generates a test pattern for one fault (nullopt = redundant or
+/// aborted; `aborted_out` distinguishes the two).
+std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
+                                    std::int64_t conflict_budget,
+                                    bool* aborted_out);
+
+/// The full Table II flow: collapse faults, pseudorandom phase with
+/// dropping, SAT-ATPG on the remainder.
+AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts = {});
+
+}  // namespace orap

@@ -1,0 +1,76 @@
+#include "atpg/fault.h"
+
+#include <sstream>
+
+namespace orap {
+
+std::string fault_name(const Netlist& n, const Fault& f) {
+  std::ostringstream os;
+  const std::string& nm = n.gate_name(f.gate);
+  os << (nm.empty() ? "g" + std::to_string(f.gate) : nm);
+  if (f.pin >= 0) os << ".in" << f.pin;
+  os << "/sa" << (f.stuck_value ? 1 : 0);
+  return os.str();
+}
+
+std::vector<Fault> enumerate_faults(const Netlist& n) {
+  const auto fo = [&] {
+    std::vector<std::uint32_t> f(n.num_gates(), 0);
+    for (GateId g = 0; g < n.num_gates(); ++g)
+      for (const GateId x : n.fanins(g)) ++f[x];
+    for (const auto& po : n.outputs()) ++f[po.gate];
+    return f;
+  }();
+
+  std::vector<Fault> faults;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    const GateType t = n.type(g);
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    if (fo[g] == 0 && t != GateType::kInput) continue;  // dangling
+    // Output (stem) faults.
+    faults.push_back({g, -1, false});
+    faults.push_back({g, -1, true});
+    // Input (branch) faults, only where the driver has fanout > 1 (a
+    // single-fanout connection is equivalent to the stem).
+    if (!gate_type_is_logic(t)) continue;
+    const auto fi = n.fanins(g);
+    for (std::size_t p = 0; p < fi.size(); ++p) {
+      if (fo[fi[p]] <= 1) continue;
+      faults.push_back({g, static_cast<std::int32_t>(p), false});
+      faults.push_back({g, static_cast<std::int32_t>(p), true});
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& n) {
+  std::vector<Fault> out;
+  for (const Fault& f : enumerate_faults(n)) {
+    if (f.pin < 0) {
+      out.push_back(f);
+      continue;
+    }
+    const GateType t = n.type(f.gate);
+    // Controlling-value input faults are equivalent to an output fault of
+    // the same gate; drop them. Inverter/buffer input faults fold into
+    // the driver's stem faults (which exist because fanout > 1 here...
+    // the branch is still distinct, keep only for multi-fanout drivers —
+    // enumerate_faults already guarantees that, so fold equivalences:
+    switch (t) {
+      case GateType::kAnd:
+      case GateType::kNand:
+        if (!f.stuck_value) continue;  // input sa0 ~ output sa(0/1)
+        break;
+      case GateType::kOr:
+      case GateType::kNor:
+        if (f.stuck_value) continue;  // input sa1 ~ output sa(1/0)
+        break;
+      default:
+        break;  // XOR/XNOR/MUX/NOT/BUF branch faults all kept
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace orap

@@ -1,0 +1,38 @@
+#pragma once
+// Single stuck-at fault model with structural equivalence collapsing.
+//
+// Faults are attached to gate *outputs* and to gate *inputs* (a fanout
+// branch can carry a fault independently of its stem). Collapsing merges
+// the classic equivalences (e.g. an AND's output s-a-0 with any input
+// s-a-0), reducing the fault list the way Atalanta does before ATPG.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace orap {
+
+struct Fault {
+  GateId gate = kNoGate;     // fault site
+  std::int32_t pin = -1;     // -1 = output fault, >=0 = input pin index
+  bool stuck_value = false;  // stuck-at-0 or stuck-at-1
+
+  bool operator==(const Fault&) const = default;
+};
+
+std::string fault_name(const Netlist& n, const Fault& f);
+
+/// All uncollapsed faults: two per gate output + two per gate input pin
+/// (fanout branches only — single-fanout connections fold into the stem).
+std::vector<Fault> enumerate_faults(const Netlist& n);
+
+/// Equivalence-collapsed fault list (a subset of enumerate_faults):
+///  * AND/NAND: input s-a-0 ~ output s-a-0/1; keep input s-a-1 branches.
+///  * OR/NOR:   input s-a-1 ~ output s-a-1/0; keep input s-a-0 branches.
+///  * NOT/BUF:  input faults ~ output faults.
+///  * XOR/XNOR/MUX: no structural collapsing.
+std::vector<Fault> collapse_faults(const Netlist& n);
+
+}  // namespace orap

@@ -1,0 +1,118 @@
+#include "atpg/fault_sim.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace orap {
+
+FaultSimulator::FaultSimulator(const Netlist& n)
+    : n_(n),
+      sim_(n),
+      fanouts_(n.num_gates()),
+      is_po_(n.num_gates(), 0),
+      faulty_val_(n.num_gates(), 0),
+      stamp_(n.num_gates(), 0),
+      queued_stamp_(n.num_gates(), 0) {
+  for (GateId g = 0; g < n.num_gates(); ++g)
+    for (const GateId f : n.fanins(g)) fanouts_[f].push_back(g);
+  for (const auto& po : n.outputs()) is_po_[po.gate] = 1;
+  val_ = sim_.values();
+}
+
+std::uint64_t FaultSimulator::faulty_site_value(const Fault& f) const {
+  const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0ULL;
+  if (f.pin < 0) return stuck;
+  // Input-pin fault: re-evaluate the gate with that pin forced.
+  const auto fi = n_.fanins(f.gate);
+  std::vector<std::uint64_t> buf(fi.size());
+  for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = val_[fi[i]];
+  buf[f.pin] = stuck;
+  return eval_gate_word(n_.type(f.gate), buf);
+}
+
+std::uint64_t FaultSimulator::propagate(const Fault& f,
+                                        std::uint64_t site_value) {
+  if (site_value == val_[f.gate]) return 0;  // fault not excited
+  ++epoch_;
+  stamp_[f.gate] = epoch_;
+  faulty_val_[f.gate] = site_value;
+  std::uint64_t detect = is_po_[f.gate] ? site_value ^ val_[f.gate] : 0;
+
+  auto value_of = [this](GateId g) {
+    return stamp_[g] == epoch_ ? faulty_val_[g] : val_[g];
+  };
+
+  // Min-heap over gate ids = topological processing order; each gate is
+  // evaluated once (fanouts always have larger ids).
+  std::priority_queue<GateId, std::vector<GateId>, std::greater<>> heap;
+  auto push_fanouts = [&](GateId g) {
+    for (const GateId q : fanouts_[g]) {
+      if (queued_stamp_[q] == epoch_) continue;
+      queued_stamp_[q] = epoch_;
+      heap.push(q);
+    }
+  };
+  push_fanouts(f.gate);
+
+  std::vector<std::uint64_t> buf;
+  while (!heap.empty()) {
+    const GateId g = heap.top();
+    heap.pop();
+    const auto fi = n_.fanins(g);
+    buf.resize(fi.size());
+    for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = value_of(fi[i]);
+    const std::uint64_t nv = eval_gate_word(n_.type(g), buf);
+    if (nv == val_[g]) {
+      // Fault effect dies here; if a previous overlay existed it is now
+      // stale, so record the clean value explicitly.
+      if (stamp_[g] == epoch_) {
+        faulty_val_[g] = nv;
+      }
+      continue;
+    }
+    stamp_[g] = epoch_;
+    faulty_val_[g] = nv;
+    if (is_po_[g]) detect |= nv ^ val_[g];
+    push_fanouts(g);
+  }
+  return detect;
+}
+
+std::size_t FaultSimulator::run_block(
+    std::span<const std::uint64_t> input_words, std::vector<Fault>& remaining) {
+  ORAP_CHECK(input_words.size() == n_.num_inputs());
+  for (std::size_t i = 0; i < input_words.size(); ++i)
+    sim_.set_input_word(i, input_words[i]);
+  sim_.run();
+  std::size_t detected = 0;
+  for (std::size_t i = 0; i < remaining.size();) {
+    const Fault& f = remaining[i];
+    if (propagate(f, faulty_site_value(f)) != 0) {
+      remaining[i] = remaining.back();
+      remaining.pop_back();
+      ++detected;
+    } else {
+      ++i;
+    }
+  }
+  return detected;
+}
+
+std::size_t FaultSimulator::run_random(std::size_t words, Rng& rng,
+                                       std::vector<Fault>& remaining) {
+  std::size_t total = 0;
+  std::vector<std::uint64_t> in(n_.num_inputs());
+  for (std::size_t w = 0; w < words && !remaining.empty(); ++w) {
+    for (auto& x : in) x = rng.word();
+    total += run_block(in, remaining);
+  }
+  return total;
+}
+
+bool FaultSimulator::detects(const BitVec& pattern, const Fault& f) {
+  sim_.broadcast_inputs(pattern);
+  sim_.run();
+  return propagate(f, faulty_site_value(f)) != 0;
+}
+
+}  // namespace orap

@@ -1,0 +1,59 @@
+#pragma once
+// HOPE-style bit-parallel fault simulator: 64 patterns per pass,
+// event-driven forward propagation from the fault site, fault dropping.
+// This is the pseudorandom phase of the Table II flow (the paper runs
+// HOPE before Atalanta on the largest circuits).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/fault.h"
+#include "netlist/simulator.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace orap {
+
+class FaultSimulator {
+ public:
+  explicit FaultSimulator(const Netlist& n);
+
+  /// Simulates one 64-pattern block (one word per input) against
+  /// `remaining`; detected faults are removed (fault dropping). Returns
+  /// the number of faults detected by this block.
+  std::size_t run_block(std::span<const std::uint64_t> input_words,
+                        std::vector<Fault>& remaining);
+
+  /// Convenience: `words` random blocks; returns total detected.
+  std::size_t run_random(std::size_t words, Rng& rng,
+                         std::vector<Fault>& remaining);
+
+  /// Does `pattern` (one bit per input) detect `f`? (Used to validate
+  /// ATPG-generated patterns.)
+  bool detects(const BitVec& pattern, const Fault& f);
+
+  const Netlist& netlist() const { return n_; }
+
+ private:
+  /// Faulty value of the fault-site gate under the good values in val_
+  /// (0/1 lanes where the fault changes the site's output).
+  std::uint64_t faulty_site_value(const Fault& f) const;
+
+  /// Propagates a faulty value at f.gate through the fanout cone;
+  /// returns the OR over POs of (good ^ faulty) — the detect mask.
+  std::uint64_t propagate(const Fault& f, std::uint64_t site_value);
+
+  const Netlist& n_;
+  Simulator sim_;
+  std::span<const std::uint64_t> val_;      // good values (sim_'s buffer)
+  std::vector<std::vector<GateId>> fanouts_;
+  std::vector<std::uint8_t> is_po_;
+  // Epoch-stamped overlay of faulty values (avoids clearing per fault).
+  std::vector<std::uint64_t> faulty_val_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> queued_stamp_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace orap

@@ -1,0 +1,177 @@
+#pragma once
+// Shared CNF-encoding utilities for the oracle-guided attacks.
+//
+// A locked netlist's key inputs influence only their fanout cones; when a
+// second circuit copy differs solely in the key variables, every gate
+// outside that cone can share the first copy's CNF variables. Without the
+// sharing, the SAT solver has to re-derive the equality of two
+// structurally identical subcircuits — the dominant cost of miter-style
+// attacks on a plain CDCL solver.
+
+#include <vector>
+
+#include "locking/locking.h"
+#include "netlist/simulator.h"
+#include "sat/encode.h"
+
+namespace orap {
+
+class LockedEncoder {
+ public:
+  LockedEncoder(sat::Solver& solver, const LockedCircuit& lc)
+      : s_(solver), enc_(solver), lc_(lc), sim_(lc.netlist) {
+    // Forward key-dependence marking.
+    key_dep_.assign(lc.netlist.num_gates(), false);
+    for (std::size_t i = 0; i < lc.num_key_inputs; ++i)
+      key_dep_[lc.key_input(i)] = true;
+    for (GateId g = 0; g < lc.netlist.num_gates(); ++g) {
+      for (const GateId f : lc.netlist.fanins(g)) {
+        if (key_dep_[f]) {
+          key_dep_[g] = true;
+          break;
+        }
+      }
+    }
+    const_true_ = s_.new_var();
+    s_.add_clause({sat::pos(const_true_)});
+  }
+
+  sat::Encoder& encoder() { return enc_; }
+  const std::vector<bool>& key_dependent() const { return key_dep_; }
+  sat::Lit constant(bool v) const {
+    return v ? sat::pos(const_true_) : sat::neg(const_true_);
+  }
+
+  /// Full encoding (fresh data-input and key vars unless provided).
+  sat::CircuitVars encode_full(const std::vector<sat::Var>& data,
+                               const std::vector<sat::Var>& key) {
+    std::vector<sat::Var> shared(lc_.netlist.num_inputs(),
+                                 sat::Encoder::kNoVar);
+    for (std::size_t i = 0; i < data.size(); ++i) shared[i] = data[i];
+    for (std::size_t i = 0; i < key.size(); ++i)
+      shared[lc_.num_data_inputs + i] = key[i];
+    return enc_.encode(lc_.netlist, shared);
+  }
+
+  /// Key-variant encoding: shares every gate outside the key cone with
+  /// `base`; only key-dependent gates get fresh variables.
+  ///
+  /// `equivalence_scaffold` additionally encodes, per duplicated gate
+  /// pair, the valid implication "all corresponding fanins equal => the
+  /// outputs are equal". Without it, proving the miter UNSAT once the
+  /// oracle constraints pin both keys to the same value requires the
+  /// solver to re-derive the equality of two structurally identical
+  /// cones — an exponentially painful exercise for plain CDCL; with it,
+  /// equal keys unit-propagate straight to equal outputs.
+  sat::CircuitVars encode_key_variant(const sat::CircuitVars& base,
+                                      const std::vector<sat::Var>& key,
+                                      bool equivalence_scaffold = true) {
+    const Netlist& n = lc_.netlist;
+    sat::CircuitVars cv;
+    cv.gate.assign(n.num_gates(), sat::Encoder::kNoVar);
+    // eq[g]: literal-var asserting base and variant agree at gate g
+    // (only tracked for duplicated gates; shared gates agree trivially).
+    std::vector<sat::Var> eq(n.num_gates(), sat::Encoder::kNoVar);
+    for (std::size_t i = 0; i < lc_.num_data_inputs; ++i) {
+      const GateId g = n.inputs()[i];
+      cv.gate[g] = base.gate[g];
+      cv.inputs.push_back(cv.gate[g]);
+    }
+    for (std::size_t i = 0; i < lc_.num_key_inputs; ++i) {
+      const GateId g = lc_.key_input(i);
+      cv.gate[g] = key[i];
+      cv.inputs.push_back(key[i]);
+      if (equivalence_scaffold)
+        eq[g] = xnor_var(base.gate[g], key[i]);
+    }
+    for (GateId g = 0; g < n.num_gates(); ++g) {
+      if (cv.gate[g] != sat::Encoder::kNoVar) continue;
+      if (!key_dep_[g]) {
+        cv.gate[g] = base.gate[g];
+        continue;
+      }
+      std::vector<sat::Var> fi;
+      for (const GateId f : n.fanins(g)) fi.push_back(cv.gate[f]);
+      cv.gate[g] = enc_.encode_gate(n.type(g), fi);
+      if (equivalence_scaffold) {
+        eq[g] = xnor_var(base.gate[g], cv.gate[g]);
+        // (eq over all duplicated fanins) -> eq[g].
+        std::vector<sat::Lit> cl;
+        for (const GateId f : n.fanins(g))
+          if (eq[f] != sat::Encoder::kNoVar) cl.push_back(sat::neg(eq[f]));
+        cl.push_back(sat::pos(eq[g]));
+        s_.add_clause(cl);
+      }
+    }
+    for (const auto& po : n.outputs()) cv.outputs.push_back(cv.gate[po.gate]);
+    return cv;
+  }
+
+  /// Adds the oracle constraint C(xd, key_vars) == y, encoding only the
+  /// key-dependent cone (key-independent gate values are computed by
+  /// simulation and enter the CNF as constants). Returns false when a
+  /// key-independent output already contradicts `y` — a lying oracle no
+  /// key assignment can explain.
+  bool add_io_constraint(const BitVec& xd, const BitVec& y,
+                         const std::vector<sat::Var>& key_vars) {
+    const Netlist& n = lc_.netlist;
+    // Key-independent values via simulation (key bits are irrelevant for
+    // these gates; use zeros).
+    sim_.broadcast_inputs(lc_.assemble_input(xd, BitVec(lc_.num_key_inputs)));
+    sim_.run();
+    auto sim_bit = [this](GateId g) { return (sim_.value(g) & 1) != 0; };
+
+    std::vector<sat::Var> var(n.num_gates(), sat::Encoder::kNoVar);
+    for (std::size_t i = 0; i < lc_.num_key_inputs; ++i)
+      var[lc_.key_input(i)] = key_vars[i];
+    for (GateId g = 0; g < n.num_gates(); ++g) {
+      if (!key_dep_[g] || var[g] != sat::Encoder::kNoVar) continue;
+      // Key-independent fanins enter as constants (their simulated value).
+      std::vector<sat::Var> fi;
+      for (const GateId f : n.fanins(g))
+        fi.push_back(key_dep_[f] ? var[f] : const_var(sim_bit(f)));
+      var[g] = enc_.encode_gate(n.type(g), fi);
+    }
+
+    bool consistent = true;
+    for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+      const GateId g = n.outputs()[o].gate;
+      if (key_dep_[g]) {
+        s_.add_clause({sat::Lit(var[g], !y.get(o))});
+      } else if (sim_bit(g) != y.get(o)) {
+        consistent = false;
+      }
+    }
+    return consistent;
+  }
+
+ private:
+  /// Fresh variable e with e <-> (a == b).
+  sat::Var xnor_var(sat::Var a, sat::Var b) {
+    const sat::Var e = s_.new_var();
+    s_.add_clause({sat::neg(e), sat::neg(a), sat::pos(b)});
+    s_.add_clause({sat::neg(e), sat::pos(a), sat::neg(b)});
+    s_.add_clause({sat::pos(e), sat::pos(a), sat::pos(b)});
+    s_.add_clause({sat::pos(e), sat::neg(a), sat::neg(b)});
+    return e;
+  }
+
+  sat::Var const_var(bool v) {
+    if (v) return const_true_;
+    if (const_false_ < 0) {
+      const_false_ = s_.new_var();
+      s_.add_clause({sat::neg(const_false_)});
+    }
+    return const_false_;
+  }
+
+  sat::Solver& s_;
+  sat::Encoder enc_;
+  const LockedCircuit& lc_;
+  Simulator sim_;
+  std::vector<bool> key_dep_;
+  sat::Var const_true_ = -1;
+  sat::Var const_false_ = -1;
+};
+
+}  // namespace orap

@@ -1,0 +1,82 @@
+#pragma once
+// The attacker's view of a functional chip: a black box mapping
+// combinational-core data inputs to outputs. Every oracle-guided attack in
+// src/attacks runs against this interface.
+//
+//  * GoldenOracle — a conventional chip: the key register holds the
+//    correct key during scan, so scan in/capture/scan out yields golden
+//    responses. (This is the attack surface the paper's Sec. I describes.)
+//  * ChipScanOracle — an OraP chip driven through its scan interface; the
+//    pulse generators clear the key register on scan entry, so responses
+//    correspond to the locked circuit.
+
+#include <cstddef>
+
+#include "chip/chip.h"
+#include "locking/locking.h"
+#include "netlist/simulator.h"
+#include "util/bitvec.h"
+
+namespace orap {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  virtual std::size_t num_inputs() const = 0;
+  virtual std::size_t num_outputs() const = 0;
+
+  BitVec query(const BitVec& data) {
+    ++queries_;
+    return do_query(data);
+  }
+  std::size_t query_count() const { return queries_; }
+
+ protected:
+  virtual BitVec do_query(const BitVec& data) = 0;
+
+ private:
+  std::size_t queries_ = 0;
+};
+
+/// Conventional (unprotected) chip: scan access yields correct responses.
+class GoldenOracle final : public Oracle {
+ public:
+  explicit GoldenOracle(const LockedCircuit& lc) : lc_(lc), sim_(lc.netlist) {}
+
+  std::size_t num_inputs() const override { return lc_.num_data_inputs; }
+  std::size_t num_outputs() const override {
+    return lc_.netlist.num_outputs();
+  }
+
+ private:
+  BitVec do_query(const BitVec& data) override {
+    return sim_.run_single(lc_.assemble_input(data, lc_.correct_key));
+  }
+
+  const LockedCircuit& lc_;
+  Simulator sim_;
+};
+
+/// OraP chip behind its real scan protocol. Data packs [pi | state] and
+/// the response packs [po | next_state], exactly the locked core's I/O.
+class ChipScanOracle final : public Oracle {
+ public:
+  explicit ChipScanOracle(OrapChip& chip) : chip_(chip) {}
+
+  std::size_t num_inputs() const override {
+    return chip_.num_pis() + chip_.num_state_ffs();
+  }
+  std::size_t num_outputs() const override {
+    return chip_.num_pos() + chip_.num_state_ffs();
+  }
+
+ private:
+  BitVec do_query(const BitVec& data) override {
+    return scan_oracle_query(chip_, data);
+  }
+
+  OrapChip& chip_;
+};
+
+}  // namespace orap

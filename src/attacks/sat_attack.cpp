@@ -1,0 +1,317 @@
+#include "attacks/sat_attack.h"
+
+#include "attacks/encode_util.h"
+#include "netlist/simulator.h"
+#include "sat/encode.h"
+#include "util/rng.h"
+
+namespace orap {
+
+namespace {
+
+using sat::Encoder;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// Shared state of the DIP loop.
+struct AttackContext {
+  const LockedCircuit& lc;
+  Solver solver;
+  LockedEncoder lenc;
+  std::vector<Var> x;    // shared data-input vars of the miter
+  std::vector<Var> k1;   // key copy 1
+  std::vector<Var> k2;   // key copy 2
+  Var act = -1;          // miter activation literal
+  bool oracle_inconsistent = false;
+
+  explicit AttackContext(const LockedCircuit& locked)
+      : lc(locked), lenc(solver, locked) {}
+
+  std::size_t nd() const { return lc.num_data_inputs; }
+  std::size_t nk() const { return lc.num_key_inputs; }
+  Encoder& enc() { return lenc.encoder(); }
+
+  /// Adds an oracle I/O constraint for one key copy: C(xd, key) == y.
+  /// Only the key-dependent cone is encoded; key-independent outputs are
+  /// checked against simulation, flagging a lying oracle.
+  void add_io_constraint(const BitVec& xd, const BitVec& y,
+                         const std::vector<Var>& key) {
+    if (!lenc.add_io_constraint(xd, y, key)) oracle_inconsistent = true;
+  }
+
+  BitVec model_bits(const std::vector<Var>& vars) const {
+    BitVec out(vars.size());
+    for (std::size_t i = 0; i < vars.size(); ++i)
+      out.set(i, solver.model_value(vars[i]));
+    return out;
+  }
+
+  /// Extracts a key consistent with all I/O constraints (miter disabled).
+  /// Returns false when none exists (lying oracle).
+  bool extract_key(BitVec* key, std::int64_t budget,
+                   SatAttackResult::Status* budget_status) {
+    const std::vector<Lit> off{sat::neg(act)};
+    const auto res = solver.solve(off, budget);
+    if (res == Solver::Result::kUnknown) {
+      *budget_status = SatAttackResult::Status::kSolverBudget;
+      return false;
+    }
+    if (res != Solver::Result::kSat) return false;
+    *key = model_bits(k1);
+    return true;
+  }
+};
+
+std::vector<Var> fresh_vars(Solver& s, std::size_t n) {
+  std::vector<Var> v(n);
+  for (auto& x : v) x = s.new_var();
+  return v;
+}
+
+}  // namespace
+
+SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
+                           const SatAttackOptions& opts) {
+  ORAP_CHECK(oracle.num_inputs() == locked.num_data_inputs);
+  ORAP_CHECK(oracle.num_outputs() == locked.netlist.num_outputs());
+
+  AttackContext ctx(locked);
+  ctx.x = fresh_vars(ctx.solver, ctx.nd());
+  ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.act = ctx.solver.new_var();
+
+  const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
+  const auto b = ctx.lenc.encode_key_variant(a, ctx.k2);
+  // Activatable miter: act -> outputs differ somewhere.
+  {
+    std::vector<Lit> any{sat::neg(ctx.act)};
+    for (std::size_t o = 0; o < a.outputs.size(); ++o)
+      any.push_back(
+          sat::pos(ctx.enc().encode_xor2(a.outputs[o], b.outputs[o])));
+    ctx.solver.add_clause(any);
+  }
+
+  SatAttackResult result;
+  const std::vector<Lit> on{sat::pos(ctx.act)};
+  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
+    const auto res = ctx.solver.solve(on, opts.conflict_budget);
+    if (res == Solver::Result::kUnknown) {
+      result.status = SatAttackResult::Status::kSolverBudget;
+      result.oracle_queries = oracle.query_count();
+      return result;
+    }
+    if (res == Solver::Result::kUnsat) break;  // no DIP left
+    ++result.iterations;
+    const BitVec xd = ctx.model_bits(ctx.x);
+    const BitVec y = oracle.query(xd);
+    ctx.add_io_constraint(xd, y, ctx.k1);
+    ctx.add_io_constraint(xd, y, ctx.k2);
+    if (ctx.oracle_inconsistent) {
+      // A key-independent output contradicted the response: no key can
+      // explain this oracle.
+      result.status = SatAttackResult::Status::kInconsistentOracle;
+      result.oracle_queries = oracle.query_count();
+      return result;
+    }
+  }
+  result.oracle_queries = oracle.query_count();
+  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+    result.status = SatAttackResult::Status::kIterationLimit;
+    return result;
+  }
+
+  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
+  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
+    result.status = SatAttackResult::Status::kKeyFound;
+  } else {
+    result.status =
+        budget_status == SatAttackResult::Status::kSolverBudget
+            ? budget_status
+            : SatAttackResult::Status::kInconsistentOracle;
+  }
+  return result;
+}
+
+SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
+                              const AppSatOptions& opts) {
+  AttackContext ctx(locked);
+  ctx.x = fresh_vars(ctx.solver, ctx.nd());
+  ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.act = ctx.solver.new_var();
+  const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
+  const auto b = ctx.lenc.encode_key_variant(a, ctx.k2);
+  {
+    std::vector<Lit> any{sat::neg(ctx.act)};
+    for (std::size_t o = 0; o < a.outputs.size(); ++o)
+      any.push_back(
+          sat::pos(ctx.enc().encode_xor2(a.outputs[o], b.outputs[o])));
+    ctx.solver.add_clause(any);
+  }
+
+  Rng rng(opts.seed);
+  Simulator sim(locked.netlist);
+  SatAttackResult result;
+  std::size_t clean_rounds = 0;
+  const std::vector<Lit> on{sat::pos(ctx.act)};
+
+  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
+    const auto res = ctx.solver.solve(on);
+    if (res == Solver::Result::kUnsat) break;  // exact convergence
+    ++result.iterations;
+    const BitVec xd = ctx.model_bits(ctx.x);
+    const BitVec y = oracle.query(xd);
+    ctx.add_io_constraint(xd, y, ctx.k1);
+    ctx.add_io_constraint(xd, y, ctx.k2);
+    if (ctx.oracle_inconsistent) {
+      result.status = SatAttackResult::Status::kInconsistentOracle;
+      result.oracle_queries = oracle.query_count();
+      return result;
+    }
+
+    if (result.iterations % opts.check_period != 0) continue;
+    // Random-sampling round on the current candidate key.
+    SatAttackResult::Status ignored;
+    BitVec candidate;
+    if (!ctx.extract_key(&candidate, -1, &ignored)) break;
+    std::size_t mismatches = 0;
+    for (std::size_t q = 0; q < opts.random_queries; ++q) {
+      const BitVec xr = BitVec::random(ctx.nd(), rng);
+      const BitVec yo = oracle.query(xr);
+      const BitVec yc = sim.run_single(locked.assemble_input(xr, candidate));
+      if (yo != yc) {
+        ++mismatches;
+        ctx.add_io_constraint(xr, yo, ctx.k1);
+        ctx.add_io_constraint(xr, yo, ctx.k2);
+      }
+    }
+    if (mismatches == 0) {
+      if (++clean_rounds >= opts.settle_rounds) {
+        // Approximate key settled.
+        result.status = SatAttackResult::Status::kKeyFound;
+        result.key = candidate;
+        result.oracle_queries = oracle.query_count();
+        return result;
+      }
+    } else {
+      clean_rounds = 0;
+    }
+  }
+  result.oracle_queries = oracle.query_count();
+  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+    result.status = SatAttackResult::Status::kIterationLimit;
+    return result;
+  }
+  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
+  if (ctx.extract_key(&result.key, -1, &budget_status))
+    result.status = SatAttackResult::Status::kKeyFound;
+  else
+    result.status = SatAttackResult::Status::kInconsistentOracle;
+  return result;
+}
+
+SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
+                                  const SatAttackOptions& opts) {
+  AttackContext ctx(locked);
+  ctx.x = fresh_vars(ctx.solver, ctx.nd());
+  ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
+  auto k3 = fresh_vars(ctx.solver, ctx.nk());
+  auto k4 = fresh_vars(ctx.solver, ctx.nk());
+  ctx.act = ctx.solver.new_var();
+  Solver& s = ctx.solver;
+  Encoder& e = ctx.enc();
+
+  const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
+  const auto b = ctx.lenc.encode_key_variant(a, ctx.k2);
+  const auto c = ctx.lenc.encode_key_variant(a, k3);
+  const auto d = ctx.lenc.encode_key_variant(a, k4);
+
+  // act -> Y(a)==Y(b), Y(c)==Y(d), Y(a)!=Y(c), k1!=k2, k3!=k4.
+  // Whichever side the oracle contradicts loses two keys at once.
+  const Lit noact = sat::neg(ctx.act);
+  for (std::size_t o = 0; o < a.outputs.size(); ++o) {
+    s.add_clause({noact, sat::neg(a.outputs[o]), sat::pos(b.outputs[o])});
+    s.add_clause({noact, sat::pos(a.outputs[o]), sat::neg(b.outputs[o])});
+    s.add_clause({noact, sat::neg(c.outputs[o]), sat::pos(d.outputs[o])});
+    s.add_clause({noact, sat::pos(c.outputs[o]), sat::neg(d.outputs[o])});
+  }
+  auto add_neq = [&](const std::vector<Var>& u, const std::vector<Var>& v) {
+    std::vector<Lit> any{noact};
+    for (std::size_t i = 0; i < u.size(); ++i)
+      any.push_back(sat::pos(e.encode_xor2(u[i], v[i])));
+    s.add_clause(any);
+  };
+  {
+    std::vector<Lit> any{noact};
+    for (std::size_t o = 0; o < a.outputs.size(); ++o)
+      any.push_back(sat::pos(e.encode_xor2(a.outputs[o], c.outputs[o])));
+    s.add_clause(any);
+  }
+  add_neq(ctx.k1, ctx.k2);
+  add_neq(k3, k4);
+
+  SatAttackResult result;
+  const std::vector<Lit> on{sat::pos(ctx.act)};
+  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
+    const auto res = s.solve(on, opts.conflict_budget);
+    if (res == Solver::Result::kUnknown) {
+      result.status = SatAttackResult::Status::kSolverBudget;
+      result.oracle_queries = oracle.query_count();
+      return result;
+    }
+    if (res == Solver::Result::kUnsat) break;
+    ++result.iterations;
+    const BitVec xd = ctx.model_bits(ctx.x);
+    const BitVec y = oracle.query(xd);
+    ctx.add_io_constraint(xd, y, ctx.k1);
+    ctx.add_io_constraint(xd, y, ctx.k2);
+    ctx.add_io_constraint(xd, y, k3);
+    ctx.add_io_constraint(xd, y, k4);
+    if (ctx.oracle_inconsistent) {
+      result.status = SatAttackResult::Status::kInconsistentOracle;
+      result.oracle_queries = oracle.query_count();
+      return result;
+    }
+  }
+  result.oracle_queries = oracle.query_count();
+  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+    result.status = SatAttackResult::Status::kIterationLimit;
+    return result;
+  }
+  // No double-DIP remains: at most one equivalence class of the
+  // "traditional" key part survives (point-function flips like SARLock's
+  // cannot form a double-DIP, so they stay unresolved — the Double-DIP
+  // paper's point is precisely that this part does not matter). Extract a
+  // key from the surviving class; run sat_attack afterwards if exactness
+  // on the point-function part is required.
+  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
+  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
+    result.status = SatAttackResult::Status::kKeyFound;
+  } else {
+    result.status =
+        budget_status == SatAttackResult::Status::kSolverBudget
+            ? budget_status
+            : SatAttackResult::Status::kInconsistentOracle;
+  }
+  return result;
+}
+
+std::size_t verify_key_against_oracle(const LockedCircuit& locked,
+                                      const BitVec& key, Oracle& oracle,
+                                      std::size_t samples,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  Simulator sim(locked.netlist);
+  std::size_t mismatches = 0;
+  for (std::size_t q = 0; q < samples; ++q) {
+    const BitVec x = BitVec::random(locked.num_data_inputs, rng);
+    if (oracle.query(x) != sim.run_single(locked.assemble_input(x, key)))
+      ++mismatches;
+  }
+  return mismatches;
+}
+
+}  // namespace orap

@@ -1,0 +1,72 @@
+#pragma once
+// Oracle-guided SAT attack [Subramanyan et al., HOST'15] and its variants
+// AppSAT [11] and Double-DIP [10].
+//
+// The attacker holds the locked netlist (key unknown) and a functional
+// oracle. Each iteration finds a distinguishing input pattern (DIP) — an
+// input on which two candidate keys disagree — queries the oracle, and
+// adds the observed I/O pair as a constraint, pruning all keys
+// inconsistent with it. When no DIP remains, any consistent key is
+// functionally equivalent to the correct one *given a truthful oracle*.
+// Against OraP the oracle answers with locked responses, so the attack
+// either derives a wrong key or runs out of DIP budget.
+
+#include <cstdint>
+
+#include "attacks/oracle.h"
+#include "locking/locking.h"
+#include "util/bitvec.h"
+
+namespace orap {
+
+struct SatAttackOptions {
+  std::int64_t max_iterations = 4096;
+  std::int64_t conflict_budget = -1;  // per SAT call; <0 = unlimited
+};
+
+struct SatAttackResult {
+  enum class Status {
+    kKeyFound,           // DIP loop converged to a consistent key
+    kIterationLimit,     // budget exhausted
+    kSolverBudget,       // a SAT call aborted on its conflict budget
+    kInconsistentOracle, // no key matches the observed I/O pairs — the
+                         // oracle is lying (what OraP causes)
+  };
+  Status status = Status::kIterationLimit;
+  BitVec key;                 // valid when kKeyFound
+  std::size_t iterations = 0; // DIPs used
+  std::size_t oracle_queries = 0;
+};
+
+SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
+                           const SatAttackOptions& opts = {});
+
+/// AppSAT: interleaves the DIP loop with random-query checks and stops
+/// early when the candidate key's observed error rate drops below
+/// `settle_threshold` over `random_queries` samples — an *approximate*
+/// deobfuscation (effective against point-function schemes like SARLock).
+struct AppSatOptions {
+  std::int64_t max_iterations = 1024;
+  std::size_t check_period = 8;      // DIPs between random-sampling rounds
+  std::size_t random_queries = 64;   // samples per round
+  std::size_t settle_rounds = 2;     // consecutive clean rounds to stop
+  std::uint64_t seed = 1;
+};
+
+SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
+                              const AppSatOptions& opts = {});
+
+/// Double-DIP: every iteration finds an input where two *distinct* key
+/// pairs disagree with a reference key, eliminating at least two wrong
+/// keys per oracle query (the countermeasure-aware variant against
+/// SARLock-style one-key-per-DIP schemes).
+SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
+                                  const SatAttackOptions& opts = {});
+
+/// Checks a recovered key against the oracle on random samples (the only
+/// verification available to a real attacker). Returns the mismatch count.
+std::size_t verify_key_against_oracle(const LockedCircuit& locked,
+                                      const BitVec& key, Oracle& oracle,
+                                      std::size_t samples, std::uint64_t seed);
+
+}  // namespace orap

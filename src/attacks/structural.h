@@ -1,0 +1,67 @@
+#pragma once
+// Structural / semi-structural attacks from the paper's related-work
+// battlefield (Sec. I): the signal-probability-skew (SPS) attack and the
+// removal attack that defeat Anti-SAT, and the bypass attack that defeats
+// SARLock-class point functions. The paper argues none of them apply to
+// OraP ("neither has signals with high probability skew, nor by removing
+// the LFSR ... the circuit will unlock") — these implementations make
+// that argument testable.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "locking/locking.h"
+#include "netlist/netlist.h"
+#include "util/bitvec.h"
+
+namespace orap {
+
+struct SpsCandidate {
+  GateId gate = kNoGate;
+  double prob_one = 0.5;  // estimated P(gate = 1) under random X and K
+  double skew = 0.0;      // |P - 0.5|
+};
+
+/// Ranks internal gates by signal-probability skew under random inputs
+/// *and* random keys (the attacker has no key). Anti-SAT's block output
+/// tops the ranking with skew ~0.5; healthy locking has no such signal.
+std::vector<SpsCandidate> sps_rank(const LockedCircuit& lc,
+                                   std::size_t words, std::uint64_t seed,
+                                   std::size_t top_k = 16);
+
+struct RemovalResult {
+  Netlist recovered;   // locked netlist with the suspect gate tied off
+  GateId removed = kNoGate;
+  double skew = 0.0;
+};
+
+/// SPS-guided removal attack: ties the highest-skew suspect to its
+/// dominant constant value and drops the key logic it gated. Returns
+/// nullopt when no candidate exceeds `min_skew` (the attack "does not
+/// apply", the paper's claim for OraP + weighted locking).
+std::optional<RemovalResult> removal_attack(const LockedCircuit& lc,
+                                            std::size_t words,
+                                            std::uint64_t seed,
+                                            double min_skew = 0.45);
+
+struct BypassResult {
+  Netlist bypassed;                  // wrong-key circuit + correction unit
+  BitVec wrong_key;                  // the key the attacker committed to
+  std::size_t correction_points = 0; // comparator entries added
+  bool complete = false;             // diff enumeration finished under cap
+};
+
+/// Bypass attack [Xu et al., CHES'17]: commit to an arbitrary wrong key,
+/// SAT-enumerate the inputs where it can disagree with another key (for
+/// point-function schemes this set is tiny), query the oracle there, and
+/// wrap the wrong-key circuit with a comparator-driven correction unit.
+/// Fails (complete=false) when the diff set exceeds `max_corrections` —
+/// which is exactly what high-corruptibility schemes guarantee.
+std::optional<BypassResult> bypass_attack(const LockedCircuit& lc,
+                                          Oracle& oracle,
+                                          std::size_t max_corrections,
+                                          std::uint64_t seed);
+
+}  // namespace orap

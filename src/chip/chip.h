@@ -1,0 +1,217 @@
+#pragma once
+// Cycle-accurate model of an OraP-protected chip (the paper's Figs. 1-3).
+//
+// The chip wraps a locked combinational core in a sequential shell:
+//
+//   comb core inputs  = [ primary inputs | state FFs | key inputs ]
+//   comb core outputs = [ primary outputs | next-state ]
+//
+// The key inputs are driven by the OraP key register — an LFSR that is
+// unlocked by a multi-cycle key sequence from tamper-proof memory and is
+// cleared by per-cell pulse generators whenever scan-enable rises (Fig. 2).
+// The LFSR cells participate in the scan chains, placed before / interleaved
+// with normal state FFs (the Sec. III-b countermeasure).
+//
+// Two variants:
+//  * kBasic    (Fig. 1): the key sequence alone determines the key.
+//  * kModified (Fig. 3): a first unlock phase feeds *locked-circuit
+//    responses* (state-FF values) into half the reseeding points; a second
+//    memory-driven phase steers the register onto the key. Freezing the
+//    state FFs (attack (e)) therefore corrupts the key.
+//
+// The five Trojan scenarios of Sec. III are modeled as chip mutations with
+// gate-equivalent payload accounting, so the security argument ("every
+// bypass costs enough hardware to be side-channel visible") is measurable.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lfsr/lfsr.h"
+#include "locking/locking.h"
+#include "netlist/simulator.h"
+#include "util/bitvec.h"
+
+namespace orap {
+
+enum class OrapVariant { kBasic, kModified };
+
+enum class TrojanKind {
+  kNone,
+  kSuppressPulsePerCell,  // (a) NAND2->NAND3 in every pulse generator
+  kBypassLfsrInScan,      // (b) stem suppression + per-cell scan bypass MUX
+  kShadowRegister,        // (c) shadow FF per cell + MUX onto key inputs
+  kXorTrees,              // (d) seed registers + XOR trees + MUX
+  kFreezeStateFfs,        // (e) freeze normal FFs during unlock
+  kReplayResponses,       // (e') freeze FFs + record-and-replay the
+                          //      phase-1 response injections (the
+                          //      escalation that re-breaks kModified, at
+                          //      a storage cost the designer controls
+                          //      via response_cycles)
+};
+
+/// Gate-equivalent payload of a Trojan (the paper's Sec. III arithmetic):
+/// NAND2 = 1 GE, a NAND2->NAND3 swap = 0.5 GE, MUX2 = 3 GE, FF = 6 GE,
+/// XOR2 = 3 GE.
+struct TrojanCost {
+  double gate_equivalents = 0.0;
+  std::string description;
+};
+
+struct OrapOptions {
+  OrapVariant variant = OrapVariant::kBasic;
+  std::size_t num_scan_chains = 1;
+  std::size_t mem_seeds = 4;               // memory-driven reseed count
+  std::vector<std::size_t> mem_gaps;       // defaults to {2,2,...}
+  std::size_t response_cycles = 16;        // kModified phase-1 length
+  TrojanKind trojan = TrojanKind::kNone;
+};
+
+/// One scan cell: either a normal state FF or an LFSR (key register) cell.
+struct ScanCell {
+  enum class Kind { kStateFf, kLfsr } kind = Kind::kStateFf;
+  std::size_t index = 0;  // FF index or LFSR cell index
+};
+
+class OrapChip {
+ public:
+  /// `locked` is the locked combinational core; its first `num_pis` data
+  /// inputs are chip pins, the remaining data inputs are state FFs fed by
+  /// the *last* ns comb outputs (ns = data inputs - num_pis). The LFSR
+  /// size equals the core's key width. The constructor plays the designer:
+  /// it picks the unlock schedule and synthesizes the tamper-proof-memory
+  /// key sequence so that the unlock process lands exactly on the correct
+  /// key (for kModified this accounts for the locked responses fed back
+  /// during phase 1).
+  OrapChip(LockedCircuit locked, std::size_t num_pis, OrapOptions opt,
+           std::uint64_t seed);
+
+  // --- structure ---------------------------------------------------------
+  std::size_t num_pis() const { return num_pis_; }
+  std::size_t num_pos() const { return num_pos_; }
+  std::size_t num_state_ffs() const { return num_state_; }
+  std::size_t lfsr_size() const { return lfsr_.config().size; }
+  const LockedCircuit& locked_circuit() const { return locked_; }
+  const OrapOptions& options() const { return opt_; }
+
+  /// Scan layout: chains()[c] lists the cells of chain c, scan-in side
+  /// first. LFSR cells come first / interleaved per Sec. III-b.
+  const std::vector<std::vector<ScanCell>>& chains() const { return chains_; }
+  std::size_t max_chain_length() const;
+
+  // --- lifecycle / functional mode ----------------------------------------
+  /// Power-on activation: clears FFs and key register, then runs the
+  /// multi-cycle unlock protocol (PIs held at 0, as the designer assumed).
+  void power_on();
+
+  /// True when the key register currently holds the correct key.
+  bool is_unlocked() const;
+
+  /// One functional clock: state FFs capture next-state.
+  void clock(const BitVec& pi);
+
+  /// Combinational read of the primary-output pins for the current state.
+  BitVec read_outputs(const BitVec& pi);
+
+  const BitVec& state_ffs() const { return state_; }
+  const BitVec& key_register_state() const { return lfsr_.state(); }
+
+  // --- test mode (the attacker's interface) --------------------------------
+  /// Raising scan-enable fires the pulse generators: the key register
+  /// self-clears (unless Trojan (a)/(b) suppresses it).
+  void set_scan_enable(bool enable);
+  bool scan_enable() const { return scan_enable_; }
+
+  /// One scan clock: every chain shifts one position; head_bits has one
+  /// bit per chain (new scan-in values). Requires scan-enable high.
+  void scan_shift(const BitVec& head_bits);
+
+  /// Scan-out bits currently visible at each chain tail.
+  BitVec scan_tail_bits() const;
+
+  /// Capture clock in test mode (scan-enable low for one cycle): state FFs
+  /// load next-state; the key inputs see the current key-register state.
+  /// Returns the PO pin values observed during the capture.
+  BitVec capture(const BitVec& pi);
+
+  /// Convenience: full serial load of all scan cells. `image` is indexed
+  /// by scan position (see scan_image_position). Destroys prior content.
+  void scan_load(const BitVec& image);
+  /// Convenience: full serial unload (destructive, shifts in zeros).
+  BitVec scan_unload();
+  std::size_t scan_image_size() const;
+  /// Position of a cell in the full-load image, or nullopt if the cell is
+  /// not scannable (e.g. LFSR cells under Trojan (b) bypass).
+  std::optional<std::size_t> scan_image_position(ScanCell::Kind kind,
+                                                 std::size_t index) const;
+
+  /// Re-entry to functional mode: the lock controller resets the state FFs
+  /// and replays the unlock protocol, exactly as at power-on. Trojan (e)
+  /// suppresses the FF reset/updates during the replayed unlock.
+  void exit_test_mode();
+
+  // --- trojan --------------------------------------------------------------
+  void trigger_trojan() { trojan_active_ = true; }
+  bool trojan_triggered() const { return trojan_active_; }
+  TrojanCost trojan_cost() const;
+
+  /// Designer-side introspection for tests/benches.
+  const KeySequence& memory_key_sequence() const { return mem_sequence_; }
+  const BitVec& correct_key() const { return locked_.correct_key; }
+
+  /// Unlock latency in clock cycles: response-mixing phase (kModified)
+  /// plus one cycle per seed and per free-run gap.
+  std::size_t unlock_cycles() const;
+
+  /// Tamper-proof-memory footprint in bits (the stored key sequence).
+  std::size_t tamper_memory_bits() const;
+
+ private:
+  void run_unlock_protocol();
+  void comb_eval(const BitVec& pi, const BitVec& key, BitVec* po,
+                 BitVec* next_state);
+  static void comb_eval_static(const LockedCircuit& lc, Simulator& sim,
+                               const BitVec& pi, const BitVec& state,
+                               const BitVec& key, BitVec* po, BitVec* next,
+                               std::size_t num_pis, std::size_t num_pos,
+                               std::size_t num_state);
+  BitVec effective_key() const;  // key inputs as seen by the comb core
+  BitVec phase1_injection() const;
+
+  LockedCircuit locked_;
+  Simulator sim_;
+  std::size_t num_pis_ = 0;
+  std::size_t num_pos_ = 0;
+  std::size_t num_state_ = 0;
+  OrapOptions opt_;
+
+  Lfsr lfsr_;
+  BitVec state_;
+  bool scan_enable_ = false;
+  bool trojan_active_ = false;
+
+  // Designer secrets (tamper-proof memory).
+  KeySequence mem_sequence_;
+  LfsrConfig mem_cfg_;  // reseed view restricted to memory-driven points
+  std::vector<std::size_t> response_points_;  // reseed indices fed by FFs
+  std::vector<std::size_t> response_ffs_;     // FF index per response point
+
+  // Trojan (c)/(d) payload state: latched copy of the unlocked key.
+  BitVec shadow_key_;
+  bool shadow_valid_ = false;
+  // Trojan (e') payload state: recorded phase-1 response injections.
+  std::vector<BitVec> replay_log_;
+  bool replay_valid_ = false;
+
+  std::vector<std::vector<ScanCell>> chains_;
+};
+
+/// The oracle-protection claim, as a predicate the attack suite uses: a
+/// scan-based combinational oracle query against this chip. `data` packs
+/// [pi | state] for the locked core; the return packs [po | next_state].
+/// On an unprotected chip this is the golden oracle; on an OraP chip the
+/// responses correspond to the cleared (locked) key register.
+BitVec scan_oracle_query(OrapChip& chip, const BitVec& data);
+
+}  // namespace orap

@@ -1,0 +1,86 @@
+#include "eval/metrics.h"
+
+#include "netlist/simulator.h"
+
+namespace orap {
+
+HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
+                                std::size_t num_keys, std::uint64_t seed) {
+  ORAP_CHECK(num_words > 0 && num_keys > 0);
+  Rng rng(seed);
+  const Netlist& n = lc.netlist;
+  Simulator sim(n);
+
+  // Wrong keys, sampled up front (re-draw on the vanishing chance of
+  // hitting the correct key).
+  std::vector<BitVec> wrong_keys;
+  while (wrong_keys.size() < num_keys) {
+    BitVec k = BitVec::random(lc.num_key_inputs, rng);
+    if (k == lc.correct_key) continue;
+    wrong_keys.push_back(std::move(k));
+  }
+
+  auto set_key = [&](const BitVec& key) {
+    for (std::size_t i = 0; i < lc.num_key_inputs; ++i)
+      sim.set_input_word(lc.num_data_inputs + i, key.get(i) ? ~0ULL : 0ULL);
+  };
+
+  std::uint64_t diff_bits = 0;
+  std::uint64_t total_bits = 0;
+  std::vector<std::uint64_t> golden(n.num_outputs());
+  std::vector<std::uint64_t> data_words(lc.num_data_inputs);
+
+  for (std::size_t w = 0; w < num_words; ++w) {
+    for (auto& dw : data_words) dw = rng.word();
+    for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
+      sim.set_input_word(i, data_words[i]);
+    set_key(lc.correct_key);
+    sim.run();
+    for (std::size_t o = 0; o < n.num_outputs(); ++o)
+      golden[o] = sim.output_word(o);
+
+    for (const BitVec& key : wrong_keys) {
+      for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
+        sim.set_input_word(i, data_words[i]);
+      set_key(key);
+      sim.run();
+      for (std::size_t o = 0; o < n.num_outputs(); ++o)
+        diff_bits += static_cast<std::uint64_t>(
+            __builtin_popcountll(golden[o] ^ sim.output_word(o)));
+      total_bits += n.num_outputs() * 64;
+    }
+  }
+
+  HdResult r;
+  r.hd_percent = 100.0 * static_cast<double>(diff_bits) /
+                 static_cast<double>(total_bits);
+  r.patterns = num_words * 64;
+  r.keys = num_keys;
+  return r;
+}
+
+OverheadResult measure_overhead(const Netlist& original,
+                                const Netlist& protected_netlist,
+                                std::size_t extra_protected_gates,
+                                const aig::RewriteOptions& opts) {
+  const aig::AigStats so = aig::resynthesized_stats(original, opts);
+  const aig::AigStats sp = aig::resynthesized_stats(protected_netlist, opts);
+  OverheadResult r;
+  r.area_original = so.ands;
+  r.area_protected = sp.ands + extra_protected_gates;
+  r.delay_original = so.depth;
+  r.delay_protected = sp.depth;
+  r.area_overhead_pct =
+      100.0 *
+      (static_cast<double>(r.area_protected) - static_cast<double>(so.ands)) /
+      static_cast<double>(so.ands);
+  r.delay_overhead_pct =
+      so.depth == 0
+          ? 0.0
+          : 100.0 *
+                (static_cast<double>(sp.depth) - static_cast<double>(so.depth)) /
+                static_cast<double>(so.depth);
+  return r;
+}
+
+}  // namespace orap

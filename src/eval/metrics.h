@@ -1,0 +1,43 @@
+#pragma once
+// Evaluation metrics behind Table I: Hamming-distance output
+// corruptibility under wrong keys, and area/delay overhead after
+// resynthesis of the original vs. protected circuit.
+
+#include <cstdint>
+
+#include "aig/rewrite.h"
+#include "locking/locking.h"
+
+namespace orap {
+
+struct HdResult {
+  double hd_percent = 0.0;   // avg % of output bits differing from correct
+  std::size_t patterns = 0;  // total input patterns simulated
+  std::size_t keys = 0;      // wrong keys sampled
+};
+
+/// Paper methodology: apply the valid key and `num_keys` random (wrong)
+/// keys over `num_words`*64 pseudorandom input patterns; HD% is the mean
+/// fraction of corrupted output bits.
+HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
+                                std::size_t num_keys, std::uint64_t seed);
+
+struct OverheadResult {
+  std::size_t area_original = 0;   // resynthesized AND count
+  std::size_t area_protected = 0;  // resynthesized AND count + extra gates
+  std::uint32_t delay_original = 0;
+  std::uint32_t delay_protected = 0;
+  double area_overhead_pct = 0.0;
+  double delay_overhead_pct = 0.0;
+};
+
+/// Resynthesizes both circuits (the ABC strash→refactor→rewrite stand-in)
+/// and reports relative overheads. `extra_protected_gates` accounts for
+/// locking hardware that is not part of the combinational netlist (the
+/// OraP pulse generators and LFSR reseeding/feedback XORs, per Sec. IV).
+OverheadResult measure_overhead(const Netlist& original,
+                                const Netlist& protected_netlist,
+                                std::size_t extra_protected_gates = 0,
+                                const aig::RewriteOptions& opts = {});
+
+}  // namespace orap

@@ -1,0 +1,341 @@
+#include "gen/circuit_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "netlist/analysis.h"
+
+namespace orap {
+
+namespace {
+
+/// Picks a gate type keeping the output's signal probability near 0.5.
+/// Unmanaged random AND/OR logic saturates signal probabilities toward
+/// 0/1 with depth, destroying random-pattern observability; real ISCAS/
+/// ITC circuits are 95-99% random-testable (Table II), so the generator
+/// balances probabilities the way human-designed logic does.
+GateType pick_gate_type(Rng& rng, double xor_fraction,
+                        std::span<const double> fanin_probs, double& out_prob) {
+  if (rng.chance(xor_fraction)) {
+    // Parity of independent signals: p = 1/2 (1 - prod(1 - 2 p_i)).
+    double prod = 1.0;
+    for (const double p : fanin_probs) prod *= 1.0 - 2.0 * p;
+    const bool xnor = rng.bit();
+    out_prob = 0.5 * (1.0 - (xnor ? -prod : prod));
+    return xnor ? GateType::kXnor : GateType::kXor;
+  }
+  double p_and = 1.0, p_nor = 1.0;
+  for (const double p : fanin_probs) {
+    p_and *= p;
+    p_nor *= 1.0 - p;
+  }
+  struct Option {
+    GateType t;
+    double p;
+  };
+  const Option options[4] = {{GateType::kAnd, p_and},
+                             {GateType::kNand, 1.0 - p_and},
+                             {GateType::kOr, 1.0 - p_nor},
+                             {GateType::kNor, p_nor}};
+  // Among the two complementary pairs, keep the variant closer to 0.5.
+  // Between the AND-ish and OR-ish survivors prefer the better-balanced
+  // one (random choice only on near-ties): probability drift compounds
+  // through reconvergent fanout and ends in *exactly* constant gates,
+  // which show up as large redundant-fault populations.
+  const Option& and_side =
+      std::abs(options[0].p - 0.5) < std::abs(options[1].p - 0.5) ? options[0]
+                                                                  : options[1];
+  const Option& or_side =
+      std::abs(options[2].p - 0.5) < std::abs(options[3].p - 0.5) ? options[2]
+                                                                  : options[3];
+  const double da = std::abs(and_side.p - 0.5);
+  const double dor = std::abs(or_side.p - 0.5);
+  const Option& chosen = std::abs(da - dor) < 0.05
+                             ? (rng.bit() ? and_side : or_side)
+                             : (da < dor ? and_side : or_side);
+  out_prob = chosen.p;
+  return chosen.t;
+}
+
+std::size_t pick_fanin_count(Rng& rng) {
+  // 2-input dominant, occasional 3- and 4-input gates (ISCAS-like mix).
+  static constexpr std::size_t kChoices[] = {2, 2, 2, 2, 3, 3, 4};
+  return kChoices[rng.below(std::size(kChoices))];
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GenSpec& spec) {
+  ORAP_CHECK(spec.num_inputs >= 2);
+  ORAP_CHECK(spec.num_outputs >= 1);
+  ORAP_CHECK(spec.depth >= 2);
+  ORAP_CHECK_MSG(spec.num_gates > spec.num_outputs,
+                 "gate budget must exceed output count");
+
+  Rng rng(spec.seed);
+  Netlist n;
+  n.set_name(spec.name);
+
+  for (std::size_t i = 0; i < spec.num_inputs; ++i)
+    n.add_input("pi" + std::to_string(i));
+
+  const std::size_t n_internal = spec.num_gates - spec.num_outputs;
+  const std::uint32_t levels = spec.depth - 1;  // internal levels 1..levels
+
+  // Trapezoid level-size profile: ramp up over the first quarter, flat
+  // middle, taper at the end. Gives wide mid-cone structure like the real
+  // benchmarks.
+  std::vector<std::size_t> level_size(levels + 1, 0);
+  {
+    std::vector<double> weight(levels + 1, 0.0);
+    double total = 0;
+    for (std::uint32_t l = 1; l <= levels; ++l) {
+      const double x = static_cast<double>(l) / levels;
+      weight[l] = x < 0.25 ? 0.4 + 2.4 * x : (x > 0.8 ? 1.0 - (x - 0.8) : 1.0);
+      total += weight[l];
+    }
+    std::size_t assigned = 0;
+    for (std::uint32_t l = 1; l <= levels; ++l) {
+      level_size[l] = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::floor(
+                 static_cast<double>(n_internal) * weight[l] / total)));
+      assigned += level_size[l];
+    }
+    // Distribute the rounding remainder over the middle levels.
+    std::uint32_t l = std::max<std::uint32_t>(1, levels / 2);
+    while (assigned < n_internal) {
+      ++level_size[l];
+      ++assigned;
+      l = l == levels ? 1 : l + 1;
+    }
+    while (assigned > n_internal) {
+      if (level_size[l] > 1) {
+        --level_size[l];
+        --assigned;
+      }
+      l = l == levels ? 1 : l + 1;
+    }
+  }
+
+  // Per-level gate id lists; level 0 = the inputs.
+  std::vector<std::vector<GateId>> by_level(levels + 1);
+  by_level[0] = n.inputs();
+
+  std::vector<std::uint32_t> fanout(
+      spec.num_inputs + spec.num_gates * 3 + 16, 0);
+  std::vector<double> prob(fanout.size(), 0.5);  // estimated P(signal = 1)
+  std::vector<GateId> pool;   // fanout-0 candidates from *previous* levels
+  std::vector<GateId> fresh;  // gates created in the current level
+  std::vector<GateId> unused_inputs(n.inputs().rbegin(), n.inputs().rend());
+
+  // Gates from strictly earlier levels (candidates for "other" fanins).
+  std::vector<GateId> all_earlier(n.inputs());
+
+  // Memoized inverters: one NOT per driver.
+  std::unordered_map<GateId, GateId> inv_of;
+  auto maybe_invert = [&](GateId g) -> GateId {
+    if (!rng.chance(spec.inverter_rate)) return g;
+    auto it = inv_of.find(g);
+    if (it != inv_of.end()) return it->second;
+    const GateId inv = n.add_not(g);
+    if (inv >= fanout.size()) {
+      fanout.resize(inv * 2 + 1, 0);
+      prob.resize(fanout.size(), 0.5);
+    }
+    prob[inv] = 1.0 - prob[g];
+    ++fanout[g];
+    inv_of.emplace(g, inv);
+    return inv;
+  };
+
+  auto pop_pool = [&]() -> GateId {
+    while (!pool.empty()) {
+      const std::size_t i = rng.below(pool.size());
+      const GateId g = pool[i];
+      pool[i] = pool.back();
+      pool.pop_back();
+      if (fanout[g] == 0) return g;
+    }
+    return kNoGate;
+  };
+
+  // Each gate's fanins tracked by their *underlying* driver (pre-NOT):
+  // wiring both x and NOT(x) into one gate creates cancelling/constant
+  // pairs (fatal inside the XOR output combiners), so duplicates are
+  // rejected on the raw driver id.
+  std::vector<GateId> raw_drivers;
+  auto already_used = [&](GateId driver) {
+    return std::find(raw_drivers.begin(), raw_drivers.end(), driver) !=
+           raw_drivers.end();
+  };
+  auto connect = [&](GateId driver, std::vector<GateId>& fi) {
+    const GateId wired = maybe_invert(driver);
+    ++fanout[wired];
+    raw_drivers.push_back(driver);
+    fi.push_back(wired);
+  };
+
+  auto draw_other_fanin = [&](std::uint32_t level) -> GateId {
+    // Priority 1: unconsumed primary inputs (guarantees full input usage).
+    if (!unused_inputs.empty() && rng.chance(0.5)) {
+      while (!unused_inputs.empty()) {
+        const GateId g = unused_inputs.back();
+        unused_inputs.pop_back();
+        if (fanout[g] == 0) return g;
+      }
+    }
+    // Priority 2: fanout-0 pool (keeps logic observable).
+    if (rng.chance(0.75)) {
+      const GateId g = pop_pool();
+      if (g != kNoGate) return g;
+    }
+    // Fallback: any earlier gate, biased toward recent levels.
+    const std::size_t total = all_earlier.size();
+    std::size_t idx;
+    if (rng.chance(0.7) && level > 1) {
+      // Recent window: last two levels' worth of gates.
+      const std::size_t window = std::min<std::size_t>(
+          total, std::max<std::size_t>(
+                     16, by_level[level - 1].size() * 3));
+      idx = total - 1 - rng.below(window);
+    } else {
+      idx = rng.below(total);
+    }
+    return all_earlier[idx];
+  };
+
+  for (std::uint32_t level = 1; level <= levels; ++level) {
+    // Gates created at level-1 become fanin candidates only now, keeping
+    // the constructed level exact.
+    all_earlier.insert(all_earlier.end(), fresh.begin(), fresh.end());
+    pool.insert(pool.end(), fresh.begin(), fresh.end());
+    fresh.clear();
+    for (std::size_t gi = 0; gi < level_size[level]; ++gi) {
+      const std::size_t k = pick_fanin_count(rng);
+      std::vector<GateId> fi;
+      fi.reserve(k);
+      raw_drivers.clear();
+      // One fanin forced from the previous level (exact depth control).
+      const auto& prev = by_level[level - 1];
+      connect(prev[rng.below(prev.size())], fi);
+      while (fi.size() < k) {
+        const GateId cand = draw_other_fanin(level);
+        if (already_used(cand)) {
+          // Avoid duplicate drivers on small candidate sets.
+          if (fi.size() >= 2) break;
+          continue;
+        }
+        connect(cand, fi);
+      }
+      std::vector<double> fprobs;
+      fprobs.reserve(fi.size());
+      for (const GateId f : fi) fprobs.push_back(prob[f]);
+      double gp = 0.5;
+      const GateType gt = pick_gate_type(rng, spec.xor_fraction, fprobs, gp);
+      const GateId g = n.add_gate(gt, fi);
+      if (g >= fanout.size()) {
+        fanout.resize(g * 2 + 1, 0);
+        prob.resize(fanout.size(), 0.5);
+      }
+      prob[g] = gp;
+      by_level[level].push_back(g);
+      fresh.push_back(g);
+    }
+  }
+  pool.insert(pool.end(), fresh.begin(), fresh.end());
+  fresh.clear();
+
+  // Output gates: consume the remaining fanout-0 pool and any stray
+  // unused inputs, one forced fanin from the deepest level each.
+  std::vector<GateId> leftovers;
+  for (GateId g : unused_inputs)
+    if (fanout[g] == 0) leftovers.push_back(g);
+  for (GateId g;(g = pop_pool()) != kNoGate;) leftovers.push_back(g);
+  std::shuffle(leftovers.begin(), leftovers.end(), rng);
+
+  const auto& deepest = by_level[levels];
+  for (std::size_t o = 0; o < spec.num_outputs; ++o) {
+    const std::size_t remaining_outputs = spec.num_outputs - o;
+    // Ceil split of the leftovers, uncapped: every fanout-0 gate must be
+    // absorbed or the tail of the circuit is untestable (the XOR output
+    // combiners keep arbitrary-arity absorption observable).
+    const std::size_t take = (leftovers.size() + remaining_outputs - 1) /
+                             remaining_outputs;
+    std::vector<GateId> fi;
+    raw_drivers.clear();
+    connect(deepest[rng.below(deepest.size())], fi);
+    for (std::size_t t = 0; t < take && !leftovers.empty(); ++t) {
+      const GateId cand = leftovers.back();
+      leftovers.pop_back();
+      if (already_used(cand)) continue;
+      connect(cand, fi);
+    }
+    while (fi.size() < 2) {
+      const GateId cand = draw_other_fanin(levels);
+      if (already_used(cand)) continue;
+      connect(cand, fi);
+    }
+    // Output combiners are parity gates: an AND/NOR of many leftovers would
+    // be near-constant, destroying observability of the folded logic.
+    const GateId g =
+        n.add_gate(rng.bit() ? GateType::kXor : GateType::kXnor, fi,
+                   "po_g" + std::to_string(o));
+    if (g >= fanout.size()) {
+      fanout.resize(g * 2 + 1, 0);
+      prob.resize(fanout.size(), 0.5);
+    }
+    n.mark_output(g, "po" + std::to_string(o));
+  }
+
+  n.validate();
+  return n;
+}
+
+const std::vector<BenchmarkProfile>& paper_benchmarks() {
+  // inputs/outputs are the combinational-core interface (PIs+FFs / POs+FFs);
+  // gates and outputs match Table I columns 2-3, lfsr_size column 4,
+  // ctrl_gate_inputs column 5.
+  static const std::vector<BenchmarkProfile> kProfiles = {
+      {"s38417", 1664, 1742, 8709, 33, 256, 3},
+      {"s38584", 1464, 1730, 11448, 40, 186, 3},
+      {"b17", 1452, 1512, 29267, 45, 256, 3},
+      {"b18", 3356, 3343, 97569, 60, 97, 5},
+      {"b19", 6666, 6672, 196855, 60, 208, 5},
+      {"b20", 522, 512, 17648, 50, 236, 3},
+      {"b21", 522, 512, 17972, 50, 229, 3},
+      {"b22", 767, 757, 26195, 50, 243, 3},
+  };
+  return kProfiles;
+}
+
+const BenchmarkProfile& benchmark_profile(const std::string& name) {
+  for (const auto& p : paper_benchmarks())
+    if (p.name == name) return p;
+  ORAP_CHECK_MSG(false, "unknown benchmark '" << name << "'");
+  return paper_benchmarks().front();
+}
+
+Netlist make_benchmark(const BenchmarkProfile& profile, double scale,
+                       std::uint64_t seed) {
+  ORAP_CHECK(scale > 0.0 && scale <= 1.0);
+  GenSpec spec;
+  spec.name = profile.name;
+  auto scaled = [&](std::size_t v, std::size_t min) {
+    return std::max<std::size_t>(
+        min, static_cast<std::size_t>(std::llround(v * scale)));
+  };
+  spec.num_inputs = scaled(profile.inputs, 16);
+  spec.num_outputs = scaled(profile.outputs, 8);
+  spec.num_gates = scaled(profile.gates_no_inv, 64);
+  spec.depth =
+      std::max<std::uint32_t>(8, static_cast<std::uint32_t>(std::llround(
+                                     profile.depth * std::sqrt(scale))));
+  // Stable per-benchmark seed so every run regenerates identical circuits.
+  std::uint64_t s = seed;
+  for (char c : profile.name) s = s * 131 + static_cast<unsigned char>(c);
+  spec.seed = s;
+  return generate_circuit(spec);
+}
+
+}  // namespace orap

@@ -1,0 +1,62 @@
+#pragma once
+// Seeded synthetic combinational circuit generator.
+//
+// The ISCAS'89 / ITC'99 netlists the paper evaluates are not
+// redistributable here, so we regenerate circuits with the *published*
+// interface statistics of each benchmark's combinational core (inputs
+// incl. pseudo-PIs, outputs incl. pseudo-POs, gate count without
+// inverters, depth band). Generation is level-structured: every gate takes
+// at least one fanin from the previous level (exact depth control), the
+// rest from earlier levels with a locality bias, and fanout-0 gates are
+// preferentially consumed so almost all logic is observable — mirroring
+// the high testability of the real benchmarks (Table II).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/rng.h"
+
+namespace orap {
+
+struct GenSpec {
+  std::string name = "synth";
+  std::size_t num_inputs = 64;
+  std::size_t num_outputs = 32;
+  std::size_t num_gates = 1000;  // excluding inverters (paper's metric)
+  std::uint32_t depth = 24;      // target logic depth
+  double xor_fraction = 0.12;    // fraction of XOR/XNOR gates
+  double inverter_rate = 0.25;   // probability a fanin is driven inverted
+  std::uint64_t seed = 1;
+};
+
+/// Generates a circuit matching `spec`. The result has exactly
+/// spec.num_inputs inputs, spec.num_outputs outputs, and a gate count
+/// (without inverters) within a few gates of spec.num_gates.
+Netlist generate_circuit(const GenSpec& spec);
+
+/// Published profile of a paper benchmark's combinational core.
+struct BenchmarkProfile {
+  std::string name;
+  std::size_t inputs;         // PIs + DFFs (pseudo-PIs)
+  std::size_t outputs;        // POs + DFFs (pseudo-POs) — Table I col. 3
+  std::size_t gates_no_inv;   // Table I col. 2
+  std::uint32_t depth;
+  std::size_t lfsr_size;      // Table I col. 4 (key size)
+  std::size_t ctrl_gate_inputs;  // Table I col. 5 (weighted-locking k)
+};
+
+/// The eight circuits of Table I / Table II, in paper order.
+const std::vector<BenchmarkProfile>& paper_benchmarks();
+
+/// Profile by name ("s38417", ..., "b22"). Throws if unknown.
+const BenchmarkProfile& benchmark_profile(const std::string& name);
+
+/// Instantiates the synthetic stand-in for a paper benchmark. `scale` in
+/// (0,1] shrinks gate/IO counts proportionally (reduced-cost bench mode);
+/// LFSR size and control-gate size are not scaled.
+Netlist make_benchmark(const BenchmarkProfile& profile, double scale = 1.0,
+                       std::uint64_t seed = 0);
+
+}  // namespace orap

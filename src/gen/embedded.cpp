@@ -1,0 +1,136 @@
+#include "gen/embedded.h"
+
+#include "netlist/bench_io.h"
+
+namespace orap {
+
+Netlist make_c17() {
+  static const char* kC17 = R"(
+# c17 — ISCAS'85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return read_bench_string(kC17, "c17");
+}
+
+Netlist make_ripple_adder(std::size_t bits) {
+  ORAP_CHECK(bits >= 1);
+  Netlist n;
+  n.set_name("rca" + std::to_string(bits));
+  std::vector<GateId> a(bits), b(bits);
+  for (std::size_t i = 0; i < bits; ++i) a[i] = n.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < bits; ++i) b[i] = n.add_input("b" + std::to_string(i));
+  GateId carry = n.add_input("cin");
+  for (std::size_t i = 0; i < bits; ++i) {
+    const GateId axb = n.add_xor2(a[i], b[i]);
+    const GateId sum = n.add_xor2(axb, carry);
+    const GateId and1 = n.add_and2(a[i], b[i]);
+    const GateId and2 = n.add_and2(axb, carry);
+    carry = n.add_or2(and1, and2);
+    n.rename(sum, "s" + std::to_string(i));
+    n.mark_output(sum, "s" + std::to_string(i));
+  }
+  n.rename(carry, "cout");
+  n.mark_output(carry, "cout");
+  n.validate();
+  return n;
+}
+
+Netlist make_alu4() {
+  Netlist n;
+  n.set_name("alu4");
+  const GateId op0 = n.add_input("op0");
+  const GateId op1 = n.add_input("op1");
+  std::vector<GateId> a(4), b(4);
+  for (std::size_t i = 0; i < 4; ++i) a[i] = n.add_input("a" + std::to_string(i));
+  for (std::size_t i = 0; i < 4; ++i) b[i] = n.add_input("b" + std::to_string(i));
+
+  // ADD datapath.
+  std::vector<GateId> add(4);
+  GateId carry = n.add_gate(GateType::kXor, {op0, op0});  // const 0 via x^x
+  for (std::size_t i = 0; i < 4; ++i) {
+    const GateId axb = n.add_xor2(a[i], b[i]);
+    add[i] = n.add_xor2(axb, carry);
+    const GateId g1 = n.add_and2(a[i], b[i]);
+    const GateId g2 = n.add_and2(axb, carry);
+    carry = n.add_or2(g1, g2);
+  }
+
+  for (std::size_t i = 0; i < 4; ++i) {
+    const GateId band = n.add_and2(a[i], b[i]);
+    const GateId bor = n.add_or2(a[i], b[i]);
+    const GateId bxor = n.add_xor2(a[i], b[i]);
+    // y = op1 ? (op0 ? bxor : bor) : (op0 ? band : add)
+    const GateId lo = n.add_gate(GateType::kMux, {op0, add[i], band});
+    const GateId hi = n.add_gate(GateType::kMux, {op0, bor, bxor});
+    const GateId y = n.add_gate(GateType::kMux, {op1, lo, hi},
+                                "y" + std::to_string(i));
+    n.mark_output(y, "y" + std::to_string(i));
+  }
+  // Carry out is only meaningful for ADD; mask it with !op0 & !op1.
+  const GateId nop0 = n.add_not(op0);
+  const GateId nop1 = n.add_not(op1);
+  const GateId is_add = n.add_and2(nop0, nop1);
+  const GateId cout = n.add_and2(carry, is_add);
+  n.rename(cout, "carry");
+  n.mark_output(cout, "carry");
+  n.validate();
+  return n;
+}
+
+Netlist make_parity(std::size_t bits) {
+  ORAP_CHECK(bits >= 2);
+  Netlist n;
+  n.set_name("parity" + std::to_string(bits));
+  std::vector<GateId> layer;
+  for (std::size_t i = 0; i < bits; ++i)
+    layer.push_back(n.add_input("x" + std::to_string(i)));
+  while (layer.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(n.add_xor2(layer[i], layer[i + 1]));
+    if (layer.size() % 2 != 0) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  n.rename(layer[0], "p");
+  n.mark_output(layer[0], "p");
+  n.validate();
+  return n;
+}
+
+Netlist make_mux_tree(std::size_t sel_bits) {
+  ORAP_CHECK(sel_bits >= 1 && sel_bits <= 8);
+  Netlist n;
+  n.set_name("muxtree" + std::to_string(sel_bits));
+  std::vector<GateId> sel(sel_bits);
+  for (std::size_t i = 0; i < sel_bits; ++i)
+    sel[i] = n.add_input("s" + std::to_string(i));
+  const std::size_t leaves = std::size_t{1} << sel_bits;
+  std::vector<GateId> layer(leaves);
+  for (std::size_t i = 0; i < leaves; ++i)
+    layer[i] = n.add_input("d" + std::to_string(i));
+  for (std::size_t level = 0; level < sel_bits; ++level) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(
+          n.add_gate(GateType::kMux, {sel[level], layer[i], layer[i + 1]}));
+    layer = std::move(next);
+  }
+  n.rename(layer[0], "y");
+  n.mark_output(layer[0], "y");
+  n.validate();
+  return n;
+}
+
+}  // namespace orap

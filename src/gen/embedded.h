@@ -1,0 +1,31 @@
+#pragma once
+// Small, exactly-known circuits embedded in source form: the ISCAS c17
+// benchmark (verbatim), a ripple-carry adder, and a tiny ALU. These have
+// hand-checkable truth tables and anchor the unit tests (parser,
+// simulator, SAT encoder, ATPG, attacks) on real netlists.
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace orap {
+
+/// The ISCAS'85 c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+Netlist make_c17();
+
+/// n-bit ripple-carry adder: inputs a[0..n-1], b[0..n-1], cin; outputs
+/// s[0..n-1], cout.
+Netlist make_ripple_adder(std::size_t bits);
+
+/// 4-bit ALU with 2-bit opcode: op 0 = ADD, 1 = AND, 2 = OR, 3 = XOR.
+/// Inputs: op[1:0], a[3:0], b[3:0]; outputs: y[3:0], carry.
+Netlist make_alu4();
+
+/// k-input parity tree (XOR reduction) — maximally sensitizing circuit,
+/// useful as a property-test workload.
+Netlist make_parity(std::size_t bits);
+
+/// 2^sel-to-1 multiplexer tree built from MUX primitives.
+Netlist make_mux_tree(std::size_t sel_bits);
+
+}  // namespace orap

@@ -1,0 +1,153 @@
+#include "lfsr/lfsr.h"
+
+#include "util/check.h"
+
+namespace orap {
+
+LfsrConfig LfsrConfig::standard(std::size_t n) {
+  ORAP_CHECK(n >= 2);
+  LfsrConfig cfg;
+  cfg.size = n;
+  // A tap after every eight cells, and always the last cell (so the
+  // register is a proper feedback shift register of full length).
+  for (std::size_t i = 7; i < n; i += 8) cfg.feedback_taps.push_back(i);
+  if (cfg.feedback_taps.empty() || cfg.feedback_taps.back() != n - 1)
+    cfg.feedback_taps.push_back(n - 1);
+  for (std::size_t i = 0; i < n; ++i) cfg.reseed_points.push_back(i);
+  return cfg;
+}
+
+LfsrConfig LfsrConfig::shift_register(std::size_t n) {
+  ORAP_CHECK(n >= 2);
+  LfsrConfig cfg;
+  cfg.size = n;
+  for (std::size_t i = 0; i < n; ++i) cfg.reseed_points.push_back(i);
+  return cfg;
+}
+
+std::size_t LfsrConfig::support_gate_count() const {
+  return reseed_points.size() + feedback_taps.size() + size;
+}
+
+Lfsr::Lfsr(LfsrConfig cfg) : cfg_(std::move(cfg)), state_(cfg_.size) {
+  ORAP_CHECK(cfg_.size >= 2);
+  for (const std::size_t t : cfg_.feedback_taps) ORAP_CHECK(t < cfg_.size);
+  for (const std::size_t p : cfg_.reseed_points) ORAP_CHECK(p < cfg_.size);
+}
+
+void Lfsr::set_state(BitVec s) {
+  ORAP_CHECK(s.size() == cfg_.size);
+  state_ = std::move(s);
+}
+
+void Lfsr::reset() { state_.clear(); }
+
+void Lfsr::step(const BitVec& injection) {
+  ORAP_CHECK(injection.size() == cfg_.num_reseed_points());
+  bool fb = false;
+  for (const std::size_t t : cfg_.feedback_taps) fb ^= state_.get(t);
+  BitVec next(cfg_.size);
+  next.set(0, fb);
+  for (std::size_t i = 1; i < cfg_.size; ++i) next.set(i, state_.get(i - 1));
+  for (std::size_t j = 0; j < cfg_.reseed_points.size(); ++j)
+    if (injection.get(j)) next.flip(cfg_.reseed_points[j]);
+  state_ = std::move(next);
+}
+
+void Lfsr::free_run(std::size_t cycles) {
+  const BitVec zero(cfg_.num_reseed_points());
+  for (std::size_t c = 0; c < cycles; ++c) step(zero);
+}
+
+BitVec KeySequence::flatten() const {
+  const std::size_t width = seeds.empty() ? 0 : seeds[0].size();
+  BitVec out(width * seeds.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s)
+    for (std::size_t b = 0; b < width; ++b)
+      out.set(s * width + b, seeds[s].get(b));
+  return out;
+}
+
+KeySequence KeySequence::unflatten(const BitVec& bits, std::size_t width,
+                                   const std::vector<std::size_t>& gaps) {
+  ORAP_CHECK(width > 0 && bits.size() % width == 0);
+  const std::size_t num_seeds = bits.size() / width;
+  ORAP_CHECK(gaps.size() == num_seeds);
+  KeySequence seq;
+  seq.gaps = gaps;
+  for (std::size_t s = 0; s < num_seeds; ++s) {
+    BitVec seed(width);
+    for (std::size_t b = 0; b < width; ++b)
+      seed.set(b, bits.get(s * width + b));
+    seq.seeds.push_back(std::move(seed));
+  }
+  return seq;
+}
+
+BitVec run_key_sequence(Lfsr& lfsr, const KeySequence& seq) {
+  ORAP_CHECK(seq.gaps.size() == seq.seeds.size());
+  lfsr.reset();
+  for (std::size_t s = 0; s < seq.seeds.size(); ++s) {
+    lfsr.step(seq.seeds[s]);
+    lfsr.free_run(seq.gaps[s]);
+  }
+  return lfsr.state();
+}
+
+Gf2Matrix key_transfer_matrix(const LfsrConfig& cfg, std::size_t num_seeds,
+                              const std::vector<std::size_t>& gaps) {
+  ORAP_CHECK(gaps.size() == num_seeds);
+  const std::size_t width = cfg.num_reseed_points();
+  const std::size_t nvars = num_seeds * width;
+
+  // Symbolic state: one linear expression (over the seq vars) per cell.
+  std::vector<BitVec> expr(cfg.size, BitVec(nvars));
+  auto sym_step = [&](std::size_t seed_idx_or_npos) {
+    BitVec fb(nvars);
+    for (const std::size_t t : cfg.feedback_taps) fb ^= expr[t];
+    std::vector<BitVec> next(cfg.size, BitVec(nvars));
+    next[0] = std::move(fb);
+    for (std::size_t i = 1; i < cfg.size; ++i) next[i] = expr[i - 1];
+    if (seed_idx_or_npos != static_cast<std::size_t>(-1)) {
+      for (std::size_t j = 0; j < width; ++j)
+        next[cfg.reseed_points[j]].flip(seed_idx_or_npos * width + j);
+    }
+    expr = std::move(next);
+  };
+
+  for (std::size_t s = 0; s < num_seeds; ++s) {
+    sym_step(s);
+    for (std::size_t g = 0; g < gaps[s]; ++g)
+      sym_step(static_cast<std::size_t>(-1));
+  }
+
+  Gf2Matrix m(cfg.size, nvars);
+  for (std::size_t i = 0; i < cfg.size; ++i) m.row(i) = expr[i];
+  return m;
+}
+
+std::optional<KeySequence> synthesize_key_sequence(
+    const LfsrConfig& cfg, std::size_t num_seeds,
+    const std::vector<std::size_t>& gaps, const BitVec& target_key, Rng& rng) {
+  ORAP_CHECK(target_key.size() == cfg.size);
+  const Gf2Matrix m = key_transfer_matrix(cfg, num_seeds, gaps);
+  // Randomize free variables: pick random x0 and solve M y = key ^ M x0;
+  // then x = y ^ x0 is a uniformly-shifted solution.
+  const BitVec x0 = BitVec::random(m.cols(), rng);
+  const BitVec rhs = target_key ^ m.apply(x0);
+  const auto y = gf2_solve(m, rhs);
+  if (!y.has_value()) return std::nullopt;
+  const BitVec x = *y ^ x0;
+  return KeySequence::unflatten(x, cfg.num_reseed_points(), gaps);
+}
+
+std::size_t xor_tree_cost(const Gf2Matrix& transfer) {
+  std::size_t gates = 0;
+  for (std::size_t r = 0; r < transfer.rows(); ++r) {
+    const std::size_t density = transfer.row(r).count();
+    if (density > 1) gates += density - 1;
+  }
+  return gates;
+}
+
+}  // namespace orap

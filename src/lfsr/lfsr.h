@@ -1,0 +1,112 @@
+#pragma once
+// The OraP key register: an LFSR with multi-point reseeding (Fig. 1).
+//
+// Unlocking is a multi-cycle process: the key sequence stored in
+// tamper-proof memory is injected through XOR reseeding points over many
+// cycles (with optional free-run gaps); the final LFSR state is the key of
+// the locked combinational circuit. Because the LFSR is linear over
+// GF(2), the whole process is a matrix: key = M * seq. The symbolic
+// engine exposes M, which serves two purposes:
+//   * the designer synthesizes a key sequence for a chosen key by solving
+//     M x = key (gf2_solve), and
+//   * attack scenario (d) of Sec. III — replacing the LFSR with XOR trees
+//     — has hardware cost equal to the density of M's rows, which is the
+//     quantity the "LFSR mixes seeds" design decision maximizes (E5).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.h"
+#include "util/gf2.h"
+#include "util/rng.h"
+
+namespace orap {
+
+struct LfsrConfig {
+  std::size_t size = 0;                     // number of cells
+  std::vector<std::size_t> feedback_taps;   // cell indices XORed into cell 0
+  std::vector<std::size_t> reseed_points;   // cells with injection XORs
+
+  /// The paper's configuration: a feedback tap after every eight cells
+  /// ("high controllability with relatively low hardware cost") and
+  /// reseeding points at every cell (the most general case of Fig. 1).
+  static LfsrConfig standard(std::size_t n);
+
+  /// Plain shift register (no feedback) — the strawman scenario (d)
+  /// compares against; reseeding still at every cell.
+  static LfsrConfig shift_register(std::size_t n);
+
+  std::size_t num_reseed_points() const { return reseed_points.size(); }
+
+  /// Gate cost of the LFSR support hardware as counted in Table I:
+  /// one reseeding XOR per reseed point, one XOR per feedback tap, and
+  /// one pulse-generator NAND per cell (inverter chains are excluded,
+  /// matching the inverter-less gate metric).
+  std::size_t support_gate_count() const;
+};
+
+/// Concrete bit-level LFSR.
+class Lfsr {
+ public:
+  explicit Lfsr(LfsrConfig cfg);
+
+  const LfsrConfig& config() const { return cfg_; }
+  const BitVec& state() const { return state_; }
+  void set_state(BitVec s);
+
+  /// Pulse-generator clear: all cells reset to 0 (Fig. 2 behaviour on a
+  /// 0->1 scan-enable transition).
+  void reset();
+
+  /// One clock: shift, feedback into cell 0, then XOR `injection` (one
+  /// bit per reseed point) into the reseed cells.
+  void step(const BitVec& injection);
+
+  /// `cycles` clocks with all-zero injection.
+  void free_run(std::size_t cycles);
+
+ private:
+  LfsrConfig cfg_;
+  BitVec state_;
+};
+
+/// A reseeding schedule: seeds[i] is injected on one cycle (width =
+/// num_reseed_points), followed by gaps[i] free-run cycles.
+struct KeySequence {
+  std::vector<BitVec> seeds;
+  std::vector<std::size_t> gaps;  // same length as seeds
+
+  std::size_t total_cycles() const {
+    std::size_t t = seeds.size();
+    for (const std::size_t g : gaps) t += g;
+    return t;
+  }
+  /// All seed bits flattened (seed 0 first) — the "x" of key = M x.
+  BitVec flatten() const;
+  static KeySequence unflatten(const BitVec& bits, std::size_t width,
+                               const std::vector<std::size_t>& gaps);
+};
+
+/// Runs the unlock process from the reset state; returns the final state
+/// (the circuit key).
+BitVec run_key_sequence(Lfsr& lfsr, const KeySequence& seq);
+
+/// Transfer matrix M (size x seeds*width) with key = M * flatten(seq),
+/// starting from the all-zero state, for the given gap schedule.
+Gf2Matrix key_transfer_matrix(const LfsrConfig& cfg, std::size_t num_seeds,
+                              const std::vector<std::size_t>& gaps);
+
+/// Designer-side synthesis: find a key sequence whose final LFSR state is
+/// `target_key`, randomizing free variables with `rng`. Returns nullopt if
+/// the schedule cannot reach the key (rank deficiency — use more seeds).
+std::optional<KeySequence> synthesize_key_sequence(
+    const LfsrConfig& cfg, std::size_t num_seeds,
+    const std::vector<std::size_t>& gaps, const BitVec& target_key, Rng& rng);
+
+/// XOR-tree payload cost of attack scenario (d): implementing each key
+/// bit as an XOR tree over the stored seed bits takes (density-1) XOR2
+/// gates per row of M (rows of density 0/1 are free wires).
+std::size_t xor_tree_cost(const Gf2Matrix& transfer);
+
+}  // namespace orap

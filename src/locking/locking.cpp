@@ -1,0 +1,335 @@
+#include "locking/locking.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "netlist/simulator.h"
+
+namespace orap {
+
+BitVec LockedCircuit::assemble_input(const BitVec& data,
+                                     const BitVec& key) const {
+  ORAP_CHECK(data.size() == num_data_inputs);
+  ORAP_CHECK(key.size() == num_key_inputs);
+  BitVec full(num_data_inputs + num_key_inputs);
+  for (std::size_t i = 0; i < data.size(); ++i) full.set(i, data.get(i));
+  for (std::size_t i = 0; i < key.size(); ++i)
+    full.set(num_data_inputs + i, key.get(i));
+  return full;
+}
+
+namespace {
+
+/// Skeleton for insertion-style schemes: copies `original`, adds
+/// `key_bits` key inputs, and lets `wrap` replace the copy of selected
+/// gates. `wrap(new_netlist, copied_gate, old_gate)` returns the gate that
+/// fanouts should see instead (or the copy itself for unlocked gates).
+struct CopyContext {
+  Netlist out;
+  std::vector<GateId> key_inputs;
+  std::vector<GateId> map;  // old id -> new id (post-wrap)
+};
+
+CopyContext begin_copy(const Netlist& original, std::size_t key_bits) {
+  CopyContext ctx;
+  ctx.out.set_name(original.name() + "_locked");
+  ctx.map.assign(original.num_gates(), kNoGate);
+  for (const GateId in : original.inputs())
+    ctx.map[in] = ctx.out.add_input(original.gate_name(in));
+  std::size_t name_idx = 0;
+  for (std::size_t i = 0; i < key_bits; ++i) {
+    // Layered schemes lock an already-locked netlist whose inputs may
+    // already be called key<N>; skip taken names.
+    while (ctx.out.find("key" + std::to_string(name_idx)) != kNoGate)
+      ++name_idx;
+    ctx.key_inputs.push_back(
+        ctx.out.add_input("key" + std::to_string(name_idx++)));
+  }
+  return ctx;
+}
+
+template <typename WrapFn>
+void copy_gates(const Netlist& original, CopyContext& ctx, WrapFn&& wrap) {
+  std::vector<GateId> fi;
+  for (GateId g = 0; g < original.num_gates(); ++g) {
+    if (ctx.map[g] != kNoGate) continue;  // inputs
+    const GateType t = original.type(g);
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      ctx.map[g] = ctx.out.add_const(t == GateType::kConst1);
+      continue;
+    }
+    fi.clear();
+    for (const GateId f : original.fanins(g)) fi.push_back(ctx.map[f]);
+    const GateId copy = ctx.out.add_gate(t, fi);
+    ctx.map[g] = wrap(copy, g);
+  }
+  for (const auto& po : original.outputs())
+    ctx.out.mark_output(ctx.map[po.gate], po.name);
+}
+
+LockedCircuit finish(CopyContext ctx, const Netlist& original,
+                     std::size_t key_bits, BitVec key, std::string scheme) {
+  LockedCircuit lc;
+  lc.netlist = std::move(ctx.out);
+  lc.num_data_inputs = original.num_inputs();
+  lc.num_key_inputs = key_bits;
+  lc.correct_key = std::move(key);
+  lc.scheme = std::move(scheme);
+  lc.netlist.validate();
+  return lc;
+}
+
+/// Candidate lock sites: real logic gates (no inverters/buffers), skipping
+/// gates that drive nothing.
+std::vector<GateId> lock_candidates(const Netlist& n) {
+  const auto fo = [&] {
+    std::vector<std::uint32_t> f(n.num_gates(), 0);
+    for (GateId g = 0; g < n.num_gates(); ++g)
+      for (const GateId x : n.fanins(g)) ++f[x];
+    for (const auto& po : n.outputs()) ++f[po.gate];
+    return f;
+  }();
+  std::vector<GateId> cands;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    const GateType t = n.type(g);
+    if (!gate_type_is_logic(t) || t == GateType::kNot || t == GateType::kBuf)
+      continue;
+    if (fo[g] == 0) continue;
+    cands.push_back(g);
+  }
+  return cands;
+}
+
+}  // namespace
+
+std::vector<double> fault_impact(const Netlist& n,
+                                 const std::vector<GateId>& candidates,
+                                 Rng& rng, int rounds) {
+  std::vector<double> impact(candidates.size(), 0.0);
+  Simulator sim(n);
+  std::vector<std::uint64_t> baseline;
+  std::vector<std::uint64_t> faulty(n.num_gates());
+  std::vector<std::uint64_t> buf;
+  for (int round = 0; round < rounds; ++round) {
+    sim.randomize_inputs(rng);
+    sim.run();
+    baseline.assign(sim.values().begin(), sim.values().end());
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      const GateId site = candidates[ci];
+      // Re-simulate downstream of the inverted site.
+      std::copy(baseline.begin(), baseline.end(), faulty.begin());
+      faulty[site] = ~faulty[site];
+      for (GateId g = site + 1; g < n.num_gates(); ++g) {
+        const GateType t = n.type(g);
+        if (t == GateType::kInput) continue;
+        const auto fis = n.fanins(g);
+        buf.resize(fis.size());
+        for (std::size_t i = 0; i < fis.size(); ++i) buf[i] = faulty[fis[i]];
+        faulty[g] = eval_gate_word(t, buf);
+      }
+      std::uint64_t diff_bits = 0;
+      for (const auto& po : n.outputs())
+        diff_bits += static_cast<std::uint64_t>(
+            __builtin_popcountll(baseline[po.gate] ^ faulty[po.gate]));
+      impact[ci] += static_cast<double>(diff_bits) / 64.0;
+    }
+  }
+  for (auto& v : impact) v /= rounds;
+  return impact;
+}
+
+LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  auto cands = lock_candidates(original);
+  ORAP_CHECK_MSG(cands.size() >= key_bits,
+                 "circuit too small for " << key_bits << " key gates");
+  std::shuffle(cands.begin(), cands.end(), rng);
+  cands.resize(key_bits);
+  std::sort(cands.begin(), cands.end());
+
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) key.set(i, rng.bit());
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  std::size_t next = 0;
+  copy_gates(original, ctx, [&](GateId copy, GateId old) -> GateId {
+    if (next >= cands.size() || cands[next] != old) return copy;
+    // key bit 0 -> XOR (transparent at 0); key bit 1 -> XNOR.
+    const GateType kg = key.get(next) ? GateType::kXnor : GateType::kXor;
+    const GateId out =
+        ctx.out.add_gate(kg, {copy, ctx.key_inputs[next]});
+    ++next;
+    return out;
+  });
+  return finish(std::move(ctx), original, key_bits, std::move(key),
+                "random_xor");
+}
+
+LockedCircuit lock_weighted(const Netlist& original, std::size_t key_bits,
+                            std::size_t ctrl_inputs, std::uint64_t seed) {
+  ORAP_CHECK(ctrl_inputs >= 2);
+  Rng rng(seed);
+  const std::size_t num_key_gates = key_bits / ctrl_inputs;
+  ORAP_CHECK_MSG(num_key_gates >= 1, "key too small for control-gate width");
+
+  // Fault-analysis site selection: sample candidates, rank by impact.
+  auto cands = lock_candidates(original);
+  ORAP_CHECK(cands.size() >= num_key_gates);
+  std::shuffle(cands.begin(), cands.end(), rng);
+  const std::size_t sample =
+      std::min(cands.size(), std::max<std::size_t>(num_key_gates * 4, 64));
+  cands.resize(sample);
+  const auto impact = fault_impact(original, cands, rng);
+  std::vector<std::size_t> order(cands.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return impact[a] > impact[b]; });
+  std::vector<GateId> sites;
+  for (std::size_t i = 0; i < num_key_gates; ++i) sites.push_back(cands[order[i]]);
+  std::sort(sites.begin(), sites.end());
+
+  // Secret key: random; control gate i owns key bits [i*k, (i+1)*k).
+  // Leftover key bits (key_bits % ctrl_inputs) are folded into the last
+  // control gate so every key input is load-bearing.
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) key.set(i, rng.bit());
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  std::size_t next = 0;
+  copy_gates(original, ctx, [&](GateId copy, GateId old) -> GateId {
+    if (next >= sites.size() || sites[next] != old) return copy;
+    const std::size_t lo = next * ctrl_inputs;
+    const std::size_t hi = (next + 1 == sites.size())
+                               ? key_bits
+                               : (next + 1) * ctrl_inputs;
+    // Control gate: AND over (key_i == secret_i); inverters realize the
+    // comparison. Randomly use the NAND+XOR dual to vary structure.
+    const bool use_nand = rng.bit();
+    std::vector<GateId> ctrl_fi;
+    for (std::size_t i = lo; i < hi; ++i) {
+      GateId kin = ctx.key_inputs[i];
+      if (!key.get(i)) kin = ctx.out.add_not(kin);
+      ctrl_fi.push_back(kin);
+    }
+    const GateId ctrl = ctx.out.add_gate(
+        use_nand ? GateType::kNand : GateType::kAnd, ctrl_fi);
+    // AND control is 1 under the correct key -> XNOR key gate is
+    // transparent; NAND control is 0 -> XOR key gate is transparent.
+    // Any wrong bit in the group actuates the key gate.
+    const GateId kg = ctx.out.add_gate(
+        use_nand ? GateType::kXor : GateType::kXnor, {copy, ctrl});
+    ++next;
+    return kg;
+  });
+  return finish(std::move(ctx), original, key_bits, std::move(key),
+                "weighted");
+}
+
+LockedCircuit lock_sarlock(const Netlist& original, std::size_t key_bits,
+                           std::uint64_t seed, std::size_t tap_inputs) {
+  Rng rng(seed);
+  if (tap_inputs == 0) tap_inputs = original.num_inputs();
+  ORAP_CHECK(tap_inputs <= original.num_inputs());
+  ORAP_CHECK(tap_inputs >= key_bits);
+  ORAP_CHECK(original.num_outputs() >= 1);
+  // Select key_bits data inputs for the comparator.
+  std::vector<std::size_t> in_pos(tap_inputs);
+  std::iota(in_pos.begin(), in_pos.end(), std::size_t{0});
+  std::shuffle(in_pos.begin(), in_pos.end(), rng);
+  in_pos.resize(key_bits);
+
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) key.set(i, rng.bit());
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  copy_gates(original, ctx, [](GateId copy, GateId) { return copy; });
+
+  // flip = (X == K) & (K != Ksecret); Ksecret is hardwired via inverters.
+  std::vector<GateId> eq_x;       // X_i == K_i
+  std::vector<GateId> eq_secret;  // K_i == Ksecret_i
+  for (std::size_t i = 0; i < key_bits; ++i) {
+    const GateId kin = ctx.key_inputs[i];
+    const GateId xin = ctx.map[original.inputs()[in_pos[i]]];
+    eq_x.push_back(ctx.out.add_gate(GateType::kXnor, {xin, kin}));
+    eq_secret.push_back(key.get(i) ? kin : ctx.out.add_not(kin));
+  }
+  const GateId x_match = ctx.out.add_gate(GateType::kAnd, eq_x);
+  const GateId k_correct = ctx.out.add_gate(GateType::kAnd, eq_secret);
+  const GateId k_wrong = ctx.out.add_not(k_correct);
+  const GateId flip = ctx.out.add_and2(x_match, k_wrong);
+
+  // XOR the flip into output 0.
+  const GateId flipped =
+      ctx.out.add_gate(GateType::kXor, {ctx.out.outputs()[0].gate, flip});
+  ctx.out.set_output_gate(0, flipped);
+  return finish(std::move(ctx), original, key_bits, std::move(key),
+                "sarlock");
+}
+
+LockedCircuit lock_xor_plus_sarlock(const Netlist& original,
+                                    std::size_t xor_bits,
+                                    std::size_t sar_bits,
+                                    std::uint64_t seed) {
+  LockedCircuit base = lock_random_xor(original, xor_bits, seed);
+  // Layer SARLock on the locked netlist; its key inputs land after the
+  // XOR keys, and the comparator taps only real data inputs.
+  LockedCircuit top = lock_sarlock(base.netlist, sar_bits, seed + 1,
+                                   original.num_inputs());
+  LockedCircuit lc;
+  lc.netlist = std::move(top.netlist);
+  lc.num_data_inputs = original.num_inputs();
+  lc.num_key_inputs = xor_bits + sar_bits;
+  lc.correct_key = BitVec(lc.num_key_inputs);
+  for (std::size_t i = 0; i < xor_bits; ++i)
+    lc.correct_key.set(i, base.correct_key.get(i));
+  for (std::size_t i = 0; i < sar_bits; ++i)
+    lc.correct_key.set(xor_bits + i, top.correct_key.get(i));
+  lc.scheme = "xor+sarlock";
+  lc.netlist.validate();
+  return lc;
+}
+
+LockedCircuit lock_antisat(const Netlist& original, std::size_t key_bits,
+                           std::uint64_t seed) {
+  ORAP_CHECK_MSG(key_bits % 2 == 0, "Anti-SAT uses two equal key halves");
+  const std::size_t n_half = key_bits / 2;
+  Rng rng(seed);
+  ORAP_CHECK(original.num_inputs() >= n_half);
+  std::vector<std::size_t> in_pos(original.num_inputs());
+  std::iota(in_pos.begin(), in_pos.end(), std::size_t{0});
+  std::shuffle(in_pos.begin(), in_pos.end(), rng);
+  in_pos.resize(n_half);
+
+  // Correct key: K1 == K2 (any shared value); pick a random one.
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < n_half; ++i) {
+    const bool b = rng.bit();
+    key.set(i, b);
+    key.set(n_half + i, b);
+  }
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  copy_gates(original, ctx, [](GateId copy, GateId) { return copy; });
+  Netlist& nl = ctx.out;
+
+  std::vector<GateId> t1, t2;
+  for (std::size_t i = 0; i < n_half; ++i) {
+    const GateId xin = ctx.map[original.inputs()[in_pos[i]]];
+    t1.push_back(nl.add_gate(GateType::kXor, {xin, ctx.key_inputs[i]}));
+    t2.push_back(
+        nl.add_gate(GateType::kXor, {xin, ctx.key_inputs[n_half + i]}));
+  }
+  const GateId g1 = nl.add_gate(GateType::kAnd, t1);
+  const GateId g2 = nl.add_gate(GateType::kAnd, t2);
+  const GateId ng2 = nl.add_not(g2);
+  const GateId blk = nl.add_and2(g1, ng2);
+
+  const GateId flipped =
+      nl.add_gate(GateType::kXor, {nl.outputs()[0].gate, blk});
+  nl.set_output_gate(0, flipped);
+  return finish(std::move(ctx), original, key_bits, std::move(key),
+                "antisat");
+}
+
+}  // namespace orap

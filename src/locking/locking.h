@@ -1,0 +1,80 @@
+#pragma once
+// Combinational logic-locking schemes.
+//
+// The paper pairs OraP with *weighted logic locking* [26] (fault-impact
+// site selection; a k-input AND/NAND control gate combining k key inputs
+// in front of every XOR/XNOR key gate, giving each key gate an actuation
+// probability of 1 - 2^-k under a random wrong key — hence the high output
+// corruptibility of Table I). Random XOR locking (EPIC-style), SARLock and
+// Anti-SAT are implemented as baselines for the attack-suite experiments.
+//
+// Convention: the locked netlist's inputs are the original inputs in their
+// original order, followed by the key inputs (named "key<N>"). All schemes
+// are functionally transparent under the correct key.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace orap {
+
+struct LockedCircuit {
+  Netlist netlist;
+  std::size_t num_data_inputs = 0;  // original circuit inputs
+  std::size_t num_key_inputs = 0;   // appended key inputs
+  BitVec correct_key;               // one bit per key input
+  std::string scheme;
+
+  /// Gate id of key input #i.
+  GateId key_input(std::size_t i) const {
+    return netlist.inputs()[num_data_inputs + i];
+  }
+
+  /// Builds a full input pattern from data bits + key bits.
+  BitVec assemble_input(const BitVec& data, const BitVec& key) const;
+};
+
+/// EPIC-style random XOR/XNOR insertion, one key input per key gate.
+LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
+                              std::uint64_t seed);
+
+/// Weighted logic locking [26]: key_bits key inputs grouped into control
+/// gates of `ctrl_inputs` each (the paper's column-5 parameter); key gates
+/// are placed on the highest fault-impact sites (impact estimated by
+/// forced-inversion bit-parallel simulation).
+LockedCircuit lock_weighted(const Netlist& original, std::size_t key_bits,
+                            std::size_t ctrl_inputs, std::uint64_t seed);
+
+/// SARLock [7]: comparator-driven single-output flip; one key bit per
+/// selected data input. Point-function corruption (SAT-resistant, very low
+/// corruptibility) — the contrast case for the corruption experiments.
+/// `tap_inputs` restricts the comparator taps to the first N inputs
+/// (0 = any input); the compound scheme uses it to avoid tapping key wires.
+LockedCircuit lock_sarlock(const Netlist& original, std::size_t key_bits,
+                           std::uint64_t seed, std::size_t tap_inputs = 0);
+
+/// Compound scheme: random XOR locking plus SARLock on top — the
+/// two-layer configuration the Double-DIP attack targets (the SAT attack
+/// stalls on the point function; Double-DIP peels the traditional layer).
+LockedCircuit lock_xor_plus_sarlock(const Netlist& original,
+                                    std::size_t xor_bits,
+                                    std::size_t sar_bits, std::uint64_t seed);
+
+/// Anti-SAT [8]: complementary AND-tree block B = g(X^K1) & !g(X^K2)
+/// XORed into one output; correct keys satisfy K1 == K2.
+LockedCircuit lock_antisat(const Netlist& original, std::size_t key_bits,
+                           std::uint64_t seed);
+
+/// Fault-impact scores: for each candidate gate, the average number of
+/// output bits that flip when the gate's value is inverted (64 random
+/// patterns x `rounds`). Used for weighted-locking site selection and
+/// exposed for tests/ablations.
+std::vector<double> fault_impact(const Netlist& n,
+                                 const std::vector<GateId>& candidates,
+                                 Rng& rng, int rounds = 2);
+
+}  // namespace orap

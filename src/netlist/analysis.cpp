@@ -1,0 +1,98 @@
+#include "netlist/analysis.h"
+
+#include <algorithm>
+
+namespace orap {
+
+std::vector<std::uint32_t> compute_levels(const Netlist& n, bool inverters_free) {
+  std::vector<std::uint32_t> level(n.num_gates(), 0);
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    const GateType t = n.type(g);
+    if (!gate_type_is_logic(t)) continue;
+    std::uint32_t m = 0;
+    for (GateId f : n.fanins(g)) m = std::max(m, level[f]);
+    const bool free_gate =
+        inverters_free && (t == GateType::kNot || t == GateType::kBuf);
+    level[g] = m + (free_gate ? 0u : 1u);
+  }
+  return level;
+}
+
+std::uint32_t circuit_depth(const Netlist& n, bool inverters_free) {
+  const auto level = compute_levels(n, inverters_free);
+  std::uint32_t d = 0;
+  for (const auto& po : n.outputs()) d = std::max(d, level[po.gate]);
+  return d;
+}
+
+std::vector<std::uint32_t> fanout_counts(const Netlist& n) {
+  std::vector<std::uint32_t> fo(n.num_gates(), 0);
+  for (GateId g = 0; g < n.num_gates(); ++g)
+    for (GateId f : n.fanins(g)) ++fo[f];
+  for (const auto& po : n.outputs()) ++fo[po.gate];
+  return fo;
+}
+
+std::vector<bool> fanin_cone(const Netlist& n, std::span<const GateId> roots) {
+  std::vector<bool> in_cone(n.num_gates(), false);
+  std::vector<GateId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (in_cone[g]) continue;
+    in_cone[g] = true;
+    for (GateId f : n.fanins(g))
+      if (!in_cone[f]) stack.push_back(f);
+  }
+  return in_cone;
+}
+
+Netlist extract_cone(const Netlist& n, std::span<const GateId> roots,
+                     std::vector<GateId>* gate_map) {
+  const auto in_cone = fanin_cone(n, roots);
+  Netlist out;
+  out.set_name(n.name() + "_cone");
+  std::vector<GateId> map(n.num_gates(), kNoGate);
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!in_cone[g]) continue;
+    const GateType t = n.type(g);
+    if (t == GateType::kInput) {
+      map[g] = out.add_input(n.gate_name(g));
+    } else if (t == GateType::kConst0 || t == GateType::kConst1) {
+      map[g] = out.add_const(t == GateType::kConst1);
+    } else {
+      std::vector<GateId> fi;
+      fi.reserve(n.num_fanins(g));
+      for (GateId f : n.fanins(g)) {
+        ORAP_DCHECK(map[f] != kNoGate);
+        fi.push_back(map[f]);
+      }
+      map[g] = out.add_gate(t, fi, n.gate_name(g));
+    }
+  }
+  for (GateId r : roots) out.mark_output(map[r]);
+  if (gate_map != nullptr) *gate_map = std::move(map);
+  return out;
+}
+
+NetlistStats netlist_stats(const Netlist& n) {
+  NetlistStats s;
+  s.inputs = n.num_inputs();
+  s.outputs = n.num_outputs();
+  s.gates_no_inv = n.gate_count_no_inverters();
+  s.gates_total = n.logic_gate_count();
+  s.depth = circuit_depth(n);
+  const auto fo = fanout_counts(n);
+  std::uint64_t total = 0;
+  std::size_t cnt = 0;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!gate_type_is_logic(n.type(g)) && n.type(g) != GateType::kInput)
+      continue;
+    total += fo[g];
+    ++cnt;
+  }
+  s.avg_fanout = cnt == 0 ? 0.0 : static_cast<double>(total) / cnt;
+  return s;
+}
+
+}  // namespace orap

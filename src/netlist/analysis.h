@@ -1,0 +1,46 @@
+#pragma once
+// Structural analyses over a Netlist: levelization (logic depth, the
+// paper's delay metric), fanout counts, transitive-fanin cones, and summary
+// statistics used by the benchmark generator and the evaluation pipeline.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace orap {
+
+/// Logic level of every gate. Inputs/constants are level 0; a gate is
+/// 1 + max(fanin levels). Inverters and buffers are "free" (do not add a
+/// level) to match the paper's level-count delay metric after resynthesis.
+std::vector<std::uint32_t> compute_levels(const Netlist& n,
+                                          bool inverters_free = true);
+
+/// Depth of the whole circuit = max level over primary outputs.
+std::uint32_t circuit_depth(const Netlist& n, bool inverters_free = true);
+
+/// Fanout count per gate (number of gate fanin references + PO references).
+std::vector<std::uint32_t> fanout_counts(const Netlist& n);
+
+/// Marks the transitive fanin cone of `roots` (including the roots).
+std::vector<bool> fanin_cone(const Netlist& n, std::span<const GateId> roots);
+
+/// Extracts the cone of `roots` as a standalone netlist. Inputs of the
+/// original that feed the cone become inputs of the extract; each root
+/// becomes an output. `gate_map` (optional out) maps old id -> new id
+/// (kNoGate when outside the cone).
+Netlist extract_cone(const Netlist& n, std::span<const GateId> roots,
+                     std::vector<GateId>* gate_map = nullptr);
+
+struct NetlistStats {
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t gates_no_inv = 0;
+  std::size_t gates_total = 0;
+  std::uint32_t depth = 0;
+  double avg_fanout = 0.0;
+};
+
+NetlistStats netlist_stats(const Netlist& n);
+
+}  // namespace orap

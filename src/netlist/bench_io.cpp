@@ -1,0 +1,235 @@
+#include "netlist/bench_io.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace orap {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+struct Decl {
+  std::string op;                   // AND, DFF, ...
+  std::vector<std::string> args;    // fanin signal names
+};
+
+GateType op_to_type(const std::string& op) {
+  if (op == "AND") return GateType::kAnd;
+  if (op == "NAND") return GateType::kNand;
+  if (op == "OR") return GateType::kOr;
+  if (op == "NOR") return GateType::kNor;
+  if (op == "XOR") return GateType::kXor;
+  if (op == "XNOR") return GateType::kXnor;
+  if (op == "NOT" || op == "INV") return GateType::kNot;
+  if (op == "BUF" || op == "BUFF") return GateType::kBuf;
+  if (op == "MUX") return GateType::kMux;
+  ORAP_CHECK_MSG(false, "unknown .bench gate type '" << op << "'");
+  return GateType::kBuf;
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& is, std::string circuit_name) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::unordered_map<std::string, Decl> decls;
+  std::vector<std::string> decl_order;
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto lpar = line.find('(');
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      ORAP_CHECK_MSG(lpar != std::string::npos && line.back() == ')',
+                     "malformed .bench line: " << line);
+      const std::string kw = upper(trim(line.substr(0, lpar)));
+      const std::string sig = trim(line.substr(lpar + 1, line.size() - lpar - 2));
+      if (kw == "INPUT")
+        input_names.push_back(sig);
+      else if (kw == "OUTPUT")
+        output_names.push_back(sig);
+      else
+        ORAP_CHECK_MSG(false, "unknown .bench directive: " << line);
+      continue;
+    }
+
+    // name = OP(a, b, ...)
+    const std::string lhs = trim(line.substr(0, eq));
+    std::string rhs = trim(line.substr(eq + 1));
+    const auto rlpar = rhs.find('(');
+    ORAP_CHECK_MSG(rlpar != std::string::npos && rhs.back() == ')',
+                   "malformed .bench line: " << line);
+    Decl d;
+    d.op = upper(trim(rhs.substr(0, rlpar)));
+    std::string args = rhs.substr(rlpar + 1, rhs.size() - rlpar - 2);
+    std::stringstream as(args);
+    std::string tok;
+    while (std::getline(as, tok, ',')) {
+      tok = trim(tok);
+      if (!tok.empty()) d.args.push_back(tok);
+    }
+    ORAP_CHECK_MSG(!decls.count(lhs), "signal '" << lhs << "' driven twice");
+    decls.emplace(lhs, std::move(d));
+    decl_order.push_back(lhs);
+  }
+
+  Netlist n;
+  n.set_name(std::move(circuit_name));
+
+  std::unordered_map<std::string, GateId> id_of;
+  // Primary inputs first, then DFF outputs as pseudo-PIs (stable order).
+  for (const auto& in : input_names) id_of[in] = n.add_input(in);
+  std::vector<std::string> dff_signals;
+  for (const auto& sig : decl_order)
+    if (decls.at(sig).op == "DFF") dff_signals.push_back(sig);
+  for (const auto& sig : dff_signals) {
+    ORAP_CHECK_MSG(!id_of.count(sig), "DFF output '" << sig << "' also a PI");
+    id_of[sig] = n.add_input(sig);
+  }
+
+  // Iterative topological elaboration of combinational gates.
+  std::vector<std::pair<std::string, std::size_t>> stack;  // (signal, next fanin)
+  auto elaborate = [&](const std::string& root) {
+    if (id_of.count(root)) return;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [sig, next] = stack.back();
+      auto dit = decls.find(sig);
+      ORAP_CHECK_MSG(dit != decls.end(), "undriven signal '" << sig << "'");
+      const Decl& d = dit->second;
+      ORAP_CHECK_MSG(d.op != "DFF", "DFF reached in elaboration");
+      if (next < d.args.size()) {
+        const std::string& fan = d.args[next];
+        ++next;
+        if (!id_of.count(fan)) {
+          ORAP_CHECK_MSG(stack.size() < decls.size() + 2,
+                         "combinational cycle near '" << fan << "'");
+          stack.emplace_back(fan, 0);
+        }
+        continue;
+      }
+      std::vector<GateId> fi;
+      fi.reserve(d.args.size());
+      for (const auto& a : d.args) fi.push_back(id_of.at(a));
+      id_of[sig] = n.add_gate(op_to_type(d.op), fi, sig);
+      stack.pop_back();
+    }
+  };
+
+  for (const auto& out : output_names) elaborate(out);
+  for (const auto& sig : dff_signals) {
+    const Decl& d = decls.at(sig);
+    ORAP_CHECK_MSG(d.args.size() == 1, "DFF takes exactly one data input");
+    elaborate(d.args[0]);
+  }
+
+  // Real POs first, then DFF data inputs as pseudo-POs.
+  for (const auto& out : output_names) {
+    ORAP_CHECK_MSG(id_of.count(out), "undriven primary output '" << out << "'");
+    n.mark_output(id_of.at(out), out);
+  }
+  for (const auto& sig : dff_signals)
+    n.mark_output(id_of.at(decls.at(sig).args[0]), sig + "_next");
+
+  n.validate();
+  return n;
+}
+
+Netlist read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream is(text);
+  return read_bench(is, std::move(circuit_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream is(path);
+  ORAP_CHECK_MSG(is.good(), "cannot open .bench file: " << path);
+  std::string name = path;
+  if (auto slash = name.find_last_of('/'); slash != std::string::npos)
+    name.erase(0, slash + 1);
+  if (auto dot = name.find_last_of('.'); dot != std::string::npos)
+    name.erase(dot);
+  return read_bench(is, name);
+}
+
+void write_bench(const Netlist& n, std::ostream& os) {
+  os << "# " << n.name() << " — written by orap\n";
+  auto sig = [&](GateId g) {
+    const std::string& nm = n.gate_name(g);
+    return nm.empty() ? ("g" + std::to_string(g)) : nm;
+  };
+  for (GateId in : n.inputs()) os << "INPUT(" << sig(in) << ")\n";
+  // A PO whose name differs from its driver needs a BUF alias.
+  std::vector<std::pair<std::string, std::string>> aliases;
+  for (const auto& po : n.outputs()) {
+    if (po.name == sig(po.gate)) {
+      os << "OUTPUT(" << po.name << ")\n";
+    } else {
+      os << "OUTPUT(" << po.name << ")\n";
+      aliases.emplace_back(po.name, sig(po.gate));
+    }
+  }
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    const GateType t = n.type(g);
+    if (!gate_type_is_logic(t)) {
+      if (t == GateType::kConst0 || t == GateType::kConst1) {
+        // .bench has no constants; derive one from the first PI.
+        ORAP_CHECK_MSG(!n.inputs().empty(),
+                       "cannot serialize constants without any input");
+        const std::string in0 = sig(n.inputs()[0]);
+        const std::string s = sig(g);
+        os << s << "_n = NOT(" << in0 << ")\n";
+        if (t == GateType::kConst0)
+          os << s << " = AND(" << in0 << ", " << s << "_n)\n";
+        else
+          os << s << " = OR(" << in0 << ", " << s << "_n)\n";
+      }
+      continue;
+    }
+    const auto fi = n.fanins(g);
+    if (t == GateType::kMux) {
+      // MUX(s,d0,d1) = OR(AND(NOT(s),d0), AND(s,d1))
+      const std::string s = sig(g);
+      os << s << "_ns = NOT(" << sig(fi[0]) << ")\n";
+      os << s << "_a0 = AND(" << s << "_ns, " << sig(fi[1]) << ")\n";
+      os << s << "_a1 = AND(" << sig(fi[0]) << ", " << sig(fi[2]) << ")\n";
+      os << s << " = OR(" << s << "_a0, " << s << "_a1)\n";
+      continue;
+    }
+    os << sig(g) << " = " << gate_type_name(t) << "(";
+    for (std::size_t i = 0; i < fi.size(); ++i)
+      os << (i ? ", " : "") << sig(fi[i]);
+    os << ")\n";
+  }
+  for (const auto& [alias, driver] : aliases)
+    os << alias << " = BUF(" << driver << ")\n";
+}
+
+std::string write_bench_string(const Netlist& n) {
+  std::ostringstream os;
+  write_bench(n, os);
+  return os.str();
+}
+
+}  // namespace orap

@@ -1,0 +1,28 @@
+#pragma once
+// ISCAS/ITC ".bench" format reader and writer.
+//
+// The reader accepts sequential benchmarks (DFF cells): following standard
+// practice for combinational logic locking (and the paper, which locks "the
+// combinational part" of the benchmarks), every DFF output becomes a
+// pseudo primary input and every DFF data input becomes a pseudo primary
+// output, yielding the combinational core.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace orap {
+
+/// Parses a .bench description. Throws CheckError on malformed input.
+Netlist read_bench(std::istream& is, std::string circuit_name = "bench");
+Netlist read_bench_string(const std::string& text,
+                          std::string circuit_name = "bench");
+Netlist read_bench_file(const std::string& path);
+
+/// Serializes a combinational netlist to .bench. Gates without names get
+/// synthetic ones (g<N>). MUX gates are expanded to AND/OR/NOT.
+void write_bench(const Netlist& n, std::ostream& os);
+std::string write_bench_string(const Netlist& n);
+
+}  // namespace orap

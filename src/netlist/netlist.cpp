@@ -1,0 +1,160 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+
+namespace orap {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::kConst0: return "CONST0";
+    case GateType::kConst1: return "CONST1";
+    case GateType::kInput: return "INPUT";
+    case GateType::kBuf: return "BUF";
+    case GateType::kNot: return "NOT";
+    case GateType::kAnd: return "AND";
+    case GateType::kNand: return "NAND";
+    case GateType::kOr: return "OR";
+    case GateType::kNor: return "NOR";
+    case GateType::kXor: return "XOR";
+    case GateType::kXnor: return "XNOR";
+    case GateType::kMux: return "MUX";
+  }
+  return "?";
+}
+
+bool gate_type_is_logic(GateType t) {
+  return t != GateType::kConst0 && t != GateType::kConst1 &&
+         t != GateType::kInput;
+}
+
+std::size_t gate_type_min_fanins(GateType t) {
+  switch (t) {
+    case GateType::kConst0:
+    case GateType::kConst1:
+    case GateType::kInput:
+      return 0;
+    case GateType::kBuf:
+    case GateType::kNot:
+      return 1;
+    case GateType::kMux:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+GateId Netlist::push_gate(GateType type, std::span<const GateId> fanins,
+                          std::string name) {
+  const GateId id = static_cast<GateId>(types_.size());
+  for (GateId f : fanins)
+    ORAP_CHECK_MSG(f < id, "fanin " << f << " of gate " << id
+                                    << " violates topological order");
+  types_.push_back(type);
+  if (fanin_off_.empty()) fanin_off_.push_back(0);
+  fanin_pool_.insert(fanin_pool_.end(), fanins.begin(), fanins.end());
+  fanin_off_.push_back(static_cast<std::uint32_t>(fanin_pool_.size()));
+  names_.push_back(std::move(name));
+  if (!names_.back().empty()) {
+    auto [it, inserted] = by_name_.emplace(names_.back(), id);
+    ORAP_CHECK_MSG(inserted, "duplicate gate name '" << names_.back() << "'");
+    (void)it;
+  }
+  return id;
+}
+
+GateId Netlist::add_input(std::string name) {
+  const GateId id = push_gate(GateType::kInput, {}, std::move(name));
+  inputs_.push_back(id);
+  return id;
+}
+
+GateId Netlist::add_const(bool value) {
+  return push_gate(value ? GateType::kConst1 : GateType::kConst0, {}, {});
+}
+
+GateId Netlist::add_gate(GateType type, std::span<const GateId> fanins,
+                         std::string name) {
+  ORAP_CHECK_MSG(gate_type_is_logic(type),
+                 "use add_input/add_const for non-logic gates");
+  if (type == GateType::kMux)
+    ORAP_CHECK_MSG(fanins.size() == 3, "MUX takes exactly 3 fanins");
+  else
+    ORAP_CHECK_MSG(fanins.size() >= gate_type_min_fanins(type),
+                   gate_type_name(type) << " needs >= "
+                                        << gate_type_min_fanins(type)
+                                        << " fanins, got " << fanins.size());
+  if (type == GateType::kBuf || type == GateType::kNot)
+    ORAP_CHECK(fanins.size() == 1);
+  return push_gate(type, fanins, std::move(name));
+}
+
+void Netlist::mark_output(GateId gate, std::string name) {
+  ORAP_CHECK(gate < num_gates());
+  if (name.empty()) {
+    name = names_[gate].empty() ? ("po" + std::to_string(outputs_.size()))
+                                : names_[gate];
+  }
+  outputs_.push_back(OutputPort{gate, std::move(name)});
+}
+
+void Netlist::set_output_gate(std::size_t output_idx, GateId gate) {
+  ORAP_CHECK(output_idx < outputs_.size());
+  ORAP_CHECK(gate < num_gates());
+  outputs_[output_idx].gate = gate;
+}
+
+void Netlist::rename(GateId g, std::string name) {
+  ORAP_CHECK(g < num_gates());
+  if (!names_[g].empty()) by_name_.erase(names_[g]);
+  names_[g] = std::move(name);
+  if (!names_[g].empty()) {
+    auto [it, inserted] = by_name_.emplace(names_[g], g);
+    ORAP_CHECK_MSG(inserted, "duplicate gate name '" << names_[g] << "'");
+    (void)it;
+  }
+}
+
+std::size_t Netlist::input_index(GateId g) const {
+  auto it = std::find(inputs_.begin(), inputs_.end(), g);
+  return it == inputs_.end() ? static_cast<std::size_t>(-1)
+                             : static_cast<std::size_t>(it - inputs_.begin());
+}
+
+GateId Netlist::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kNoGate : it->second;
+}
+
+std::size_t Netlist::gate_count_no_inverters() const {
+  std::size_t n = 0;
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const GateType t = types_[g];
+    if (gate_type_is_logic(t) && t != GateType::kNot && t != GateType::kBuf)
+      ++n;
+  }
+  return n;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (GateId g = 0; g < num_gates(); ++g)
+    if (gate_type_is_logic(types_[g])) ++n;
+  return n;
+}
+
+void Netlist::validate() const {
+  ORAP_CHECK(fanin_off_.empty() ? types_.empty()
+                                : fanin_off_.size() == types_.size() + 1);
+  for (GateId g = 0; g < num_gates(); ++g) {
+    const auto fi = fanins(g);
+    if (type(g) == GateType::kMux)
+      ORAP_CHECK(fi.size() == 3);
+    else
+      ORAP_CHECK(fi.size() >= gate_type_min_fanins(type(g)));
+    for (GateId f : fi) ORAP_CHECK(f < g);
+  }
+  for (const auto& po : outputs_) ORAP_CHECK(po.gate < num_gates());
+  for (GateId in : inputs_) ORAP_CHECK(type(in) == GateType::kInput);
+}
+
+}  // namespace orap

@@ -1,0 +1,134 @@
+#pragma once
+// Gate-level combinational netlist IR.
+//
+// Gates are stored in topological order by construction (every fanin id is
+// smaller than the gate's own id), which makes simulation, levelization and
+// Tseitin encoding single linear passes. Multi-input AND/OR/NAND/NOR/XOR/
+// XNOR are supported, matching the ISCAS .bench format; XOR/XNOR with k
+// inputs compute (negated) parity.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace orap {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+enum class GateType : std::uint8_t {
+  kConst0,
+  kConst1,
+  kInput,
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,  // fanins {s, d0, d1}: s ? d1 : d0
+};
+
+/// Gate-type helpers.
+const char* gate_type_name(GateType t);
+bool gate_type_is_logic(GateType t);  // false for const/input
+std::size_t gate_type_min_fanins(GateType t);
+
+/// A primary output: a reference to a driving gate plus a port name.
+struct OutputPort {
+  GateId gate = kNoGate;
+  std::string name;
+};
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Module-level name (benchmark circuit name).
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // --- construction ------------------------------------------------------
+
+  GateId add_input(std::string name);
+  GateId add_const(bool value);
+  GateId add_gate(GateType type, std::span<const GateId> fanins,
+                  std::string name = {});
+  GateId add_gate(GateType type, std::initializer_list<GateId> fanins,
+                  std::string name = {}) {
+    return add_gate(type, std::span<const GateId>(fanins.begin(), fanins.size()),
+                    std::move(name));
+  }
+  /// Convenience two-input / one-input builders.
+  GateId add_not(GateId a, std::string name = {}) {
+    return add_gate(GateType::kNot, {a}, std::move(name));
+  }
+  GateId add_and2(GateId a, GateId b) { return add_gate(GateType::kAnd, {a, b}); }
+  GateId add_or2(GateId a, GateId b) { return add_gate(GateType::kOr, {a, b}); }
+  GateId add_xor2(GateId a, GateId b) { return add_gate(GateType::kXor, {a, b}); }
+
+  void mark_output(GateId gate, std::string name = {});
+
+  /// Redirects an existing output port to a different driving gate
+  /// (used by locking schemes that XOR corruption logic into a PO).
+  void set_output_gate(std::size_t output_idx, GateId gate);
+
+  /// Renames a gate (updates the name->id index).
+  void rename(GateId g, std::string name);
+
+  // --- structure ---------------------------------------------------------
+
+  std::size_t num_gates() const { return types_.size(); }
+  GateType type(GateId g) const { return types_[g]; }
+  std::span<const GateId> fanins(GateId g) const {
+    return {fanin_pool_.data() + fanin_off_[g], fanin_off_[g + 1] - fanin_off_[g]};
+  }
+  std::size_t num_fanins(GateId g) const {
+    return fanin_off_[g + 1] - fanin_off_[g];
+  }
+  const std::string& gate_name(GateId g) const { return names_[g]; }
+
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+
+  /// Index of an input gate within inputs(), or SIZE_MAX.
+  std::size_t input_index(GateId g) const;
+
+  /// Gate id by name; kNoGate if absent.
+  GateId find(const std::string& name) const;
+
+  /// Number of logic gates excluding inverters and buffers — the gate-count
+  /// metric used by the paper's Table I ("# Gates" column counts gates
+  /// without inverters).
+  std::size_t gate_count_no_inverters() const;
+
+  /// Total logic gates (excluding inputs/constants), including inverters.
+  std::size_t logic_gate_count() const;
+
+  /// Validates all internal invariants (topological fanins, arity, output
+  /// references). Throws CheckError on violation.
+  void validate() const;
+
+ private:
+  GateId push_gate(GateType type, std::span<const GateId> fanins,
+                   std::string name);
+
+  std::string name_;
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> fanin_off_;  // size num_gates()+1
+  std::vector<GateId> fanin_pool_;
+  std::vector<std::string> names_;
+  std::vector<GateId> inputs_;
+  std::vector<OutputPort> outputs_;
+  std::unordered_map<std::string, GateId> by_name_;
+};
+
+}  // namespace orap

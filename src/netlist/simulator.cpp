@@ -1,0 +1,85 @@
+#include "netlist/simulator.h"
+
+namespace orap {
+
+std::uint64_t eval_gate_word(GateType type, std::span<const std::uint64_t> in) {
+  switch (type) {
+    case GateType::kConst0:
+      return 0;
+    case GateType::kConst1:
+      return ~0ULL;
+    case GateType::kInput:
+      return 0;  // inputs are set externally; reached only if unset
+    case GateType::kBuf:
+      return in[0];
+    case GateType::kNot:
+      return ~in[0];
+    case GateType::kAnd: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v &= in[i];
+      return v;
+    }
+    case GateType::kNand: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v &= in[i];
+      return ~v;
+    }
+    case GateType::kOr: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v |= in[i];
+      return v;
+    }
+    case GateType::kNor: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v |= in[i];
+      return ~v;
+    }
+    case GateType::kXor: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v ^= in[i];
+      return v;
+    }
+    case GateType::kXnor: {
+      std::uint64_t v = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) v ^= in[i];
+      return ~v;
+    }
+    case GateType::kMux:
+      return (in[0] & in[2]) | (~in[0] & in[1]);
+  }
+  return 0;
+}
+
+void Simulator::broadcast_inputs(const BitVec& pattern) {
+  ORAP_CHECK(pattern.size() == n_.num_inputs());
+  for (std::size_t i = 0; i < n_.num_inputs(); ++i)
+    values_[n_.inputs()[i]] = pattern.get(i) ? ~0ULL : 0ULL;
+}
+
+void Simulator::run() {
+  std::uint64_t buf[64];
+  for (GateId g = 0; g < n_.num_gates(); ++g) {
+    const GateType t = n_.type(g);
+    if (t == GateType::kInput) continue;
+    const auto fi = n_.fanins(g);
+    if (fi.size() <= 64) {
+      for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = values_[fi[i]];
+      values_[g] = eval_gate_word(t, {buf, fi.size()});
+    } else {
+      std::vector<std::uint64_t> big(fi.size());
+      for (std::size_t i = 0; i < fi.size(); ++i) big[i] = values_[fi[i]];
+      values_[g] = eval_gate_word(t, big);
+    }
+  }
+}
+
+BitVec Simulator::run_single(const BitVec& pattern) {
+  broadcast_inputs(pattern);
+  run();
+  BitVec out(n_.num_outputs());
+  for (std::size_t o = 0; o < n_.num_outputs(); ++o)
+    out.set(o, (output_word(o) & 1ULL) != 0);
+  return out;
+}
+
+}  // namespace orap

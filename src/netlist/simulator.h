@@ -1,0 +1,61 @@
+#pragma once
+// 64-way bit-parallel combinational simulator.
+//
+// A "word" carries 64 independent patterns; the simulator evaluates the
+// whole netlist with one pass of word-wide boolean ops. This is the engine
+// behind the Hamming-distance corruptibility measurements of Table I and
+// the pseudorandom phase of the Table II fault-simulation flow.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace orap {
+
+/// Evaluates one gate given already-computed fanin words.
+std::uint64_t eval_gate_word(GateType type, std::span<const std::uint64_t> in);
+
+class Simulator {
+ public:
+  explicit Simulator(const Netlist& n) : n_(n), values_(n.num_gates()) {}
+
+  /// Sets the 64-pattern word of input #i (position in netlist.inputs()).
+  void set_input_word(std::size_t input_idx, std::uint64_t w) {
+    values_[n_.inputs()[input_idx]] = w;
+  }
+
+  /// Random words on all inputs.
+  void randomize_inputs(Rng& rng) {
+    for (GateId in : n_.inputs()) values_[in] = rng.word();
+  }
+
+  /// Broadcast a single pattern (bit b of input i = pattern[i]) to all lanes.
+  void broadcast_inputs(const BitVec& pattern);
+
+  /// Evaluates every gate in topological order.
+  void run();
+
+  std::uint64_t value(GateId g) const { return values_[g]; }
+  std::uint64_t output_word(std::size_t out_idx) const {
+    return values_[n_.outputs()[out_idx].gate];
+  }
+
+  /// Single-pattern convenience: applies `pattern` (one bit per input) and
+  /// returns one bit per output.
+  BitVec run_single(const BitVec& pattern);
+
+  std::span<const std::uint64_t> values() const { return values_; }
+  std::span<std::uint64_t> mutable_values() { return values_; }
+
+  const Netlist& netlist() const { return n_; }
+
+ private:
+  const Netlist& n_;
+  std::vector<std::uint64_t> values_;
+};
+
+}  // namespace orap

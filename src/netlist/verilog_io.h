@@ -1,0 +1,18 @@
+#pragma once
+// Structural Verilog writer: exports a combinational netlist as a
+// gate-primitive module (and/or/nand/nor/xor/xnor/not/buf + assign-based
+// MUX), so locked designs can flow into external synthesis/PD tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace orap {
+
+/// Writes `n` as a synthesizable structural Verilog module named after
+/// the netlist (sanitized to a legal identifier).
+void write_verilog(const Netlist& n, std::ostream& os);
+std::string write_verilog_string(const Netlist& n);
+
+}  // namespace orap

@@ -1,0 +1,137 @@
+#include "sat/encode.h"
+
+namespace orap::sat {
+
+Var Encoder::encode_gate(GateType type, const std::vector<Var>& fi) {
+  const Var out = s_.new_var();
+  switch (type) {
+    case GateType::kConst0:
+      s_.add_clause({neg(out)});
+      break;
+    case GateType::kConst1:
+      s_.add_clause({pos(out)});
+      break;
+    case GateType::kInput:
+      ORAP_CHECK_MSG(false, "inputs have no gate function");
+      break;
+    case GateType::kBuf:
+      s_.add_clause({neg(out), pos(fi[0])});
+      s_.add_clause({pos(out), neg(fi[0])});
+      break;
+    case GateType::kNot:
+      s_.add_clause({neg(out), neg(fi[0])});
+      s_.add_clause({pos(out), pos(fi[0])});
+      break;
+    case GateType::kAnd:
+    case GateType::kNand: {
+      const bool inv = type == GateType::kNand;
+      auto o = [&](bool straight) {
+        return Lit(out, straight == inv);  // straight output literal
+      };
+      // out -> every fanin; all fanins -> out.
+      std::vector<Lit> big{o(true)};
+      for (const Var f : fi) {
+        s_.add_clause({~o(true), pos(f)});
+        big.push_back(neg(f));
+      }
+      s_.add_clause(big);
+      break;
+    }
+    case GateType::kOr:
+    case GateType::kNor: {
+      const bool inv = type == GateType::kNor;
+      auto o = [&](bool straight) { return Lit(out, straight == inv); };
+      std::vector<Lit> big{~o(true)};
+      for (const Var f : fi) {
+        s_.add_clause({o(true), neg(f)});
+        big.push_back(pos(f));
+      }
+      s_.add_clause(big);
+      break;
+    }
+    case GateType::kXor:
+    case GateType::kXnor: {
+      // Chain of 2-input XORs, then flip for XNOR.
+      Var acc = fi[0];
+      for (std::size_t i = 1; i < fi.size(); ++i) acc = encode_xor2(acc, fi[i]);
+      const bool inv = type == GateType::kXnor;
+      s_.add_clause({Lit(out, true), Lit(acc, inv)});
+      s_.add_clause({Lit(out, false), Lit(acc, !inv)});
+      break;
+    }
+    case GateType::kMux: {
+      const Var s = fi[0], d0 = fi[1], d1 = fi[2];
+      // s=0 -> out=d0 ; s=1 -> out=d1 (plus redundant strengthening).
+      s_.add_clause({pos(s), neg(out), pos(d0)});
+      s_.add_clause({pos(s), pos(out), neg(d0)});
+      s_.add_clause({neg(s), neg(out), pos(d1)});
+      s_.add_clause({neg(s), pos(out), neg(d1)});
+      s_.add_clause({neg(d0), neg(d1), pos(out)});
+      s_.add_clause({pos(d0), pos(d1), neg(out)});
+      break;
+    }
+  }
+  return out;
+}
+
+Var Encoder::encode_xor2(Var a, Var b) {
+  const Var out = s_.new_var();
+  s_.add_clause({neg(out), pos(a), pos(b)});
+  s_.add_clause({neg(out), neg(a), neg(b)});
+  s_.add_clause({pos(out), neg(a), pos(b)});
+  s_.add_clause({pos(out), pos(a), neg(b)});
+  return out;
+}
+
+CircuitVars Encoder::encode(const Netlist& n,
+                            const std::vector<Var>& shared_inputs) {
+  if (!shared_inputs.empty())
+    ORAP_CHECK(shared_inputs.size() == n.num_inputs());
+  CircuitVars cv;
+  cv.gate.assign(n.num_gates(), kNoVar);
+
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    const GateId g = n.inputs()[i];
+    Var v = shared_inputs.empty() ? kNoVar : shared_inputs[i];
+    if (v == kNoVar) v = s_.new_var();
+    cv.gate[g] = v;
+    cv.inputs.push_back(v);
+  }
+
+  std::vector<Var> fi;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (cv.gate[g] != kNoVar) continue;  // input already placed
+    const GateType t = n.type(g);
+    if (t == GateType::kConst0 || t == GateType::kConst1) {
+      cv.gate[g] = encode_gate(t, {});
+      continue;
+    }
+    fi.clear();
+    for (const GateId f : n.fanins(g)) fi.push_back(cv.gate[f]);
+    cv.gate[g] = encode_gate(t, fi);
+  }
+
+  for (const auto& po : n.outputs()) cv.outputs.push_back(cv.gate[po.gate]);
+  return cv;
+}
+
+void Encoder::force_equal(const std::vector<Var>& a, const std::vector<Var>& b) {
+  ORAP_CHECK(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    s_.add_clause({neg(a[i]), pos(b[i])});
+    s_.add_clause({pos(a[i]), neg(b[i])});
+  }
+}
+
+void Encoder::force_not_equal(const std::vector<Var>& a,
+                              const std::vector<Var>& b) {
+  ORAP_CHECK(a.size() == b.size() && !a.empty());
+  std::vector<Lit> any;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Var d = encode_xor2(a[i], b[i]);
+    any.push_back(pos(d));
+  }
+  s_.add_clause(any);
+}
+
+}  // namespace orap::sat

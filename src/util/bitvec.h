@@ -1,0 +1,145 @@
+#pragma once
+// Dynamic bit vector over 64-bit words.
+//
+// Used as (1) a pattern container for bit-parallel simulation (bit i of a
+// signal's BitVec is the signal's value under pattern i), and (2) the row
+// type of GF(2) matrices in the LFSR symbolic engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace orap {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false)
+      : nbits_(nbits),
+        words_(word_count(nbits), value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  static std::size_t word_count(std::size_t nbits) { return (nbits + 63) / 64; }
+
+  static BitVec random(std::size_t nbits, Rng& rng) {
+    BitVec v(nbits);
+    for (auto& w : v.words_) w = rng.word();
+    v.trim();
+    return v;
+  }
+
+  /// Single set bit at `pos` in a vector of `nbits` bits.
+  static BitVec unit(std::size_t nbits, std::size_t pos) {
+    BitVec v(nbits);
+    v.set(pos, true);
+    return v;
+  }
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    ORAP_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool v) {
+    ORAP_DCHECK(i < nbits_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  void flip(std::size_t i) {
+    ORAP_DCHECK(i < nbits_);
+    words_[i >> 6] ^= 1ULL << (i & 63);
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void resize(std::size_t nbits, bool value = false) {
+    const std::size_t old_bits = nbits_;
+    nbits_ = nbits;
+    words_.resize(word_count(nbits), value ? ~0ULL : 0ULL);
+    if (value && nbits > old_bits && old_bits % 64 != 0) {
+      // Fill the tail of the previously-partial word.
+      words_[old_bits >> 6] |= ~0ULL << (old_bits & 63);
+    }
+    trim();
+  }
+
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// Index of the lowest set bit, or size() if none.
+  std::size_t first_set() const {
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i])
+        return i * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[i]));
+    return nbits_;
+  }
+
+  BitVec& operator^=(const BitVec& o) {
+    ORAP_DCHECK(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+  BitVec& operator&=(const BitVec& o) {
+    ORAP_DCHECK(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  BitVec& operator|=(const BitVec& o) {
+    ORAP_DCHECK(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+
+  bool operator==(const BitVec& o) const {
+    return nbits_ == o.nbits_ && words_ == o.words_;
+  }
+
+  /// GF(2) dot product (parity of AND).
+  bool dot(const BitVec& o) const {
+    ORAP_DCHECK(nbits_ == o.nbits_);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      acc ^= words_[i] & o.words_[i];
+    return (__builtin_popcountll(acc) & 1) != 0;
+  }
+
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+ private:
+  void trim() {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= ~0ULL >> (64 - nbits_ % 64);
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace orap

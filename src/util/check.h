@@ -1,0 +1,52 @@
+#pragma once
+// Lightweight run-time checking macros used across the library.
+//
+// ORAP_CHECK is always on (library invariants and user-input validation);
+// ORAP_DCHECK compiles out in NDEBUG builds (hot-loop assertions).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace orap {
+
+/// Thrown when a checked invariant or precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::ostringstream os;
+  os << "ORAP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace orap
+
+#define ORAP_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::orap::detail::check_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define ORAP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream orap_check_os_;                              \
+      orap_check_os_ << msg;                                          \
+      ::orap::detail::check_fail(#expr, __FILE__, __LINE__,           \
+                                 orap_check_os_.str());               \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define ORAP_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define ORAP_DCHECK(expr) ORAP_CHECK(expr)
+#endif

@@ -1,0 +1,128 @@
+#include "util/gf2.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace orap {
+
+Gf2Matrix Gf2Matrix::identity(std::size_t n) {
+  Gf2Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, true);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::random(std::size_t rows, std::size_t cols, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) m.row(r) = BitVec::random(cols, rng);
+  return m;
+}
+
+BitVec Gf2Matrix::apply(const BitVec& x) const {
+  ORAP_CHECK(x.size() == cols_);
+  BitVec y(rows());
+  for (std::size_t r = 0; r < rows(); ++r) y.set(r, rows_[r].dot(x));
+  return y;
+}
+
+Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& o) const {
+  ORAP_CHECK(cols_ == o.rows());
+  Gf2Matrix out(rows(), o.cols());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    // Row r of the product is the XOR of o's rows selected by this row.
+    for (std::size_t k = 0; k < cols_; ++k)
+      if (rows_[r].get(k)) out.row(r) ^= o.row(k);
+  }
+  return out;
+}
+
+std::size_t Gf2Matrix::rank() const {
+  std::vector<BitVec> work(rows_);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < work.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < work.size() && !work[pivot].get(col)) ++pivot;
+    if (pivot == work.size()) continue;
+    std::swap(work[rank], work[pivot]);
+    for (std::size_t r = 0; r < work.size(); ++r)
+      if (r != rank && work[r].get(col)) work[r] ^= work[rank];
+    ++rank;
+  }
+  return rank;
+}
+
+namespace {
+
+// Reduced row echelon form of [A | b] (or just A when b == nullptr).
+// Returns, per eliminated row, its pivot column.
+struct Rref {
+  std::vector<BitVec> rows;       // A rows after elimination
+  std::vector<bool> rhs;          // b entries after elimination (if tracked)
+  std::vector<std::size_t> pivot_col;  // pivot column of row i (i < rank)
+};
+
+Rref rref(const Gf2Matrix& a, const BitVec* b) {
+  Rref out;
+  out.rows.reserve(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) out.rows.push_back(a.row(r));
+  if (b != nullptr) {
+    ORAP_CHECK(b->size() == a.rows());
+    out.rhs.resize(a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) out.rhs[r] = b->get(r);
+  }
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < a.cols() && rank < out.rows.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < out.rows.size() && !out.rows[pivot].get(col)) ++pivot;
+    if (pivot == out.rows.size()) continue;
+    std::swap(out.rows[rank], out.rows[pivot]);
+    if (b != nullptr) {
+      const bool tmp = out.rhs[rank];
+      out.rhs[rank] = out.rhs[pivot];
+      out.rhs[pivot] = tmp;
+    }
+    for (std::size_t r = 0; r < out.rows.size(); ++r) {
+      if (r != rank && out.rows[r].get(col)) {
+        out.rows[r] ^= out.rows[rank];
+        if (b != nullptr) out.rhs[r] = out.rhs[r] != out.rhs[rank];
+      }
+    }
+    out.pivot_col.push_back(col);
+    ++rank;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<BitVec> gf2_solve(const Gf2Matrix& a, const BitVec& b) {
+  const Rref rr = rref(a, &b);
+  const std::size_t rank = rr.pivot_col.size();
+  // Inconsistent if any zero row has rhs 1.
+  for (std::size_t r = rank; r < rr.rows.size(); ++r)
+    if (rr.rhs[r]) return std::nullopt;
+  BitVec x(a.cols());
+  for (std::size_t r = 0; r < rank; ++r)
+    if (rr.rhs[r]) x.set(rr.pivot_col[r], true);
+  return x;
+}
+
+std::vector<BitVec> gf2_nullspace(const Gf2Matrix& a) {
+  const Rref rr = rref(a, nullptr);
+  const std::size_t rank = rr.pivot_col.size();
+  std::vector<bool> is_pivot(a.cols(), false);
+  for (auto c : rr.pivot_col) is_pivot[c] = true;
+  std::vector<BitVec> basis;
+  for (std::size_t free_col = 0; free_col < a.cols(); ++free_col) {
+    if (is_pivot[free_col]) continue;
+    BitVec v(a.cols());
+    v.set(free_col, true);
+    // Pivot variables are determined by the free column's coefficients.
+    for (std::size_t r = 0; r < rank; ++r)
+      if (rr.rows[r].get(free_col)) v.set(rr.pivot_col[r], true);
+    basis.push_back(std::move(v));
+  }
+  return basis;
+}
+
+}  // namespace orap

@@ -1,0 +1,60 @@
+#pragma once
+// Dense GF(2) linear algebra: matrices as vectors of BitVec rows, Gaussian
+// elimination, rank, and linear-system solving.
+//
+// The LFSR symbolic engine expresses every key-register cell as a linear
+// combination of key-sequence bits; synthesizing a key sequence for a target
+// key is then `solve(A, b)` over GF(2).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace orap {
+
+/// Row-major dense matrix over GF(2). rows() x cols().
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(std::size_t rows, std::size_t cols)
+      : cols_(cols), rows_(rows, BitVec(cols)) {}
+
+  static Gf2Matrix identity(std::size_t n);
+  static Gf2Matrix random(std::size_t rows, std::size_t cols, Rng& rng);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const { return rows_[r].get(c); }
+  void set(std::size_t r, std::size_t c, bool v) { rows_[r].set(c, v); }
+
+  BitVec& row(std::size_t r) { return rows_[r]; }
+  const BitVec& row(std::size_t r) const { return rows_[r]; }
+
+  /// y = M * x  (x has cols() bits, result has rows() bits).
+  BitVec apply(const BitVec& x) const;
+
+  /// Matrix product (this * o); cols() must equal o.rows().
+  Gf2Matrix multiply(const Gf2Matrix& o) const;
+
+  std::size_t rank() const;
+
+  bool operator==(const Gf2Matrix& o) const {
+    return cols_ == o.cols_ && rows_ == o.rows_;
+  }
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+/// Solve A x = b over GF(2). Returns one solution if the system is
+/// consistent (free variables fixed to 0), std::nullopt otherwise.
+std::optional<BitVec> gf2_solve(const Gf2Matrix& a, const BitVec& b);
+
+/// Nullspace basis of A (vectors x with A x = 0), one BitVec per basis vector.
+std::vector<BitVec> gf2_nullspace(const Gf2Matrix& a);
+
+}  // namespace orap

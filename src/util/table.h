@@ -1,0 +1,58 @@
+#pragma once
+// Console table printing for bench harnesses: aligned columns, a header
+// row, and a Markdown-ish look so bench output can be pasted into
+// EXPERIMENTS.md directly.
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace orap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  Table& add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto line = [&](const std::vector<std::string>& cells) {
+      os << "|";
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        os << ' ' << cell << std::string(width[c] - cell.size(), ' ') << " |";
+      }
+      os << '\n';
+    };
+    line(header_);
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << '\n';
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace orap

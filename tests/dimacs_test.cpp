@@ -1,0 +1,83 @@
+// Tests for DIMACS CNF import/export and its interaction with the solver.
+
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.h"
+#include "sat/solver.h"
+#include "util/rng.h"
+
+namespace orap::sat {
+namespace {
+
+TEST(Dimacs, ParsesSimpleFormula) {
+  const Cnf cnf = read_dimacs_string(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3u);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], pos(0));
+  EXPECT_EQ(cnf.clauses[0][1], neg(1));
+  EXPECT_EQ(cnf.clauses[1][1], pos(2));
+}
+
+TEST(Dimacs, ClausesMaySpanLines) {
+  const Cnf cnf = read_dimacs_string(
+      "p cnf 4 1\n"
+      "1 2\n"
+      "3 4 0\n");
+  ASSERT_EQ(cnf.clauses.size(), 1u);
+  EXPECT_EQ(cnf.clauses[0].size(), 4u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  EXPECT_THROW(read_dimacs_string("1 2 0\n"), CheckError);          // no header
+  EXPECT_THROW(read_dimacs_string("p cnf 1 1\n5 0\n"), CheckError); // var range
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 2\n"), CheckError); // unterminated
+  EXPECT_THROW(read_dimacs_string("p cnf 2 3\n1 0\n"), CheckError); // count
+}
+
+TEST(Dimacs, RoundTrip) {
+  Rng rng(5);
+  Cnf cnf;
+  cnf.num_vars = 12;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.push_back(Lit(static_cast<Var>(rng.below(12)), rng.bit()));
+    cnf.clauses.push_back(cl);
+  }
+  const Cnf back = read_dimacs_string(write_dimacs_string(cnf));
+  EXPECT_EQ(back.num_vars, cnf.num_vars);
+  ASSERT_EQ(back.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i)
+    EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
+}
+
+TEST(Dimacs, LoadIntoSolverAndSolve) {
+  // (x1 | x2) & (!x1 | x2) & (x1 | !x2)  =>  x1 & x2
+  const Cnf cnf = read_dimacs_string(
+      "p cnf 2 3\n"
+      "1 2 0\n"
+      "-1 2 0\n"
+      "1 -2 0\n");
+  Solver s;
+  ASSERT_TRUE(cnf.load_into(s));
+  ASSERT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(0));
+  EXPECT_TRUE(s.model_value(1));
+}
+
+TEST(Dimacs, UnsatFormula) {
+  const Cnf cnf = read_dimacs_string(
+      "p cnf 1 2\n"
+      "1 0\n"
+      "-1 0\n");
+  Solver s;
+  cnf.load_into(s);
+  EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+}
+
+}  // namespace
+}  // namespace orap::sat

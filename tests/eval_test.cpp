@@ -1,0 +1,111 @@
+// Tests for the evaluation pipelines (Hamming-distance corruptibility and
+// area/delay overhead): determinism, scale behaviour, and agreement with
+// hand-computable cases.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "gen/embedded.h"
+#include "locking/locking.h"
+
+namespace orap {
+namespace {
+
+Netlist circuit(std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 28;
+  spec.num_outputs = 20;
+  spec.num_gates = 500;
+  spec.depth = 10;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+TEST(Hd, DeterministicForFixedSeed) {
+  const Netlist n = circuit(1);
+  const LockedCircuit lc = lock_weighted(n, 18, 3, 2);
+  const HdResult a = hamming_corruptibility(lc, 16, 6, 42);
+  const HdResult b = hamming_corruptibility(lc, 16, 6, 42);
+  EXPECT_DOUBLE_EQ(a.hd_percent, b.hd_percent);
+  EXPECT_EQ(a.patterns, 16u * 64u);
+  EXPECT_EQ(a.keys, 6u);
+}
+
+TEST(Hd, DifferentSeedsAgreeStatistically) {
+  const Netlist n = circuit(2);
+  const LockedCircuit lc = lock_weighted(n, 18, 3, 3);
+  const HdResult a = hamming_corruptibility(lc, 32, 8, 1);
+  const HdResult b = hamming_corruptibility(lc, 32, 8, 2);
+  EXPECT_NEAR(a.hd_percent, b.hd_percent, 6.0);
+}
+
+TEST(Hd, SingleInvertedOutputIsExactlyMeasured) {
+  // Hand-computable case: lock by XOR-ing one key bit into one output.
+  // A wrong key flips exactly that output on every pattern: with one
+  // output of out_count, HD = 100/out_count.
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId k = n.add_input("key0");
+  const GateId g1 = n.add_and2(a, b);
+  const GateId g2 = n.add_or2(a, b);
+  const GateId g3 = n.add_xor2(a, b);
+  const GateId locked_out = n.add_gate(GateType::kXor, {g1, k});
+  n.mark_output(locked_out, "o0");
+  n.mark_output(g2, "o1");
+  n.mark_output(g3, "o2");
+  n.mark_output(g2, "o3");
+
+  LockedCircuit lc;
+  lc.netlist = std::move(n);
+  lc.num_data_inputs = 2;
+  lc.num_key_inputs = 1;
+  lc.correct_key = BitVec(1);  // key 0 transparent
+  lc.scheme = "manual";
+  // The only wrong key (1) flips output 0 always: HD = 1/4 = 25%.
+  const HdResult hd = hamming_corruptibility(lc, 8, 1, 5);
+  EXPECT_DOUBLE_EQ(hd.hd_percent, 25.0);
+}
+
+TEST(Overhead, AddedGatesShowUp) {
+  const Netlist n = circuit(3);
+  const LockedCircuit lc = lock_weighted(n, 24, 3, 4);
+  const OverheadResult r = measure_overhead(n, lc.netlist, 0);
+  // 8 key gates (ctrl + xnor pairs) cannot vanish: XNORs entangle fresh
+  // key inputs, so protected area strictly exceeds the original.
+  EXPECT_GT(r.area_protected, r.area_original);
+  EXPECT_GE(r.delay_protected, 0u);
+}
+
+TEST(Overhead, ExtraGatesAddLinearly) {
+  const Netlist n = circuit(4);
+  const OverheadResult base = measure_overhead(n, n, 0);
+  const OverheadResult plus = measure_overhead(n, n, 500);
+  EXPECT_EQ(plus.area_protected, base.area_protected + 500);
+  EXPECT_GT(plus.area_overhead_pct, base.area_overhead_pct);
+}
+
+TEST(Overhead, MetricsMatchAigStatsDirectly) {
+  const Netlist n = make_alu4();
+  const OverheadResult r = measure_overhead(n, n, 0);
+  const aig::AigStats st = aig::resynthesized_stats(n);
+  EXPECT_EQ(r.area_original, st.ands);
+  EXPECT_EQ(r.delay_original, st.depth);
+}
+
+class HdKeyCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HdKeyCountSweep, MoreWrongKeysStabilizeEstimate) {
+  const Netlist n = circuit(700 + GetParam());
+  const LockedCircuit lc = lock_weighted(n, 21, 3, GetParam());
+  const HdResult hd = hamming_corruptibility(lc, 8, 4 + GetParam() % 4, 9);
+  // Weighted locking on these circuits always lands in a sane band.
+  EXPECT_GT(hd.hd_percent, 5.0);
+  EXPECT_LT(hd.hd_percent, 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HdKeyCountSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace orap

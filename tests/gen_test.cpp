@@ -1,0 +1,160 @@
+// Tests for the synthetic benchmark generator: interface accuracy,
+// determinism, structural health (depth, observability), and the paper
+// benchmark profiles.
+
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "gen/embedded.h"
+#include "netlist/analysis.h"
+#include "netlist/simulator.h"
+#include "util/rng.h"
+
+namespace orap {
+namespace {
+
+GenSpec small_spec(std::uint64_t seed) {
+  GenSpec s;
+  s.num_inputs = 40;
+  s.num_outputs = 20;
+  s.num_gates = 600;
+  s.depth = 16;
+  s.seed = seed;
+  return s;
+}
+
+TEST(CircuitGen, ExactInterfaceCounts) {
+  const Netlist n = generate_circuit(small_spec(1));
+  EXPECT_EQ(n.num_inputs(), 40u);
+  EXPECT_EQ(n.num_outputs(), 20u);
+  EXPECT_EQ(n.gate_count_no_inverters(), 600u);
+}
+
+TEST(CircuitGen, Deterministic) {
+  const Netlist a = generate_circuit(small_spec(7));
+  const Netlist b = generate_circuit(small_spec(7));
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  Simulator sa(a), sb(b);
+  Rng rng(3);
+  for (int t = 0; t < 20; ++t) {
+    const BitVec p = BitVec::random(a.num_inputs(), rng);
+    EXPECT_EQ(sa.run_single(p), sb.run_single(p));
+  }
+}
+
+TEST(CircuitGen, SeedsProduceDifferentCircuits) {
+  const Netlist a = generate_circuit(small_spec(1));
+  const Netlist b = generate_circuit(small_spec(2));
+  Simulator sa(a), sb(b);
+  Rng rng(3);
+  int diffs = 0;
+  for (int t = 0; t < 20; ++t) {
+    const BitVec p = BitVec::random(a.num_inputs(), rng);
+    if (sa.run_single(p) != sb.run_single(p)) ++diffs;
+  }
+  EXPECT_GT(diffs, 10);
+}
+
+TEST(CircuitGen, DepthMatchesSpec) {
+  for (std::uint32_t d : {8u, 16u, 30u}) {
+    GenSpec s = small_spec(5);
+    s.depth = d;
+    const Netlist n = generate_circuit(s);
+    EXPECT_EQ(circuit_depth(n), d) << "target depth " << d;
+  }
+}
+
+TEST(CircuitGen, AllInputsUsed) {
+  const Netlist n = generate_circuit(small_spec(9));
+  const auto fo = fanout_counts(n);
+  for (GateId in : n.inputs()) EXPECT_GT(fo[in], 0u) << "input " << in;
+}
+
+TEST(CircuitGen, MostLogicObservable) {
+  // The generator preferentially consumes fanout-0 gates; nearly all logic
+  // should lie in the fanin cone of the outputs.
+  const Netlist n = generate_circuit(small_spec(11));
+  std::vector<GateId> roots;
+  for (const auto& po : n.outputs()) roots.push_back(po.gate);
+  const auto cone = fanin_cone(n, roots);
+  std::size_t logic = 0, reachable = 0;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!gate_type_is_logic(n.type(g))) continue;
+    ++logic;
+    if (cone[g]) ++reachable;
+  }
+  EXPECT_GT(static_cast<double>(reachable) / logic, 0.95);
+}
+
+TEST(CircuitGen, OutputsRespondToInputs) {
+  // Sanity against degenerate (constant) circuits: random input pairs
+  // should frequently change outputs.
+  const Netlist n = generate_circuit(small_spec(13));
+  Simulator sim(n);
+  Rng rng(5);
+  int changed = 0;
+  BitVec prev = sim.run_single(BitVec::random(n.num_inputs(), rng));
+  for (int t = 0; t < 50; ++t) {
+    const BitVec out = sim.run_single(BitVec::random(n.num_inputs(), rng));
+    if (out != prev) ++changed;
+    prev = out;
+  }
+  EXPECT_GT(changed, 40);
+}
+
+TEST(PaperBenchmarks, TableIProfiles) {
+  const auto& profiles = paper_benchmarks();
+  ASSERT_EQ(profiles.size(), 8u);
+  EXPECT_EQ(profiles[0].name, "s38417");
+  EXPECT_EQ(profiles[0].gates_no_inv, 8709u);
+  EXPECT_EQ(profiles[0].outputs, 1742u);
+  EXPECT_EQ(profiles[0].lfsr_size, 256u);
+  EXPECT_EQ(profiles[4].name, "b19");
+  EXPECT_EQ(profiles[4].gates_no_inv, 196855u);
+  EXPECT_EQ(profiles[4].outputs, 6672u);
+  EXPECT_EQ(profiles[4].ctrl_gate_inputs, 5u);
+  EXPECT_EQ(benchmark_profile("b22").lfsr_size, 243u);
+  EXPECT_THROW(benchmark_profile("c6288"), CheckError);
+}
+
+TEST(PaperBenchmarks, ScaledInstanceHasScaledCounts) {
+  const auto& p = benchmark_profile("s38417");
+  const Netlist n = make_benchmark(p, 0.05);
+  EXPECT_NEAR(static_cast<double>(n.gate_count_no_inverters()),
+              p.gates_no_inv * 0.05, p.gates_no_inv * 0.05 * 0.05 + 8);
+  EXPECT_NEAR(static_cast<double>(n.num_outputs()), p.outputs * 0.05, 4.0);
+}
+
+TEST(PaperBenchmarks, FullScaleInstanceMatchesProfile) {
+  const auto& p = benchmark_profile("b20");
+  const Netlist n = make_benchmark(p, 1.0);
+  EXPECT_EQ(n.gate_count_no_inverters(), p.gates_no_inv);
+  EXPECT_EQ(n.num_inputs(), p.inputs);
+  EXPECT_EQ(n.num_outputs(), p.outputs);
+  EXPECT_EQ(circuit_depth(n), p.depth);
+}
+
+TEST(Embedded, ParityIsParity) {
+  const Netlist n = make_parity(16);
+  Simulator sim(n);
+  Rng rng(77);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec p = BitVec::random(16, rng);
+    EXPECT_EQ(sim.run_single(p).get(0), (p.count() % 2) == 1);
+  }
+}
+
+TEST(Embedded, MuxTreeSelects) {
+  const Netlist n = make_mux_tree(3);
+  Simulator sim(n);
+  Rng rng(78);
+  for (int t = 0; t < 100; ++t) {
+    BitVec p = BitVec::random(n.num_inputs(), rng);
+    unsigned sel = 0;
+    for (std::size_t i = 0; i < 3; ++i) sel |= p.get(i) << i;
+    EXPECT_EQ(sim.run_single(p).get(0), p.get(3 + sel));
+  }
+}
+
+}  // namespace
+}  // namespace orap

@@ -1,0 +1,186 @@
+// End-to-end integration tests: the full designer + attacker + test
+// engineer pipeline on one design, crossing every module boundary —
+// generate -> lock -> OraP chip -> scan/ATPG -> attacks -> resynthesis ->
+// serialization round-trips.
+
+#include <gtest/gtest.h>
+
+#include "aig/rewrite.h"
+#include "atpg/atpg.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "attacks/structural.h"
+#include "chip/chip.h"
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+#include "util/rng.h"
+
+namespace orap {
+namespace {
+
+TEST(Integration, DesignerFlowEndToEnd) {
+  // 1. Design.
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 28;
+  spec.num_gates = 600;
+  spec.depth = 10;
+  spec.seed = 1234;
+  const Netlist design = generate_circuit(spec);
+
+  // 2. Lock with weighted logic locking; corruption must be substantial.
+  const LockedCircuit lc = lock_weighted(design, 24, 3, 7);
+  const HdResult hd = hamming_corruptibility(lc, 16, 6, 8);
+  EXPECT_GT(hd.hd_percent, 20.0);
+
+  // 3. Overhead after resynthesis stays sane (< 40% on this small core).
+  const OverheadResult ov = measure_overhead(
+      design, lc.netlist, LfsrConfig::standard(24).support_gate_count());
+  EXPECT_GT(ov.area_overhead_pct, 0.0);
+  EXPECT_LT(ov.area_overhead_pct, 40.0);
+
+  // 4. OraP chip activates and behaves like the unlocked design.
+  LockedCircuit chip_lc = lock_weighted(design, 24, 3, 7);
+  OrapOptions opt;
+  opt.variant = OrapVariant::kModified;
+  opt.num_scan_chains = 2;
+  OrapChip chip(std::move(chip_lc), 8, opt, 9);
+  ASSERT_TRUE(chip.is_unlocked());
+
+  // 5. Manufacturing test in the locked state reaches high coverage.
+  AtpgOptions aopts;
+  aopts.random_words = 64;
+  const AtpgResult atpg = run_atpg(chip.locked_circuit().netlist, aopts);
+  EXPECT_GT(atpg.fault_coverage_pct(), 95.0);
+
+  // 6. The attacker, armed with the full suite, fails through the scan
+  // interface.
+  ChipScanOracle oracle(chip);
+  const SatAttackResult attack = sat_attack(chip.locked_circuit(), oracle);
+  if (attack.status == SatAttackResult::Status::kKeyFound)
+    EXPECT_NE(attack.key, chip.correct_key());
+
+  // 7. After all that abuse, the chip still returns to service.
+  chip.exit_test_mode();
+  EXPECT_TRUE(chip.is_unlocked());
+}
+
+TEST(Integration, SerializationRoundTripThroughEveryFormat) {
+  GenSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 12;
+  spec.num_gates = 300;
+  spec.depth = 8;
+  spec.seed = 77;
+  const Netlist design = generate_circuit(spec);
+  const LockedCircuit lc = lock_weighted(design, 12, 3, 3);
+
+  // .bench round trip preserves function and the key-input convention.
+  const Netlist parsed =
+      read_bench_string(write_bench_string(lc.netlist), "rt");
+  ASSERT_EQ(parsed.num_inputs(), lc.netlist.num_inputs());
+  std::size_t key_inputs = 0;
+  for (const GateId in : parsed.inputs())
+    if (parsed.gate_name(in).rfind("key", 0) == 0) ++key_inputs;
+  EXPECT_EQ(key_inputs, lc.num_key_inputs);
+
+  Simulator s1(lc.netlist), s2(parsed);
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec p = BitVec::random(parsed.num_inputs(), rng);
+    ASSERT_EQ(s1.run_single(p), s2.run_single(p));
+  }
+
+  // Verilog export contains the whole interface.
+  const std::string v = write_verilog_string(lc.netlist);
+  for (const GateId in : lc.netlist.inputs())
+    EXPECT_NE(v.find(lc.netlist.gate_name(in)), std::string::npos);
+
+  // AIG round trip also preserves function.
+  const Netlist via_aig =
+      aig::resynthesize(aig::Aig::from_netlist(lc.netlist)).to_netlist();
+  Simulator s3(via_aig);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec p = BitVec::random(parsed.num_inputs(), rng);
+    ASSERT_EQ(s1.run_single(p), s3.run_single(p));
+  }
+}
+
+TEST(Integration, ArmsRaceOnOneDesign) {
+  // The paper's Sec. I narrative as one test: each defense falls to its
+  // attack on a conventional oracle, and OraP ends the chain.
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 16;
+  spec.num_gates = 350;
+  spec.depth = 8;
+  spec.seed = 2020;
+  const Netlist design = generate_circuit(spec);
+
+  // Round 1: plain XOR locking falls to the SAT attack.
+  {
+    const LockedCircuit lc = lock_random_xor(design, 14, 1);
+    GoldenOracle oracle(lc);
+    const SatAttackResult r = sat_attack(lc, oracle);
+    ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound);
+    GoldenOracle verify(lc);
+    EXPECT_EQ(verify_key_against_oracle(lc, r.key, verify, 128, 2), 0u);
+  }
+  // Round 2: SARLock resists SAT (per-DIP pruning) but falls to bypass.
+  {
+    const LockedCircuit lc = lock_sarlock(design, 10, 3);
+    GoldenOracle sat_oracle(lc);
+    SatAttackOptions opts;
+    opts.max_iterations = 100;  // far below 2^10
+    EXPECT_EQ(sat_attack(lc, sat_oracle, opts).status,
+              SatAttackResult::Status::kIterationLimit);
+    GoldenOracle bp_oracle(lc);
+    const auto bp = bypass_attack(lc, bp_oracle, 8, 4);
+    ASSERT_TRUE(bp.has_value());
+  }
+  // Round 3: Anti-SAT falls to SPS-guided removal.
+  {
+    const LockedCircuit lc = lock_antisat(design, 20, 5);
+    EXPECT_TRUE(removal_attack(lc, 64, 6).has_value());
+  }
+  // Round 4: OraP + weighted locking: the oracle itself is gone.
+  {
+    LockedCircuit lc = lock_weighted(design, 18, 3, 7);
+    const BitVec correct = lc.correct_key;
+    OrapChip chip(std::move(lc), 8, {}, 8);
+    ChipScanOracle oracle(chip);
+    const SatAttackResult r = sat_attack(chip.locked_circuit(), oracle);
+    if (r.status == SatAttackResult::Status::kKeyFound)
+      EXPECT_NE(r.key, correct);
+    // And the corruption the attacker is left with is massive.
+    const HdResult hd =
+        hamming_corruptibility(chip.locked_circuit(), 16, 6, 9);
+    EXPECT_GT(hd.hd_percent, 20.0);
+  }
+}
+
+TEST(Integration, UnlockCycleBudget) {
+  // The multi-cycle unlock is cheap: seeds + gaps + response cycles.
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 24;
+  spec.num_gates = 300;
+  spec.depth = 8;
+  spec.seed = 31;
+  const Netlist design = generate_circuit(spec);
+  LockedCircuit lc = lock_weighted(design, 24, 3, 32);
+  OrapOptions opt;
+  opt.variant = OrapVariant::kModified;
+  opt.response_cycles = 16;
+  OrapChip chip(std::move(lc), 8, opt, 33);
+  const KeySequence& seq = chip.memory_key_sequence();
+  const std::size_t unlock_cycles =
+      opt.response_cycles + seq.total_cycles();
+  EXPECT_TRUE(chip.is_unlocked());
+  EXPECT_LT(unlock_cycles, 100u);  // trivial next to boot-time budgets
+}
+
+}  // namespace
+}  // namespace orap

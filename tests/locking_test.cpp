@@ -1,0 +1,280 @@
+// Tests for all locking schemes: correct-key transparency, wrong-key
+// corruption, key uniqueness properties, site selection, and the HD /
+// overhead metrics.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "gen/embedded.h"
+#include "locking/locking.h"
+#include "netlist/analysis.h"
+#include "netlist/simulator.h"
+#include "sat/encode.h"
+#include "util/rng.h"
+
+namespace orap {
+namespace {
+
+Netlist mid_circuit(std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 32;
+  spec.num_outputs = 24;
+  spec.num_gates = 700;
+  spec.depth = 10;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+/// Locked circuit with correct key must equal the original on all tested
+/// patterns.
+void expect_transparent(const Netlist& original, const LockedCircuit& lc,
+                        std::uint64_t seed, int trials = 200) {
+  Simulator so(original);
+  Simulator sl(lc.netlist);
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    const BitVec data = BitVec::random(original.num_inputs(), rng);
+    const BitVec full = lc.assemble_input(data, lc.correct_key);
+    ASSERT_EQ(so.run_single(data), sl.run_single(full)) << lc.scheme;
+  }
+}
+
+/// SAT proof of transparency (exhaustive over all data inputs).
+void expect_transparent_sat(const Netlist& original, const LockedCircuit& lc) {
+  sat::Solver s;
+  sat::Encoder e(s);
+  const auto orig = e.encode(original);
+  std::vector<sat::Var> shared(lc.netlist.num_inputs(), sat::Encoder::kNoVar);
+  for (std::size_t i = 0; i < original.num_inputs(); ++i)
+    shared[i] = orig.inputs[i];
+  const auto locked = e.encode(lc.netlist, shared);
+  // Pin key inputs to the correct key.
+  for (std::size_t i = 0; i < lc.num_key_inputs; ++i)
+    s.add_clause({sat::Lit(locked.inputs[lc.num_data_inputs + i],
+                           !lc.correct_key.get(i))});
+  e.force_not_equal(orig.outputs, locked.outputs);
+  EXPECT_EQ(s.solve(), sat::Solver::Result::kUnsat) << lc.scheme;
+}
+
+TEST(RandomXor, TransparentUnderCorrectKey) {
+  const Netlist n = mid_circuit(1);
+  expect_transparent(n, lock_random_xor(n, 32, 7), 100);
+}
+
+TEST(RandomXor, SatProvenTransparent) {
+  const Netlist n = make_alu4();
+  expect_transparent_sat(n, lock_random_xor(n, 8, 7));
+}
+
+TEST(RandomXor, WrongKeyCorrupts) {
+  const Netlist n = mid_circuit(2);
+  const LockedCircuit lc = lock_random_xor(n, 32, 8);
+  Simulator so(n), sl(lc.netlist);
+  Rng rng(5);
+  int corrupted = 0;
+  for (int t = 0; t < 50; ++t) {
+    const BitVec data = BitVec::random(n.num_inputs(), rng);
+    BitVec key = BitVec::random(lc.num_key_inputs, rng);
+    if (key == lc.correct_key) continue;
+    if (so.run_single(data) != sl.run_single(lc.assemble_input(data, key)))
+      ++corrupted;
+  }
+  EXPECT_GT(corrupted, 40);
+}
+
+TEST(RandomXor, SingleBitFlipsMostlyCorrupt) {
+  // Flipping one key bit inverts its locked signal on every pattern, so
+  // corruption only requires observability. Random site selection (the
+  // EPIC weakness weighted locking fixes) can land on low-observability
+  // gates, so allow a small number of quiet bits.
+  const Netlist n = mid_circuit(3);
+  const LockedCircuit lc = lock_random_xor(n, 16, 9);
+  Simulator so(n), sl(lc.netlist);
+  Rng rng(6);
+  int dead = 0;
+  for (std::size_t bit = 0; bit < lc.num_key_inputs; ++bit) {
+    BitVec key = lc.correct_key;
+    key.flip(bit);
+    bool corrupted = false;
+    for (int t = 0; t < 256 && !corrupted; ++t) {
+      const BitVec data = BitVec::random(n.num_inputs(), rng);
+      corrupted = so.run_single(data) !=
+                  sl.run_single(lc.assemble_input(data, key));
+    }
+    if (!corrupted) ++dead;
+  }
+  // Random placement gives no observability guarantee; just require the
+  // large majority of bits to be live (contrast: Weighted.AllKeyBits
+  // LoadBearing demands 100% liveness from impact-guided placement).
+  EXPECT_LE(dead, 4);
+}
+
+TEST(Weighted, TransparentUnderCorrectKey) {
+  const Netlist n = mid_circuit(4);
+  expect_transparent(n, lock_weighted(n, 33, 3, 11), 200);
+}
+
+TEST(Weighted, SatProvenTransparent) {
+  const Netlist n = make_ripple_adder(8);
+  expect_transparent_sat(n, lock_weighted(n, 9, 3, 11));
+}
+
+TEST(Weighted, KeyGateCountMatchesWidth) {
+  const Netlist n = mid_circuit(5);
+  const LockedCircuit lc3 = lock_weighted(n, 33, 3, 1);
+  const LockedCircuit lc5 = lock_weighted(n, 35, 5, 1);
+  // 33/3 = 11 key gates vs 35/5 = 7 key gates; each key gate adds one
+  // control gate and one XOR/XNOR (inverters aside).
+  const std::size_t added3 =
+      lc3.netlist.gate_count_no_inverters() - n.gate_count_no_inverters();
+  const std::size_t added5 =
+      lc5.netlist.gate_count_no_inverters() - n.gate_count_no_inverters();
+  EXPECT_EQ(added3, 22u);
+  EXPECT_EQ(added5, 14u);
+}
+
+TEST(Weighted, HighActuationProbability) {
+  // With 3-input control gates, a random wrong key actuates each key gate
+  // with prob 1 - 2^-3; corruption should be much stronger than plain XOR
+  // locking with the same number of key gates.
+  const Netlist n = mid_circuit(6);
+  const LockedCircuit lc = lock_weighted(n, 30, 3, 3);
+  const HdResult hd = hamming_corruptibility(lc, 16, 8, 99);
+  EXPECT_GT(hd.hd_percent, 15.0);
+}
+
+TEST(Weighted, AllKeyBitsLoadBearing) {
+  const Netlist n = mid_circuit(7);
+  // 32 % 3 != 0: leftover bits fold into the last control gate.
+  const LockedCircuit lc = lock_weighted(n, 32, 3, 13);
+  Simulator so(n), sl(lc.netlist);
+  Rng rng(8);
+  for (std::size_t bit = 0; bit < lc.num_key_inputs; ++bit) {
+    BitVec key = lc.correct_key;
+    key.flip(bit);
+    bool corrupted = false;
+    for (int t = 0; t < 128 && !corrupted; ++t) {
+      const BitVec data = BitVec::random(n.num_inputs(), rng);
+      corrupted = so.run_single(data) !=
+                  sl.run_single(lc.assemble_input(data, key));
+    }
+    EXPECT_TRUE(corrupted) << "key bit " << bit << " is dead";
+  }
+}
+
+TEST(Sarlock, TransparentUnderCorrectKey) {
+  const Netlist n = mid_circuit(9);
+  expect_transparent(n, lock_sarlock(n, 16, 21), 300);
+}
+
+TEST(Sarlock, PointFunctionCorruption) {
+  // A wrong key corrupts exactly the one input pattern that matches it on
+  // the selected inputs — so random patterns almost never hit it.
+  const Netlist n = mid_circuit(10);
+  const LockedCircuit lc = lock_sarlock(n, 16, 22);
+  const HdResult hd = hamming_corruptibility(lc, 8, 8, 5);
+  EXPECT_LT(hd.hd_percent, 0.1);  // SAT-resistant but useless corruption
+}
+
+TEST(Antisat, TransparentUnderCorrectKey) {
+  const Netlist n = mid_circuit(11);
+  expect_transparent(n, lock_antisat(n, 24, 33), 300);
+}
+
+TEST(Antisat, EqualHalvesAllUnlock) {
+  // Any key with K1 == K2 is functionally correct (the Anti-SAT property).
+  const Netlist n = mid_circuit(12);
+  const LockedCircuit lc = lock_antisat(n, 16, 34);
+  Simulator so(n), sl(lc.netlist);
+  Rng rng(12);
+  for (int t = 0; t < 20; ++t) {
+    BitVec key(lc.num_key_inputs);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const bool b = rng.bit();
+      key.set(i, b);
+      key.set(8 + i, b);
+    }
+    const BitVec data = BitVec::random(n.num_inputs(), rng);
+    EXPECT_EQ(so.run_single(data), sl.run_single(lc.assemble_input(data, key)));
+  }
+}
+
+TEST(FaultImpact, OutputDriverBeatsDeadendGate) {
+  // A gate feeding many outputs must have higher impact than a gate whose
+  // effect is confined to one output.
+  GenSpec spec;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.num_gates = 200;
+  spec.depth = 8;
+  spec.seed = 77;
+  const Netlist n = generate_circuit(spec);
+  const auto fo = fanout_counts(n);
+  // candidate A: highest-fanout internal gate; candidate B: a PO driver
+  // (affects >= 1 output), compare against a random low-fanout gate.
+  GateId hi = kNoGate;
+  std::uint32_t hi_fo = 0;
+  for (GateId g = 0; g < n.num_gates(); ++g) {
+    if (!gate_type_is_logic(n.type(g))) continue;
+    if (fo[g] > hi_fo) {
+      hi_fo = fo[g];
+      hi = g;
+    }
+  }
+  ASSERT_NE(hi, kNoGate);
+  Rng rng(3);
+  const auto impact = fault_impact(n, {hi}, rng, 4);
+  EXPECT_GT(impact[0], 0.0);
+}
+
+TEST(Metrics, HdOfUnlockedSchemeIsZero) {
+  // Degenerate check: measuring HD with the correct key as "wrong" is not
+  // possible by construction, so instead verify HD is ~0 for a scheme
+  // whose key gates are never actuated (SARLock with random data).
+  const Netlist n = mid_circuit(13);
+  const LockedCircuit lc = lock_sarlock(n, 20, 41);
+  const HdResult hd = hamming_corruptibility(lc, 4, 4, 9);
+  EXPECT_LT(hd.hd_percent, 0.05);
+}
+
+TEST(Metrics, WeightedHdScalesWithKeyGates) {
+  const Netlist n = mid_circuit(14);
+  const HdResult few = hamming_corruptibility(lock_weighted(n, 9, 3, 5), 8, 6, 1);
+  const HdResult many =
+      hamming_corruptibility(lock_weighted(n, 60, 3, 5), 8, 6, 1);
+  EXPECT_GT(many.hd_percent, few.hd_percent);
+}
+
+TEST(Metrics, OverheadAccountsExtraGates) {
+  const Netlist n = mid_circuit(15);
+  const LockedCircuit lc = lock_weighted(n, 30, 3, 17);
+  const OverheadResult no_extra = measure_overhead(n, lc.netlist, 0);
+  const OverheadResult with_extra = measure_overhead(n, lc.netlist, 100);
+  EXPECT_GT(with_extra.area_overhead_pct, no_extra.area_overhead_pct);
+  EXPECT_GT(no_extra.area_original, 0u);
+  EXPECT_GE(no_extra.area_protected, no_extra.area_original);
+}
+
+TEST(Metrics, OverheadIdenticalCircuitsIsZero) {
+  const Netlist n = mid_circuit(16);
+  const OverheadResult r = measure_overhead(n, n, 0);
+  EXPECT_DOUBLE_EQ(r.area_overhead_pct, 0.0);
+  EXPECT_DOUBLE_EQ(r.delay_overhead_pct, 0.0);
+}
+
+class SchemeTransparency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchemeTransparency, AllSchemesTransparentAcrossSeeds) {
+  const Netlist n = mid_circuit(400 + GetParam());
+  const std::uint64_t s = 900 + GetParam();
+  expect_transparent(n, lock_random_xor(n, 24, s), s, 60);
+  expect_transparent(n, lock_weighted(n, 24, 3, s), s, 60);
+  expect_transparent(n, lock_sarlock(n, 12, s), s, 60);
+  expect_transparent(n, lock_antisat(n, 16, s), s, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchemeTransparency, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace orap

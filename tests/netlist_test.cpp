@@ -1,0 +1,348 @@
+// Tests for the netlist IR, .bench I/O, simulator and structural analyses.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/circuit_gen.h"
+#include "gen/embedded.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "netlist/netlist.h"
+#include "netlist/simulator.h"
+#include "util/rng.h"
+
+namespace orap {
+namespace {
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId g = n.add_gate(GateType::kAnd, {a, b}, "g");
+  n.mark_output(g, "out");
+  EXPECT_EQ(n.num_gates(), 3u);
+  EXPECT_EQ(n.num_inputs(), 2u);
+  EXPECT_EQ(n.num_outputs(), 1u);
+  EXPECT_EQ(n.find("g"), g);
+  EXPECT_EQ(n.find("nope"), kNoGate);
+  EXPECT_EQ(n.input_index(b), 1u);
+  ASSERT_EQ(n.fanins(g).size(), 2u);
+  EXPECT_EQ(n.fanins(g)[0], a);
+  n.validate();
+}
+
+TEST(Netlist, RejectsForwardReference) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a, GateId{5}}), CheckError);
+}
+
+TEST(Netlist, RejectsBadArity) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  EXPECT_THROW(n.add_gate(GateType::kMux, {a, a}), CheckError);
+  EXPECT_THROW(n.add_gate(GateType::kAnd, {a}), CheckError);
+}
+
+TEST(Netlist, RejectsDuplicateName) {
+  Netlist n;
+  n.add_input("a");
+  EXPECT_THROW(n.add_input("a"), CheckError);
+}
+
+TEST(Netlist, GateCountExcludesInverters) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId na = n.add_not(a);
+  const GateId g = n.add_and2(na, b);
+  n.mark_output(g);
+  EXPECT_EQ(n.gate_count_no_inverters(), 1u);
+  EXPECT_EQ(n.logic_gate_count(), 2u);
+}
+
+TEST(Simulator, GateSemanticsTruthTables) {
+  // Exhaustive 2-input truth tables via one 64-bit word.
+  const std::uint64_t a = 0b1100;
+  const std::uint64_t b = 0b1010;
+  EXPECT_EQ(eval_gate_word(GateType::kAnd, std::array{a, b}) & 0xF, 0b1000u);
+  EXPECT_EQ(eval_gate_word(GateType::kNand, std::array{a, b}) & 0xF, 0b0111u);
+  EXPECT_EQ(eval_gate_word(GateType::kOr, std::array{a, b}) & 0xF, 0b1110u);
+  EXPECT_EQ(eval_gate_word(GateType::kNor, std::array{a, b}) & 0xF, 0b0001u);
+  EXPECT_EQ(eval_gate_word(GateType::kXor, std::array{a, b}) & 0xF, 0b0110u);
+  EXPECT_EQ(eval_gate_word(GateType::kXnor, std::array{a, b}) & 0xF, 0b1001u);
+  EXPECT_EQ(eval_gate_word(GateType::kNot, std::array{a}) & 0xF, 0b0011u);
+  EXPECT_EQ(eval_gate_word(GateType::kBuf, std::array{a}) & 0xF, 0b1100u);
+}
+
+TEST(Simulator, MuxSelectsCorrectInput) {
+  const std::uint64_t s = 0b1100, d0 = 0b1010, d1 = 0b0110;
+  // s=0 -> d0 bits; s=1 -> d1 bits.
+  EXPECT_EQ(eval_gate_word(GateType::kMux, std::array{s, d0, d1}) & 0xF,
+            (0b0110u & 0b1100u) | (0b1010u & 0b0011u));
+}
+
+TEST(Simulator, MultiInputParity) {
+  const std::uint64_t a = 0xF0F0, b = 0xFF00, c = 0xCCCC;
+  EXPECT_EQ(eval_gate_word(GateType::kXor, std::array{a, b, c}),
+            a ^ b ^ c);
+  EXPECT_EQ(eval_gate_word(GateType::kXnor, std::array{a, b, c}),
+            ~(a ^ b ^ c));
+}
+
+TEST(Simulator, RippleAdderAddsCorrectly) {
+  const Netlist n = make_ripple_adder(8);
+  Simulator sim(n);
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const unsigned a = static_cast<unsigned>(rng.below(256));
+    const unsigned b = static_cast<unsigned>(rng.below(256));
+    const unsigned cin = static_cast<unsigned>(rng.below(2));
+    BitVec pattern(n.num_inputs());
+    for (std::size_t i = 0; i < 8; ++i) pattern.set(i, (a >> i) & 1);
+    for (std::size_t i = 0; i < 8; ++i) pattern.set(8 + i, (b >> i) & 1);
+    pattern.set(16, cin != 0);
+    const BitVec out = sim.run_single(pattern);
+    unsigned sum = 0;
+    for (std::size_t i = 0; i < 8; ++i) sum |= out.get(i) << i;
+    sum |= out.get(8) << 8;  // cout
+    EXPECT_EQ(sum, a + b + cin);
+  }
+}
+
+TEST(Simulator, Alu4MatchesReference) {
+  const Netlist n = make_alu4();
+  Simulator sim(n);
+  for (unsigned op = 0; op < 4; ++op) {
+    for (unsigned a = 0; a < 16; ++a) {
+      for (unsigned b = 0; b < 16; ++b) {
+        BitVec pattern(n.num_inputs());
+        pattern.set(0, op & 1);
+        pattern.set(1, (op >> 1) & 1);
+        for (std::size_t i = 0; i < 4; ++i) pattern.set(2 + i, (a >> i) & 1);
+        for (std::size_t i = 0; i < 4; ++i) pattern.set(6 + i, (b >> i) & 1);
+        const BitVec out = sim.run_single(pattern);
+        unsigned y = 0;
+        for (std::size_t i = 0; i < 4; ++i) y |= out.get(i) << i;
+        unsigned expect = 0;
+        switch (op) {
+          case 0: expect = (a + b) & 0xF; break;
+          case 1: expect = a & b; break;
+          case 2: expect = a | b; break;
+          case 3: expect = a ^ b; break;
+        }
+        EXPECT_EQ(y, expect) << "op=" << op << " a=" << a << " b=" << b;
+        if (op == 0)
+          EXPECT_EQ(out.get(4), ((a + b) >> 4) & 1);
+        else
+          EXPECT_FALSE(out.get(4));
+      }
+    }
+  }
+}
+
+TEST(Simulator, C17KnownVectors) {
+  const Netlist n = make_c17();
+  EXPECT_EQ(n.num_inputs(), 5u);
+  EXPECT_EQ(n.num_outputs(), 2u);
+  EXPECT_EQ(n.gate_count_no_inverters(), 6u);
+  Simulator sim(n);
+  // Inputs in file order: 1, 2, 3, 6, 7.
+  // All-zero input: 10=NAND(0,0)=1, 11=1, 16=NAND(0,1)=1, 19=NAND(1,0)=1,
+  // 22=NAND(1,1)=0, 23=NAND(1,1)=0.
+  BitVec p(5);
+  BitVec out = sim.run_single(p);
+  EXPECT_FALSE(out.get(0));
+  EXPECT_FALSE(out.get(1));
+  // All-ones: 10=0, 11=0, 16=NAND(1,0)=1, 19=NAND(0,1)=1, 22=NAND(0,1)=1,
+  // 23=NAND(1,1)=0.
+  p = BitVec(5, true);
+  out = sim.run_single(p);
+  EXPECT_TRUE(out.get(0));
+  EXPECT_FALSE(out.get(1));
+}
+
+TEST(Simulator, BitParallelAgreesWithSingle) {
+  // Word-parallel run must equal 64 independent single-pattern runs.
+  const Netlist n = make_alu4();
+  Simulator par(n), ser(n);
+  Rng rng(23);
+  std::vector<BitVec> patterns;
+  for (int lane = 0; lane < 64; ++lane)
+    patterns.push_back(BitVec::random(n.num_inputs(), rng));
+  for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+    std::uint64_t w = 0;
+    for (int lane = 0; lane < 64; ++lane)
+      w |= static_cast<std::uint64_t>(patterns[lane].get(i)) << lane;
+    par.set_input_word(i, w);
+  }
+  par.run();
+  for (int lane = 0; lane < 64; ++lane) {
+    const BitVec out = ser.run_single(patterns[lane]);
+    for (std::size_t o = 0; o < n.num_outputs(); ++o)
+      EXPECT_EQ(out.get(o), ((par.output_word(o) >> lane) & 1) != 0);
+  }
+}
+
+TEST(BenchIo, RoundTripPreservesFunction) {
+  const Netlist original = make_alu4();
+  const std::string text = write_bench_string(original);
+  const Netlist parsed = read_bench_string(text, "alu4rt");
+  ASSERT_EQ(parsed.num_inputs(), original.num_inputs());
+  ASSERT_EQ(parsed.num_outputs(), original.num_outputs());
+  Simulator a(original), b(parsed);
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec p = BitVec::random(original.num_inputs(), rng);
+    EXPECT_EQ(a.run_single(p), b.run_single(p));
+  }
+}
+
+TEST(BenchIo, ParsesOutOfOrderDefinitions) {
+  const Netlist n = read_bench_string(R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(m, b)
+m = OR(a, b)
+)");
+  Simulator sim(n);
+  BitVec p(2);
+  p.set(0, true);  // a=1 b=0 -> m=1, y=0
+  EXPECT_FALSE(sim.run_single(p).get(0));
+  p.set(1, true);  // a=1 b=1 -> y=1
+  EXPECT_TRUE(sim.run_single(p).get(0));
+}
+
+TEST(BenchIo, SequentialDffBecomesPseudoIo) {
+  const Netlist n = read_bench_string(R"(
+INPUT(x)
+OUTPUT(q)
+q = DFF(d)
+d = NAND(x, q)
+)");
+  // Comb core: inputs {x, q}, outputs {q (PO alias of input), d as q_next}.
+  EXPECT_EQ(n.num_inputs(), 2u);
+  EXPECT_EQ(n.num_outputs(), 2u);
+  Simulator sim(n);
+  BitVec p(2);
+  p.set(0, true);
+  p.set(1, true);
+  const BitVec out = sim.run_single(p);
+  EXPECT_TRUE(out.get(0));    // q passes through
+  EXPECT_FALSE(out.get(1));   // d = NAND(1,1) = 0
+}
+
+TEST(BenchIo, RejectsCyclicCombinationalLogic) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, z)
+z = OR(y, a)
+)"),
+               CheckError);
+}
+
+TEST(BenchIo, RejectsUndrivenSignal) {
+  EXPECT_THROW(read_bench_string(R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a, ghost)
+)"),
+               CheckError);
+}
+
+class BenchRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(BenchRoundTrip, RandomCircuitsSurviveSerialization) {
+  // Property: write-then-parse is the identity function (up to gate ids)
+  // for arbitrary generated circuits — including multi-input gates and
+  // inverter-heavy structures.
+  GenSpec spec;
+  spec.num_inputs = 10 + GetParam() * 3;
+  spec.num_outputs = 6 + GetParam();
+  spec.num_gates = 120 + GetParam() * 40;
+  spec.depth = 6 + GetParam() % 5;
+  spec.seed = 9000 + GetParam();
+  const Netlist original = generate_circuit(spec);
+  const Netlist parsed =
+      read_bench_string(write_bench_string(original), "rt");
+  ASSERT_EQ(parsed.num_inputs(), original.num_inputs());
+  ASSERT_EQ(parsed.num_outputs(), original.num_outputs());
+  Simulator a(original), b(parsed);
+  Rng rng(100 + GetParam());
+  for (int t = 0; t < 50; ++t) {
+    const BitVec p = BitVec::random(original.num_inputs(), rng);
+    ASSERT_EQ(a.run_single(p), b.run_single(p)) << "trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BenchRoundTrip, ::testing::Range(0, 8));
+
+TEST(Analysis, LevelsOfChain) {
+  Netlist n;
+  GateId g = n.add_input("a");
+  const GateId b = n.add_input("b");
+  for (int i = 0; i < 5; ++i) g = n.add_and2(g, b);
+  n.mark_output(g);
+  EXPECT_EQ(circuit_depth(n), 5u);
+}
+
+TEST(Analysis, InvertersAreFreeByDefault) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId x = n.add_and2(a, b);
+  const GateId nx = n.add_not(x);
+  const GateId y = n.add_or2(nx, a);
+  n.mark_output(y);
+  EXPECT_EQ(circuit_depth(n, /*inverters_free=*/true), 2u);
+  EXPECT_EQ(circuit_depth(n, /*inverters_free=*/false), 3u);
+}
+
+TEST(Analysis, FanoutCountsIncludeOutputs) {
+  Netlist n;
+  const GateId a = n.add_input("a");
+  const GateId b = n.add_input("b");
+  const GateId x = n.add_and2(a, b);
+  n.add_or2(x, a);
+  n.mark_output(x);
+  const auto fo = fanout_counts(n);
+  EXPECT_EQ(fo[a], 2u);
+  EXPECT_EQ(fo[x], 2u);  // one gate fanin + one PO
+}
+
+TEST(Analysis, ConeExtractionPreservesFunction) {
+  const Netlist n = make_alu4();
+  // Extract the cone of output y0 only.
+  const GateId root = n.outputs()[0].gate;
+  std::vector<GateId> map;
+  const Netlist cone = extract_cone(n, std::array{root}, &map);
+  EXPECT_EQ(cone.num_outputs(), 1u);
+  EXPECT_LE(cone.num_inputs(), n.num_inputs());
+  Simulator full(n), part(cone);
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const BitVec p = BitVec::random(n.num_inputs(), rng);
+    // Project the pattern onto the cone's inputs (matched by name).
+    BitVec q(cone.num_inputs());
+    for (std::size_t i = 0; i < cone.num_inputs(); ++i) {
+      const GateId orig = n.find(cone.gate_name(cone.inputs()[i]));
+      ASSERT_NE(orig, kNoGate);
+      q.set(i, p.get(n.input_index(orig)));
+    }
+    EXPECT_EQ(full.run_single(p).get(0), part.run_single(q).get(0));
+  }
+}
+
+TEST(Analysis, StatsSmoke) {
+  const auto s = netlist_stats(make_c17());
+  EXPECT_EQ(s.inputs, 5u);
+  EXPECT_EQ(s.outputs, 2u);
+  EXPECT_EQ(s.gates_no_inv, 6u);
+  EXPECT_EQ(s.depth, 3u);
+}
+
+}  // namespace
+}  // namespace orap

@@ -1,0 +1,193 @@
+// Tests for the structural attacks (SPS, removal, bypass) and the Verilog
+// writer — including the paper's claims that SPS/removal defeat Anti-SAT,
+// bypass defeats SARLock, and none of them apply to OraP + weighted
+// locking.
+
+#include <gtest/gtest.h>
+
+#include "attacks/oracle.h"
+#include "attacks/structural.h"
+#include "chip/chip.h"
+#include "gen/circuit_gen.h"
+#include "gen/embedded.h"
+#include "locking/locking.h"
+#include "netlist/simulator.h"
+#include "netlist/verilog_io.h"
+#include "util/rng.h"
+
+namespace orap {
+namespace {
+
+Netlist target(std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 20;
+  spec.num_gates = 400;
+  spec.depth = 9;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+bool equivalent_on_samples(const Netlist& a, const Netlist& b,
+                           std::uint64_t seed, int trials = 200) {
+  if (a.num_inputs() != b.num_inputs() || a.num_outputs() != b.num_outputs())
+    return false;
+  Simulator sa(a), sb(b);
+  Rng rng(seed);
+  for (int t = 0; t < trials; ++t) {
+    const BitVec p = BitVec::random(a.num_inputs(), rng);
+    if (sa.run_single(p) != sb.run_single(p)) return false;
+  }
+  return true;
+}
+
+TEST(Sps, AntiSatBlockTopsRanking) {
+  const Netlist n = target(1);
+  const LockedCircuit lc = lock_antisat(n, 24, 2);
+  const auto ranking = sps_rank(lc, 64, 3);
+  ASSERT_FALSE(ranking.empty());
+  // The Anti-SAT block output fires on ~2^-12 of random (X, K): skew ~0.5.
+  EXPECT_GT(ranking[0].skew, 0.45);
+  EXPECT_LT(ranking[0].prob_one, 0.05);
+}
+
+TEST(Sps, WeightedLockingSkewIsNotActionable) {
+  // Ordinary deep logic also shows probability skew, so the ranking is
+  // not empty — but unlike Anti-SAT's block, tying any weighted-locking
+  // candidate off never disconnects the key logic (checked structurally
+  // by removal_attack, which therefore reports failure).
+  const Netlist n = target(2);
+  const LockedCircuit lc = lock_weighted(n, 24, 3, 4);
+  const auto ranking = sps_rank(lc, 64, 5);
+  EXPECT_FALSE(removal_attack(lc, 64, 5).has_value());
+  (void)ranking;
+}
+
+TEST(Removal, RecoversAntiSatOriginal) {
+  // Removal attack: tie off the skewed block; the result must be the
+  // original circuit (on the data inputs, key inputs now dead).
+  const Netlist n = target(3);
+  const LockedCircuit lc = lock_antisat(n, 24, 6);
+  const auto r = removal_attack(lc, 64, 7);
+  ASSERT_TRUE(r.has_value());
+  // Compare recovered(X, any key) vs original(X).
+  Simulator orig(n), rec(r->recovered);
+  Rng rng(8);
+  for (int t = 0; t < 200; ++t) {
+    const BitVec x = BitVec::random(n.num_inputs(), rng);
+    const BitVec key = BitVec::random(lc.num_key_inputs, rng);
+    const BitVec full = lc.assemble_input(x, key);
+    const BitVec out = rec.run_single(full);
+    const BitVec expect = orig.run_single(x);
+    // Compare on the original outputs.
+    for (std::size_t o = 0; o < n.num_outputs(); ++o)
+      ASSERT_EQ(out.get(o), expect.get(o)) << "trial " << t;
+  }
+}
+
+TEST(Removal, DoesNotApplyToWeightedLocking) {
+  const Netlist n = target(4);
+  const LockedCircuit lc = lock_weighted(n, 24, 3, 9);
+  EXPECT_FALSE(removal_attack(lc, 64, 10).has_value());
+}
+
+TEST(Bypass, DefeatsSarlockWithGoldenOracle) {
+  const Netlist n = target(5);
+  const LockedCircuit lc = lock_sarlock(n, 12, 11);
+  GoldenOracle oracle(lc);
+  const auto r = bypass_attack(lc, oracle, 8, 12);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->complete);
+  EXPECT_LE(r->correction_points, 2u);  // at most the two wrong keys' points
+  // The bypassed circuit is functionally the original.
+  Simulator orig(n), byp(r->bypassed);
+  Rng rng(13);
+  for (int t = 0; t < 300; ++t) {
+    const BitVec x = BitVec::random(n.num_inputs(), rng);
+    ASSERT_EQ(byp.run_single(x), orig.run_single(x));
+  }
+  // Including at the wrong keys' own corruption points.
+  for (const BitVec* k : {&r->wrong_key, &lc.correct_key}) {
+    BitVec probe(n.num_inputs());
+    for (std::size_t i = 0; i < k->size() && i < probe.size(); ++i)
+      probe.set(i, k->get(i));
+    EXPECT_EQ(byp.run_single(probe), orig.run_single(probe));
+  }
+}
+
+TEST(Bypass, FailsOnWeightedLocking) {
+  // High output corruptibility = astronomically many diff points; the
+  // enumeration cap trips and the attack reports failure.
+  const Netlist n = target(6);
+  const LockedCircuit lc = lock_weighted(n, 18, 3, 14);
+  GoldenOracle oracle(lc);
+  EXPECT_FALSE(bypass_attack(lc, oracle, 16, 15).has_value());
+}
+
+TEST(Bypass, AgainstOrapReproducesOnlyLockedBehaviour) {
+  // Through an OraP scan oracle the bypass "succeeds" on SARLock's tiny
+  // diff set — but it patches toward the locked responses, so the result
+  // still differs from the true original at the corruption points of the
+  // cleared-key circuit. The attacker gains nothing.
+  const Netlist core = target(7);
+  LockedCircuit lc = lock_sarlock(core, 10, 16);
+  OrapChip chip(std::move(lc), 8, {}, 17);
+  ChipScanOracle oracle(chip);
+  const auto r = bypass_attack(chip.locked_circuit(), oracle, 8, 18);
+  ASSERT_TRUE(r.has_value());
+  // Bypassed circuit == cleared-key circuit (what the oracle exposed)
+  // wherever they were patched; crucially NOT the unlocked original at
+  // the secret key's corruption point. Verify: bypassed behaviour matches
+  // the zero-key locked circuit everywhere we sample.
+  const LockedCircuit& view = chip.locked_circuit();
+  Simulator locked_sim(view.netlist), byp(r->bypassed);
+  Rng rng(19);
+  const BitVec zero_key(view.num_key_inputs);
+  int agree = 0;
+  for (int t = 0; t < 100; ++t) {
+    const BitVec x = BitVec::random(view.num_data_inputs, rng);
+    if (byp.run_single(x) ==
+        locked_sim.run_single(view.assemble_input(x, zero_key)))
+      ++agree;
+  }
+  EXPECT_EQ(agree, 100);
+}
+
+TEST(Verilog, WritesParsableStructure) {
+  const Netlist n = make_alu4();
+  const std::string v = write_verilog_string(n);
+  EXPECT_NE(v.find("module alu4"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input op0;"), std::string::npos);
+  EXPECT_NE(v.find("output y0;"), std::string::npos);
+  // One primitive per logic gate (MUX becomes an assign).
+  std::size_t prims = 0, pos = 0;
+  for (const char* kw : {"\n  and ", "\n  or ", "\n  xor ", "\n  not "}) {
+    pos = 0;
+    while ((pos = v.find(kw, pos)) != std::string::npos) {
+      ++prims;
+      ++pos;
+    }
+  }
+  EXPECT_GT(prims, 10u);
+}
+
+TEST(Verilog, SanitizesNumericNames) {
+  // c17 uses bare numeric signal names; Verilog identifiers cannot start
+  // with a digit.
+  const Netlist n = make_c17();
+  const std::string v = write_verilog_string(n);
+  EXPECT_EQ(v.find("input 1;"), std::string::npos);
+  EXPECT_NE(v.find("n_1"), std::string::npos);
+}
+
+TEST(Verilog, LockedCircuitExports) {
+  const Netlist n = target(8);
+  const LockedCircuit lc = lock_weighted(n, 12, 3, 20);
+  const std::string v = write_verilog_string(lc.netlist);
+  EXPECT_NE(v.find("input key0;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace orap

@@ -1,0 +1,471 @@
+// orap — command-line front end to the library.
+//
+//   orap gen      generate a synthetic benchmark circuit (.bench)
+//   orap stats    print netlist statistics
+//   orap lock     lock a circuit (weighted / xor / sarlock / antisat)
+//   orap resynth  optimize with the AIG engine, report area/delay
+//   orap hd       measure wrong-key output corruption of a locked design
+//   orap atpg     run the fault-coverage flow (Table II style)
+//   orap attack   run an oracle-guided attack against a locked design
+//   orap export   convert .bench to structural Verilog
+//
+// Locked designs are plain .bench files whose key inputs are named
+// key<N>; the secret key travels in a side file (one 0/1 character per
+// key bit) written by `orap lock --key-out`.
+
+#include <cstdio>
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "atpg/atpg.h"
+#include "chip/chip.h"
+#include "sat/dimacs.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "attacks/simple_attacks.h"
+#include "aig/rewrite.h"
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "netlist/analysis.h"
+#include "netlist/bench_io.h"
+#include "netlist/verilog_io.h"
+
+using namespace orap;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  static Args parse(int argc, char** argv, int first) {
+    Args a;
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.size() >= 2 && arg[0] == '-' &&
+          !std::isdigit(static_cast<unsigned char>(arg[1]))) {
+        const std::size_t dashes = arg.rfind("--", 0) == 0 ? 2 : 1;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          a.options[arg.substr(dashes, eq - dashes)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+          a.options[arg.substr(dashes)] = argv[++i];
+        } else {
+          a.options[arg.substr(dashes)] = "1";
+        }
+      } else {
+        a.positional.push_back(arg);
+      }
+    }
+    return a;
+  }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::size_t get_num(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+};
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "orap: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  if (!os.good()) die("cannot write " + path);
+  os << content;
+}
+
+BitVec read_key_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) die("cannot read key file " + path);
+  std::string bits;
+  char c;
+  while (is.get(c))
+    if (c == '0' || c == '1') bits += c;
+  BitVec key(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) key.set(i, bits[i] == '1');
+  return key;
+}
+
+std::string key_to_string(const BitVec& key) {
+  std::string s;
+  for (std::size_t i = 0; i < key.size(); ++i) s += key.get(i) ? '1' : '0';
+  s += '\n';
+  return s;
+}
+
+/// Reconstructs a LockedCircuit view from a .bench whose key inputs are
+/// named key<N> (as written by `orap lock`).
+LockedCircuit load_locked(const std::string& path,
+                          const std::string& key_path) {
+  LockedCircuit lc;
+  lc.netlist = read_bench_file(path);
+  std::size_t keys = 0;
+  for (const GateId in : lc.netlist.inputs()) {
+    const std::string& name = lc.netlist.gate_name(in);
+    if (name.rfind("key", 0) == 0) ++keys;
+  }
+  lc.num_key_inputs = keys;
+  lc.num_data_inputs = lc.netlist.num_inputs() - keys;
+  // Key inputs must be the trailing inputs.
+  for (std::size_t i = 0; i < keys; ++i) {
+    const std::string& name =
+        lc.netlist.gate_name(lc.netlist.inputs()[lc.num_data_inputs + i]);
+    if (name.rfind("key", 0) != 0)
+      die("key inputs must be the trailing inputs (found '" + name + "')");
+  }
+  if (!key_path.empty()) {
+    lc.correct_key = read_key_file(key_path);
+    if (lc.correct_key.size() != keys)
+      die("key file has " + std::to_string(lc.correct_key.size()) +
+          " bits, netlist has " + std::to_string(keys) + " key inputs");
+  }
+  lc.scheme = "file";
+  return lc;
+}
+
+int cmd_gen(const Args& a) {
+  Netlist n;
+  if (a.has("profile")) {
+    const auto& p = benchmark_profile(a.get("profile", ""));
+    const double scale = std::stod(a.get("scale", "1.0"));
+    n = make_benchmark(p, scale, a.get_num("seed", 0));
+  } else {
+    GenSpec spec;
+    spec.num_inputs = a.get_num("inputs", 64);
+    spec.num_outputs = a.get_num("outputs", 32);
+    spec.num_gates = a.get_num("gates", 1000);
+    spec.depth = static_cast<std::uint32_t>(a.get_num("depth", 16));
+    spec.seed = a.get_num("seed", 1);
+    spec.name = a.get("name", "synth");
+    n = generate_circuit(spec);
+  }
+  const std::string out = a.get("o", "out.bench");
+  write_file(out, write_bench_string(n));
+  std::printf("wrote %s: %zu gates, %zu inputs, %zu outputs\n", out.c_str(),
+              n.gate_count_no_inverters(), n.num_inputs(), n.num_outputs());
+  return 0;
+}
+
+int cmd_stats(const Args& a) {
+  if (a.positional.empty()) die("usage: orap stats <file.bench>");
+  const Netlist n = read_bench_file(a.positional[0]);
+  const NetlistStats s = netlist_stats(n);
+  std::printf("name:            %s\n", n.name().c_str());
+  std::printf("inputs:          %zu\n", s.inputs);
+  std::printf("outputs:         %zu\n", s.outputs);
+  std::printf("gates (no inv):  %zu\n", s.gates_no_inv);
+  std::printf("gates (total):   %zu\n", s.gates_total);
+  std::printf("depth (levels):  %u\n", s.depth);
+  std::printf("avg fanout:      %.2f\n", s.avg_fanout);
+  return 0;
+}
+
+int cmd_lock(const Args& a) {
+  if (a.positional.empty())
+    die("usage: orap lock <in.bench> --scheme weighted --key-bits 64 "
+        "[--ctrl 3] [--seed S] [-o out.bench] [--key-out key.txt]");
+  const Netlist n = read_bench_file(a.positional[0]);
+  const std::string scheme = a.get("scheme", "weighted");
+  const std::size_t key_bits = a.get_num("key-bits", 64);
+  const std::uint64_t seed = a.get_num("seed", 1);
+  LockedCircuit lc;
+  if (scheme == "weighted")
+    lc = lock_weighted(n, key_bits, a.get_num("ctrl", 3), seed);
+  else if (scheme == "xor")
+    lc = lock_random_xor(n, key_bits, seed);
+  else if (scheme == "sarlock")
+    lc = lock_sarlock(n, key_bits, seed);
+  else if (scheme == "antisat")
+    lc = lock_antisat(n, key_bits, seed);
+  else
+    die("unknown scheme '" + scheme + "'");
+
+  const std::string out = a.get("o", "locked.bench");
+  write_file(out, write_bench_string(lc.netlist));
+  const std::string key_out = a.get("key-out", "key.txt");
+  write_file(key_out, key_to_string(lc.correct_key));
+  std::printf("locked with %s (%zu key bits); netlist -> %s, key -> %s\n",
+              scheme.c_str(), lc.num_key_inputs, out.c_str(),
+              key_out.c_str());
+  if (a.has("verilog"))
+    write_file(a.get("verilog", ""), write_verilog_string(lc.netlist));
+  return 0;
+}
+
+int cmd_resynth(const Args& a) {
+  if (a.positional.empty()) die("usage: orap resynth <in.bench> [-o out.bench]");
+  const Netlist n = read_bench_file(a.positional[0]);
+  const aig::Aig before = aig::Aig::from_netlist(n);
+  const aig::Aig after = aig::resynthesize(before);
+  std::printf("AIG: %zu -> %zu AND nodes, depth %u -> %u\n",
+              before.num_ands(), after.num_ands(), before.depth(),
+              after.depth());
+  if (a.has("o")) write_file(a.get("o", ""), write_bench_string(after.to_netlist()));
+  return 0;
+}
+
+int cmd_hd(const Args& a) {
+  if (a.positional.empty() || !a.has("key"))
+    die("usage: orap hd <locked.bench> --key key.txt [--words N] [--keys N]");
+  const LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
+  const HdResult hd = hamming_corruptibility(
+      lc, a.get_num("words", 128), a.get_num("keys", 8), a.get_num("seed", 7));
+  std::printf("HD = %.2f%% over %zu patterns x %zu wrong keys\n",
+              hd.hd_percent, hd.patterns, hd.keys);
+  return 0;
+}
+
+int cmd_atpg(const Args& a) {
+  if (a.positional.empty()) die("usage: orap atpg <in.bench> [--random-words N] [--budget B]");
+  const Netlist n = read_bench_file(a.positional[0]);
+  AtpgOptions opts;
+  opts.random_words = a.get_num("random-words", 256);
+  opts.conflict_budget =
+      static_cast<std::int64_t>(a.get_num("budget", 10000));
+  opts.seed = a.get_num("seed", 1);
+  const AtpgResult r = run_atpg(n, opts);
+  std::printf("faults (collapsed):  %zu\n", r.total_faults);
+  std::printf("fault coverage:      %.2f%%\n", r.fault_coverage_pct());
+  std::printf("detected random:     %zu\n", r.detected_random);
+  std::printf("detected atpg:       %zu\n", r.detected_atpg);
+  std::printf("redundant:           %zu\n", r.redundant);
+  std::printf("aborted:             %zu\n", r.aborted);
+  std::printf("atpg patterns:       %zu\n", r.patterns.size());
+  return 0;
+}
+
+int cmd_attack(const Args& a) {
+  if (a.positional.empty() || !a.has("key"))
+    die("usage: orap attack <locked.bench> --key key.txt "
+        "[--kind sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
+        "[--max-iter N]\n"
+        "(--oracle golden: conventional scan access; --oracle orap: the "
+        "queries go through a real OraP chip's scan protocol)");
+  const LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
+  // Oracle selection: golden (conventional chip) or a live OraP chip.
+  std::unique_ptr<OrapChip> chip;
+  std::unique_ptr<Oracle> oracle_holder;
+  if (a.get("oracle", "golden") == "orap") {
+    LockedCircuit chip_lc = load_locked(a.positional[0], a.get("key", ""));
+    const std::size_t min_pis =
+        chip_lc.num_data_inputs > chip_lc.netlist.num_outputs()
+            ? chip_lc.num_data_inputs - chip_lc.netlist.num_outputs() + 1
+            : 1;
+    const std::size_t pis = a.get_num(
+        "pis", std::min(chip_lc.num_data_inputs - 1,
+                        std::max<std::size_t>(8, min_pis)));
+    OrapOptions copt;
+    copt.variant = OrapVariant::kModified;
+    chip = std::make_unique<OrapChip>(std::move(chip_lc), pis, copt,
+                                      a.get_num("seed", 1));
+    oracle_holder = std::make_unique<ChipScanOracle>(*chip);
+    std::printf("oracle: OraP chip scan interface (pulse generators "
+                "active)\n");
+  } else {
+    oracle_holder = std::make_unique<GoldenOracle>(lc);
+    std::printf("oracle: conventional scan access (golden responses)\n");
+  }
+  Oracle& oracle = *oracle_holder;
+  const std::string kind = a.get("kind", "sat");
+  BitVec recovered;
+  if (kind == "sat" || kind == "appsat" || kind == "doubledip") {
+    SatAttackOptions opts;
+    opts.max_iterations =
+        static_cast<std::int64_t>(a.get_num("max-iter", 4096));
+    SatAttackResult r;
+    if (kind == "sat")
+      r = sat_attack(lc, oracle, opts);
+    else if (kind == "doubledip")
+      r = double_dip_attack(lc, oracle, opts);
+    else
+      r = appsat_attack(lc, oracle);
+    const char* status = "?";
+    switch (r.status) {
+      case SatAttackResult::Status::kKeyFound: status = "key found"; break;
+      case SatAttackResult::Status::kIterationLimit: status = "iteration limit"; break;
+      case SatAttackResult::Status::kSolverBudget: status = "solver budget"; break;
+      case SatAttackResult::Status::kInconsistentOracle: status = "oracle inconsistent"; break;
+    }
+    std::printf("%s attack: %s after %zu DIPs, %zu oracle queries\n",
+                kind.c_str(), status, r.iterations, r.oracle_queries);
+    if (r.status != SatAttackResult::Status::kKeyFound) return 1;
+    recovered = r.key;
+  } else if (kind == "hillclimb") {
+    const HillClimbResult r = hill_climb_attack(lc, oracle);
+    std::printf("hill climb: fitness %zu, %zu oracle queries\n",
+                r.mismatches, r.oracle_queries);
+    recovered = r.key;
+  } else {
+    die("unknown attack kind '" + kind + "'");
+  }
+  GoldenOracle verify(lc);
+  const std::size_t miss =
+      verify_key_against_oracle(lc, recovered, verify, 256, 3);
+  std::printf("recovered key: %s", key_to_string(recovered).c_str());
+  std::printf("functional check: %zu/256 sample mismatches%s\n", miss,
+              miss == 0 ? " — attack succeeded" : "");
+  return miss == 0 ? 0 : 1;
+}
+
+int cmd_protect(const Args& a) {
+  if (a.positional.empty() || !a.has("key"))
+    die("usage: orap protect <locked.bench> --key key.txt [--pis N] "
+        "[--variant basic|modified] [--response-cycles N]");
+  LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
+  // Default PI split: enough state FFs to be interesting, but the comb
+  // core must keep at least one real PO beyond the next-state outputs.
+  const std::size_t min_pis =
+      lc.num_data_inputs > lc.netlist.num_outputs()
+          ? lc.num_data_inputs - lc.netlist.num_outputs() + 1
+          : 1;
+  const std::size_t pis = a.get_num(
+      "pis", std::min(lc.num_data_inputs - 1,
+                      std::max<std::size_t>(8, min_pis)));
+  OrapOptions opt;
+  opt.variant = a.get("variant", "modified") == "basic"
+                    ? OrapVariant::kBasic
+                    : OrapVariant::kModified;
+  opt.response_cycles = a.get_num("response-cycles", 16);
+  OrapChip chip(std::move(lc), pis, opt, a.get_num("seed", 1));
+  std::printf("OraP chip built (%s scheme)\n",
+              opt.variant == OrapVariant::kBasic ? "basic" : "modified");
+  std::printf("  key register (LFSR):  %zu bits\n", chip.lfsr_size());
+  std::printf("  state FFs:            %zu\n", chip.num_state_ffs());
+  std::printf("  scan chains:          %zu (LFSR cells interleaved first)\n",
+              chip.chains().size());
+  std::printf("  unlock latency:       %zu cycles\n", chip.unlock_cycles());
+  std::printf("  tamper memory:        %zu bits\n", chip.tamper_memory_bits());
+  std::printf("  LFSR support logic:   %zu gates (reseed + poly XORs, "
+              "pulse NANDs)\n",
+              LfsrConfig::standard(chip.lfsr_size()).support_gate_count());
+  std::printf("  activated & unlocked: %s\n",
+              chip.is_unlocked() ? "yes" : "NO (bug?)");
+  std::printf("\nTrojan payload table (gate equivalents an attacker must "
+              "hide):\n");
+  const struct {
+    TrojanKind kind;
+    const char* name;
+  } scenarios[] = {
+      {TrojanKind::kSuppressPulsePerCell, "(a) suppress pulse per cell"},
+      {TrojanKind::kBypassLfsrInScan, "(b) bypass LFSR in scan"},
+      {TrojanKind::kShadowRegister, "(c) shadow key register"},
+      {TrojanKind::kXorTrees, "(d) XOR trees from seeds"},
+      {TrojanKind::kFreezeStateFfs, "(e) freeze state FFs"},
+      {TrojanKind::kReplayResponses, "(e') record+replay responses"},
+  };
+  for (const auto& sc : scenarios) {
+    LockedCircuit lc2 = load_locked(a.positional[0], a.get("key", ""));
+    OrapOptions o2 = opt;
+    o2.trojan = sc.kind;
+    OrapChip probe(std::move(lc2), pis, o2, a.get_num("seed", 1));
+    std::printf("  %-30s %8.1f GE\n", sc.name,
+                probe.trojan_cost().gate_equivalents);
+  }
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  if (a.positional.empty()) die("usage: orap solve <file.cnf> [--budget N]");
+  std::ifstream is(a.positional[0]);
+  if (!is.good()) die("cannot read " + a.positional[0]);
+  const sat::Cnf cnf = sat::read_dimacs(is);
+  sat::Solver s;
+  if (!cnf.load_into(s)) {
+    std::puts("s UNSATISFIABLE");
+    return 20;
+  }
+  const std::int64_t budget =
+      a.has("budget") ? static_cast<std::int64_t>(a.get_num("budget", 0)) : -1;
+  const auto res = s.solve({}, budget);
+  if (res == sat::Solver::Result::kUnknown) {
+    std::puts("s UNKNOWN");
+    return 0;
+  }
+  if (res == sat::Solver::Result::kUnsat) {
+    std::puts("s UNSATISFIABLE");
+    return 20;
+  }
+  std::puts("s SATISFIABLE");
+  std::printf("v ");
+  for (std::size_t v = 0; v < cnf.num_vars; ++v)
+    std::printf("%s%zu ", s.model_value(static_cast<sat::Var>(v)) ? "" : "-",
+                v + 1);
+  std::puts("0");
+  return 10;
+}
+
+int cmd_export(const Args& a) {
+  if (a.positional.empty()) die("usage: orap export <in.bench> [-o out.v]");
+  const Netlist n = read_bench_file(a.positional[0]);
+  const std::string out = a.get("o", "out.v");
+  write_file(out, write_verilog_string(n));
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "orap — oracle-protection logic locking toolkit\n"
+      "\n"
+      "  orap gen     [--profile b17 --scale 0.1 | --gates N --inputs N "
+      "--outputs N --depth D] [--seed S] [-o out.bench]\n"
+      "  orap stats   <file.bench>\n"
+      "  orap lock    <in.bench> --scheme weighted|xor|sarlock|antisat "
+      "--key-bits K [--ctrl W] [-o out.bench] [--key-out key.txt] "
+      "[--verilog out.v]\n"
+      "  orap resynth <in.bench> [-o out.bench]\n"
+      "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
+      "  orap atpg    <in.bench> [--random-words N] [--budget B]\n"
+      "  orap attack  <locked.bench> --key key.txt [--kind "
+      "sat|appsat|doubledip|hillclimb] [--oracle golden|orap]\n"
+      "  orap protect <locked.bench> --key key.txt [--variant "
+      "basic|modified] — build the OraP chip, report costs\n"
+      "  orap solve   <file.cnf> [--budget N] — standalone DIMACS SAT "
+      "solver\n"
+      "  orap export  <in.bench> [-o out.v]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "lock") return cmd_lock(args);
+    if (cmd == "resynth") return cmd_resynth(args);
+    if (cmd == "hd") return cmd_hd(args);
+    if (cmd == "atpg") return cmd_atpg(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "protect") return cmd_protect(args);
+    if (cmd == "solve") return cmd_solve(args);
+    if (cmd == "export") return cmd_export(args);
+  } catch (const CheckError& e) {
+    die(e.what());
+  } catch (const std::exception& e) {
+    die(e.what());
+  }
+  usage();
+  return 1;
+}
