@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_suite.dir/attack_suite.cpp.o"
+  "CMakeFiles/attack_suite.dir/attack_suite.cpp.o.d"
+  "attack_suite"
+  "attack_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

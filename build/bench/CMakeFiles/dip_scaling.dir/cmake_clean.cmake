@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dip_scaling.dir/dip_scaling.cpp.o"
+  "CMakeFiles/dip_scaling.dir/dip_scaling.cpp.o.d"
+  "dip_scaling"
+  "dip_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dip_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hd_saturation.dir/hd_saturation.cpp.o"
+  "CMakeFiles/hd_saturation.dir/hd_saturation.cpp.o.d"
+  "hd_saturation"
+  "hd_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hd_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfsr_mixing.dir/lfsr_mixing.cpp.o"
+  "CMakeFiles/lfsr_mixing.dir/lfsr_mixing.cpp.o.d"
+  "lfsr_mixing"
+  "lfsr_mixing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfsr_mixing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

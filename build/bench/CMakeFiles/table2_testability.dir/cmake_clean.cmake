@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_testability.dir/table2_testability.cpp.o"
+  "CMakeFiles/table2_testability.dir/table2_testability.cpp.o.d"
+  "table2_testability"
+  "table2_testability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_testability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

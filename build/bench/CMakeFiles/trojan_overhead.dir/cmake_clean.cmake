@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_overhead.dir/trojan_overhead.cpp.o"
+  "CMakeFiles/trojan_overhead.dir/trojan_overhead.cpp.o.d"
+  "trojan_overhead"
+  "trojan_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

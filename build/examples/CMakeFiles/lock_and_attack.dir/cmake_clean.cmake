@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_and_attack.dir/lock_and_attack.cpp.o"
+  "CMakeFiles/lock_and_attack.dir/lock_and_attack.cpp.o.d"
+  "lock_and_attack"
+  "lock_and_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_and_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

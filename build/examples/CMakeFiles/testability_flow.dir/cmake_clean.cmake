@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testability_flow.dir/testability_flow.cpp.o"
+  "CMakeFiles/testability_flow.dir/testability_flow.cpp.o.d"
+  "testability_flow"
+  "testability_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testability_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

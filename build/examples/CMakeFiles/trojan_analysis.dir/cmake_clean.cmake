@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trojan_analysis.dir/trojan_analysis.cpp.o"
+  "CMakeFiles/trojan_analysis.dir/trojan_analysis.cpp.o.d"
+  "trojan_analysis"
+  "trojan_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trojan_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

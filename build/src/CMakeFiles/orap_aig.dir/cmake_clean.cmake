@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_aig.dir/aig/aig.cpp.o"
+  "CMakeFiles/orap_aig.dir/aig/aig.cpp.o.d"
+  "CMakeFiles/orap_aig.dir/aig/rewrite.cpp.o"
+  "CMakeFiles/orap_aig.dir/aig/rewrite.cpp.o.d"
+  "liborap_aig.a"
+  "liborap_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

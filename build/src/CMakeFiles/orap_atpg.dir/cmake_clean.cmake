@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_atpg.dir/atpg/atpg.cpp.o"
+  "CMakeFiles/orap_atpg.dir/atpg/atpg.cpp.o.d"
+  "CMakeFiles/orap_atpg.dir/atpg/fault.cpp.o"
+  "CMakeFiles/orap_atpg.dir/atpg/fault.cpp.o.d"
+  "CMakeFiles/orap_atpg.dir/atpg/fault_sim.cpp.o"
+  "CMakeFiles/orap_atpg.dir/atpg/fault_sim.cpp.o.d"
+  "liborap_atpg.a"
+  "liborap_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attacks/sat_attack.cpp" "src/CMakeFiles/orap_attacks.dir/attacks/sat_attack.cpp.o" "gcc" "src/CMakeFiles/orap_attacks.dir/attacks/sat_attack.cpp.o.d"
+  "/root/repo/src/attacks/simple_attacks.cpp" "src/CMakeFiles/orap_attacks.dir/attacks/simple_attacks.cpp.o" "gcc" "src/CMakeFiles/orap_attacks.dir/attacks/simple_attacks.cpp.o.d"
+  "/root/repo/src/attacks/structural.cpp" "src/CMakeFiles/orap_attacks.dir/attacks/structural.cpp.o" "gcc" "src/CMakeFiles/orap_attacks.dir/attacks/structural.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/orap_chip.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orap_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orap_locking.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orap_lfsr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/orap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_attacks.dir/attacks/sat_attack.cpp.o"
+  "CMakeFiles/orap_attacks.dir/attacks/sat_attack.cpp.o.d"
+  "CMakeFiles/orap_attacks.dir/attacks/simple_attacks.cpp.o"
+  "CMakeFiles/orap_attacks.dir/attacks/simple_attacks.cpp.o.d"
+  "CMakeFiles/orap_attacks.dir/attacks/structural.cpp.o"
+  "CMakeFiles/orap_attacks.dir/attacks/structural.cpp.o.d"
+  "liborap_attacks.a"
+  "liborap_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_chip.dir/chip/chip.cpp.o"
+  "CMakeFiles/orap_chip.dir/chip/chip.cpp.o.d"
+  "liborap_chip.a"
+  "liborap_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

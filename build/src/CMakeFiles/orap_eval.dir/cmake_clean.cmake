@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/orap_eval.dir/eval/metrics.cpp.o.d"
+  "liborap_eval.a"
+  "liborap_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

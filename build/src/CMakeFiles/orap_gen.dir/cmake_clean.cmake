@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_gen.dir/gen/circuit_gen.cpp.o"
+  "CMakeFiles/orap_gen.dir/gen/circuit_gen.cpp.o.d"
+  "CMakeFiles/orap_gen.dir/gen/embedded.cpp.o"
+  "CMakeFiles/orap_gen.dir/gen/embedded.cpp.o.d"
+  "liborap_gen.a"
+  "liborap_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_lfsr.dir/lfsr/lfsr.cpp.o"
+  "CMakeFiles/orap_lfsr.dir/lfsr/lfsr.cpp.o.d"
+  "liborap_lfsr.a"
+  "liborap_lfsr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_lfsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

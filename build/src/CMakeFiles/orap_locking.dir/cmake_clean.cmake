@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_locking.dir/locking/locking.cpp.o"
+  "CMakeFiles/orap_locking.dir/locking/locking.cpp.o.d"
+  "liborap_locking.a"
+  "liborap_locking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_locking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_netlist.dir/netlist/analysis.cpp.o"
+  "CMakeFiles/orap_netlist.dir/netlist/analysis.cpp.o.d"
+  "CMakeFiles/orap_netlist.dir/netlist/bench_io.cpp.o"
+  "CMakeFiles/orap_netlist.dir/netlist/bench_io.cpp.o.d"
+  "CMakeFiles/orap_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/orap_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/orap_netlist.dir/netlist/simulator.cpp.o"
+  "CMakeFiles/orap_netlist.dir/netlist/simulator.cpp.o.d"
+  "CMakeFiles/orap_netlist.dir/netlist/verilog_io.cpp.o"
+  "CMakeFiles/orap_netlist.dir/netlist/verilog_io.cpp.o.d"
+  "liborap_netlist.a"
+  "liborap_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_sat.dir/sat/dimacs.cpp.o"
+  "CMakeFiles/orap_sat.dir/sat/dimacs.cpp.o.d"
+  "CMakeFiles/orap_sat.dir/sat/encode.cpp.o"
+  "CMakeFiles/orap_sat.dir/sat/encode.cpp.o.d"
+  "CMakeFiles/orap_sat.dir/sat/solver.cpp.o"
+  "CMakeFiles/orap_sat.dir/sat/solver.cpp.o.d"
+  "liborap_sat.a"
+  "liborap_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap_util.dir/util/gf2.cpp.o"
+  "CMakeFiles/orap_util.dir/util/gf2.cpp.o.d"
+  "liborap_util.a"
+  "liborap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locking_test.dir/locking_test.cpp.o"
+  "CMakeFiles/locking_test.dir/locking_test.cpp.o.d"
+  "locking_test"
+  "locking_test.pdb"
+  "locking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_test.dir/structural_test.cpp.o"
+  "CMakeFiles/structural_test.dir/structural_test.cpp.o.d"
+  "structural_test"
+  "structural_test.pdb"
+  "structural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orap.dir/orap_cli.cpp.o"
+  "CMakeFiles/orap.dir/orap_cli.cpp.o.d"
+  "orap"
+  "orap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
