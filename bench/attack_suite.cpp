@@ -16,6 +16,7 @@
 #include "eval/metrics.h"
 #include "gen/circuit_gen.h"
 #include "locking/locking.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace orap;
@@ -48,6 +49,7 @@ std::string status_str(const SatAttackResult& r, const BitVec& correct,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("Attack suite: golden scan oracle vs OraP scan oracle");
+  bench::JsonReport report("attack_suite", args);
   const std::size_t gates = args.full ? 2000 : 600;
 
   // --- part 1: SAT-attack DIP counts across schemes (golden oracle) ------
@@ -57,24 +59,34 @@ int main(int argc, char** argv) {
     struct Case {
       const char* name;
       LockedCircuit lc;
+      HdResult hd;
+      SatAttackResult r;
     };
     Case cases[] = {
-        {"random XOR", lock_random_xor(n, 16, 1)},
-        {"weighted k=3", lock_weighted(n, 18, 3, 2)},
-        {"SARLock", lock_sarlock(n, 10, 3)},
-        {"Anti-SAT", lock_antisat(n, 16, 4)},
-        {"XOR+SARLock", lock_xor_plus_sarlock(n, 8, 10, 5)},
+        {"random XOR", lock_random_xor(n, 16, 1), {}, {}},
+        {"weighted k=3", lock_weighted(n, 18, 3, 2), {}, {}},
+        {"SARLock", lock_sarlock(n, 10, 3), {}, {}},
+        {"Anti-SAT", lock_antisat(n, 16, 4), {}, {}},
+        {"XOR+SARLock", lock_xor_plus_sarlock(n, 8, 10, 5), {}, {}},
     };
-    for (auto& c : cases) {
-      const HdResult hd = hamming_corruptibility(c.lc, 16, 8, 9);
+    // Each scheme attacks its own oracle: independent, fan out.
+    parallel_for(1, std::size(cases), [&](std::size_t i) {
+      Case& c = cases[i];
+      c.hd = hamming_corruptibility(c.lc, 16, 8, 9);
       GoldenOracle oracle(c.lc);
       SatAttackOptions opts;
       opts.max_iterations = 4096;
-      const SatAttackResult r = sat_attack(c.lc, oracle, opts);
+      c.r = sat_attack(c.lc, oracle, opts);
+    });
+    for (auto& c : cases) {
+      const std::string outcome = status_str(c.r, c.lc.correct_key, c.lc);
       t.add_row({c.name, std::to_string(c.lc.num_key_inputs),
-                 Table::num(hd.hd_percent), std::to_string(r.iterations),
-                 status_str(r, c.lc.correct_key, c.lc)});
-      std::fflush(stdout);
+                 Table::num(c.hd.hd_percent), std::to_string(c.r.iterations),
+                 outcome});
+      const std::string tag = std::string("golden_") + c.name;
+      report.add(tag + "_dips", c.r.iterations);
+      report.add(tag + "_hd_pct", c.hd.hd_percent);
+      report.add_string(tag + "_outcome", outcome);
     }
     std::printf("-- SAT attack with golden (conventional scan) oracle --\n");
     t.print(std::cout);
@@ -86,30 +98,39 @@ int main(int argc, char** argv) {
     Table t({"Attack", "Oracle", "Iter/queries", "Outcome"});
     const Netlist n = attack_target(gates, 43);
 
-    auto run_against = [&](const char* oracle_name, Oracle& oracle,
-                           const LockedCircuit& view, const BitVec& correct) {
+    // Attacks sharing one oracle stay serial (the oracle is a stateful
+    // device model), but the golden and OraP groups are independent.
+    using Row = std::vector<std::string>;
+    std::vector<Row> group_rows[2];
+    auto run_against = [&](std::size_t group, const char* oracle_name,
+                           Oracle& oracle, const LockedCircuit& view,
+                           const BitVec& correct) {
+      auto& rows = group_rows[group];
       {
         const SatAttackResult r = sat_attack(view, oracle);
-        t.add_row({"SAT", oracle_name, std::to_string(r.oracle_queries),
-                   status_str(r, correct, view)});
+        rows.push_back({"SAT", oracle_name, std::to_string(r.oracle_queries),
+                        status_str(r, correct, view)});
       }
       {
         const SatAttackResult r = appsat_attack(view, oracle);
-        t.add_row({"AppSAT", oracle_name, std::to_string(r.oracle_queries),
-                   status_str(r, correct, view)});
+        rows.push_back({"AppSAT", oracle_name,
+                        std::to_string(r.oracle_queries),
+                        status_str(r, correct, view)});
       }
       {
         const SatAttackResult r = double_dip_attack(view, oracle);
-        t.add_row({"Double-DIP", oracle_name, std::to_string(r.oracle_queries),
-                   status_str(r, correct, view)});
+        rows.push_back({"Double-DIP", oracle_name,
+                        std::to_string(r.oracle_queries),
+                        status_str(r, correct, view)});
       }
       {
         const HillClimbResult r = hill_climb_attack(view, oracle);
         GoldenOracle golden(view);
         const bool ok =
             verify_key_against_oracle(view, r.key, golden, 128, 3) == 0;
-        t.add_row({"hill-climb", oracle_name, std::to_string(r.oracle_queries),
-                   ok ? "KEY RECOVERED" : "wrong key"});
+        rows.push_back({"hill-climb", oracle_name,
+                        std::to_string(r.oracle_queries),
+                        ok ? "KEY RECOVERED" : "wrong key"});
       }
       {
         const SensitizationResult r = sensitization_attack(view, oracle);
@@ -117,29 +138,38 @@ int main(int argc, char** argv) {
         for (std::size_t i = 0; i < correct.size(); ++i)
           if (r.key_bits[i] >= 0 && r.key_bits[i] == (correct.get(i) ? 1 : 0))
             ++right;
-        t.add_row({"sensitize", oracle_name, std::to_string(r.oracle_queries),
-                   std::to_string(right) + "/" +
-                       std::to_string(correct.size()) + " bits correct"});
+        rows.push_back({"sensitize", oracle_name,
+                        std::to_string(r.oracle_queries),
+                        std::to_string(right) + "/" +
+                            std::to_string(correct.size()) +
+                            " bits correct"});
       }
     };
 
-    {
-      const LockedCircuit lc = lock_weighted(n, 18, 3, 6);
-      GoldenOracle oracle(lc);
-      run_against("golden scan", oracle, lc, lc.correct_key);
-    }
-    {
-      LockedCircuit lc = lock_weighted(n, 18, 3, 6);
-      const BitVec correct = lc.correct_key;
-      OrapOptions opt;
-      opt.variant = OrapVariant::kModified;
-      OrapChip chip(std::move(lc), 8, opt, 7);
-      ChipScanOracle oracle(chip);
-      run_against("OraP scan", oracle, chip.locked_circuit(), correct);
-    }
+    parallel_for(1, 2, [&](std::size_t group) {
+      if (group == 0) {
+        const LockedCircuit lc = lock_weighted(n, 18, 3, 6);
+        GoldenOracle oracle(lc);
+        run_against(0, "golden scan", oracle, lc, lc.correct_key);
+      } else {
+        LockedCircuit lc = lock_weighted(n, 18, 3, 6);
+        const BitVec correct = lc.correct_key;
+        OrapOptions opt;
+        opt.variant = OrapVariant::kModified;
+        OrapChip chip(std::move(lc), 8, opt, 7);
+        ChipScanOracle oracle(chip);
+        run_against(1, "OraP scan", oracle, chip.locked_circuit(), correct);
+      }
+    });
+    for (const auto& rows : group_rows)
+      for (const Row& row : rows) {
+        t.add_row(row);
+        report.add_string(row[1] + "_" + row[0], row[3]);
+      }
     std::printf("-- full attack suite: weighted locking (18-bit key) --\n");
     t.print(std::cout);
   }
+  report.finish();
   std::printf(
       "\nReading: with the golden oracle the SAT-class attacks recover the "
       "key in a handful\nof DIPs (hill climbing and sensitization already "

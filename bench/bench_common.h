@@ -1,18 +1,27 @@
 #pragma once
-// Shared plumbing for the table-reproduction benches: --full / --scale
-// command-line handling and the paper's reference numbers for
-// side-by-side printing.
+// Shared plumbing for the table-reproduction benches: --full / --scale /
+// --threads / --json command-line handling, wall-clock timing, and a
+// machine-readable JSON record per run so BENCH_*.json perf trajectories
+// can be tracked across commits.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
 
 namespace orap::bench {
 
 struct BenchArgs {
   double scale = 0.15;  // default: reduced-cost mode
   bool full = false;
+  std::size_t threads = 0;  // 0 = auto (ORAP_THREADS / hardware)
+  std::string json_path;    // empty = no JSON record
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs a;
@@ -23,20 +32,30 @@ struct BenchArgs {
       } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
         a.scale = std::atof(argv[i] + 8);
         a.full = a.scale >= 1.0;
+      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+        a.threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        a.json_path = argv[i] + 7;
       } else if (std::strcmp(argv[i], "--help") == 0) {
         std::printf(
-            "usage: %s [--full | --scale=<0..1>]\n"
+            "usage: %s [--full | --scale=<0..1>] [--threads=N] "
+            "[--json=<path>]\n"
             "  --full       paper-scale circuits (slow: minutes)\n"
-            "  --scale=S    shrink benchmark circuits to S of paper size\n",
+            "  --scale=S    shrink benchmark circuits to S of paper size\n"
+            "  --threads=N  thread-pool size (0 = auto: ORAP_THREADS or "
+            "hardware concurrency)\n"
+            "  --json=PATH  write a machine-readable result record\n",
             argv[0]);
         std::exit(0);
       }
     }
+    set_parallel_threads(a.threads);
     return a;
   }
 
   void banner(const char* what) const {
     std::printf("== %s ==\n", what);
+    std::printf("threads: %zu\n", parallel_threads());
     if (full)
       std::printf("mode: FULL (paper-scale circuits)\n\n");
     else
@@ -44,6 +63,78 @@ struct BenchArgs {
                   "--full for paper scale)\n\n",
                   scale);
   }
+};
+
+/// Collects result key/value pairs during a bench run and writes one
+/// {bench, scale, threads, wall_ms, results} JSON object at the end.
+/// Result values are formatted with fixed precision so a deterministic
+/// run yields a byte-identical file at any thread count.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, const BenchArgs& args)
+      : bench_(std::move(bench_name)),
+        args_(args),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void add(const std::string& key, double value, int decimals = 4) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    entries_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::size_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add_string(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Writes the record (no-op without --json) and prints the wall time.
+  void finish() {
+    const double wall = elapsed_ms();
+    std::printf("wall-clock: %.1f ms (%zu threads)\n", wall,
+                parallel_threads());
+    if (args_.json_path.empty()) return;
+    std::ofstream os(args_.json_path);
+    if (!os.good()) {
+      std::fprintf(stderr, "warning: cannot write %s\n",
+                   args_.json_path.c_str());
+      return;
+    }
+    char scale_buf[32];
+    std::snprintf(scale_buf, sizeof scale_buf, "%.4f", args_.scale);
+    os << "{\"bench\": \"" << escaped(bench_) << "\", \"scale\": " << scale_buf
+       << ", \"threads\": " << parallel_threads() << ", \"wall_ms\": ";
+    char wall_buf[32];
+    std::snprintf(wall_buf, sizeof wall_buf, "%.1f", wall);
+    os << wall_buf << ", \"results\": {";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << escaped(entries_[i].first) << "\": " << entries_[i].second;
+    }
+    os << "}}\n";
+    std::printf("json record -> %s\n", args_.json_path.c_str());
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string bench_;
+  BenchArgs args_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 }  // namespace orap::bench

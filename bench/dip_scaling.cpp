@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "gen/circuit_gen.h"
 #include "locking/locking.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace orap;
@@ -19,6 +20,7 @@ using namespace orap;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("SAT-attack DIP count vs key size");
+  bench::JsonReport report("dip_scaling", args);
 
   GenSpec spec;
   spec.num_inputs = 24;
@@ -31,28 +33,54 @@ int main(int argc, char** argv) {
   const std::size_t max_sar = args.full ? 12 : 10;
   Table t({"Key bits", "weighted DIPs", "random-XOR DIPs", "SARLock DIPs",
            "2^k"});
-  for (std::size_t k = 4; k <= max_sar; k += 2) {
+
+  // Each (key size, scheme) attack is an independent DIP loop against its
+  // own oracle; fan the grid out across the pool.
+  std::vector<std::size_t> key_sizes;
+  for (std::size_t k = 4; k <= max_sar; k += 2) key_sizes.push_back(k);
+  struct Row {
+    std::size_t weighted = 0, random_xor = 0, sarlock = 0;
+  };
+  std::vector<Row> rows(key_sizes.size());
+  parallel_for(1, 3 * key_sizes.size(), [&](std::size_t idx) {
+    const std::size_t k = key_sizes[idx / 3];
     SatAttackOptions opts;
     opts.max_iterations = (std::int64_t{1} << (max_sar + 1));
+    switch (idx % 3) {
+      case 0: {
+        const LockedCircuit wl = lock_weighted(n, k, 2, 81);
+        GoldenOracle o(wl);
+        rows[idx / 3].weighted = sat_attack(wl, o, opts).iterations;
+        break;
+      }
+      case 1: {
+        const LockedCircuit xr = lock_random_xor(n, k, 82);
+        GoldenOracle o(xr);
+        rows[idx / 3].random_xor = sat_attack(xr, o, opts).iterations;
+        break;
+      }
+      default: {
+        const LockedCircuit sar = lock_sarlock(n, k, 83);
+        GoldenOracle o(sar);
+        rows[idx / 3].sarlock = sat_attack(sar, o, opts).iterations;
+        break;
+      }
+    }
+  });
 
-    const LockedCircuit wl = lock_weighted(n, k, 2, 81);
-    GoldenOracle o1(wl);
-    const auto r1 = sat_attack(wl, o1, opts);
-
-    const LockedCircuit xr = lock_random_xor(n, k, 82);
-    GoldenOracle o2(xr);
-    const auto r2 = sat_attack(xr, o2, opts);
-
-    const LockedCircuit sar = lock_sarlock(n, k, 83);
-    GoldenOracle o3(sar);
-    const auto r3 = sat_attack(sar, o3, opts);
-
-    t.add_row({std::to_string(k), std::to_string(r1.iterations),
-               std::to_string(r2.iterations), std::to_string(r3.iterations),
+  for (std::size_t i = 0; i < key_sizes.size(); ++i) {
+    const std::size_t k = key_sizes[i];
+    t.add_row({std::to_string(k), std::to_string(rows[i].weighted),
+               std::to_string(rows[i].random_xor),
+               std::to_string(rows[i].sarlock),
                std::to_string(std::size_t{1} << k)});
-    std::fflush(stdout);
+    const std::string tag = "k" + std::to_string(k);
+    report.add(tag + "_weighted_dips", rows[i].weighted);
+    report.add(tag + "_xor_dips", rows[i].random_xor);
+    report.add(tag + "_sarlock_dips", rows[i].sarlock);
   }
   t.print(std::cout);
+  report.finish();
   std::printf(
       "\nReading: SARLock tracks the 2^k wall (one wrong key eliminated per "
       "DIP);\nweighted and random-XOR locking stay flat — strong corruption "

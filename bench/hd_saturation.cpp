@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "gen/circuit_gen.h"
 #include "locking/locking.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace orap;
@@ -19,33 +20,48 @@ using namespace orap;
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("HD vs key size: the Table I column-4 selection rule");
+  bench::JsonReport report("hd_saturation", args);
 
   const std::size_t hd_words = args.full ? 256 : 32;
   const char* circuits[] = {"s38417", "b18", "b20"};
+  constexpr std::size_t key_sizes[] = {16, 32, 64, 96, 128, 192, 256};
+  constexpr std::size_t nk = std::size(key_sizes);
+  constexpr std::size_t nc = std::size(circuits);
 
-  for (const char* name : circuits) {
-    const BenchmarkProfile& p = benchmark_profile(name);
+  // The (circuit, key size) grid is independent; the saturation deltas
+  // are computed from the collected grid afterwards.
+  std::vector<double> hd_grid(nc * nk, -1.0);
+  parallel_for(1, nc * nk, [&](std::size_t idx) {
+    const BenchmarkProfile& p = benchmark_profile(circuits[idx / nk]);
+    const std::size_t key_bits = key_sizes[idx % nk];
+    if (key_bits / p.ctrl_gate_inputs < 1) return;
     const Netlist n = make_benchmark(p, args.scale);
+    const LockedCircuit lc = lock_weighted(n, key_bits, p.ctrl_gate_inputs, 77);
+    hd_grid[idx] = hamming_corruptibility(lc, hd_words, 6, 5).hd_percent;
+  });
+
+  for (std::size_t c = 0; c < nc; ++c) {
+    const BenchmarkProfile& p = benchmark_profile(circuits[c]);
     Table t({"Key size", "# key gates", "HD%", "delta"});
     double prev = 0.0;
-    for (const std::size_t key_bits :
-         {16u, 32u, 64u, 96u, 128u, 192u, 256u}) {
-      if (key_bits / p.ctrl_gate_inputs < 1) continue;
-      const LockedCircuit lc =
-          lock_weighted(n, key_bits, p.ctrl_gate_inputs, 77);
-      const HdResult hd = hamming_corruptibility(lc, hd_words, 6, 5);
+    for (std::size_t k = 0; k < nk; ++k) {
+      const double hd = hd_grid[c * nk + k];
+      if (hd < 0.0) continue;
+      const std::size_t key_bits = key_sizes[k];
       t.add_row({std::to_string(key_bits),
                  std::to_string(key_bits / p.ctrl_gate_inputs),
-                 Table::num(hd.hd_percent),
-                 Table::num(hd.hd_percent - prev, 2)});
-      prev = hd.hd_percent;
-      std::fflush(stdout);
+                 Table::num(hd), Table::num(hd - prev, 2)});
+      report.add(std::string(circuits[c]) + "_k" + std::to_string(key_bits) +
+                     "_hd_pct",
+                 hd);
+      prev = hd;
     }
-    std::printf("-- %s (ctrl gates: %zu inputs) --\n", name,
+    std::printf("-- %s (ctrl gates: %zu inputs) --\n", circuits[c],
                 p.ctrl_gate_inputs);
     t.print(std::cout);
     std::printf("\n");
   }
+  report.finish();
   std::printf(
       "Reading: HD climbs steeply with the first key gates, then "
       "saturates well below\nthe optimum for circuits with very many "

@@ -28,6 +28,7 @@ double avg_row_density(const Gf2Matrix& m) {
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("LFSR seed mixing vs plain shift register (attack-(d) cost)");
+  bench::JsonReport report("lfsr_mixing", args);
 
   const std::size_t n = args.full ? 256 : 128;  // key-register size
   std::printf("key register size: %zu bits\n\n", n);
@@ -47,6 +48,8 @@ int main(int argc, char** argv) {
                  std::to_string(lc), Table::num(avg_row_density(sr_m), 1),
                  std::to_string(sc),
                  sc == 0 ? "inf" : Table::num(double(lc) / double(sc), 1)});
+      report.add("gap" + std::to_string(gap) + "_lfsr_xor2", lc);
+      report.add("gap" + std::to_string(gap) + "_sr_xor2", sc);
     }
     std::printf("-- 3 seeds, all-cell reseeding, varying free-run gaps --\n");
     t.print(std::cout);
@@ -59,9 +62,10 @@ int main(int argc, char** argv) {
     for (const std::size_t seeds : {1u, 2u, 4u, 8u}) {
       const std::vector<std::size_t> gaps(seeds, 4);
       const auto m = key_transfer_matrix(LfsrConfig::standard(n), seeds, gaps);
+      const std::size_t cost = xor_tree_cost(m);
       t.add_row({std::to_string(seeds), Table::num(avg_row_density(m), 1),
-                 std::to_string(xor_tree_cost(m)),
-                 std::to_string(seeds * n)});
+                 std::to_string(cost), std::to_string(seeds * n)});
+      report.add("seeds" + std::to_string(seeds) + "_lfsr_xor2", cost);
     }
     std::printf("-- all-cell reseeding, gap 4, varying seed count --\n");
     t.print(std::cout);
@@ -93,5 +97,6 @@ int main(int argc, char** argv) {
       "trees cost\nthousands of gates; a plain shift register leaves the "
       "seeds unmixed and\nthe same Trojan nearly free — the reason Fig. 1 "
       "uses an LFSR.\n");
+  report.finish();
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "gen/circuit_gen.h"
 #include "lfsr/lfsr.h"
 #include "locking/locking.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace orap;
@@ -39,6 +40,7 @@ constexpr PaperRow kPaper[8] = {
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("Table I: HD, area and delay overhead (paper vs measured)");
+  bench::JsonReport report("table1_overhead", args);
 
   Table table({"Circuit", "# Gates", "# Outs", "LFSR", "Ctrl",
                "HD% paper", "HD% ours", "ArOvhd% paper", "ArOvhd% ours",
@@ -48,32 +50,49 @@ int main(int argc, char** argv) {
   const std::size_t hd_keys = 8;
 
   const auto& profiles = paper_benchmarks();
-  for (std::size_t i = 0; i < profiles.size(); ++i) {
+
+  // Circuits are independent: fan the rows out across the pool and print
+  // them in table order afterwards.
+  struct Row {
+    std::size_t gates = 0, outs = 0;
+    HdResult hd;
+    OverheadResult ov;
+  };
+  std::vector<Row> rows(profiles.size());
+  parallel_for(1, profiles.size(), [&](std::size_t i) {
     const BenchmarkProfile& p = profiles[i];
     const Netlist n = make_benchmark(p, args.scale);
     const LockedCircuit lc =
         lock_weighted(n, p.lfsr_size, p.ctrl_gate_inputs, 1000 + i);
 
-    const HdResult hd = hamming_corruptibility(lc, hd_words, hd_keys, 7 + i);
+    rows[i].hd = hamming_corruptibility(lc, hd_words, hd_keys, 7 + i);
 
     // OraP support hardware counted with the protected circuit (Sec. IV):
     // reseeding XORs + polynomial XORs + pulse-generator NANDs.
     const LfsrConfig lfsr_cfg = LfsrConfig::standard(p.lfsr_size);
-    const OverheadResult ov =
-        measure_overhead(n, lc.netlist, lfsr_cfg.support_gate_count());
+    rows[i].ov = measure_overhead(n, lc.netlist, lfsr_cfg.support_gate_count());
+    rows[i].gates = n.gate_count_no_inverters();
+    rows[i].outs = n.num_outputs();
+  });
 
-    table.add_row({p.name, std::to_string(n.gate_count_no_inverters()),
-                   std::to_string(n.num_outputs()),
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const BenchmarkProfile& p = profiles[i];
+    const Row& r = rows[i];
+    table.add_row({p.name, std::to_string(r.gates), std::to_string(r.outs),
                    std::to_string(p.lfsr_size),
                    std::to_string(p.ctrl_gate_inputs),
-                   Table::num(kPaper[i].hd), Table::num(hd.hd_percent),
+                   Table::num(kPaper[i].hd), Table::num(r.hd.hd_percent),
                    Table::num(kPaper[i].area),
-                   Table::num(ov.area_overhead_pct),
+                   Table::num(r.ov.area_overhead_pct),
                    Table::num(kPaper[i].delay),
-                   Table::num(ov.delay_overhead_pct)});
-    std::fflush(stdout);
+                   Table::num(r.ov.delay_overhead_pct)});
+    report.add(std::string(p.name) + "_hd_pct", r.hd.hd_percent);
+    report.add(std::string(p.name) + "_area_ovh_pct", r.ov.area_overhead_pct);
+    report.add(std::string(p.name) + "_delay_ovh_pct",
+               r.ov.delay_overhead_pct);
   }
   table.print(std::cout);
+  report.finish();
   std::printf(
       "\nNotes: circuits are synthetic stand-ins with the published "
       "interface/gate profiles\n(see DESIGN.md). Absolute overheads differ "

@@ -13,6 +13,7 @@
 #include "chip/chip.h"
 #include "gen/circuit_gen.h"
 #include "locking/locking.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 using namespace orap;
@@ -82,6 +83,7 @@ bool breaks(OrapChip& chip, Rng& rng) {
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   args.banner("Trojan payload overhead per attack scenario (Sec. III)");
+  bench::JsonReport report("trojan_overhead", args);
 
   GenSpec spec;
   spec.num_inputs = 24;
@@ -90,42 +92,70 @@ int main(int argc, char** argv) {
   spec.depth = 10;
   spec.seed = 51;
   const Netlist core = generate_circuit(spec);
-  Rng rng(52);
 
   const struct {
     TrojanKind kind;
     const char* name;
+    const char* tag;
   } scenarios[] = {
-      {TrojanKind::kSuppressPulsePerCell, "(a) suppress pulse/cell"},
-      {TrojanKind::kBypassLfsrInScan, "(b) bypass LFSR in scan"},
-      {TrojanKind::kShadowRegister, "(c) shadow register"},
-      {TrojanKind::kXorTrees, "(d) XOR trees"},
-      {TrojanKind::kFreezeStateFfs, "(e) freeze state FFs"},
-      {TrojanKind::kReplayResponses, "(e') record+replay responses"},
+      {TrojanKind::kSuppressPulsePerCell, "(a) suppress pulse/cell", "a"},
+      {TrojanKind::kBypassLfsrInScan, "(b) bypass LFSR in scan", "b"},
+      {TrojanKind::kShadowRegister, "(c) shadow register", "c"},
+      {TrojanKind::kXorTrees, "(d) XOR trees", "d"},
+      {TrojanKind::kFreezeStateFfs, "(e) freeze state FFs", "e"},
+      {TrojanKind::kReplayResponses, "(e') record+replay responses", "e2"},
   };
+  constexpr std::size_t kKeySizes[] = {64, 128, 256};
+  constexpr std::size_t kNumScenarios = std::size(scenarios);
+  constexpr std::size_t kNumKeySizes = std::size(kKeySizes);
 
-  for (const std::size_t key_bits : {64u, 128u, 256u}) {
+  // Every (key size, scenario) cell builds its own pair of chips and its
+  // own RNG stream derived from the cell index — independent work, fanned
+  // out across the pool, deterministic at any thread count.
+  struct Cell {
+    double ge = 0.0;
+    bool breaks_basic = false, breaks_modified = false;
+  };
+  std::vector<Cell> cells(kNumKeySizes * kNumScenarios);
+  parallel_for(1, cells.size(), [&](std::size_t idx) {
+    const std::size_t key_bits = kKeySizes[idx / kNumScenarios];
+    const auto& sc = scenarios[idx % kNumScenarios];
+    Rng rng = chunk_rng(52, idx);
+    OrapChip basic =
+        build_chip(core, key_bits, OrapVariant::kBasic, sc.kind, 100);
+    OrapChip modified =
+        build_chip(core, key_bits, OrapVariant::kModified, sc.kind, 200);
+    // Payload can depend on the scheme variant ((e')'s replay storage
+    // only exists against kModified); report the larger footprint.
+    cells[idx].ge = std::max(basic.trojan_cost().gate_equivalents,
+                             modified.trojan_cost().gate_equivalents);
+    cells[idx].breaks_basic = breaks(basic, rng);
+    cells[idx].breaks_modified = breaks(modified, rng);
+  });
+
+  for (std::size_t ki = 0; ki < kNumKeySizes; ++ki) {
+    const std::size_t key_bits = kKeySizes[ki];
     std::printf("-- key register: %zu bits --\n", key_bits);
     Table t({"Scenario", "Payload (GE)", "GE per key bit", "vs basic",
              "vs modified"});
-    for (const auto& sc : scenarios) {
-      OrapChip basic =
-          build_chip(core, key_bits, OrapVariant::kBasic, sc.kind, 100);
-      OrapChip modified =
-          build_chip(core, key_bits, OrapVariant::kModified, sc.kind, 200);
-      // Payload can depend on the scheme variant ((e')'s replay storage
-      // only exists against kModified); report the larger footprint.
-      const double ge = std::max(basic.trojan_cost().gate_equivalents,
-                                 modified.trojan_cost().gate_equivalents);
-      t.add_row({sc.name, Table::num(ge, 1),
-                 Table::num(ge / static_cast<double>(key_bits), 2),
-                 breaks(basic, rng) ? "BREAKS" : "defended",
-                 breaks(modified, rng) ? "BREAKS" : "defended"});
-      std::fflush(stdout);
+    for (std::size_t si = 0; si < kNumScenarios; ++si) {
+      const Cell& c = cells[ki * kNumScenarios + si];
+      t.add_row({scenarios[si].name, Table::num(c.ge, 1),
+                 Table::num(c.ge / static_cast<double>(key_bits), 2),
+                 c.breaks_basic ? "BREAKS" : "defended",
+                 c.breaks_modified ? "BREAKS" : "defended"});
+      const std::string tag =
+          "k" + std::to_string(key_bits) + "_" + scenarios[si].tag;
+      report.add(tag + "_ge", c.ge, 1);
+      report.add(tag + "_breaks_basic",
+                 static_cast<std::size_t>(c.breaks_basic));
+      report.add(tag + "_breaks_modified",
+                 static_cast<std::size_t>(c.breaks_modified));
     }
     t.print(std::cout);
     std::printf("\n");
   }
+  report.finish();
   std::printf(
       "Paper check (128-bit register): scenario (a) costs ~64 NAND2-"
       "equivalents, as stated\nin Sec. III-a; (b) > (a); (c) > (b); (d) is "

@@ -1,77 +1,96 @@
 #include "atpg/fault_sim.h"
 
 #include <algorithm>
-#include <queue>
+
+#include "util/parallel.h"
 
 namespace orap {
 
+namespace {
+// Below this many pending faults the pool dispatch overhead outweighs the
+// propagation work; grain keeps per-task work substantial above it.
+constexpr std::size_t kParallelFaultThreshold = 256;
+constexpr std::size_t kFaultGrain = 64;
+}  // namespace
+
 FaultSimulator::FaultSimulator(const Netlist& n)
-    : n_(n),
-      sim_(n),
-      fanouts_(n.num_gates()),
-      is_po_(n.num_gates(), 0),
-      faulty_val_(n.num_gates(), 0),
-      stamp_(n.num_gates(), 0),
-      queued_stamp_(n.num_gates(), 0) {
+    : n_(n), sim_(n), fanouts_(n.num_gates()), is_po_(n.num_gates(), 0) {
   for (GateId g = 0; g < n.num_gates(); ++g)
     for (const GateId f : n.fanins(g)) fanouts_[f].push_back(g);
   for (const auto& po : n.outputs()) is_po_[po.gate] = 1;
   val_ = sim_.values();
+  states_.resize(parallel_threads());
 }
 
-std::uint64_t FaultSimulator::faulty_site_value(const Fault& f) const {
+FaultSimulator::PropState& FaultSimulator::slot_state() {
+  const std::size_t slot = parallel_slot();
+  if (slot >= states_.size()) states_.resize(slot + 1);  // serial context only
+  if (!states_[slot])
+    states_[slot] = std::make_unique<PropState>(n_.num_gates());
+  return *states_[slot];
+}
+
+std::uint64_t FaultSimulator::faulty_site_value(const Fault& f,
+                                                PropState& st) const {
   const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0ULL;
   if (f.pin < 0) return stuck;
   // Input-pin fault: re-evaluate the gate with that pin forced.
   const auto fi = n_.fanins(f.gate);
-  std::vector<std::uint64_t> buf(fi.size());
-  for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = val_[fi[i]];
-  buf[f.pin] = stuck;
-  return eval_gate_word(n_.type(f.gate), buf);
+  st.fanin_buf.resize(fi.size());
+  for (std::size_t i = 0; i < fi.size(); ++i) st.fanin_buf[i] = val_[fi[i]];
+  st.fanin_buf[f.pin] = stuck;
+  return eval_gate_word(n_.type(f.gate), {st.fanin_buf.data(), fi.size()});
 }
 
 std::uint64_t FaultSimulator::propagate(const Fault& f,
-                                        std::uint64_t site_value) {
+                                        std::uint64_t site_value,
+                                        PropState& st) const {
   if (site_value == val_[f.gate]) return 0;  // fault not excited
-  ++epoch_;
-  stamp_[f.gate] = epoch_;
-  faulty_val_[f.gate] = site_value;
+  ++st.epoch;
+  st.stamp[f.gate] = st.epoch;
+  st.faulty_val[f.gate] = site_value;
   std::uint64_t detect = is_po_[f.gate] ? site_value ^ val_[f.gate] : 0;
 
-  auto value_of = [this](GateId g) {
-    return stamp_[g] == epoch_ ? faulty_val_[g] : val_[g];
+  auto value_of = [&st, this](GateId g) {
+    return st.stamp[g] == st.epoch ? st.faulty_val[g] : val_[g];
   };
 
   // Min-heap over gate ids = topological processing order; each gate is
-  // evaluated once (fanouts always have larger ids).
-  std::priority_queue<GateId, std::vector<GateId>, std::greater<>> heap;
+  // evaluated once (fanouts always have larger ids). The heap vector is
+  // reused across faults — no allocation in the steady state.
+  auto& heap = st.heap;
+  heap.clear();
+  const auto cmp = std::greater<GateId>();
   auto push_fanouts = [&](GateId g) {
     for (const GateId q : fanouts_[g]) {
-      if (queued_stamp_[q] == epoch_) continue;
-      queued_stamp_[q] = epoch_;
-      heap.push(q);
+      if (st.queued_stamp[q] == st.epoch) continue;
+      st.queued_stamp[q] = st.epoch;
+      heap.push_back(q);
+      std::push_heap(heap.begin(), heap.end(), cmp);
     }
   };
   push_fanouts(f.gate);
 
-  std::vector<std::uint64_t> buf;
   while (!heap.empty()) {
-    const GateId g = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const GateId g = heap.back();
+    heap.pop_back();
     const auto fi = n_.fanins(g);
-    buf.resize(fi.size());
-    for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = value_of(fi[i]);
-    const std::uint64_t nv = eval_gate_word(n_.type(g), buf);
+    st.fanin_buf.resize(fi.size());
+    for (std::size_t i = 0; i < fi.size(); ++i)
+      st.fanin_buf[i] = value_of(fi[i]);
+    const std::uint64_t nv =
+        eval_gate_word(n_.type(g), {st.fanin_buf.data(), fi.size()});
     if (nv == val_[g]) {
       // Fault effect dies here; if a previous overlay existed it is now
       // stale, so record the clean value explicitly.
-      if (stamp_[g] == epoch_) {
-        faulty_val_[g] = nv;
+      if (st.stamp[g] == st.epoch) {
+        st.faulty_val[g] = nv;
       }
       continue;
     }
-    stamp_[g] = epoch_;
-    faulty_val_[g] = nv;
+    st.stamp[g] = st.epoch;
+    st.faulty_val[g] = nv;
     if (is_po_[g]) detect |= nv ^ val_[g];
     push_fanouts(g);
   }
@@ -84,18 +103,34 @@ std::size_t FaultSimulator::run_block(
   for (std::size_t i = 0; i < input_words.size(); ++i)
     sim_.set_input_word(i, input_words[i]);
   sim_.run();
-  std::size_t detected = 0;
-  for (std::size_t i = 0; i < remaining.size();) {
-    const Fault& f = remaining[i];
-    if (propagate(f, faulty_site_value(f)) != 0) {
-      remaining[i] = remaining.back();
-      remaining.pop_back();
-      ++detected;
-    } else {
-      ++i;
-    }
+
+  const std::size_t nf = remaining.size();
+  if (nf < kParallelFaultThreshold || parallel_threads() == 1 ||
+      in_parallel_region()) {
+    // Serial path: same stable compaction as the parallel merge below.
+    PropState& st = slot_state();
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < nf; ++i)
+      if (!block_detects(remaining[i], st)) remaining[keep++] = remaining[i];
+    remaining.resize(keep);
+    return nf - keep;
   }
-  return detected;
+
+  if (states_.size() < parallel_threads()) states_.resize(parallel_threads());
+  detected_.assign(nf, 0);
+  parallel_for_chunks(kFaultGrain, nf,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        PropState& st = slot_state();
+                        for (std::size_t i = b; i < e; ++i)
+                          if (block_detects(remaining[i], st))
+                            detected_[i] = 1;
+                      });
+  // Deterministic merge: compact survivors in their original order.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < nf; ++i)
+    if (!detected_[i]) remaining[keep++] = remaining[i];
+  remaining.resize(keep);
+  return nf - keep;
 }
 
 std::size_t FaultSimulator::run_random(std::size_t words, Rng& rng,
@@ -112,7 +147,7 @@ std::size_t FaultSimulator::run_random(std::size_t words, Rng& rng,
 bool FaultSimulator::detects(const BitVec& pattern, const Fault& f) {
   sim_.broadcast_inputs(pattern);
   sim_.run();
-  return propagate(f, faulty_site_value(f)) != 0;
+  return block_detects(f, slot_state());
 }
 
 }  // namespace orap

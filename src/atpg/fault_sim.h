@@ -3,8 +3,16 @@
 // event-driven forward propagation from the fault site, fault dropping.
 // This is the pseudorandom phase of the Table II flow (the paper runs
 // HOPE before Atalanta on the largest circuits).
+//
+// Parallel execution: every fault's detect decision depends only on the
+// shared good-machine values of the current block, so run_block shards the
+// remaining-fault list across the thread pool. Each worker slot owns a
+// private propagation overlay (PropState) over the one shared good
+// simulation; detected faults are merged by compacting the list in its
+// original order, so the result is bit-identical at any thread count.
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -20,8 +28,8 @@ class FaultSimulator {
   explicit FaultSimulator(const Netlist& n);
 
   /// Simulates one 64-pattern block (one word per input) against
-  /// `remaining`; detected faults are removed (fault dropping). Returns
-  /// the number of faults detected by this block.
+  /// `remaining`; detected faults are removed (fault dropping, order of
+  /// the survivors preserved). Returns the number detected by this block.
   std::size_t run_block(std::span<const std::uint64_t> input_words,
                         std::vector<Fault>& remaining);
 
@@ -36,24 +44,48 @@ class FaultSimulator {
   const Netlist& netlist() const { return n_; }
 
  private:
+  /// Per-worker propagation scratch: an epoch-stamped overlay of faulty
+  /// values (avoids clearing per fault) plus reusable heap/fanin buffers
+  /// so the hot loop never allocates.
+  struct PropState {
+    std::vector<std::uint64_t> faulty_val;
+    std::vector<std::uint32_t> stamp;
+    std::vector<std::uint32_t> queued_stamp;
+    std::uint32_t epoch = 0;
+    std::vector<GateId> heap;           // binary min-heap over gate ids
+    std::vector<std::uint64_t> fanin_buf;
+
+    explicit PropState(std::size_t num_gates)
+        : faulty_val(num_gates, 0),
+          stamp(num_gates, 0),
+          queued_stamp(num_gates, 0) {}
+  };
+
   /// Faulty value of the fault-site gate under the good values in val_
   /// (0/1 lanes where the fault changes the site's output).
-  std::uint64_t faulty_site_value(const Fault& f) const;
+  std::uint64_t faulty_site_value(const Fault& f, PropState& st) const;
 
   /// Propagates a faulty value at f.gate through the fanout cone;
   /// returns the OR over POs of (good ^ faulty) — the detect mask.
-  std::uint64_t propagate(const Fault& f, std::uint64_t site_value);
+  std::uint64_t propagate(const Fault& f, std::uint64_t site_value,
+                          PropState& st) const;
+
+  /// True iff the shared good-machine block detects `f` (pure w.r.t.
+  /// shared state; writes only to `st`).
+  bool block_detects(const Fault& f, PropState& st) const {
+    return propagate(f, faulty_site_value(f, st), st) != 0;
+  }
+
+  /// Scratch for the pool slot of the calling thread (lazily created).
+  PropState& slot_state();
 
   const Netlist& n_;
   Simulator sim_;
   std::span<const std::uint64_t> val_;      // good values (sim_'s buffer)
   std::vector<std::vector<GateId>> fanouts_;
   std::vector<std::uint8_t> is_po_;
-  // Epoch-stamped overlay of faulty values (avoids clearing per fault).
-  std::vector<std::uint64_t> faulty_val_;
-  std::vector<std::uint32_t> stamp_;
-  std::vector<std::uint32_t> queued_stamp_;
-  std::uint32_t epoch_ = 0;
+  std::vector<std::unique_ptr<PropState>> states_;  // one per pool slot
+  std::vector<std::uint8_t> detected_;              // run_block scratch
 };
 
 }  // namespace orap

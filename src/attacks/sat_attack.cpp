@@ -1,8 +1,11 @@
 #include "attacks/sat_attack.h"
 
+#include <memory>
+
 #include "attacks/encode_util.h"
 #include "netlist/simulator.h"
 #include "sat/encode.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace orap {
@@ -303,15 +306,32 @@ std::size_t verify_key_against_oracle(const LockedCircuit& locked,
                                       const BitVec& key, Oracle& oracle,
                                       std::size_t samples,
                                       std::uint64_t seed) {
+  // The oracle models a physical device (stateful scan protocol), so its
+  // queries run serially in draw order; the candidate-key simulations are
+  // independent and shard across the pool.
   Rng rng(seed);
-  Simulator sim(locked.netlist);
-  std::size_t mismatches = 0;
+  std::vector<BitVec> xs;
+  std::vector<BitVec> ys;
+  xs.reserve(samples);
+  ys.reserve(samples);
   for (std::size_t q = 0; q < samples; ++q) {
-    const BitVec x = BitVec::random(locked.num_data_inputs, rng);
-    if (oracle.query(x) != sim.run_single(locked.assemble_input(x, key)))
-      ++mismatches;
+    xs.push_back(BitVec::random(locked.num_data_inputs, rng));
+    ys.push_back(oracle.query(xs.back()));
   }
-  return mismatches;
+
+  std::vector<std::unique_ptr<Simulator>> sims(parallel_threads());
+  return parallel_reduce(
+      /*grain=*/16, samples, std::size_t{0},
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        const std::size_t slot = parallel_slot();
+        if (!sims[slot]) sims[slot] = std::make_unique<Simulator>(locked.netlist);
+        std::size_t miss = 0;
+        for (std::size_t q = b; q < e; ++q)
+          if (ys[q] != sims[slot]->run_single(locked.assemble_input(xs[q], key)))
+            ++miss;
+        return miss;
+      },
+      [](std::size_t acc, std::size_t part) { return acc + part; });
 }
 
 }  // namespace orap

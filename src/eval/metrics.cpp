@@ -1,15 +1,27 @@
 #include "eval/metrics.h"
 
+#include <memory>
+
 #include "netlist/simulator.h"
+#include "util/parallel.h"
 
 namespace orap {
+
+namespace {
+
+/// Per-chunk tally of the (word-block x wrong-key) grid.
+struct HdTally {
+  std::uint64_t diff_bits = 0;
+  std::uint64_t total_bits = 0;
+};
+
+}  // namespace
 
 HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
                                 std::size_t num_keys, std::uint64_t seed) {
   ORAP_CHECK(num_words > 0 && num_keys > 0);
   Rng rng(seed);
   const Netlist& n = lc.netlist;
-  Simulator sim(n);
 
   // Wrong keys, sampled up front (re-draw on the vanishing chance of
   // hitting the correct key).
@@ -20,40 +32,60 @@ HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
     wrong_keys.push_back(std::move(k));
   }
 
-  auto set_key = [&](const BitVec& key) {
-    for (std::size_t i = 0; i < lc.num_key_inputs; ++i)
-      sim.set_input_word(lc.num_data_inputs + i, key.get(i) ? ~0ULL : 0ULL);
-  };
+  // All pseudorandom data words drawn up front, in the same sequence the
+  // serial loop used — the draws are what fix the result, so sharding the
+  // simulation afterwards cannot change it.
+  std::vector<std::uint64_t> data_words(num_words * lc.num_data_inputs);
+  for (auto& dw : data_words) dw = rng.word();
 
-  std::uint64_t diff_bits = 0;
-  std::uint64_t total_bits = 0;
-  std::vector<std::uint64_t> golden(n.num_outputs());
-  std::vector<std::uint64_t> data_words(lc.num_data_inputs);
+  // Shard the word-block axis: each block = 1 golden run + num_keys wrong
+  // runs on a thread-local simulator; diff/total counts merge in chunk
+  // order (exact integer sums, so the total is thread-count invariant).
+  std::vector<std::unique_ptr<Simulator>> sims(parallel_threads());
+  const HdTally tally = parallel_reduce(
+      /*grain=*/1, num_words, HdTally{},
+      [&](std::size_t wb, std::size_t we, std::size_t) {
+        const std::size_t slot = parallel_slot();
+        if (!sims[slot]) sims[slot] = std::make_unique<Simulator>(n);
+        Simulator& sim = *sims[slot];
+        auto set_key = [&](const BitVec& key) {
+          for (std::size_t i = 0; i < lc.num_key_inputs; ++i)
+            sim.set_input_word(lc.num_data_inputs + i,
+                               key.get(i) ? ~0ULL : 0ULL);
+        };
+        HdTally t;
+        std::vector<std::uint64_t> golden(n.num_outputs());
+        for (std::size_t w = wb; w < we; ++w) {
+          const std::uint64_t* words = &data_words[w * lc.num_data_inputs];
+          for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
+            sim.set_input_word(i, words[i]);
+          set_key(lc.correct_key);
+          sim.run();
+          for (std::size_t o = 0; o < n.num_outputs(); ++o)
+            golden[o] = sim.output_word(o);
 
-  for (std::size_t w = 0; w < num_words; ++w) {
-    for (auto& dw : data_words) dw = rng.word();
-    for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
-      sim.set_input_word(i, data_words[i]);
-    set_key(lc.correct_key);
-    sim.run();
-    for (std::size_t o = 0; o < n.num_outputs(); ++o)
-      golden[o] = sim.output_word(o);
-
-    for (const BitVec& key : wrong_keys) {
-      for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
-        sim.set_input_word(i, data_words[i]);
-      set_key(key);
-      sim.run();
-      for (std::size_t o = 0; o < n.num_outputs(); ++o)
-        diff_bits += static_cast<std::uint64_t>(
-            __builtin_popcountll(golden[o] ^ sim.output_word(o)));
-      total_bits += n.num_outputs() * 64;
-    }
-  }
+          for (const BitVec& key : wrong_keys) {
+            for (std::size_t i = 0; i < lc.num_data_inputs; ++i)
+              sim.set_input_word(i, words[i]);
+            set_key(key);
+            sim.run();
+            for (std::size_t o = 0; o < n.num_outputs(); ++o)
+              t.diff_bits += static_cast<std::uint64_t>(
+                  __builtin_popcountll(golden[o] ^ sim.output_word(o)));
+            t.total_bits += n.num_outputs() * 64;
+          }
+        }
+        return t;
+      },
+      [](HdTally acc, HdTally part) {
+        acc.diff_bits += part.diff_bits;
+        acc.total_bits += part.total_bits;
+        return acc;
+      });
 
   HdResult r;
-  r.hd_percent = 100.0 * static_cast<double>(diff_bits) /
-                 static_cast<double>(total_bits);
+  r.hd_percent = 100.0 * static_cast<double>(tally.diff_bits) /
+                 static_cast<double>(tally.total_bits);
   r.patterns = num_words * 64;
   r.keys = num_keys;
   return r;

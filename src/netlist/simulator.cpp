@@ -66,9 +66,9 @@ void Simulator::run() {
       for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = values_[fi[i]];
       values_[g] = eval_gate_word(t, {buf, fi.size()});
     } else {
-      std::vector<std::uint64_t> big(fi.size());
-      for (std::size_t i = 0; i < fi.size(); ++i) big[i] = values_[fi[i]];
-      values_[g] = eval_gate_word(t, big);
+      wide_buf_.resize(fi.size());
+      for (std::size_t i = 0; i < fi.size(); ++i) wide_buf_[i] = values_[fi[i]];
+      values_[g] = eval_gate_word(t, {wide_buf_.data(), fi.size()});
     }
   }
 }

@@ -56,6 +56,7 @@ class Simulator {
  private:
   const Netlist& n_;
   std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> wide_buf_;  // scratch for >64-fanin gates
 };
 
 }  // namespace orap

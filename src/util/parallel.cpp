@@ -1,0 +1,241 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace orap {
+
+namespace {
+
+std::size_t resolve_auto_threads() {
+  if (const char* env = std::getenv("ORAP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+thread_local std::size_t t_slot = 0;
+thread_local bool t_in_task = false;
+
+struct Job {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> remaining{0};
+  std::mutex error_m;
+  std::exception_ptr error;  // first task exception, rethrown by the caller
+
+  void record_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lk(error_m);
+    if (!error) error = std::move(e);
+  }
+};
+
+struct Task {
+  Job* job = nullptr;
+  std::size_t index = 0;
+};
+
+/// One work-stealing deque per worker. The owner pops LIFO from the back;
+/// thieves (other workers and the submitting thread) take FIFO from the
+/// front, which hands them the oldest — typically largest-remaining —
+/// stretch of the submission order.
+struct WorkDeque {
+  std::mutex m;
+  std::deque<Task> q;
+
+  bool pop_back(Task* out) {
+    std::lock_guard<std::mutex> lk(m);
+    if (q.empty()) return false;
+    *out = q.back();
+    q.pop_back();
+    return true;
+  }
+  bool pop_front(Task* out) {
+    std::lock_guard<std::mutex> lk(m);
+    if (q.empty()) return false;
+    *out = q.front();
+    q.pop_front();
+    return true;
+  }
+};
+
+class Pool {
+ public:
+  static Pool& get() {
+    static Pool* p = new Pool();  // leaked: workers may outlive main()'s locals
+    return *p;
+  }
+
+  std::size_t threads() {
+    std::lock_guard<std::mutex> lk(config_m_);
+    return target_;
+  }
+
+  void set_threads(std::size_t n) {
+    ORAP_CHECK_MSG(!t_in_task,
+                   "set_parallel_threads() called inside a parallel region");
+    std::lock_guard<std::mutex> lk(config_m_);
+    shutdown_workers();
+    target_ = n == 0 ? resolve_auto_threads() : n;
+  }
+
+  void run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn) {
+    ORAP_CHECK_MSG(!t_in_task, "pool_run() is not reentrant");
+    if (num_tasks == 0) return;
+
+    std::unique_lock<std::mutex> cfg(config_m_);
+    if (target_ == 1 || num_tasks == 1) {
+      cfg.unlock();
+      for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+      return;
+    }
+    ensure_workers();
+    const std::size_t nworkers = workers_.size();
+    cfg.unlock();
+
+    Job job;
+    job.fn = &fn;
+    job.remaining.store(num_tasks, std::memory_order_relaxed);
+
+    // Round-robin the tasks across the worker deques. Index order is
+    // irrelevant to results (the chunk layout is fixed by the caller);
+    // spreading them seeds every deque so stealing starts balanced.
+    for (std::size_t w = 0; w < nworkers; ++w) {
+      std::lock_guard<std::mutex> lk(deques_[w].m);
+      for (std::size_t i = w; i < num_tasks; i += nworkers)
+        deques_[w].q.push_back(Task{&job, i});
+    }
+    {
+      std::lock_guard<std::mutex> lk(sleep_m_);
+      pending_.fetch_add(num_tasks, std::memory_order_relaxed);
+    }
+    work_cv_.notify_all();
+
+    // The submitting thread helps: steal from the front of any deque.
+    Task t;
+    while (job.remaining.load(std::memory_order_acquire) > 0) {
+      if (steal(nworkers, &t)) {
+        execute(t, /*slot=*/0);
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(done_m_);
+      done_cv_.wait(lk, [&] {
+        return job.remaining.load(std::memory_order_acquire) == 0 ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  Pool() : target_(resolve_auto_threads()) {}
+
+  void ensure_workers() {  // requires config_m_
+    const std::size_t want = target_ - 1;
+    if (workers_.size() == want) return;
+    shutdown_workers();
+    stop_ = false;
+    deques_ = std::vector<WorkDeque>(want);
+    workers_.reserve(want);
+    for (std::size_t w = 0; w < want; ++w)
+      workers_.emplace_back([this, w] { worker_main(w); });
+  }
+
+  void shutdown_workers() {  // requires config_m_
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(sleep_m_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& th : workers_) th.join();
+    workers_.clear();
+    deques_.clear();
+  }
+
+  void execute(const Task& t, std::size_t slot) {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    const std::size_t prev_slot = t_slot;
+    t_slot = slot;
+    t_in_task = true;
+    try {
+      (*t.job->fn)(t.index);
+    } catch (...) {
+      t.job->record_error(std::current_exception());
+    }
+    t_in_task = false;
+    t_slot = prev_slot;
+    if (t.job->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lk(done_m_);
+      done_cv_.notify_all();
+    }
+  }
+
+  bool steal(std::size_t nworkers, Task* out) {
+    for (std::size_t w = 0; w < nworkers; ++w)
+      if (deques_[w].pop_front(out)) return true;
+    return false;
+  }
+
+  void worker_main(std::size_t id) {
+    t_slot = id + 1;
+    while (true) {
+      Task t;
+      bool got = deques_[id].pop_back(&t);  // own work, LIFO
+      if (!got) {                           // steal FIFO, nearest first
+        const std::size_t n = deques_.size();
+        for (std::size_t d = 1; d < n && !got; ++d)
+          got = deques_[(id + d) % n].pop_front(&t);
+      }
+      if (got) {
+        execute(t, id + 1);
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(sleep_m_);
+      if (stop_) return;
+      work_cv_.wait(lk, [&] {
+        return stop_ || pending_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_) return;
+    }
+  }
+
+  std::mutex config_m_;  // pool (re)configuration and lazy start
+  std::size_t target_;
+  std::vector<std::thread> workers_;
+  std::vector<WorkDeque> deques_;
+
+  std::mutex sleep_m_;  // worker sleep/wake + stop flag
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  std::atomic<std::size_t> pending_{0};  // queued, not-yet-executed tasks
+
+  std::mutex done_m_;  // caller sleep/wake on job completion
+  std::condition_variable done_cv_;
+};
+
+}  // namespace
+
+std::size_t parallel_threads() { return Pool::get().threads(); }
+
+void set_parallel_threads(std::size_t n) { Pool::get().set_threads(n); }
+
+std::size_t parallel_slot() { return t_slot; }
+
+bool in_parallel_region() { return t_in_task; }
+
+namespace detail {
+void pool_run(std::size_t num_tasks,
+              const std::function<void(std::size_t)>& task) {
+  Pool::get().run(num_tasks, task);
+}
+}  // namespace detail
+
+}  // namespace orap

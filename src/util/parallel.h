@@ -1,0 +1,138 @@
+#pragma once
+// Deterministic work-stealing parallel execution layer.
+//
+// A lazily-initialized pool of worker threads (sized by the ORAP_THREADS
+// environment variable, set_parallel_threads(), or hardware concurrency)
+// executes chunked loops. Each worker owns a deque: it pops its own work
+// LIFO and steals FIFO from siblings when it runs dry; the submitting
+// thread participates in the same way while it waits.
+//
+// Determinism contract: the chunk layout of parallel_for / parallel_reduce
+// depends only on (range, grain) — never on the thread count — and
+// parallel_reduce folds per-chunk results in ascending chunk order on the
+// calling thread. A workload whose chunks are pure functions of their
+// chunk id (use chunk_rng() for randomness) therefore produces bit-identical
+// results at any thread count, including 1.
+//
+// Nesting: a parallel region entered from inside a pool task runs inline
+// on the calling worker (no deadlock, same deterministic chunk layout).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace orap {
+
+/// Configured concurrency (>= 1). Resolved from, in priority order:
+/// set_parallel_threads(), the ORAP_THREADS environment variable, and
+/// std::thread::hardware_concurrency().
+std::size_t parallel_threads();
+
+/// Reconfigures the pool size; 0 restores the automatic default
+/// (ORAP_THREADS / hardware concurrency). Must not be called from inside
+/// a parallel region. Existing workers are joined and respawned lazily.
+void set_parallel_threads(std::size_t n);
+
+/// Stable slot of the current thread in [0, parallel_threads()): 0 for the
+/// submitting thread, 1.. for pool workers. Use it to index per-thread
+/// scratch arrays sized parallel_threads().
+std::size_t parallel_slot();
+
+/// True while executing inside a pool task (nested regions run inline).
+bool in_parallel_region();
+
+namespace detail {
+/// Runs tasks [0, num_tasks) on the pool; blocks until all complete.
+/// Exceptions thrown by tasks are rethrown on the calling thread (first
+/// one wins). Not reentrant — gate on in_parallel_region() first.
+void pool_run(std::size_t num_tasks,
+              const std::function<void(std::size_t)>& task);
+}  // namespace detail
+
+/// Splittable stream derivation (splitmix64 over seed and stream id):
+/// decorrelated RNG streams for per-chunk randomness that do not depend
+/// on which thread executes the chunk.
+inline std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Per-chunk RNG: Rng(seed, chunk_id) derivation for reproducible
+/// randomized workloads under any thread count.
+inline Rng chunk_rng(std::uint64_t seed, std::uint64_t chunk_id) {
+  return Rng(derive_seed(seed, chunk_id));
+}
+
+/// Fixed chunk layout over [0, n): ceil(n / grain) chunks of `grain`
+/// elements (last one short). Thread-count independent by construction.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+
+  static ChunkPlan over(std::size_t n, std::size_t grain) {
+    ChunkPlan p;
+    p.n = n;
+    p.grain = grain == 0 ? 1 : grain;
+    return p;
+  }
+  std::size_t chunks() const { return n == 0 ? 0 : (n + grain - 1) / grain; }
+  std::size_t begin(std::size_t c) const { return c * grain; }
+  std::size_t end(std::size_t c) const {
+    const std::size_t e = (c + 1) * grain;
+    return e < n ? e : n;
+  }
+};
+
+/// Runs fn(begin, end, chunk_id) over the fixed chunk layout of [0, n).
+template <typename Fn>
+void parallel_for_chunks(std::size_t grain, std::size_t n, Fn&& fn) {
+  const ChunkPlan plan = ChunkPlan::over(n, grain);
+  const std::size_t chunks = plan.chunks();
+  if (chunks == 0) return;
+  if (chunks == 1 || parallel_threads() == 1 || in_parallel_region()) {
+    for (std::size_t c = 0; c < chunks; ++c) fn(plan.begin(c), plan.end(c), c);
+    return;
+  }
+  detail::pool_run(chunks, [&](std::size_t c) {
+    fn(plan.begin(c), plan.end(c), c);
+  });
+}
+
+/// Runs fn(i) for every i in [0, n), `grain` indices per task.
+template <typename Fn>
+void parallel_for(std::size_t grain, std::size_t n, Fn&& fn) {
+  parallel_for_chunks(grain, n,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        for (std::size_t i = b; i < e; ++i) fn(i);
+                      });
+}
+
+/// Deterministic chunked reduction: map(begin, end, chunk_id) -> T per
+/// chunk, then combine(acc, part) folded in ascending chunk order starting
+/// from `init` — bit-identical for any thread count (combine need not be
+/// commutative or associative).
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t grain, std::size_t n, T init, Map&& map,
+                  Combine&& combine) {
+  const ChunkPlan plan = ChunkPlan::over(n, grain);
+  const std::size_t chunks = plan.chunks();
+  if (chunks == 0) return init;
+  std::vector<T> parts(chunks);
+  parallel_for_chunks(grain, n,
+                      [&](std::size_t b, std::size_t e, std::size_t c) {
+                        parts[c] = map(b, e, c);
+                      });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(parts[c]));
+  return acc;
+}
+
+}  // namespace orap

@@ -1,0 +1,192 @@
+// Tests for the deterministic work-stealing parallel execution layer:
+// the pool itself (coverage, exceptions, nesting), the determinism
+// contract of parallel_reduce (chunk-ordered fold, thread-count
+// invariance with a non-commutative combine), and the two parallelized
+// hot paths — hamming_corruptibility and FaultSimulator::run_random must
+// be bit-identical at 1, 2 and 8 threads for the same seed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "atpg/fault.h"
+#include "atpg/fault_sim.h"
+#include "eval/metrics.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/parallel.h"
+
+namespace orap {
+namespace {
+
+/// Restores the automatic pool size when a test exits.
+struct ThreadGuard {
+  ~ThreadGuard() { set_parallel_threads(0); }
+};
+
+TEST(Pool, ParallelForCoversEveryIndexOnce) {
+  ThreadGuard guard;
+  for (const std::size_t nt : {1u, 2u, 8u}) {
+    set_parallel_threads(nt);
+    std::vector<std::atomic<int>> hits(1001);
+    for (auto& h : hits) h.store(0);
+    parallel_for(7, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " at " << nt
+                                   << " threads";
+  }
+}
+
+TEST(Pool, TaskExceptionPropagatesToCaller) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  EXPECT_THROW(
+      parallel_for(1, 64,
+                   [&](std::size_t i) {
+                     if (i == 13) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must survive a failed job.
+  std::atomic<int> n{0};
+  parallel_for(1, 16, [&](std::size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 16);
+}
+
+TEST(Pool, NestedRegionsRunInline) {
+  ThreadGuard guard;
+  set_parallel_threads(4);
+  std::atomic<int> total{0};
+  parallel_for(1, 8, [&](std::size_t) {
+    EXPECT_TRUE(in_parallel_region());
+    // Nested region: must execute inline without deadlock.
+    parallel_for(1, 8, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+  EXPECT_FALSE(in_parallel_region());
+}
+
+TEST(Pool, SlotsAreDistinctAndBounded) {
+  ThreadGuard guard;
+  set_parallel_threads(8);
+  std::vector<std::atomic<int>> used(parallel_threads());
+  for (auto& u : used) u.store(0);
+  parallel_for(1, 256, [&](std::size_t) {
+    const std::size_t slot = parallel_slot();
+    ASSERT_LT(slot, used.size());
+    used[slot].fetch_add(1);
+  });
+  int total = 0;
+  for (auto& u : used) total += u.load();
+  EXPECT_EQ(total, 256);
+}
+
+TEST(Reduce, OrderingInvariantUnderThreadCount) {
+  ThreadGuard guard;
+  // The combine is deliberately non-commutative and non-associative
+  // (hash chaining): only a fixed chunk layout folded in chunk order can
+  // reproduce the same value at every thread count.
+  auto chained = [] {
+    return parallel_reduce(
+        /*grain=*/5, /*n=*/1237, std::uint64_t{0xfeedULL},
+        [](std::size_t b, std::size_t e, std::size_t c) {
+          std::uint64_t h = c + 1;
+          for (std::size_t i = b; i < e; ++i)
+            h = h * 1099511628211ULL + i * i;
+          return h;
+        },
+        [](std::uint64_t acc, std::uint64_t part) {
+          return (acc ^ part) * 0x9e3779b97f4a7c15ULL + (acc >> 7);
+        });
+  };
+  set_parallel_threads(1);
+  const std::uint64_t serial = chained();
+  for (const std::size_t nt : {2u, 3u, 8u}) {
+    set_parallel_threads(nt);
+    EXPECT_EQ(chained(), serial) << nt << " threads";
+  }
+}
+
+TEST(Reduce, ChunkRngIndependentOfThreadCount) {
+  ThreadGuard guard;
+  auto draw = [] {
+    return parallel_reduce(
+        /*grain=*/1, /*n=*/64, std::uint64_t{0},
+        [](std::size_t, std::size_t, std::size_t c) {
+          return chunk_rng(99, c).word();
+        },
+        [](std::uint64_t acc, std::uint64_t part) {
+          return acc * 31 + part;
+        });
+  };
+  set_parallel_threads(1);
+  const std::uint64_t serial = draw();
+  set_parallel_threads(8);
+  EXPECT_EQ(draw(), serial);
+  // Distinct chunks get decorrelated streams.
+  EXPECT_NE(chunk_rng(99, 0).word(), chunk_rng(99, 1).word());
+  EXPECT_NE(chunk_rng(99, 0).word(), chunk_rng(100, 0).word());
+}
+
+TEST(Determinism, HammingCorruptibilityBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  GenSpec spec;
+  spec.num_inputs = 28;
+  spec.num_outputs = 20;
+  spec.num_gates = 500;
+  spec.depth = 10;
+  spec.seed = 11;
+  const Netlist n = generate_circuit(spec);
+  const LockedCircuit lc = lock_weighted(n, 18, 3, 12);
+
+  set_parallel_threads(1);
+  const HdResult serial = hamming_corruptibility(lc, 16, 6, 42);
+  for (const std::size_t nt : {2u, 8u}) {
+    set_parallel_threads(nt);
+    const HdResult par = hamming_corruptibility(lc, 16, 6, 42);
+    // Bit-identical, not just approximately equal.
+    EXPECT_EQ(par.hd_percent, serial.hd_percent) << nt << " threads";
+    EXPECT_EQ(par.patterns, serial.patterns);
+    EXPECT_EQ(par.keys, serial.keys);
+  }
+}
+
+TEST(Determinism, FaultSimRunRandomBitIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  GenSpec spec;
+  spec.num_inputs = 24;
+  spec.num_outputs = 16;
+  spec.num_gates = 600;  // enough faults to cross the parallel threshold
+  spec.depth = 9;
+  spec.seed = 13;
+  const Netlist n = generate_circuit(spec);
+
+  auto run = [&n] {
+    auto faults = collapse_faults(n);
+    FaultSimulator fsim(n);
+    Rng rng(4);
+    const std::size_t detected = fsim.run_random(24, rng, faults);
+    return std::make_pair(detected, faults);
+  };
+
+  set_parallel_threads(1);
+  const auto serial = run();
+  ASSERT_GT(serial.first, 0u);
+  for (const std::size_t nt : {2u, 8u}) {
+    set_parallel_threads(nt);
+    const auto par = run();
+    EXPECT_EQ(par.first, serial.first) << nt << " threads";
+    // The surviving fault lists must match element-for-element (stable
+    // compaction is part of the determinism contract).
+    ASSERT_EQ(par.second.size(), serial.second.size()) << nt << " threads";
+    for (std::size_t i = 0; i < serial.second.size(); ++i) {
+      EXPECT_EQ(par.second[i].gate, serial.second[i].gate);
+      EXPECT_EQ(par.second[i].pin, serial.second[i].pin);
+      EXPECT_EQ(par.second[i].stuck_value, serial.second[i].stuck_value);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orap

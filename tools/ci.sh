@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the tier-1 test suite twice —
+#   1. a normal RelWithDebInfo build, and
+#   2. a ThreadSanitizer build (ORAP_SANITIZE=thread) to race-check the
+#      work-stealing pool and everything layered on it.
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+#   ORAP_CI_JOBS     parallel build/test jobs (default: nproc)
+#   ORAP_CI_TSAN=0   skip the TSan pass
+#   ORAP_CI_FILTER   optional ctest -R regex for the TSan pass (default:
+#                    the full suite; set to e.g. 'parallel|atpg|eval' to
+#                    keep a slow machine within budget)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PREFIX="${1:-build-ci}"
+JOBS="${ORAP_CI_JOBS:-$(nproc)}"
+RUN_TSAN="${ORAP_CI_TSAN:-1}"
+TSAN_FILTER="${ORAP_CI_FILTER:-}"
+
+run_pass() {
+  local dir="$1"; shift
+  local label="$1"; shift
+  echo "==== [$label] configure ($dir) ===="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "==== [$label] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$label] ctest ===="
+  (cd "$dir" && ctest --output-on-failure -j "$JOBS" "${CTEST_EXTRA[@]}")
+}
+
+CTEST_EXTRA=()
+run_pass "$PREFIX" "plain"
+
+if [[ "$RUN_TSAN" == "1" ]]; then
+  CTEST_EXTRA=()
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
+  # Force >1 pool threads so TSan actually sees concurrent stealing even
+  # on single-core runners.
+  export ORAP_THREADS="${ORAP_THREADS:-4}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+  run_pass "$PREFIX-tsan" "tsan" -DORAP_SANITIZE=thread
+fi
+
+echo "==== CI OK ===="

@@ -37,6 +37,7 @@
 #include "netlist/analysis.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
+#include "util/parallel.h"
 
 using namespace orap;
 
@@ -438,7 +439,11 @@ void usage() {
       "basic|modified] — build the OraP chip, report costs\n"
       "  orap solve   <file.cnf> [--budget N] — standalone DIMACS SAT "
       "solver\n"
-      "  orap export  <in.bench> [-o out.v]");
+      "  orap export  <in.bench> [-o out.v]\n"
+      "\n"
+      "Global: --threads N sets the parallel pool size (0 = auto; also "
+      "settable via ORAP_THREADS).\nResults are deterministic for a given "
+      "seed at any thread count.");
 }
 
 }  // namespace
@@ -451,6 +456,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = Args::parse(argc, argv, 2);
   try {
+    // Global: --threads=N caps the work-stealing pool (0 = auto, which is
+    // also the ORAP_THREADS env var's job); results are thread-count
+    // independent by construction.
+    if (args.has("threads")) set_parallel_threads(args.get_num("threads", 0));
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "lock") return cmd_lock(args);
