@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
       GoldenOracle oracle(c.lc);
       SatAttackOptions opts;
       opts.max_iterations = 4096;
+      opts.portfolio_size = args.portfolio;
       c.r = sat_attack(c.lc, oracle, opts);
     });
     for (auto& c : cases) {
@@ -106,19 +107,23 @@ int main(int argc, char** argv) {
                            Oracle& oracle, const LockedCircuit& view,
                            const BitVec& correct) {
       auto& rows = group_rows[group];
+      SatAttackOptions sat_opts;
+      sat_opts.portfolio_size = args.portfolio;
+      AppSatOptions app_opts;
+      app_opts.portfolio_size = args.portfolio;
       {
-        const SatAttackResult r = sat_attack(view, oracle);
+        const SatAttackResult r = sat_attack(view, oracle, sat_opts);
         rows.push_back({"SAT", oracle_name, std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
       }
       {
-        const SatAttackResult r = appsat_attack(view, oracle);
+        const SatAttackResult r = appsat_attack(view, oracle, app_opts);
         rows.push_back({"AppSAT", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
       }
       {
-        const SatAttackResult r = double_dip_attack(view, oracle);
+        const SatAttackResult r = double_dip_attack(view, oracle, sat_opts);
         rows.push_back({"Double-DIP", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});

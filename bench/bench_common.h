@@ -1,10 +1,17 @@
 #pragma once
 // Shared plumbing for the table-reproduction benches: --full / --scale /
-// --threads / --json command-line handling, wall-clock timing, and a
-// machine-readable JSON record per run so BENCH_*.json perf trajectories
-// can be tracked across commits.
+// --threads / --portfolio / --json command-line handling, wall-clock
+// timing, and a machine-readable JSON record per run so BENCH_*.json perf
+// trajectories can be tracked across commits.
+//
+// Parsing is strict: every numeric value must consume its whole token
+// (no atoll/atof silent garbage), negative or absurd sizes are rejected,
+// and unknown flags are an error — parse() exits(2) with a usage message
+// instead of silently ignoring a typo like --thread=4.
 
+#include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,34 +27,116 @@ namespace orap::bench {
 struct BenchArgs {
   double scale = 0.15;  // default: reduced-cost mode
   bool full = false;
-  std::size_t threads = 0;  // 0 = auto (ORAP_THREADS / hardware)
-  std::string json_path;    // empty = no JSON record
+  std::size_t threads = 0;   // 0 = auto (ORAP_THREADS / hardware)
+  std::size_t portfolio = 1; // CDCL portfolio size for SAT-bound benches
+  std::string json_path;     // empty = no JSON record
+  bool help = false;
 
-  static BenchArgs parse(int argc, char** argv) {
+  static constexpr std::size_t kMaxThreads = 1024;
+  static constexpr std::size_t kMaxPortfolio = 64;
+
+  /// Strict unsigned parse: whole token, base 10, no sign characters.
+  static bool parse_size(const char* s, std::size_t* out) {
+    if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0') return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+  }
+
+  /// Strict double parse: whole token, finite value.
+  static bool parse_double(const char* s, double* out) {
+    if (s == nullptr || *s == '\0') return false;
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (errno != 0 || end == s || *end != '\0' || !std::isfinite(v))
+      return false;
+    *out = v;
+    return true;
+  }
+
+  /// Parses argv into *out. Returns false with a diagnostic in *error on
+  /// any unknown flag or malformed/out-of-range value. Does not touch the
+  /// process (no exit, no pool resize) — parse() adds those.
+  static bool try_parse(int argc, char** argv, BenchArgs* out,
+                        std::string* error) {
     BenchArgs a;
     for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+        a.help = true;
+      } else if (std::strcmp(arg, "--full") == 0) {
         a.full = true;
         a.scale = 1.0;
-      } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
-        a.scale = std::atof(argv[i] + 8);
+      } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+        if (!parse_double(arg + 8, &a.scale) || a.scale <= 0.0 ||
+            a.scale > 16.0) {
+          *error = std::string("invalid --scale value '") + (arg + 8) +
+                   "' (want a number in (0, 16])";
+          return false;
+        }
         a.full = a.scale >= 1.0;
-      } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-        a.threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
-      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-        a.json_path = argv[i] + 7;
-      } else if (std::strcmp(argv[i], "--help") == 0) {
-        std::printf(
-            "usage: %s [--full | --scale=<0..1>] [--threads=N] "
-            "[--json=<path>]\n"
-            "  --full       paper-scale circuits (slow: minutes)\n"
-            "  --scale=S    shrink benchmark circuits to S of paper size\n"
-            "  --threads=N  thread-pool size (0 = auto: ORAP_THREADS or "
-            "hardware concurrency)\n"
-            "  --json=PATH  write a machine-readable result record\n",
-            argv[0]);
-        std::exit(0);
+      } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+        if (!parse_size(arg + 10, &a.threads) || a.threads > kMaxThreads) {
+          *error = std::string("invalid --threads value '") + (arg + 10) +
+                   "' (want an integer in [0, " +
+                   std::to_string(kMaxThreads) + "])";
+          return false;
+        }
+      } else if (std::strncmp(arg, "--portfolio=", 12) == 0) {
+        if (!parse_size(arg + 12, &a.portfolio) || a.portfolio == 0 ||
+            a.portfolio > kMaxPortfolio) {
+          *error = std::string("invalid --portfolio value '") + (arg + 12) +
+                   "' (want an integer in [1, " +
+                   std::to_string(kMaxPortfolio) + "])";
+          return false;
+        }
+      } else if (std::strncmp(arg, "--json=", 7) == 0) {
+        a.json_path = arg + 7;
+        if (a.json_path.empty()) {
+          *error = "empty --json path";
+          return false;
+        }
+      } else {
+        *error = std::string("unknown argument '") + arg + "'";
+        return false;
       }
+    }
+    *out = a;
+    return true;
+  }
+
+  static void usage(std::FILE* os, const char* prog) {
+    std::fprintf(
+        os,
+        "usage: %s [--full | --scale=<0..1>] [--threads=N] [--portfolio=N] "
+        "[--json=<path>]\n"
+        "  --full          paper-scale circuits (slow: minutes)\n"
+        "  --scale=S       shrink benchmark circuits to S of paper size\n"
+        "  --threads=N     thread-pool size (0 = auto: ORAP_THREADS or "
+        "hardware concurrency)\n"
+        "  --portfolio=N   CDCL portfolio size for SAT-solver-bound work "
+        "(default 1)\n"
+        "  --json=PATH     write a machine-readable result record\n",
+        prog);
+  }
+
+  /// Strict front door: exits(2) on bad arguments, exits(0) on --help,
+  /// configures the thread pool otherwise.
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    std::string error;
+    if (!try_parse(argc, argv, &a, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+      usage(stderr, argv[0]);
+      std::exit(2);
+    }
+    if (a.help) {
+      usage(stdout, argv[0]);
+      std::exit(0);
     }
     set_parallel_threads(a.threads);
     return a;
@@ -56,6 +145,7 @@ struct BenchArgs {
   void banner(const char* what) const {
     std::printf("== %s ==\n", what);
     std::printf("threads: %zu\n", parallel_threads());
+    if (portfolio > 1) std::printf("portfolio: %zu CDCL instances\n", portfolio);
     if (full)
       std::printf("mode: FULL (paper-scale circuits)\n\n");
     else
@@ -66,9 +156,9 @@ struct BenchArgs {
 };
 
 /// Collects result key/value pairs during a bench run and writes one
-/// {bench, scale, threads, wall_ms, results} JSON object at the end.
-/// Result values are formatted with fixed precision so a deterministic
-/// run yields a byte-identical file at any thread count.
+/// {bench, scale, threads, portfolio, wall_ms, results} JSON object at the
+/// end. Result values are formatted with fixed precision so a
+/// deterministic run yields a byte-identical file at any thread count.
 class JsonReport {
  public:
   JsonReport(std::string bench_name, const BenchArgs& args)
@@ -109,7 +199,8 @@ class JsonReport {
     char scale_buf[32];
     std::snprintf(scale_buf, sizeof scale_buf, "%.4f", args_.scale);
     os << "{\"bench\": \"" << escaped(bench_) << "\", \"scale\": " << scale_buf
-       << ", \"threads\": " << parallel_threads() << ", \"wall_ms\": ";
+       << ", \"threads\": " << parallel_threads()
+       << ", \"portfolio\": " << args_.portfolio << ", \"wall_ms\": ";
     char wall_buf[32];
     std::snprintf(wall_buf, sizeof wall_buf, "%.1f", wall);
     os << wall_buf << ", \"results\": {";
@@ -121,16 +212,28 @@ class JsonReport {
     std::printf("json record -> %s\n", args_.json_path.c_str());
   }
 
- private:
+  /// JSON string escaping: backslash, quote, and \uXXXX for every control
+  /// character (< 0x20) — a newline or tab in a bench name or result key
+  /// must not produce an invalid record.
   static std::string escaped(const std::string& s) {
     std::string out;
     for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
+      const auto u = static_cast<unsigned char>(c);
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (u < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", u);
+        out += buf;
+      } else {
+        out += c;
+      }
     }
     return out;
   }
 
+ private:
   std::string bench_;
   BenchArgs args_;
   std::chrono::steady_clock::time_point start_;

@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
   // abort budget reclassifies the hardest ones as aborted (exactly what
   // Atalanta's backtrack limit does).
   opts.conflict_budget = args.full ? 10000 : 2000;
+  opts.portfolio_size = args.portfolio;
 
   const auto& profiles = paper_benchmarks();
 

@@ -2,6 +2,7 @@
 
 #include "netlist/analysis.h"
 #include "sat/encode.h"
+#include "sat/portfolio.h"
 
 namespace orap {
 
@@ -26,7 +27,8 @@ std::vector<bool> fanout_cone(const Netlist& n, GateId site) {
 
 std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
-                                    bool* aborted_out) {
+                                    bool* aborted_out,
+                                    std::size_t portfolio_size) {
   if (aborted_out != nullptr) *aborted_out = false;
 
   // Cone of influence: only the fanin support of the POs the fault can
@@ -40,7 +42,9 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
   if (reachable_pos.empty()) return std::nullopt;  // cannot reach any PO
   const auto needed = fanin_cone(n, reachable_pos);
 
-  sat::Solver s;
+  sat::PortfolioOptions po;
+  po.size = portfolio_size;
+  sat::PortfolioSolver s(po);
   sat::Encoder e(s);
 
   // Good copy, restricted to the cone of influence.
@@ -126,7 +130,8 @@ AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts) {
     const Fault f = remaining.back();
     remaining.pop_back();
     bool aborted = false;
-    const auto pattern = generate_test(n, f, opts.conflict_budget, &aborted);
+    const auto pattern = generate_test(n, f, opts.conflict_budget, &aborted,
+                                       opts.portfolio_size);
     if (!pattern.has_value()) {
       if (aborted)
         ++result.aborted;

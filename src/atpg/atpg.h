@@ -26,6 +26,9 @@ struct AtpgOptions {
                                         // proofs abort, as in Atalanta)
   std::uint64_t seed = 1;
   bool resimulate_new_patterns = true;  // drop more faults per ATPG pattern
+  /// > 1 races that many diversified CDCL instances per fault query in
+  /// deterministic lockstep epochs (sat/portfolio.h); 1 = single solver.
+  std::size_t portfolio_size = 1;
 };
 
 struct AtpgResult {
@@ -47,10 +50,12 @@ struct AtpgResult {
 };
 
 /// Generates a test pattern for one fault (nullopt = redundant or
-/// aborted; `aborted_out` distinguishes the two).
+/// aborted; `aborted_out` distinguishes the two). portfolio_size > 1
+/// races diversified solver instances on the good/faulty miter.
 std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
-                                    bool* aborted_out);
+                                    bool* aborted_out,
+                                    std::size_t portfolio_size = 1);
 
 /// The full Table II flow: collapse faults, pseudorandom phase with
 /// dropping, SAT-ATPG on the remainder.

@@ -18,7 +18,7 @@ namespace orap {
 
 class LockedEncoder {
  public:
-  LockedEncoder(sat::Solver& solver, const LockedCircuit& lc)
+  LockedEncoder(sat::ClauseSink& solver, const LockedCircuit& lc)
       : s_(solver), enc_(solver), lc_(lc), sim_(lc.netlist) {
     // Forward key-dependence marking.
     key_dep_.assign(lc.netlist.num_gates(), false);
@@ -165,7 +165,7 @@ class LockedEncoder {
     return const_false_;
   }
 
-  sat::Solver& s_;
+  sat::ClauseSink& s_;
   sat::Encoder enc_;
   const LockedCircuit& lc_;
   Simulator sim_;

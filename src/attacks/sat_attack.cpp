@@ -5,6 +5,7 @@
 #include "attacks/encode_util.h"
 #include "netlist/simulator.h"
 #include "sat/encode.h"
+#include "sat/portfolio.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -14,13 +15,20 @@ namespace {
 
 using sat::Encoder;
 using sat::Lit;
+using sat::PortfolioSolver;
 using sat::Solver;
 using sat::Var;
+
+sat::PortfolioOptions portfolio_options(std::size_t size) {
+  sat::PortfolioOptions po;
+  po.size = size == 0 ? 1 : size;
+  return po;
+}
 
 /// Shared state of the DIP loop.
 struct AttackContext {
   const LockedCircuit& lc;
-  Solver solver;
+  PortfolioSolver solver;
   LockedEncoder lenc;
   std::vector<Var> x;    // shared data-input vars of the miter
   std::vector<Var> k1;   // key copy 1
@@ -28,8 +36,10 @@ struct AttackContext {
   Var act = -1;          // miter activation literal
   bool oracle_inconsistent = false;
 
-  explicit AttackContext(const LockedCircuit& locked)
-      : lc(locked), lenc(solver, locked) {}
+  AttackContext(const LockedCircuit& locked, std::size_t portfolio_size)
+      : lc(locked),
+        solver(portfolio_options(portfolio_size)),
+        lenc(solver, locked) {}
 
   std::size_t nd() const { return lc.num_data_inputs; }
   std::size_t nk() const { return lc.num_key_inputs; }
@@ -66,7 +76,7 @@ struct AttackContext {
   }
 };
 
-std::vector<Var> fresh_vars(Solver& s, std::size_t n) {
+std::vector<Var> fresh_vars(sat::ClauseSink& s, std::size_t n) {
   std::vector<Var> v(n);
   for (auto& x : v) x = s.new_var();
   return v;
@@ -79,7 +89,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   ORAP_CHECK(oracle.num_inputs() == locked.num_data_inputs);
   ORAP_CHECK(oracle.num_outputs() == locked.netlist.num_outputs());
 
-  AttackContext ctx(locked);
+  AttackContext ctx(locked, opts.portfolio_size);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -98,11 +108,15 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
 
   SatAttackResult result;
   const std::vector<Lit> on{sat::pos(ctx.act)};
+  const auto finish = [&ctx, &result, &oracle] {
+    result.oracle_queries = oracle.query_count();
+    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+  };
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
     const auto res = ctx.solver.solve(on, opts.conflict_budget);
     if (res == Solver::Result::kUnknown) {
       result.status = SatAttackResult::Status::kSolverBudget;
-      result.oracle_queries = oracle.query_count();
+      finish();
       return result;
     }
     if (res == Solver::Result::kUnsat) break;  // no DIP left
@@ -115,11 +129,11 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
       // A key-independent output contradicted the response: no key can
       // explain this oracle.
       result.status = SatAttackResult::Status::kInconsistentOracle;
-      result.oracle_queries = oracle.query_count();
+      finish();
       return result;
     }
   }
-  result.oracle_queries = oracle.query_count();
+  finish();
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
     return result;
@@ -134,12 +148,13 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
             ? budget_status
             : SatAttackResult::Status::kInconsistentOracle;
   }
+  finish();
   return result;
 }
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
                               const AppSatOptions& opts) {
-  AttackContext ctx(locked);
+  AttackContext ctx(locked, opts.portfolio_size);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -159,6 +174,10 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
   SatAttackResult result;
   std::size_t clean_rounds = 0;
   const std::vector<Lit> on{sat::pos(ctx.act)};
+  const auto finish = [&ctx, &result, &oracle] {
+    result.oracle_queries = oracle.query_count();
+    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+  };
 
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
     const auto res = ctx.solver.solve(on);
@@ -170,7 +189,7 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
     ctx.add_io_constraint(xd, y, ctx.k2);
     if (ctx.oracle_inconsistent) {
       result.status = SatAttackResult::Status::kInconsistentOracle;
-      result.oracle_queries = oracle.query_count();
+      finish();
       return result;
     }
 
@@ -195,14 +214,14 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
         // Approximate key settled.
         result.status = SatAttackResult::Status::kKeyFound;
         result.key = candidate;
-        result.oracle_queries = oracle.query_count();
+        finish();
         return result;
       }
     } else {
       clean_rounds = 0;
     }
   }
-  result.oracle_queries = oracle.query_count();
+  finish();
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
     return result;
@@ -212,19 +231,20 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
     result.status = SatAttackResult::Status::kKeyFound;
   else
     result.status = SatAttackResult::Status::kInconsistentOracle;
+  finish();
   return result;
 }
 
 SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
                                   const SatAttackOptions& opts) {
-  AttackContext ctx(locked);
+  AttackContext ctx(locked, opts.portfolio_size);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
   auto k3 = fresh_vars(ctx.solver, ctx.nk());
   auto k4 = fresh_vars(ctx.solver, ctx.nk());
   ctx.act = ctx.solver.new_var();
-  Solver& s = ctx.solver;
+  PortfolioSolver& s = ctx.solver;
   Encoder& e = ctx.enc();
 
   const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
@@ -258,11 +278,15 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
 
   SatAttackResult result;
   const std::vector<Lit> on{sat::pos(ctx.act)};
+  const auto finish = [&ctx, &result, &oracle] {
+    result.oracle_queries = oracle.query_count();
+    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+  };
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
     const auto res = s.solve(on, opts.conflict_budget);
     if (res == Solver::Result::kUnknown) {
       result.status = SatAttackResult::Status::kSolverBudget;
-      result.oracle_queries = oracle.query_count();
+      finish();
       return result;
     }
     if (res == Solver::Result::kUnsat) break;
@@ -275,11 +299,11 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
     ctx.add_io_constraint(xd, y, k4);
     if (ctx.oracle_inconsistent) {
       result.status = SatAttackResult::Status::kInconsistentOracle;
-      result.oracle_queries = oracle.query_count();
+      finish();
       return result;
     }
   }
-  result.oracle_queries = oracle.query_count();
+  finish();
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
     return result;
@@ -299,6 +323,7 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
             ? budget_status
             : SatAttackResult::Status::kInconsistentOracle;
   }
+  finish();
   return result;
 }
 

@@ -22,6 +22,9 @@ namespace orap {
 struct SatAttackOptions {
   std::int64_t max_iterations = 4096;
   std::int64_t conflict_budget = -1;  // per SAT call; <0 = unlimited
+  /// > 1 races that many diversified CDCL instances per SAT call in
+  /// deterministic lockstep epochs (sat/portfolio.h); 1 = single solver.
+  std::size_t portfolio_size = 1;
 };
 
 struct SatAttackResult {
@@ -36,6 +39,7 @@ struct SatAttackResult {
   BitVec key;                 // valid when kKeyFound
   std::size_t iterations = 0; // DIPs used
   std::size_t oracle_queries = 0;
+  double solver_wall_ms = 0.0;  // wall time spent inside SAT solve calls
 };
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -51,6 +55,7 @@ struct AppSatOptions {
   std::size_t random_queries = 64;   // samples per round
   std::size_t settle_rounds = 2;     // consecutive clean rounds to stop
   std::uint64_t seed = 1;
+  std::size_t portfolio_size = 1;    // as in SatAttackOptions
 };
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,

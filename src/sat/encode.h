@@ -1,5 +1,6 @@
 #pragma once
-// Tseitin encoding of a Netlist into a sat::Solver.
+// Tseitin encoding of a Netlist into a ClauseSink (a sat::Solver or a
+// PortfolioSolver fanning out to N diversified instances).
 //
 // Every gate gets one variable; gate semantics become clauses. Multiple
 // independent copies of the same circuit can be encoded into one solver
@@ -21,7 +22,7 @@ struct CircuitVars {
 
 class Encoder {
  public:
-  explicit Encoder(Solver& s) : s_(s) {}
+  explicit Encoder(ClauseSink& s) : s_(s) {}
 
   /// Encodes a full copy of `n`. If `shared_inputs` is non-empty it must
   /// have one entry per netlist input; kNoVar entries get fresh variables.
@@ -41,10 +42,10 @@ class Encoder {
   /// out-difference: at least one position differs (adds a miter).
   void force_not_equal(const std::vector<Var>& a, const std::vector<Var>& b);
 
-  Solver& solver() { return s_; }
+  ClauseSink& sink() { return s_; }
 
  private:
-  Solver& s_;
+  ClauseSink& s_;
 };
 
 }  // namespace orap::sat

@@ -7,7 +7,8 @@ namespace orap::sat {
 
 namespace {
 
-// Luby restart sequence (finite-subsequence doubling), unit = 100 conflicts.
+// Luby restart sequence (finite-subsequence doubling); the conflict unit
+// is Solver::restart_unit_ (default 100, diversified across a portfolio).
 double luby(double y, int x) {
   int size, seq;
   for (size = 1, seq = 0; size < x + 1; seq++, size = 2 * size + 1) {
@@ -177,6 +178,17 @@ void Solver::var_bump(Var v) {
 }
 
 void Solver::var_decay_all() { var_inc_ /= var_decay_; }
+
+void Solver::set_phase(Var v, bool value) {
+  ORAP_CHECK(v >= 0 && static_cast<std::size_t>(v) < saved_phase_.size());
+  saved_phase_[v] = value ? LBool::kTrue : LBool::kFalse;
+}
+
+void Solver::nudge_activity(Var v, double amount) {
+  ORAP_CHECK(v >= 0 && static_cast<std::size_t>(v) < activity_.size());
+  activity_[v] += amount;
+  if (heap_contains(v)) heap_percolate_up(heap_pos_[v]);
+}
 
 void Solver::clause_bump(ClauseRef c) {
   ClauseHeader& h = header(c);
@@ -388,9 +400,12 @@ void Solver::reduce_db() {
 
 Solver::Result Solver::solve(std::span<const Lit> assumptions,
                              std::int64_t conflict_budget) {
-  if (!ok_) return Result::kUnsat;
+  // Clear previous results before the root-conflict early-out: a formula
+  // that is UNSAT at root has the documented *empty* conflict core, not a
+  // stale one from an earlier assumption-driven call.
   model_.clear();
   conflict_core_.clear();
+  if (!ok_) return Result::kUnsat;
 
   for (const Lit a : assumptions)
     ORAP_CHECK(a.var() >= 0 &&
@@ -399,7 +414,8 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
   const std::uint64_t conflicts_at_start = stats_.conflicts;
   int restart_count = 0;
   std::int64_t restart_limit =
-      static_cast<std::int64_t>(luby(2.0, restart_count) * 100);
+      static_cast<std::int64_t>(luby(2.0, restart_count) *
+                                static_cast<double>(restart_unit_));
   std::int64_t conflicts_this_restart = 0;
 
   std::vector<Lit> learnt;
@@ -425,6 +441,10 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
       } else {
         const ClauseRef c = alloc_clause(learnt, /*learnt=*/true);
         header(c).lbd = compute_lbd(learnt);
+        if (export_max_lbd_ != 0 && header(c).lbd <= export_max_lbd_ &&
+            export_buf_.size() < kMaxExportBuffer) {
+          export_buf_.push_back(learnt);
+        }
         learnts_.push_back(c);
         attach_clause(c);
         clause_bump(c);
@@ -446,7 +466,8 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
       ++stats_.restarts;
       ++restart_count;
       restart_limit =
-          static_cast<std::int64_t>(luby(2.0, restart_count) * 100);
+          static_cast<std::int64_t>(luby(2.0, restart_count) *
+                                    static_cast<double>(restart_unit_));
       conflicts_this_restart = 0;
       cancel_until(0);
       continue;

@@ -60,21 +60,36 @@ struct SolverStats {
   std::uint64_t reduce_dbs = 0;
 };
 
-class Solver {
+/// Anything that accepts fresh variables and clauses: a single Solver or a
+/// PortfolioSolver fanning the same clause database out to N instances.
+/// The encoders (sat::Encoder, LockedEncoder, Cnf::load_into) build
+/// against this interface so every consumer can swap in a portfolio.
+class ClauseSink {
+ public:
+  virtual ~ClauseSink() = default;
+
+  virtual Var new_var() = 0;
+  virtual std::size_t num_vars() const = 0;
+
+  /// Adds a clause. Returns false if the formula became trivially UNSAT.
+  /// Literals are deduplicated; tautologies are dropped.
+  virtual bool add_clause(std::vector<Lit> lits) = 0;
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::vector<Lit>(lits));
+  }
+};
+
+class Solver : public ClauseSink {
  public:
   enum class Result { kSat, kUnsat, kUnknown };
 
   Solver();
 
-  Var new_var();
-  std::size_t num_vars() const { return assigns_.size(); }
+  Var new_var() override;
+  std::size_t num_vars() const override { return assigns_.size(); }
 
-  /// Adds a clause. Returns false if the formula became trivially UNSAT.
-  /// Literals are deduplicated; tautologies are dropped.
-  bool add_clause(std::vector<Lit> lits);
-  bool add_clause(std::initializer_list<Lit> lits) {
-    return add_clause(std::vector<Lit>(lits));
-  }
+  bool add_clause(std::vector<Lit> lits) override;
+  using ClauseSink::add_clause;
 
   /// Solves under assumptions. conflict_budget < 0 means unlimited;
   /// exceeding the budget yields kUnknown (an "aborted" query).
@@ -97,6 +112,40 @@ class Solver {
   // Tuning knobs (defaults are fine for all in-repo workloads).
   void set_var_decay(double d) { var_decay_ = d; }
   void set_clause_decay(double d) { clause_decay_ = d; }
+
+  // --- portfolio diversification & sharing hooks --------------------------
+  // A PortfolioSolver runs N instances over the same clause database; the
+  // knobs below give each instance a distinct search trajectory, and the
+  // export hooks let the barrier move root units / glue clauses between
+  // instances. All of them are safe no-ops for plain single-solver use.
+
+  /// Luby restart unit in conflicts (default 100).
+  void set_restart_unit(std::int64_t unit) {
+    restart_unit_ = unit < 1 ? 1 : unit;
+  }
+
+  /// Overrides the saved phase (initial branching polarity) of a variable.
+  void set_phase(Var v, bool value);
+
+  /// Adds `amount` to a variable's VSIDS activity — a deterministic way to
+  /// pre-seed distinct decision orders across portfolio instances.
+  void nudge_activity(Var v, double amount);
+
+  /// Enables export of learnt clauses with LBD <= max_lbd (0 = disabled,
+  /// the default). Exported clauses accumulate until clear_exported().
+  void set_export_max_lbd(std::uint32_t max_lbd) { export_max_lbd_ = max_lbd; }
+  const std::vector<std::vector<Lit>>& exported_learnts() const {
+    return export_buf_;
+  }
+  void clear_exported_learnts() { export_buf_.clear(); }
+
+  /// Root-level (decision level 0) assignments — formula-implied unit
+  /// facts, never assumption-dependent. Only valid between solve() calls
+  /// (the solver always returns at level 0).
+  std::span<const Lit> root_trail() const {
+    ORAP_DCHECK(trail_lim_.empty());
+    return {trail_.data(), trail_.size()};
+  }
 
  private:
   // --- clause arena -------------------------------------------------------
@@ -203,6 +252,11 @@ class Solver {
   std::size_t max_learnts_ = 8000;       // grows after every reduction
   std::vector<std::uint32_t> lbd_stamp_;  // per-level marker for LBD calc
   std::uint32_t lbd_epoch_ = 0;
+
+  std::int64_t restart_unit_ = 100;  // Luby unit, in conflicts
+  std::uint32_t export_max_lbd_ = 0;
+  static constexpr std::size_t kMaxExportBuffer = 4096;
+  std::vector<std::vector<Lit>> export_buf_;
 
   SolverStats stats_;
 };

@@ -15,6 +15,7 @@
 #include "locking/locking.h"
 #include "netlist/simulator.h"
 #include "sat/encode.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace orap {
@@ -83,6 +84,52 @@ TEST(SatAttack, SarlockNeedsExponentialDips) {
   EXPECT_TRUE(key_equivalent(sar, r1.key));
   EXPECT_GT(r1.iterations, 100u);  // ~2^8 = 256 wrong keys, one per DIP
   EXPECT_LT(r2.iterations, 64u);
+}
+
+TEST(SatAttack, PortfolioSizesAgreeBitIdentically) {
+  // Acceptance criterion for the portfolio solver: the attack result —
+  // key bits, DIP count, oracle queries — is identical for portfolio
+  // sizes 1, 2 and 4, and for each size identical between 1 and 4 pool
+  // threads. (Instance 0 runs the stock configuration, so easy DIP
+  // queries resolve in its first epoch and sizes are interchangeable.)
+  const Netlist n = small_circuit(40);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 41);
+  struct Outcome {
+    BitVec key;
+    std::size_t iterations, queries;
+  };
+  std::vector<Outcome> outcomes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    for (const std::size_t psize :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      GoldenOracle oracle(lc);
+      SatAttackOptions opts;
+      opts.portfolio_size = psize;
+      const SatAttackResult r = sat_attack(lc, oracle, opts);
+      ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound)
+          << "threads " << threads << " portfolio " << psize;
+      outcomes.push_back({r.key, r.iterations, r.oracle_queries});
+    }
+  }
+  set_parallel_threads(0);
+  for (std::size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].key, outcomes[0].key) << "combo " << i;
+    EXPECT_EQ(outcomes[i].iterations, outcomes[0].iterations) << "combo " << i;
+    EXPECT_EQ(outcomes[i].queries, outcomes[0].queries) << "combo " << i;
+  }
+  EXPECT_TRUE(key_equivalent(lc, outcomes[0].key));
+}
+
+TEST(SatAttack, PortfolioReportsSolverWallTime) {
+  const Netlist n = small_circuit(43);
+  const LockedCircuit lc = lock_random_xor(n, 12, 44);
+  GoldenOracle oracle(lc);
+  SatAttackOptions opts;
+  opts.portfolio_size = 2;
+  const SatAttackResult r = sat_attack(lc, oracle, opts);
+  ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound);
+  EXPECT_GT(r.solver_wall_ms, 0.0);
 }
 
 TEST(SatAttack, IterationLimitReported) {

@@ -1,0 +1,128 @@
+// Tests for the shared bench CLI plumbing: strict argument parsing (bad
+// values and unknown flags must be rejected, not silently swallowed) and
+// JSON string escaping (control characters must become \uXXXX).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace orap::bench {
+namespace {
+
+BenchArgs must_parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  BenchArgs a;
+  std::string error;
+  EXPECT_TRUE(BenchArgs::try_parse(static_cast<int>(argv.size()),
+                                   const_cast<char**>(argv.data()), &a,
+                                   &error))
+      << error;
+  return a;
+}
+
+std::string must_fail(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "bench");
+  BenchArgs a;
+  std::string error;
+  EXPECT_FALSE(BenchArgs::try_parse(static_cast<int>(argv.size()),
+                                    const_cast<char**>(argv.data()), &a,
+                                    &error));
+  return error;
+}
+
+TEST(BenchArgs, Defaults) {
+  const BenchArgs a = must_parse({});
+  EXPECT_DOUBLE_EQ(a.scale, 0.15);
+  EXPECT_FALSE(a.full);
+  EXPECT_EQ(a.threads, 0u);
+  EXPECT_EQ(a.portfolio, 1u);
+  EXPECT_TRUE(a.json_path.empty());
+}
+
+TEST(BenchArgs, ParsesAllFlags) {
+  const BenchArgs a = must_parse(
+      {"--scale=0.5", "--threads=8", "--portfolio=4", "--json=/tmp/r.json"});
+  EXPECT_DOUBLE_EQ(a.scale, 0.5);
+  EXPECT_EQ(a.threads, 8u);
+  EXPECT_EQ(a.portfolio, 4u);
+  EXPECT_EQ(a.json_path, "/tmp/r.json");
+}
+
+TEST(BenchArgs, FullSetsScaleOne) {
+  const BenchArgs a = must_parse({"--full"});
+  EXPECT_TRUE(a.full);
+  EXPECT_DOUBLE_EQ(a.scale, 1.0);
+}
+
+TEST(BenchArgs, RejectsNegativeThreads) {
+  const std::string e = must_fail({"--threads=-1"});
+  EXPECT_NE(e.find("--threads"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsNonNumericScale) {
+  const std::string e = must_fail({"--scale=foo"});
+  EXPECT_NE(e.find("--scale"), std::string::npos);
+}
+
+TEST(BenchArgs, RejectsTrailingGarbage) {
+  must_fail({"--threads=4x"});
+  must_fail({"--scale=0.5abc"});
+  must_fail({"--portfolio=2,"});
+}
+
+TEST(BenchArgs, RejectsOutOfRangeValues) {
+  must_fail({"--scale=0"});
+  must_fail({"--scale=-0.5"});
+  must_fail({"--scale=inf"});
+  must_fail({"--scale=nan"});
+  must_fail({"--threads=99999999"});
+  must_fail({"--portfolio=0"});
+  must_fail({"--portfolio=1000"});
+}
+
+TEST(BenchArgs, RejectsUnknownFlags) {
+  const std::string e = must_fail({"--thread=4"});  // typo'd flag
+  EXPECT_NE(e.find("unknown"), std::string::npos);
+  must_fail({"--bogus"});
+  must_fail({"extra-positional"});
+}
+
+TEST(BenchArgs, RejectsEmptyValues) {
+  must_fail({"--threads="});
+  must_fail({"--scale="});
+  must_fail({"--json="});
+}
+
+TEST(BenchArgs, ParseExitsNonZeroOnBadFlag) {
+  const char* argv[] = {"bench", "--threads=-1"};
+  EXPECT_EXIT(BenchArgs::parse(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "invalid --threads");
+}
+
+TEST(JsonEscape, PassesPlainStrings) {
+  EXPECT_EQ(JsonReport::escaped("abc_123 e3"), "abc_123 e3");
+}
+
+TEST(JsonEscape, EscapesQuoteAndBackslash) {
+  EXPECT_EQ(JsonReport::escaped("a\"b\\c"), "a\\\"b\\\\c");
+}
+
+TEST(JsonEscape, ControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(JsonReport::escaped("a\nb"), "a\\u000ab");
+  EXPECT_EQ(JsonReport::escaped("a\tb"), "a\\u0009b");
+  EXPECT_EQ(JsonReport::escaped(std::string("a\x01\x1f") + "b"),
+            "a\\u0001\\u001fb");
+  EXPECT_EQ(JsonReport::escaped(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscape, HighBytesPassThrough) {
+  // UTF-8 continuation bytes are >= 0x80 and must not be mangled.
+  const std::string utf8 = "\xc3\xa9";  // é
+  EXPECT_EQ(JsonReport::escaped(utf8), utf8);
+}
+
+}  // namespace
+}  // namespace orap::bench

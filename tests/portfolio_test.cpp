@@ -1,0 +1,221 @@
+// Tests for the deterministic portfolio CDCL front end: pass-through at
+// size 1, agreement with the single solver, bit-identical results at any
+// pool thread count (the determinism contract), budget/core semantics,
+// and the learnt-sharing path.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/portfolio.h"
+#include "sat/solver.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace orap::sat {
+namespace {
+
+// Pigeonhole principle PHP(pigeons, holes) into any sink.
+void add_php(ClauseSink& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x)
+    for (auto& v : row) v = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < holes; ++h) some.push_back(pos(x[p][h]));
+    s.add_clause(some);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+}
+
+std::vector<std::vector<Lit>> random_cnf(std::uint64_t seed, int nvars,
+                                         int nclauses) {
+  Rng rng(seed);
+  std::vector<std::vector<Lit>> cnf;
+  for (int i = 0; i < nclauses; ++i) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.push_back(Lit(static_cast<Var>(rng.below(nvars)), rng.bit()));
+    cnf.push_back(cl);
+  }
+  return cnf;
+}
+
+bool model_satisfies(const PortfolioSolver& s,
+                     const std::vector<std::vector<Lit>>& cnf) {
+  for (const auto& cl : cnf) {
+    bool any = false;
+    for (const Lit l : cl) any |= s.model_value(l.var()) != l.sign();
+    if (!any) return false;
+  }
+  return true;
+}
+
+TEST(Portfolio, SizeOneIsPassThrough) {
+  PortfolioSolver p;  // default size 1
+  EXPECT_EQ(p.size(), 1u);
+  const Var a = p.new_var();
+  const Var b = p.new_var();
+  p.add_clause({neg(a), pos(b)});
+  p.add_clause({pos(a)});
+  EXPECT_EQ(p.solve(), Solver::Result::kSat);
+  EXPECT_TRUE(p.model_value(b));
+  EXPECT_EQ(p.portfolio_stats().epochs, 0u);
+  EXPECT_EQ(p.portfolio_stats().winner, 0u);
+}
+
+TEST(Portfolio, AgreesWithPlainSolverOnRandomCnf) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto cnf = random_cnf(seed, 10, 42);
+    Solver plain;
+    for (int v = 0; v < 10; ++v) plain.new_var();
+    bool plain_ok = true;
+    for (auto cl : cnf) plain_ok &= plain.add_clause(cl);
+    const auto expect =
+        plain_ok ? plain.solve() : Solver::Result::kUnsat;
+
+    for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      PortfolioOptions po;
+      po.size = n;
+      PortfolioSolver p(po);
+      for (int v = 0; v < 10; ++v) p.new_var();
+      bool p_ok = true;
+      for (auto cl : cnf) p_ok &= p.add_clause(cl);
+      ASSERT_EQ(p_ok, plain_ok) << "seed " << seed << " size " << n;
+      const auto got = p_ok ? p.solve() : Solver::Result::kUnsat;
+      ASSERT_EQ(got, expect) << "seed " << seed << " size " << n;
+      if (got == Solver::Result::kSat)
+        EXPECT_TRUE(model_satisfies(p, cnf)) << "seed " << seed << " size " << n;
+    }
+  }
+}
+
+TEST(Portfolio, PigeonholeUnsatAllSizes) {
+  for (const std::size_t n : {std::size_t{2}, std::size_t{4}}) {
+    PortfolioOptions po;
+    po.size = n;
+    po.epoch_budget = 50;  // force multiple epochs
+    PortfolioSolver p(po);
+    add_php(p, 7, 6);
+    EXPECT_EQ(p.solve(), Solver::Result::kUnsat) << "size " << n;
+    EXPECT_GE(p.portfolio_stats().epochs, 1u);
+  }
+}
+
+TEST(Portfolio, BitIdenticalAcrossPoolThreadCounts) {
+  // The determinism contract: verdict, winning instance, epoch count and
+  // model bits must not depend on how many pool threads execute the
+  // epochs. Small epoch budget forces the multi-epoch path.
+  struct Outcome {
+    Solver::Result res;
+    std::uint64_t epochs;
+    std::size_t winner;
+    std::uint64_t units, clauses;
+    std::vector<bool> model;
+  };
+  auto run = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    PortfolioOptions po;
+    po.size = 4;
+    po.epoch_budget = 50;
+    PortfolioSolver p(po);
+    add_php(p, 8, 7);
+    Outcome o;
+    o.res = p.solve();
+    o.epochs = p.portfolio_stats().epochs;
+    o.winner = p.portfolio_stats().winner;
+    o.units = p.portfolio_stats().shared_units;
+    o.clauses = p.portfolio_stats().shared_clauses;
+    for (std::size_t v = 0; v < p.num_vars(); ++v)
+      o.model.push_back(o.res == Solver::Result::kSat ? p.model_value(v)
+                                                      : false);
+    return o;
+  };
+  const Outcome one = run(1);
+  const Outcome four = run(4);
+  set_parallel_threads(0);  // restore auto for the rest of the binary
+  EXPECT_EQ(one.res, four.res);
+  EXPECT_EQ(one.res, Solver::Result::kUnsat);
+  EXPECT_EQ(one.epochs, four.epochs);
+  EXPECT_EQ(one.winner, four.winner);
+  EXPECT_EQ(one.units, four.units);
+  EXPECT_EQ(one.clauses, four.clauses);
+  EXPECT_EQ(one.model, four.model);
+}
+
+TEST(Portfolio, AssumptionCoreMatchesSemantics) {
+  PortfolioOptions po;
+  po.size = 3;
+  PortfolioSolver p(po);
+  const Var a = p.new_var();
+  const Var b = p.new_var();
+  const Var c = p.new_var();
+  p.add_clause({neg(a), neg(b)});  // a,b incompatible; c irrelevant
+  const std::vector<Lit> assumptions{pos(c), pos(a), pos(b)};
+  ASSERT_EQ(p.solve(assumptions), Solver::Result::kUnsat);
+  bool mentions_ab = false, mentions_c = false;
+  for (const Lit l : p.unsat_core()) {
+    if (l.var() == a || l.var() == b) mentions_ab = true;
+    if (l.var() == c) mentions_c = true;
+  }
+  EXPECT_TRUE(mentions_ab);
+  EXPECT_FALSE(mentions_c);
+  // Not poisoned: succeeding assumptions still work.
+  EXPECT_EQ(p.solve(std::vector<Lit>{pos(a)}), Solver::Result::kSat);
+  EXPECT_FALSE(p.model_value(b));
+}
+
+TEST(Portfolio, ConflictBudgetAbortsAndStaysUsable) {
+  PortfolioOptions po;
+  po.size = 2;
+  po.epoch_budget = 5;
+  PortfolioSolver p(po);
+  add_php(p, 8, 7);
+  EXPECT_EQ(p.solve({}, 20), Solver::Result::kUnknown);
+  EXPECT_EQ(p.solve({}, -1), Solver::Result::kUnsat);
+}
+
+TEST(Portfolio, RootContradictionIsUnsatWithEmptyCore) {
+  PortfolioOptions po;
+  po.size = 3;
+  PortfolioSolver p(po);
+  const Var a = p.new_var();
+  const Var b = p.new_var();
+  p.add_clause({pos(a)});
+  EXPECT_FALSE(p.add_clause({neg(a)}));
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.solve(std::vector<Lit>{pos(b)}), Solver::Result::kUnsat);
+  EXPECT_TRUE(p.unsat_core().empty());
+}
+
+TEST(Portfolio, SharingMovesGlueClausesOnHardFormula) {
+  // With sharing on and a formula hard enough for several epochs, the
+  // barrier exchange should actually move units or glue clauses.
+  PortfolioOptions po;
+  po.size = 4;
+  po.epoch_budget = 30;
+  po.share_max_lbd = 2;
+  PortfolioSolver p(po);
+  add_php(p, 8, 7);
+  ASSERT_EQ(p.solve(), Solver::Result::kUnsat);
+  EXPECT_GT(p.portfolio_stats().epochs, 1u);
+  EXPECT_GT(p.portfolio_stats().shared_units +
+                p.portfolio_stats().shared_clauses,
+            0u);
+}
+
+TEST(Portfolio, TotalStatsSumInstances) {
+  PortfolioOptions po;
+  po.size = 3;
+  PortfolioSolver p(po);
+  add_php(p, 6, 5);
+  ASSERT_EQ(p.solve(), Solver::Result::kUnsat);
+  EXPECT_GE(p.total_stats().conflicts, p.stats().conflicts);
+  EXPECT_GT(p.portfolio_stats().solve_wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace orap::sat

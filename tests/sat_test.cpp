@@ -298,6 +298,82 @@ TEST(Encoder, RandomCircuitSatModelMatchesSimulation) {
     EXPECT_EQ(out.get(o), s.model_value(cv.outputs[o]));
 }
 
+TEST(Solver, RootConflictUnderAssumptionsGivesEmptyCore) {
+  // Once the clause database is contradictory at root (ok() == false),
+  // solve() must report kUnsat with an EMPTY core regardless of the
+  // assumptions: the conflict does not depend on them.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a)});
+  EXPECT_FALSE(s.add_clause({neg(a)}));
+  ASSERT_FALSE(s.ok());
+  const std::vector<Lit> assumptions{pos(b)};
+  EXPECT_EQ(s.solve(assumptions), Solver::Result::kUnsat);
+  EXPECT_TRUE(s.unsat_core().empty());
+}
+
+TEST(Solver, RootConflictDoesNotLeakStaleCore) {
+  // Regression: a failing-assumptions solve populates conflict_core_; a
+  // later root-conflict solve used to return that stale core because the
+  // ok() early-out skipped the clearing. The core must be empty.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({neg(a), neg(b)});
+  const std::vector<Lit> both{pos(a), pos(b)};
+  ASSERT_EQ(s.solve(both), Solver::Result::kUnsat);
+  ASSERT_FALSE(s.unsat_core().empty());  // genuine assumption core
+  // Now make the database itself contradictory.
+  EXPECT_TRUE(s.add_clause({pos(a)}));
+  EXPECT_FALSE(s.add_clause({neg(a)}));
+  EXPECT_EQ(s.solve(both), Solver::Result::kUnsat);
+  EXPECT_TRUE(s.unsat_core().empty());
+}
+
+TEST(Solver, BudgetAbortLeavesSolverReusableAtRoot) {
+  // kUnknown must hand back a solver at decision level 0 that accepts new
+  // clauses and solves correctly afterwards.
+  Solver s;
+  add_php(s, 8, 7);
+  ASSERT_EQ(s.solve({}, 10), Solver::Result::kUnknown);
+  const Var extra = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(extra)}));  // would fail off level 0
+  const std::vector<Lit> assume{pos(extra)};
+  EXPECT_EQ(s.solve(assume, -1), Solver::Result::kUnsat);
+  EXPECT_TRUE(s.unsat_core().empty());  // formula-level, not assumption-level
+}
+
+TEST(Solver, IncrementalSolveAgreesWithFreshSolver) {
+  // Interleaved solve calls with accumulating clauses must give the same
+  // verdicts as a fresh solver loaded with the same prefix each time —
+  // learnt clauses and saved phases must never change answers.
+  Rng rng(77);
+  const int nvars = 12;
+  Solver inc;
+  for (int v = 0; v < nvars; ++v) inc.new_var();
+  std::vector<std::vector<Lit>> all;
+  bool inc_ok = true;
+  for (int round = 0; round < 25; ++round) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.push_back(Lit(static_cast<Var>(rng.below(nvars)), rng.bit()));
+    all.push_back(cl);
+    if (inc_ok) inc_ok = inc.add_clause(cl);
+    const auto inc_res =
+        inc_ok ? inc.solve() : Solver::Result::kUnsat;
+
+    Solver fresh;
+    for (int v = 0; v < nvars; ++v) fresh.new_var();
+    bool fresh_ok = true;
+    for (const auto& c : all) fresh_ok &= fresh.add_clause(c);
+    const auto fresh_res =
+        fresh_ok ? fresh.solve() : Solver::Result::kUnsat;
+    ASSERT_EQ(inc_res, fresh_res) << "round " << round;
+    if (inc_res == Solver::Result::kUnsat) break;
+  }
+}
+
 TEST(Solver, StatsAccumulate) {
   Solver s;
   add_php(s, 6, 5);

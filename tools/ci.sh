@@ -33,6 +33,20 @@ run_pass() {
 CTEST_EXTRA=()
 run_pass "$PREFIX" "plain"
 
+# Smoke-test the bench CLI + JSON report path: run one (cheap) bench with
+# --json and make sure the record is well-formed JSON and carries the
+# portfolio field. Also check that bad flags are rejected with exit 2.
+echo "==== [plain] bench --json smoke ===="
+JSON_OUT="$PREFIX/bench_smoke.json"
+"$PREFIX/bench/lfsr_mixing" --scale=0.02 --portfolio=2 --json="$JSON_OUT" \
+  >/dev/null
+python3 -m json.tool "$JSON_OUT" >/dev/null
+grep -q '"portfolio": 2' "$JSON_OUT"
+if "$PREFIX/bench/lfsr_mixing" --threads=-1 >/dev/null 2>&1; then
+  echo "error: bench accepted --threads=-1" >&2
+  exit 1
+fi
+
 if [[ "$RUN_TSAN" == "1" ]]; then
   CTEST_EXTRA=()
   [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")

@@ -27,6 +27,7 @@
 #include "atpg/atpg.h"
 #include "chip/chip.h"
 #include "sat/dimacs.h"
+#include "sat/portfolio.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "attacks/simple_attacks.h"
@@ -240,6 +241,7 @@ int cmd_atpg(const Args& a) {
   opts.conflict_budget =
       static_cast<std::int64_t>(a.get_num("budget", 10000));
   opts.seed = a.get_num("seed", 1);
+  opts.portfolio_size = a.get_num("portfolio", 1);
   const AtpgResult r = run_atpg(n, opts);
   std::printf("faults (collapsed):  %zu\n", r.total_faults);
   std::printf("fault coverage:      %.2f%%\n", r.fault_coverage_pct());
@@ -289,13 +291,17 @@ int cmd_attack(const Args& a) {
     SatAttackOptions opts;
     opts.max_iterations =
         static_cast<std::int64_t>(a.get_num("max-iter", 4096));
+    opts.portfolio_size = a.get_num("portfolio", 1);
     SatAttackResult r;
     if (kind == "sat")
       r = sat_attack(lc, oracle, opts);
     else if (kind == "doubledip")
       r = double_dip_attack(lc, oracle, opts);
-    else
-      r = appsat_attack(lc, oracle);
+    else {
+      AppSatOptions app_opts;
+      app_opts.portfolio_size = opts.portfolio_size;
+      r = appsat_attack(lc, oracle, app_opts);
+    }
     const char* status = "?";
     switch (r.status) {
       case SatAttackResult::Status::kKeyFound: status = "key found"; break;
@@ -382,11 +388,14 @@ int cmd_protect(const Args& a) {
 }
 
 int cmd_solve(const Args& a) {
-  if (a.positional.empty()) die("usage: orap solve <file.cnf> [--budget N]");
+  if (a.positional.empty())
+    die("usage: orap solve <file.cnf> [--budget N] [--portfolio N]");
   std::ifstream is(a.positional[0]);
   if (!is.good()) die("cannot read " + a.positional[0]);
   const sat::Cnf cnf = sat::read_dimacs(is);
-  sat::Solver s;
+  sat::PortfolioOptions po;
+  po.size = a.get_num("portfolio", 1);
+  sat::PortfolioSolver s(po);
   if (!cnf.load_into(s)) {
     std::puts("s UNSATISFIABLE");
     return 20;
@@ -432,18 +441,21 @@ void usage() {
       "[--verilog out.v]\n"
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
-      "  orap atpg    <in.bench> [--random-words N] [--budget B]\n"
+      "  orap atpg    <in.bench> [--random-words N] [--budget B] "
+      "[--portfolio N]\n"
       "  orap attack  <locked.bench> --key key.txt [--kind "
-      "sat|appsat|doubledip|hillclimb] [--oracle golden|orap]\n"
+      "sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
+      "[--portfolio N]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
-      "  orap solve   <file.cnf> [--budget N] — standalone DIMACS SAT "
-      "solver\n"
+      "  orap solve   <file.cnf> [--budget N] [--portfolio N] — standalone "
+      "DIMACS SAT solver\n"
       "  orap export  <in.bench> [-o out.v]\n"
       "\n"
       "Global: --threads N sets the parallel pool size (0 = auto; also "
-      "settable via ORAP_THREADS).\nResults are deterministic for a given "
-      "seed at any thread count.");
+      "settable via ORAP_THREADS).\n--portfolio N races N diversified CDCL "
+      "instances per SAT query in deterministic\nlockstep epochs. Results "
+      "are deterministic for a given seed at any thread count.");
 }
 
 }  // namespace
