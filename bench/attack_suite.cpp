@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
       SatAttackOptions opts;
       opts.max_iterations = 4096;
       opts.portfolio_size = args.portfolio;
+      opts.preprocess = args.preprocess;
       c.r = sat_attack(c.lc, oracle, opts);
     });
     for (auto& c : cases) {
@@ -109,8 +110,10 @@ int main(int argc, char** argv) {
       auto& rows = group_rows[group];
       SatAttackOptions sat_opts;
       sat_opts.portfolio_size = args.portfolio;
+      sat_opts.preprocess = args.preprocess;
       AppSatOptions app_opts;
       app_opts.portfolio_size = args.portfolio;
+      app_opts.preprocess = args.preprocess;
       {
         const SatAttackResult r = sat_attack(view, oracle, sat_opts);
         rows.push_back({"SAT", oracle_name, std::to_string(r.oracle_queries),

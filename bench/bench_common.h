@@ -29,6 +29,7 @@ struct BenchArgs {
   bool full = false;
   std::size_t threads = 0;   // 0 = auto (ORAP_THREADS / hardware)
   std::size_t portfolio = 1; // CDCL portfolio size for SAT-bound benches
+  bool preprocess = false;   // SatELite-style CNF simplification
   std::string json_path;     // empty = no JSON record
   bool help = false;
 
@@ -94,6 +95,16 @@ struct BenchArgs {
                    std::to_string(kMaxPortfolio) + "])";
           return false;
         }
+      } else if (std::strcmp(arg, "--preprocess") == 0) {
+        a.preprocess = true;
+      } else if (std::strncmp(arg, "--preprocess=", 13) == 0) {
+        std::size_t v = 0;
+        if (!parse_size(arg + 13, &v) || v > 1) {
+          *error = std::string("invalid --preprocess value '") + (arg + 13) +
+                   "' (want 0 or 1)";
+          return false;
+        }
+        a.preprocess = v == 1;
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         a.json_path = arg + 7;
         if (a.json_path.empty()) {
@@ -120,6 +131,8 @@ struct BenchArgs {
         "hardware concurrency)\n"
         "  --portfolio=N   CDCL portfolio size for SAT-solver-bound work "
         "(default 1)\n"
+        "  --preprocess[=0|1]  SatELite-style CNF simplification before "
+        "solving (default 0)\n"
         "  --json=PATH     write a machine-readable result record\n",
         prog);
   }
@@ -146,6 +159,7 @@ struct BenchArgs {
     std::printf("== %s ==\n", what);
     std::printf("threads: %zu\n", parallel_threads());
     if (portfolio > 1) std::printf("portfolio: %zu CDCL instances\n", portfolio);
+    if (preprocess) std::printf("preprocess: CNF simplification on\n");
     if (full)
       std::printf("mode: FULL (paper-scale circuits)\n\n");
     else
@@ -200,7 +214,9 @@ class JsonReport {
     std::snprintf(scale_buf, sizeof scale_buf, "%.4f", args_.scale);
     os << "{\"bench\": \"" << escaped(bench_) << "\", \"scale\": " << scale_buf
        << ", \"threads\": " << parallel_threads()
-       << ", \"portfolio\": " << args_.portfolio << ", \"wall_ms\": ";
+       << ", \"portfolio\": " << args_.portfolio
+       << ", \"preprocess\": " << (args_.preprocess ? 1 : 0)
+       << ", \"wall_ms\": ";
     char wall_buf[32];
     std::snprintf(wall_buf, sizeof wall_buf, "%.1f", wall);
     os << wall_buf << ", \"results\": {";

@@ -3,9 +3,15 @@
 // schemes (SARLock / Anti-SAT) force ~2^k DIPs while high-corruption
 // schemes collapse in a handful — which is why the paper pairs OraP (kills
 // the oracle) with weighted locking (keeps the corruption).
+//
+// With --preprocess=1 each miter is simplified before its DIP loop; the
+// JSON record carries per-case formula sizes (vars / active_vars) plus the
+// recovered key and status, so an off-vs-on A/B can assert "same attack
+// outcome, ~N% smaller formula" (see BENCH_dip_scaling.json).
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
@@ -16,6 +22,26 @@
 #include "util/table.h"
 
 using namespace orap;
+
+namespace {
+
+const char* status_str(SatAttackResult::Status s) {
+  switch (s) {
+    case SatAttackResult::Status::kKeyFound: return "key_found";
+    case SatAttackResult::Status::kIterationLimit: return "iteration_limit";
+    case SatAttackResult::Status::kSolverBudget: return "solver_budget";
+    case SatAttackResult::Status::kInconsistentOracle: return "inconsistent";
+  }
+  return "?";
+}
+
+std::string key_str(const BitVec& key) {
+  std::string s;
+  for (std::size_t i = 0; i < key.size(); ++i) s += key.get(i) ? '1' : '0';
+  return s;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
@@ -38,57 +64,70 @@ int main(int argc, char** argv) {
   // own oracle; fan the grid out across the pool.
   std::vector<std::size_t> key_sizes;
   for (std::size_t k = 4; k <= max_sar; k += 2) key_sizes.push_back(k);
-  struct Row {
-    std::size_t weighted = 0, random_xor = 0, sarlock = 0;
-  };
-  std::vector<Row> rows(key_sizes.size());
-  std::vector<double> solver_ms(3 * key_sizes.size(), 0.0);
+  static constexpr const char* kSchemes[] = {"weighted", "xor", "sarlock"};
+  std::vector<SatAttackResult> results(3 * key_sizes.size());
   parallel_for(1, 3 * key_sizes.size(), [&](std::size_t idx) {
     const std::size_t k = key_sizes[idx / 3];
     SatAttackOptions opts;
     opts.max_iterations = (std::int64_t{1} << (max_sar + 1));
     opts.portfolio_size = args.portfolio;
+    opts.preprocess = args.preprocess;
     switch (idx % 3) {
       case 0: {
         const LockedCircuit wl = lock_weighted(n, k, 2, 81);
         GoldenOracle o(wl);
-        const SatAttackResult r = sat_attack(wl, o, opts);
-        rows[idx / 3].weighted = r.iterations;
-        solver_ms[idx] = r.solver_wall_ms;
+        results[idx] = sat_attack(wl, o, opts);
         break;
       }
       case 1: {
         const LockedCircuit xr = lock_random_xor(n, k, 82);
         GoldenOracle o(xr);
-        const SatAttackResult r = sat_attack(xr, o, opts);
-        rows[idx / 3].random_xor = r.iterations;
-        solver_ms[idx] = r.solver_wall_ms;
+        results[idx] = sat_attack(xr, o, opts);
         break;
       }
       default: {
         const LockedCircuit sar = lock_sarlock(n, k, 83);
         GoldenOracle o(sar);
-        const SatAttackResult r = sat_attack(sar, o, opts);
-        rows[idx / 3].sarlock = r.iterations;
-        solver_ms[idx] = r.solver_wall_ms;
+        results[idx] = sat_attack(sar, o, opts);
         break;
       }
     }
   });
   double total_solver_ms = 0.0;
-  for (const double ms : solver_ms) total_solver_ms += ms;
+  double total_simplify_ms = 0.0;
+  std::size_t total_vars = 0, total_active = 0;
+  std::uint64_t total_eliminated = 0, total_removed = 0;
+  for (const auto& r : results) {
+    total_solver_ms += r.solver_wall_ms;
+    total_simplify_ms += r.simplify_ms;
+    total_vars += r.solver_vars;
+    total_active += r.solver_active_vars;
+    total_eliminated += r.eliminated_vars;
+    total_removed += r.removed_clauses;
+  }
   report.add("solver_wall_ms", total_solver_ms, 1);
+  report.add("simplify_ms", total_simplify_ms, 1);
+  report.add("solver_vars", total_vars);
+  report.add("solver_active_vars", total_active);
+  report.add("eliminated_vars", static_cast<std::size_t>(total_eliminated));
+  report.add("removed_clauses", static_cast<std::size_t>(total_removed));
 
   for (std::size_t i = 0; i < key_sizes.size(); ++i) {
     const std::size_t k = key_sizes[i];
-    t.add_row({std::to_string(k), std::to_string(rows[i].weighted),
-               std::to_string(rows[i].random_xor),
-               std::to_string(rows[i].sarlock),
+    t.add_row({std::to_string(k), std::to_string(results[3 * i].iterations),
+               std::to_string(results[3 * i + 1].iterations),
+               std::to_string(results[3 * i + 2].iterations),
                std::to_string(std::size_t{1} << k)});
-    const std::string tag = "k" + std::to_string(k);
-    report.add(tag + "_weighted_dips", rows[i].weighted);
-    report.add(tag + "_xor_dips", rows[i].random_xor);
-    report.add(tag + "_sarlock_dips", rows[i].sarlock);
+    for (std::size_t s = 0; s < 3; ++s) {
+      const SatAttackResult& r = results[3 * i + s];
+      const std::string tag =
+          "k" + std::to_string(k) + "_" + kSchemes[s] + "_";
+      report.add(tag + "dips", r.iterations);
+      report.add_string(tag + "status", status_str(r.status));
+      report.add_string(tag + "key", key_str(r.key));
+      report.add(tag + "vars", r.solver_vars);
+      report.add(tag + "active_vars", r.solver_active_vars);
+    }
   }
   t.print(std::cout);
   report.finish();

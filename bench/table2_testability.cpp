@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   // Atalanta's backtrack limit does).
   opts.conflict_budget = args.full ? 10000 : 2000;
   opts.portfolio_size = args.portfolio;
+  opts.preprocess = args.preprocess;
 
   const auto& profiles = paper_benchmarks();
 

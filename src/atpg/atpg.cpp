@@ -28,7 +28,8 @@ std::vector<bool> fanout_cone(const Netlist& n, GateId site) {
 std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
                                     bool* aborted_out,
-                                    std::size_t portfolio_size) {
+                                    std::size_t portfolio_size,
+                                    bool preprocess) {
   if (aborted_out != nullptr) *aborted_out = false;
 
   // Cone of influence: only the fanin support of the POs the fault can
@@ -101,6 +102,21 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
     any.push_back(sat::pos(e.encode_xor2(gvar[po_gate], fvar[po_gate])));
   s.add_clause(any);
 
+  if (preprocess) {
+    // The pattern is read back from the PI variables and the fault site
+    // pins the miter: keep them (and the observed POs) out of elimination.
+    for (std::size_t i = 0; i < n.num_inputs(); ++i) {
+      const GateId in = n.inputs()[i];
+      if (gvar[in] != sat::Encoder::kNoVar) s.freeze(gvar[in]);
+    }
+    s.freeze(stuck);
+    for (const GateId po_gate : reachable_pos) {
+      s.freeze(gvar[po_gate]);
+      s.freeze(fvar[po_gate]);
+    }
+    s.simplify();
+  }
+
   const auto res = s.solve({}, conflict_budget);
   if (res == sat::Solver::Result::kUnknown) {
     if (aborted_out != nullptr) *aborted_out = true;
@@ -131,7 +147,7 @@ AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts) {
     remaining.pop_back();
     bool aborted = false;
     const auto pattern = generate_test(n, f, opts.conflict_budget, &aborted,
-                                       opts.portfolio_size);
+                                       opts.portfolio_size, opts.preprocess);
     if (!pattern.has_value()) {
       if (aborted)
         ++result.aborted;

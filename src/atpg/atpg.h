@@ -29,6 +29,10 @@ struct AtpgOptions {
   /// > 1 races that many diversified CDCL instances per fault query in
   /// deterministic lockstep epochs (sat/portfolio.h); 1 = single solver.
   std::size_t portfolio_size = 1;
+  /// Runs SatELite-style CNF simplification (sat/simplify.h) on each
+  /// good/faulty miter before solving. Fault-site and PI/PO variables are
+  /// frozen so the test pattern stays readable from the model.
+  bool preprocess = false;
 };
 
 struct AtpgResult {
@@ -51,11 +55,13 @@ struct AtpgResult {
 
 /// Generates a test pattern for one fault (nullopt = redundant or
 /// aborted; `aborted_out` distinguishes the two). portfolio_size > 1
-/// races diversified solver instances on the good/faulty miter.
+/// races diversified solver instances on the good/faulty miter;
+/// `preprocess` simplifies the miter CNF before the solve.
 std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
                                     bool* aborted_out,
-                                    std::size_t portfolio_size = 1);
+                                    std::size_t portfolio_size = 1,
+                                    bool preprocess = false);
 
 /// The full Table II flow: collapse faults, pseudorandom phase with
 /// dropping, SAT-ATPG on the remainder.

@@ -38,6 +38,16 @@ class LockedEncoder {
 
   sat::Encoder& encoder() { return enc_; }
   const std::vector<bool>& key_dependent() const { return key_dep_; }
+
+  /// Freezes the encoder-owned interface vars (the constants) against
+  /// preprocessing. Attacks call this — together with freezing their data
+  /// inputs, key vectors, activation literal and miter outputs — before
+  /// Solver/PortfolioSolver::simplify(), because every later
+  /// add_io_constraint() references the key vars and the constants.
+  void freeze_interface() {
+    s_.freeze(const_true_);
+    if (const_false_ >= 0) s_.freeze(const_false_);
+  }
   sat::Lit constant(bool v) const {
     return v ? sat::pos(const_true_) : sat::neg(const_true_);
   }
@@ -90,17 +100,17 @@ class LockedEncoder {
         cv.gate[g] = base.gate[g];
         continue;
       }
-      std::vector<sat::Var> fi;
-      for (const GateId f : n.fanins(g)) fi.push_back(cv.gate[f]);
-      cv.gate[g] = enc_.encode_gate(n.type(g), fi);
+      fi_.clear();
+      for (const GateId f : n.fanins(g)) fi_.push_back(cv.gate[f]);
+      cv.gate[g] = enc_.encode_gate(n.type(g), fi_);
       if (equivalence_scaffold) {
         eq[g] = xnor_var(base.gate[g], cv.gate[g]);
         // (eq over all duplicated fanins) -> eq[g].
-        std::vector<sat::Lit> cl;
+        cl_.clear();
         for (const GateId f : n.fanins(g))
-          if (eq[f] != sat::Encoder::kNoVar) cl.push_back(sat::neg(eq[f]));
-        cl.push_back(sat::pos(eq[g]));
-        s_.add_clause(cl);
+          if (eq[f] != sat::Encoder::kNoVar) cl_.push_back(sat::neg(eq[f]));
+        cl_.push_back(sat::pos(eq[g]));
+        s_.add_clause(cl_);
       }
     }
     for (const auto& po : n.outputs()) cv.outputs.push_back(cv.gate[po.gate]);
@@ -121,16 +131,19 @@ class LockedEncoder {
     sim_.run();
     auto sim_bit = [this](GateId g) { return (sim_.value(g) & 1) != 0; };
 
-    std::vector<sat::Var> var(n.num_gates(), sat::Encoder::kNoVar);
+    // This runs once per DIP: reuse the gate-var map and fanin scratch
+    // across calls instead of reallocating num_gates() entries each time.
+    auto& var = io_var_;
+    var.assign(n.num_gates(), sat::Encoder::kNoVar);
     for (std::size_t i = 0; i < lc_.num_key_inputs; ++i)
       var[lc_.key_input(i)] = key_vars[i];
     for (GateId g = 0; g < n.num_gates(); ++g) {
       if (!key_dep_[g] || var[g] != sat::Encoder::kNoVar) continue;
       // Key-independent fanins enter as constants (their simulated value).
-      std::vector<sat::Var> fi;
+      fi_.clear();
       for (const GateId f : n.fanins(g))
-        fi.push_back(key_dep_[f] ? var[f] : const_var(sim_bit(f)));
-      var[g] = enc_.encode_gate(n.type(g), fi);
+        fi_.push_back(key_dep_[f] ? var[f] : const_var(sim_bit(f)));
+      var[g] = enc_.encode_gate(n.type(g), fi_);
     }
 
     bool consistent = true;
@@ -172,6 +185,11 @@ class LockedEncoder {
   std::vector<bool> key_dep_;
   sat::Var const_true_ = -1;
   sat::Var const_false_ = -1;
+
+  // Scratch buffers reused across encode calls.
+  std::vector<sat::Var> fi_;
+  std::vector<sat::Lit> cl_;
+  std::vector<sat::Var> io_var_;
 };
 
 }  // namespace orap

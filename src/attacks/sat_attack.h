@@ -25,6 +25,11 @@ struct SatAttackOptions {
   /// > 1 races that many diversified CDCL instances per SAT call in
   /// deterministic lockstep epochs (sat/portfolio.h); 1 = single solver.
   std::size_t portfolio_size = 1;
+  /// Runs SatELite-style CNF simplification (sat/simplify.h) on the miter
+  /// once before the DIP loop. The attack freezes its interface variables
+  /// (data inputs, key vectors, activation literal, miter outputs, encoder
+  /// constants) so every later add_io_constraint stays expressible.
+  bool preprocess = false;
 };
 
 struct SatAttackResult {
@@ -40,6 +45,15 @@ struct SatAttackResult {
   std::size_t iterations = 0; // DIPs used
   std::size_t oracle_queries = 0;
   double solver_wall_ms = 0.0;  // wall time spent inside SAT solve calls
+
+  // Formula-size accounting, sampled at DIP-loop start so preprocess
+  // on/off runs compare the same formula (preprocess off: active == total,
+  // the remaining counters stay 0).
+  std::size_t solver_vars = 0;         // miter CNF variables
+  std::size_t solver_active_vars = 0;  // still in the search post-simplify
+  std::uint64_t eliminated_vars = 0;   // removed by variable elimination
+  std::uint64_t removed_clauses = 0;   // net clause-count reduction
+  double simplify_ms = 0.0;            // time spent preprocessing
 };
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -56,6 +70,7 @@ struct AppSatOptions {
   std::size_t settle_rounds = 2;     // consecutive clean rounds to stop
   std::uint64_t seed = 1;
   std::size_t portfolio_size = 1;    // as in SatAttackOptions
+  bool preprocess = false;           // as in SatAttackOptions
 };
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,

@@ -29,24 +29,24 @@ Var Encoder::encode_gate(GateType type, const std::vector<Var>& fi) {
         return Lit(out, straight == inv);  // straight output literal
       };
       // out -> every fanin; all fanins -> out.
-      std::vector<Lit> big{o(true)};
+      big_.assign(1, o(true));
       for (const Var f : fi) {
         s_.add_clause({~o(true), pos(f)});
-        big.push_back(neg(f));
+        big_.push_back(neg(f));
       }
-      s_.add_clause(big);
+      s_.add_clause(big_);
       break;
     }
     case GateType::kOr:
     case GateType::kNor: {
       const bool inv = type == GateType::kNor;
       auto o = [&](bool straight) { return Lit(out, straight == inv); };
-      std::vector<Lit> big{~o(true)};
+      big_.assign(1, ~o(true));
       for (const Var f : fi) {
         s_.add_clause({o(true), neg(f)});
-        big.push_back(pos(f));
+        big_.push_back(pos(f));
       }
-      s_.add_clause(big);
+      s_.add_clause(big_);
       break;
     }
     case GateType::kXor:

@@ -46,6 +46,7 @@ class Encoder {
 
  private:
   ClauseSink& s_;
+  std::vector<Lit> big_;  // encode_gate scratch (no per-gate allocation)
 };
 
 }  // namespace orap::sat

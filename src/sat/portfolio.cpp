@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "sat/simplify.h"
 #include "util/parallel.h"
 
 namespace orap::sat {
@@ -47,12 +48,25 @@ Var PortfolioSolver::new_var() {
   return v;
 }
 
-bool PortfolioSolver::add_clause(std::vector<Lit> lits) {
+bool PortfolioSolver::add_clause(std::span<const Lit> lits) {
   bool ok = true;
-  for (std::size_t i = 1; i < solvers_.size(); ++i)
-    ok &= solvers_[i]->add_clause(lits);
-  ok &= solvers_[0]->add_clause(std::move(lits));
+  for (auto& s : solvers_) ok &= s->add_clause(lits);
   return ok;
+}
+
+bool PortfolioSolver::simplify() { return simplify(SimplifyOptions{}); }
+
+bool PortfolioSolver::simplify(const SimplifyOptions& opts) {
+  // Simplification is deterministic, so running it once and copying beats
+  // running the identical pass N times.
+  const bool ok0 = solvers_[0]->simplify(opts);
+  for (std::size_t i = 1; i < solvers_.size(); ++i)
+    solvers_[i]->adopt_simplification_from(*solvers_[0]);
+  // The rebuilt root trails are identical everywhere: nothing before this
+  // point is worth exporting at the next barrier.
+  for (std::size_t i = 0; i < solvers_.size(); ++i)
+    unit_cursor_[i] = solvers_[i]->root_trail().size();
+  return ok0;
 }
 
 bool PortfolioSolver::ok() const {
@@ -73,6 +87,13 @@ SolverStats PortfolioSolver::total_stats() const {
     t.minimized_literals += st.minimized_literals;
     t.reduce_dbs += st.reduce_dbs;
   }
+  // Preprocessing runs once and is copied everywhere — report it once.
+  const SolverStats& s0 = solvers_[0]->stats();
+  t.eliminated_vars = s0.eliminated_vars;
+  t.simplify_removed_clauses = s0.simplify_removed_clauses;
+  t.simplify_subsumed = s0.simplify_subsumed;
+  t.simplify_strengthened = s0.simplify_strengthened;
+  t.simplify_ms = s0.simplify_ms;
   return t;
 }
 

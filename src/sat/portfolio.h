@@ -57,8 +57,21 @@ class PortfolioSolver : public ClauseSink {
 
   Var new_var() override;
   std::size_t num_vars() const override { return solvers_[0]->num_vars(); }
-  bool add_clause(std::vector<Lit> lits) override;
+  bool add_clause(std::span<const Lit> lits) override;
   using ClauseSink::add_clause;
+
+  void freeze(Var v) override {
+    for (auto& s : solvers_) s->freeze(v);
+  }
+  void thaw(Var v) override {
+    for (auto& s : solvers_) s->thaw(v);
+  }
+
+  /// Preprocesses the shared clause database ONCE (on instance 0) and
+  /// copies the simplified formula into the other instances, which keep
+  /// their diversified activities/phases. Returns false on UNSAT.
+  bool simplify();
+  bool simplify(const SimplifyOptions& opts);
 
   /// Races the instances in lockstep epochs. conflict_budget < 0 means
   /// unlimited; otherwise it caps the conflicts of EACH instance for this

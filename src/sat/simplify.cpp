@@ -1,0 +1,404 @@
+#include "sat/simplify.h"
+
+#include <algorithm>
+
+namespace orap::sat {
+
+namespace {
+
+constexpr std::int32_t kSentinelIndex = 0x7fffffff;
+
+/// One clause under simplification: sorted literal list + a 64-bit
+/// variable signature (bit v&63 set for every variable) used to rule out
+/// subsumption candidates without walking the literals.
+std::uint64_t signature_of(const std::vector<Lit>& lits) {
+  std::uint64_t sig = 0;
+  for (const Lit l : lits) sig |= std::uint64_t{1} << (l.var() & 63);
+  return sig;
+}
+
+class Simplifier {
+ public:
+  Simplifier(std::size_t num_vars, const std::vector<bool>& frozen,
+             const SimplifyOptions& opts, SimplifyResult& res)
+      : opts_(opts),
+        res_(res),
+        value_(num_vars, LBool::kUndef),
+        frozen_(num_vars, false),
+        eliminated_(num_vars, false),
+        occ_(num_vars) {
+    for (std::size_t v = 0; v < frozen.size() && v < num_vars; ++v)
+      frozen_[v] = frozen[v];
+  }
+
+  void run(std::vector<std::vector<Lit>> input) {
+    const std::size_t clauses_in = input.size();
+    for (auto& cl : input) {
+      if (!ok_) break;
+      load_clause(std::move(cl));
+    }
+    drain();
+    // BVE to fixpoint: removing a variable shrinks its neighbours'
+    // occurrence lists, which can push them under the growth bound on the
+    // next sweep. Sweeps are in ascending variable order, so the result is
+    // a pure function of the input formula (determinism contract).
+    for (bool progress = true; progress && ok_;) {
+      const std::size_t before = res_.eliminated.size();
+      for (Var v = 0; ok_ && static_cast<std::size_t>(v) < value_.size(); ++v)
+        try_eliminate(v);
+      progress = res_.eliminated.size() != before;
+    }
+
+    res_.ok = ok_;
+    if (!ok_) return;
+    for (std::size_t ci = 0; ci < cls_.size(); ++ci)
+      if (alive_[ci]) res_.clauses.push_back(std::move(cls_[ci]));
+    res_.units.assign(unit_queue_.begin(), unit_queue_.end());
+    if (clauses_in > res_.clauses.size())
+      res_.removed_clauses = clauses_in - res_.clauses.size();
+  }
+
+ private:
+  LBool value_of(Lit l) const {
+    const LBool b = value_[l.var()];
+    return l.sign() ? lbool_not(b) : b;
+  }
+
+  /// Normalizes and registers one input clause (the Solver hands over a
+  /// clean database, but direct callers may not): sorts, deduplicates,
+  /// drops tautologies, routes units through the assignment.
+  void load_clause(std::vector<Lit> cl) {
+    std::sort(cl.begin(), cl.end(),
+              [](Lit a, Lit b) { return a.index() < b.index(); });
+    std::vector<Lit> out;
+    Lit prev = Lit::from_index(-2);
+    for (const Lit l : cl) {
+      ORAP_CHECK(l.var() >= 0 &&
+                 static_cast<std::size_t>(l.var()) < value_.size());
+      if (l == ~prev || value_of(l) == LBool::kTrue) return;  // taut/satisfied
+      if (l == prev || value_of(l) == LBool::kFalse) continue;
+      out.push_back(l);
+      prev = l;
+    }
+    if (out.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (out.size() == 1) {
+      assign(out[0]);
+      return;
+    }
+    add_clause(std::move(out));
+  }
+
+  std::uint32_t add_clause(std::vector<Lit> lits) {
+    const auto ci = static_cast<std::uint32_t>(cls_.size());
+    sig_.push_back(signature_of(lits));
+    alive_.push_back(true);
+    in_queue_.push_back(false);
+    for (const Lit l : lits) occ_[l.var()].push_back(ci);
+    cls_.push_back(std::move(lits));
+    enqueue_sub(ci);
+    return ci;
+  }
+
+  void kill(std::uint32_t ci) { alive_[ci] = false; }
+
+  void enqueue_sub(std::uint32_t ci) {
+    if (in_queue_[ci]) return;
+    in_queue_[ci] = true;
+    queue_.push_back(ci);
+  }
+
+  void assign(Lit l) {
+    LBool& slot = value_[l.var()];
+    const LBool want = l.sign() ? LBool::kFalse : LBool::kTrue;
+    if (slot != LBool::kUndef) {
+      if (slot != want) ok_ = false;
+      return;
+    }
+    slot = want;
+    unit_queue_.push_back(l);
+  }
+
+  /// -1: no literal of v. Otherwise the position of v's literal in `cl`.
+  static std::int32_t find_var(const std::vector<Lit>& cl, Var v) {
+    const auto it = std::lower_bound(
+        cl.begin(), cl.end(), pos(v),
+        [](Lit a, Lit b) { return a.index() < b.index(); });
+    if (it != cl.end() && it->var() == v)
+      return static_cast<std::int32_t>(it - cl.begin());
+    return -1;
+  }
+
+  /// Removes `m` from clause ci after a self-subsuming resolution or a
+  /// falsified-literal propagation step.
+  void strengthen(std::uint32_t ci, Lit m) {
+    auto& cl = cls_[ci];
+    const std::int32_t at = find_var(cl, m.var());
+    ORAP_DCHECK(at >= 0 && cl[at] == m);
+    cl.erase(cl.begin() + at);
+    sig_[ci] = signature_of(cl);
+    if (cl.empty()) {
+      ok_ = false;
+      return;
+    }
+    if (cl.size() == 1) {
+      assign(cl[0]);
+      kill(ci);
+      return;
+    }
+    enqueue_sub(ci);
+  }
+
+  /// Applies one assignment to every clause still referencing its var.
+  void process_unit(Lit l) {
+    std::vector<std::uint32_t> ids = std::move(occ_[l.var()]);
+    occ_[l.var()].clear();
+    for (const std::uint32_t ci : ids) {
+      if (!ok_) return;
+      if (!alive_[ci]) continue;
+      const std::int32_t at = find_var(cls_[ci], l.var());
+      if (at < 0) continue;  // stale occurrence
+      if (cls_[ci][at] == l)
+        kill(ci);  // satisfied
+      else
+        strengthen(ci, ~l);
+    }
+  }
+
+  /// Does c subsume d (returns 0), subsume it modulo one flipped literal
+  /// (returns 1, the flipped literal of d in *flipped), or neither (-1)?
+  static int subsumes(const std::vector<Lit>& c, const std::vector<Lit>& d,
+                      Lit* flipped) {
+    std::size_t i = 0, j = 0;
+    bool flip = false;
+    while (i < c.size()) {
+      if (j == d.size()) return -1;
+      const Lit a = c[i], b = d[j];
+      if (a == b) {
+        ++i;
+        ++j;
+      } else if (a.var() == b.var()) {
+        if (flip) return -1;
+        flip = true;
+        *flipped = b;
+        ++i;
+        ++j;
+      } else if (a.index() > b.index()) {
+        ++j;
+      } else {
+        return -1;  // c has a variable d lacks
+      }
+    }
+    return flip ? 1 : 0;
+  }
+
+  /// Backward subsumption + self-subsuming resolution with clause ci
+  /// against everything sharing its rarest variable.
+  void backward_subsume(std::uint32_t ci) {
+    if (!alive_[ci]) return;
+    const auto& c = cls_[ci];
+    Var best = c[0].var();
+    for (const Lit l : c)
+      if (occ_[l.var()].size() < occ_[best].size()) best = l.var();
+    auto& list = occ_[best];
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const std::uint32_t di = list[i];
+      if (!alive_[di]) continue;  // compact dead entries away
+      if (di != ci && alive_[ci] && cls_[di].size() >= c.size() &&
+          (sig_[ci] & ~sig_[di]) == 0) {
+        Lit flip;
+        const int r = subsumes(c, cls_[di], &flip);
+        if (r == 0) {
+          kill(di);
+          ++res_.subsumed_clauses;
+          continue;
+        }
+        if (r == 1) {
+          strengthen(di, flip);
+          ++res_.strengthened_literals;
+          if (!ok_) return;
+          if (!alive_[di] || find_var(cls_[di], best) < 0) continue;
+        }
+      }
+      if (find_var(cls_[di], best) < 0) continue;
+      list[out++] = di;
+    }
+    list.resize(out);
+  }
+
+  /// Units first (they shrink everything), then the subsumption queue.
+  void drain() {
+    while (ok_ && (uhead_ < unit_queue_.size() || qhead_ < queue_.size())) {
+      if (uhead_ < unit_queue_.size()) {
+        process_unit(unit_queue_[uhead_++]);
+        continue;
+      }
+      const std::uint32_t ci = queue_[qhead_++];
+      in_queue_[ci] = false;
+      backward_subsume(ci);
+    }
+  }
+
+  /// Resolvent of p (contains v) and n (contains ~v); false on tautology.
+  static bool resolve(const std::vector<Lit>& p, const std::vector<Lit>& n,
+                      Var v, std::vector<Lit>& out) {
+    out.clear();
+    std::size_t i = 0, j = 0;
+    while (i < p.size() || j < n.size()) {
+      const Lit a =
+          i < p.size() ? p[i] : Lit::from_index(kSentinelIndex);
+      const Lit b =
+          j < n.size() ? n[j] : Lit::from_index(kSentinelIndex);
+      if (a.var() == v) {
+        ++i;
+        continue;
+      }
+      if (b.var() == v) {
+        ++j;
+        continue;
+      }
+      if (a == b) {
+        out.push_back(a);
+        ++i;
+        ++j;
+      } else if (a.var() == b.var()) {
+        return false;  // opposite polarities: tautological resolvent
+      } else if (a.index() < b.index()) {
+        out.push_back(a);
+        ++i;
+      } else {
+        out.push_back(b);
+        ++j;
+      }
+    }
+    return true;
+  }
+
+  void record_block(const std::vector<Lit>& cl, Lit pivot) {
+    for (const Lit l : cl)
+      if (l != pivot) res_.elim_lits.push_back(l);
+    res_.elim_lits.push_back(pivot);
+    res_.elim_block_size.push_back(static_cast<std::uint32_t>(cl.size()));
+  }
+
+  void record_unit_block(Lit pivot) {
+    res_.elim_lits.push_back(pivot);
+    res_.elim_block_size.push_back(1);
+  }
+
+  void mark_eliminated(Var v) {
+    eliminated_[v] = true;
+    res_.eliminated.push_back(v);
+    occ_[v].clear();
+  }
+
+  /// Bounded variable elimination of v: resolve every pos-occurrence
+  /// against every neg-occurrence and keep the resolvents iff their count
+  /// does not grow the formula (SatELite's rule) and none exceeds the
+  /// clause-size cap. Pure and unused variables are eliminated for free.
+  void try_eliminate(Var v) {
+    if (frozen_[v] || eliminated_[v] || value_[v] != LBool::kUndef) return;
+    std::vector<std::uint32_t> posc, negc;
+    {
+      auto& list = occ_[v];
+      std::size_t out = 0;
+      for (const std::uint32_t ci : list) {
+        if (!alive_[ci]) continue;
+        const std::int32_t at = find_var(cls_[ci], v);
+        if (at < 0) continue;
+        (cls_[ci][at].sign() ? negc : posc).push_back(ci);
+        list[out++] = ci;
+      }
+      list.resize(out);
+    }
+
+    if (posc.empty() && negc.empty()) {
+      // Unused variable: pin it via the reconstruction stack so the
+      // search never branches on it.
+      record_unit_block(pos(v));
+      mark_eliminated(v);
+      return;
+    }
+    if (posc.empty() || negc.empty()) {
+      // Pure literal: the occurring polarity satisfies every clause.
+      const bool positive = !posc.empty();
+      for (const std::uint32_t ci : positive ? posc : negc) kill(ci);
+      record_unit_block(Lit(v, !positive));
+      mark_eliminated(v);
+      return;
+    }
+    if (posc.size() + negc.size() > opts_.occurrence_cap) return;
+
+    const std::size_t limit =
+        posc.size() + negc.size() +
+        static_cast<std::size_t>(opts_.grow < 0 ? 0 : opts_.grow);
+    std::vector<std::vector<Lit>> resolvents;
+    std::vector<Lit> r;
+    for (const std::uint32_t pi : posc) {
+      for (const std::uint32_t ni : negc) {
+        if (!resolve(cls_[pi], cls_[ni], v, r)) continue;  // tautology
+        if (r.size() > opts_.clause_size_cap) return;      // too long: abort
+        resolvents.push_back(r);
+        if (resolvents.size() > limit) return;  // would grow: abort
+      }
+    }
+
+    // Commit. Record the smaller occurrence side plus a unit of the other
+    // side's literal (MiniSat's scheme): walking the stack backwards, the
+    // unit first gives v a default that satisfies the unstored side, then
+    // any unsatisfied stored clause flips v — the resolvents guarantee at
+    // most one side can be unsatisfied.
+    const bool store_pos = posc.size() <= negc.size();
+    for (const std::uint32_t ci : store_pos ? posc : negc)
+      record_block(cls_[ci], Lit(v, !store_pos));
+    record_unit_block(Lit(v, store_pos));
+    for (const std::uint32_t ci : posc) kill(ci);
+    for (const std::uint32_t ci : negc) kill(ci);
+    mark_eliminated(v);
+
+    for (auto& res_cl : resolvents) {
+      if (res_cl.size() == 1) {
+        assign(res_cl[0]);
+      } else {
+        add_clause(std::move(res_cl));
+      }
+      if (!ok_) return;
+    }
+    drain();
+  }
+
+  const SimplifyOptions& opts_;
+  SimplifyResult& res_;
+  bool ok_ = true;
+
+  std::vector<std::vector<Lit>> cls_;
+  std::vector<std::uint64_t> sig_;
+  std::vector<char> alive_;
+  std::vector<char> in_queue_;
+  std::vector<LBool> value_;
+  std::vector<char> frozen_;
+  std::vector<char> eliminated_;
+  std::vector<std::vector<std::uint32_t>> occ_;  // per variable, lazy-compacted
+
+  std::vector<std::uint32_t> queue_;  // subsumption work list
+  std::size_t qhead_ = 0;
+  std::vector<Lit> unit_queue_;
+  std::size_t uhead_ = 0;
+};
+
+}  // namespace
+
+SimplifyResult simplify_cnf(std::size_t num_vars,
+                            std::vector<std::vector<Lit>> clauses,
+                            const std::vector<bool>& frozen,
+                            const SimplifyOptions& opts) {
+  SimplifyResult res;
+  Simplifier s(num_vars, frozen, opts, res);
+  s.run(std::move(clauses));
+  return res;
+}
+
+}  // namespace orap::sat

@@ -1,0 +1,72 @@
+#pragma once
+// SatELite-style CNF simplification [Eén & Biere, SAT'05]: bounded
+// variable elimination, signature-based forward/backward subsumption, and
+// self-subsuming resolution, over explicit occurrence lists.
+//
+// Tseitin encodings are the textbook best case: most variables are
+// internal gate outputs with a handful of occurrences, and resolving them
+// out shrinks the formula without growing it. The simplifier is a pure
+// function from a clause database to a smaller equisatisfiable one plus a
+// model-reconstruction stack (so eliminated variables still get correct
+// values after a SAT verdict) — the Solver owns the stack and runs the
+// reconstruction; see Solver::simplify().
+//
+// Determinism: elimination sweeps variables in ascending index order
+// (repeated to fixpoint), occurrence lists and the subsumption queue are
+// processed in insertion order, and no randomness or timing enters any
+// decision. The same input produces byte-identical output everywhere.
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.h"
+
+namespace orap::sat {
+
+struct SimplifyOptions {
+  /// Do not create resolvents longer than this many literals (an
+  /// elimination producing one is abandoned). SatELite's clause_lim.
+  std::uint32_t clause_size_cap = 24;
+  /// Skip elimination of variables with more than this many total
+  /// occurrences (bounds the |pos|*|neg| resolvent scan).
+  std::uint32_t occurrence_cap = 300;
+  /// Allowed growth in clause count per eliminated variable: eliminate v
+  /// only when #resolvents <= #clauses-on-v + grow.
+  std::int32_t grow = 0;
+};
+
+/// Output of one simplification pass.
+struct SimplifyResult {
+  bool ok = true;  ///< false: the formula was proven UNSAT.
+
+  std::vector<std::vector<Lit>> clauses;  ///< simplified database (size >= 2)
+  std::vector<Lit> units;                 ///< derived root-level facts
+  std::vector<Var> eliminated;            ///< vars removed by BVE, in order
+
+  /// Model-reconstruction stack, flat blocks in elimination order: block i
+  /// spans elim_block_size[i] literals of elim_lits with the pivot literal
+  /// (the one on the eliminated variable) stored LAST. Walk the blocks
+  /// backwards over a model of `clauses`; whenever a block's literals are
+  /// all false, flip its pivot variable to satisfy it.
+  std::vector<Lit> elim_lits;
+  std::vector<std::uint32_t> elim_block_size;
+
+  // Counters (also accumulated into SolverStats by Solver::simplify).
+  std::uint64_t removed_clauses = 0;      ///< dropped minus resolvents added
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t strengthened_literals = 0;  ///< via self-subsuming resolution
+};
+
+/// Runs one simplification pass over `clauses` (literals over variables
+/// [0, num_vars)). `frozen[v]` protects v from elimination — callers must
+/// freeze every variable that later solve() assumptions or add_clause()
+/// calls will mention, since eliminated variables leave the formula for
+/// good. Input clauses must be non-trivial: no duplicate or contradictory
+/// literals, no literals on frozen-and-assigned variables (the Solver
+/// extracts its database reduced modulo the root trail).
+SimplifyResult simplify_cnf(std::size_t num_vars,
+                            std::vector<std::vector<Lit>> clauses,
+                            const std::vector<bool>& frozen,
+                            const SimplifyOptions& opts = {});
+
+}  // namespace orap::sat

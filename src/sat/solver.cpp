@@ -1,7 +1,10 @@
 #include "sat/solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+
+#include "sat/simplify.h"
 
 namespace orap::sat {
 
@@ -34,6 +37,8 @@ Var Solver::new_var() {
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
+  frozen_.push_back(0);
+  eliminated_.push_back(0);
   heap_pos_.push_back(-1);
   heap_insert(v);
   return v;
@@ -55,39 +60,61 @@ Solver::ClauseRef Solver::alloc_clause(std::span<const Lit> ls, bool learnt) {
 void Solver::attach_clause(ClauseRef c) {
   const Lit* ls = lits(c);
   ORAP_DCHECK(header(c).size >= 2);
-  watches_[(~ls[0]).index()].push_back({c, ls[1]});
-  watches_[(~ls[1]).index()].push_back({c, ls[0]});
+  auto& w0 = watches_[(~ls[0]).index()];
+  auto& w1 = watches_[(~ls[1]).index()];
+  if (w0.capacity() == 0) w0.reserve(4);
+  if (w1.capacity() == 0) w1.reserve(4);
+  w0.push_back({c, ls[1]});
+  w1.push_back({c, ls[0]});
 }
 
-bool Solver::add_clause(std::vector<Lit> ls) {
+void Solver::detach_clause(ClauseRef c) {
+  const Lit* ls = lits(c);
+  for (int w = 0; w < 2; ++w) {
+    auto& list = watches_[(~ls[w]).index()];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].clause == c) {
+        list.erase(list.begin() + i);  // keep order: propagation stays stable
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::add_clause(std::span<const Lit> ls) {
   ORAP_CHECK_MSG(decision_level() == 0, "add_clause only at root level");
   if (!ok_) return false;
   // Sort, dedupe, drop false literals, detect tautology / satisfied clause.
-  std::sort(ls.begin(), ls.end(),
+  add_tmp_.assign(ls.begin(), ls.end());
+  std::sort(add_tmp_.begin(), add_tmp_.end(),
             [](Lit a, Lit b) { return a.index() < b.index(); });
-  std::vector<Lit> out;
+  std::size_t out = 0;
   Lit prev = Lit::from_index(-2);
-  for (Lit l : ls) {
+  for (const Lit l : add_tmp_) {
     ORAP_CHECK(l.var() >= 0 &&
                static_cast<std::size_t>(l.var()) < assigns_.size());
+    ORAP_CHECK_MSG(!eliminated_[l.var()],
+                   "clause references a variable removed by simplify() — "
+                   "freeze() it before preprocessing");
     if (value(l) == LBool::kTrue || l == ~prev) return true;  // satisfied/taut
     if (value(l) == LBool::kFalse || l == prev) continue;     // drop
-    out.push_back(l);
+    add_tmp_[out++] = l;
     prev = l;
   }
-  if (out.empty()) {
+  add_tmp_.resize(out);
+  if (add_tmp_.empty()) {
     ok_ = false;
     return false;
   }
-  if (out.size() == 1) {
-    enqueue(out[0], kNullClause);
+  if (add_tmp_.size() == 1) {
+    enqueue(add_tmp_[0], kNullClause);
     if (propagate() != kNullClause) {
       ok_ = false;
       return false;
     }
     return true;
   }
-  const ClauseRef c = alloc_clause(out, /*learnt=*/false);
+  const ClauseRef c = alloc_clause(add_tmp_, /*learnt=*/false);
   clauses_.push_back(c);
   attach_clause(c);
   return true;
@@ -335,7 +362,7 @@ void Solver::analyze_final(Lit p) {
 
 Lit Solver::pick_branch() {
   Var next = -1;
-  while (next == -1 || value(next) != LBool::kUndef) {
+  while (next == -1 || value(next) != LBool::kUndef || eliminated_[next]) {
     if (heap_.empty()) return Lit();
     next = heap_pop();
   }
@@ -383,6 +410,9 @@ void Solver::reduce_db() {
     const ClauseRef c = learnts_[i];
     if (dropped < drop_target && header(c).size > 2 && header(c).lbd > 3 &&
         !locked(c)) {
+      // Detach only this clause's two watchers in place — O(watch-list
+      // scan) per drop instead of rebuilding every watch list.
+      detach_clause(c);
       ++dropped;
     } else {
       kept.push_back(c);
@@ -392,10 +422,6 @@ void Solver::reduce_db() {
   // Let the database grow: each reduction raises the ceiling so long
   // UNSAT proofs keep enough context.
   max_learnts_ += max_learnts_ / 10;
-  // Rebuild watches from scratch (simple and safe; reduce is infrequent).
-  for (auto& w : watches_) w.clear();
-  for (const ClauseRef c : clauses_) attach_clause(c);
-  for (const ClauseRef c : learnts_) attach_clause(c);
 }
 
 Solver::Result Solver::solve(std::span<const Lit> assumptions,
@@ -407,9 +433,13 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
   conflict_core_.clear();
   if (!ok_) return Result::kUnsat;
 
-  for (const Lit a : assumptions)
+  for (const Lit a : assumptions) {
     ORAP_CHECK(a.var() >= 0 &&
                static_cast<std::size_t>(a.var()) < assigns_.size());
+    ORAP_CHECK_MSG(!eliminated_[a.var()],
+                   "assumption on a variable removed by simplify() — "
+                   "freeze() it before preprocessing");
+  }
 
   const std::uint64_t conflicts_at_start = stats_.conflicts;
   int restart_count = 0;
@@ -494,8 +524,10 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
     if (next == Lit()) {
       next = pick_branch();
       if (next == Lit()) {
-        // All variables assigned: SAT.
+        // All variables assigned: SAT. Extend the model over variables
+        // the preprocessor resolved out.
         model_.assign(assigns_.begin(), assigns_.end());
+        extend_model();
         cancel_until(0);
         return Result::kSat;
       }
@@ -503,6 +535,148 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
     trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
     enqueue(next, kNullClause);
   }
+}
+
+// --- preprocessing ---------------------------------------------------------
+
+bool Solver::simplify() { return simplify(SimplifyOptions{}); }
+
+bool Solver::simplify(const SimplifyOptions& opts) {
+  ORAP_CHECK_MSG(decision_level() == 0, "simplify only at root level");
+  const auto t0 = std::chrono::steady_clock::now();
+  const bool result = [&]() -> bool {
+    if (!ok_) return false;
+    if (propagate() != kNullClause) {
+      ok_ = false;
+      return false;
+    }
+
+    // Extract the problem clauses reduced modulo the root trail; learnt
+    // clauses are implied by them and are simply dropped. After a full
+    // propagation an unsatisfied clause has >= 2 unassigned literals.
+    std::vector<std::vector<Lit>> db;
+    db.reserve(clauses_.size());
+    std::vector<Lit> cl;
+    for (const ClauseRef c : clauses_) {
+      const Lit* ls = lits(c);
+      const std::uint32_t size = header(c).size;
+      cl.clear();
+      bool satisfied = false;
+      for (std::uint32_t k = 0; k < size && !satisfied; ++k) {
+        if (value(ls[k]) == LBool::kTrue)
+          satisfied = true;
+        else if (value(ls[k]) == LBool::kUndef)
+          cl.push_back(ls[k]);
+      }
+      if (satisfied) continue;
+      ORAP_DCHECK(cl.size() >= 2);
+      db.push_back(cl);
+    }
+
+    // Root-assigned and already-eliminated variables are off limits too:
+    // the former stay as trail facts, the latter must not be re-recorded.
+    std::vector<bool> fr(num_vars(), false);
+    for (std::size_t v = 0; v < num_vars(); ++v)
+      fr[v] = frozen_[v] != 0 || eliminated_[v] != 0 ||
+              assigns_[v] != LBool::kUndef;
+
+    SimplifyResult res = simplify_cnf(num_vars(), std::move(db), fr, opts);
+    if (!res.ok) {
+      ok_ = false;
+      return false;
+    }
+
+    // Rebuild the clause database from the simplified form.
+    arena_.clear();
+    clauses_.clear();
+    learnts_.clear();
+    for (auto& w : watches_) w.clear();
+    for (const auto& c : res.clauses) {
+      const ClauseRef cr = alloc_clause(c, /*learnt=*/false);
+      clauses_.push_back(cr);
+      attach_clause(cr);
+    }
+    // Root-trail reasons may point into the discarded arena.
+    for (const Lit l : trail_) var_data_[l.var()].reason = kNullClause;
+
+    for (const Var v : res.eliminated) eliminated_[v] = 1;
+    elim_lits_.insert(elim_lits_.end(), res.elim_lits.begin(),
+                      res.elim_lits.end());
+    elim_block_size_.insert(elim_block_size_.end(),
+                            res.elim_block_size.begin(),
+                            res.elim_block_size.end());
+
+    for (const Lit u : res.units) {
+      if (value(u) == LBool::kTrue) continue;
+      if (value(u) == LBool::kFalse) {
+        ok_ = false;
+        return false;
+      }
+      enqueue(u, kNullClause);
+    }
+    if (propagate() != kNullClause) {
+      ok_ = false;
+      return false;
+    }
+
+    stats_.eliminated_vars += res.eliminated.size();
+    stats_.simplify_removed_clauses += res.removed_clauses;
+    stats_.simplify_subsumed += res.subsumed_clauses;
+    stats_.simplify_strengthened += res.strengthened_literals;
+    return true;
+  }();
+  stats_.simplify_ms += std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+  return result;
+}
+
+void Solver::extend_model() {
+  // Walk the elimination blocks backwards (see SimplifyResult::elim_lits);
+  // a block whose literals are all unsatisfied gets its pivot flipped.
+  std::size_t end = elim_lits_.size();
+  for (std::size_t b = elim_block_size_.size(); b-- > 0;) {
+    const std::size_t begin = end - elim_block_size_[b];
+    bool satisfied = false;
+    for (std::size_t k = begin; k < end && !satisfied; ++k) {
+      const Lit l = elim_lits_[k];
+      satisfied = model_[l.var()] == (l.sign() ? LBool::kFalse : LBool::kTrue);
+    }
+    if (!satisfied) {
+      const Lit pivot = elim_lits_[end - 1];
+      model_[pivot.var()] = pivot.sign() ? LBool::kFalse : LBool::kTrue;
+    }
+    end = begin;
+  }
+}
+
+void Solver::adopt_simplification_from(const Solver& src) {
+  ORAP_CHECK(num_vars() == src.num_vars());
+  ORAP_CHECK_MSG(decision_level() == 0 && src.trail_lim_.empty(),
+                 "adopt_simplification_from only at root level");
+  ok_ = src.ok_;
+  arena_ = src.arena_;
+  clauses_ = src.clauses_;
+  learnts_.clear();
+  watches_ = src.watches_;
+  assigns_ = src.assigns_;
+  var_data_ = src.var_data_;
+  trail_ = src.trail_;
+  qhead_ = src.qhead_;
+  frozen_ = src.frozen_;
+  eliminated_ = src.eliminated_;
+  elim_lits_ = src.elim_lits_;
+  elim_block_size_ = src.elim_block_size_;
+  model_.clear();
+  conflict_core_.clear();
+  export_buf_.clear();
+  stats_.eliminated_vars = src.stats_.eliminated_vars;
+  stats_.simplify_removed_clauses = src.stats_.simplify_removed_clauses;
+  stats_.simplify_subsumed = src.stats_.simplify_subsumed;
+  stats_.simplify_strengthened = src.stats_.simplify_strengthened;
+  stats_.simplify_ms = src.stats_.simplify_ms;
+  // Diversification state (activity, saved phases, restart unit) is
+  // deliberately untouched — each instance keeps its own trajectory.
 }
 
 // --- binary max-heap on activity -------------------------------------------

@@ -58,7 +58,16 @@ struct SolverStats {
   std::uint64_t learnt_literals = 0;
   std::uint64_t minimized_literals = 0;
   std::uint64_t reduce_dbs = 0;
+
+  // Preprocessing (Solver::simplify) counters.
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t simplify_removed_clauses = 0;
+  std::uint64_t simplify_subsumed = 0;
+  std::uint64_t simplify_strengthened = 0;
+  double simplify_ms = 0.0;
 };
+
+struct SimplifyOptions;  // sat/simplify.h
 
 /// Anything that accepts fresh variables and clauses: a single Solver or a
 /// PortfolioSolver fanning the same clause database out to N instances.
@@ -72,11 +81,20 @@ class ClauseSink {
   virtual std::size_t num_vars() const = 0;
 
   /// Adds a clause. Returns false if the formula became trivially UNSAT.
-  /// Literals are deduplicated; tautologies are dropped.
-  virtual bool add_clause(std::vector<Lit> lits) = 0;
+  /// Literals are deduplicated; tautologies are dropped. The span is only
+  /// read during the call, so callers may reuse a scratch buffer.
+  virtual bool add_clause(std::span<const Lit> lits) = 0;
   bool add_clause(std::initializer_list<Lit> lits) {
-    return add_clause(std::vector<Lit>(lits));
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
   }
+
+  /// Protects a variable from preprocessing (see Solver::simplify): any
+  /// variable that later add_clause() calls or solve() assumptions will
+  /// mention must be frozen before simplify() runs, because eliminated
+  /// variables leave the formula for good. No-ops on sinks that never
+  /// simplify.
+  virtual void freeze(Var) {}
+  virtual void thaw(Var) {}
 };
 
 class Solver : public ClauseSink {
@@ -88,13 +106,37 @@ class Solver : public ClauseSink {
   Var new_var() override;
   std::size_t num_vars() const override { return assigns_.size(); }
 
-  bool add_clause(std::vector<Lit> lits) override;
+  bool add_clause(std::span<const Lit> lits) override;
   using ClauseSink::add_clause;
 
   /// Solves under assumptions. conflict_budget < 0 means unlimited;
   /// exceeding the budget yields kUnknown (an "aborted" query).
   Result solve(std::span<const Lit> assumptions = {},
                std::int64_t conflict_budget = -1);
+
+  // --- SatELite-style preprocessing (sat/simplify.h) ----------------------
+
+  void freeze(Var v) override { frozen_[v] = true; }
+  void thaw(Var v) override { frozen_[v] = false; }
+
+  /// Runs one in-place simplification pass (bounded variable elimination +
+  /// subsumption) over the problem clauses at decision level 0. Frozen and
+  /// root-assigned variables are never eliminated; learnt clauses are
+  /// dropped (they are implied). Eliminated variables may no longer appear
+  /// in clauses or assumptions; models are reconstructed over them after
+  /// kSat. Returns false if the formula was proven UNSAT.
+  bool simplify();
+  bool simplify(const SimplifyOptions& opts);
+
+  /// True once v has been resolved out by simplify().
+  bool is_eliminated(Var v) const { return eliminated_[v] != 0; }
+
+  /// Copies the simplified clause database (and everything needed to keep
+  /// searching + reconstructing models) from `src`, which must have the
+  /// same variable count. Own diversification state (activity, phases,
+  /// restart unit) is preserved — this is how a portfolio simplifies once
+  /// and fans out.
+  void adopt_simplification_from(const Solver& src);
 
   /// Model access after kSat.
   bool model_value(Var v) const {
@@ -112,6 +154,8 @@ class Solver : public ClauseSink {
   // Tuning knobs (defaults are fine for all in-repo workloads).
   void set_var_decay(double d) { var_decay_ = d; }
   void set_clause_decay(double d) { clause_decay_ = d; }
+  /// Learnt-clause cap before reduce_db triggers (test knob).
+  void set_max_learnts(std::size_t n) { max_learnts_ = n < 8 ? 8 : n; }
 
   // --- portfolio diversification & sharing hooks --------------------------
   // A PortfolioSolver runs N instances over the same clause database; the
@@ -209,7 +253,9 @@ class Solver : public ClauseSink {
   Lit pick_branch();
   void reduce_db();
   void attach_clause(ClauseRef c);
+  void detach_clause(ClauseRef c);
   std::uint32_t compute_lbd(const std::vector<Lit>& lits);
+  void extend_model();
 
   struct Watcher {
     ClauseRef clause;
@@ -233,6 +279,15 @@ class Solver : public ClauseSink {
   std::size_t qhead_ = 0;
 
   std::vector<Lit> conflict_core_;
+
+  // Preprocessing state: frozen flags, eliminated flags, and the model-
+  // reconstruction stack (see SimplifyResult::elim_lits for the layout).
+  std::vector<char> frozen_;
+  std::vector<char> eliminated_;
+  std::vector<Lit> elim_lits_;
+  std::vector<std::uint32_t> elim_block_size_;
+
+  std::vector<Lit> add_tmp_;  // add_clause scratch (no per-clause alloc)
 
   // Order heap (binary max-heap on activity) for VSIDS.
   std::vector<Var> heap_;

@@ -383,5 +383,87 @@ TEST(Solver, StatsAccumulate) {
   EXPECT_GT(s.stats().propagations, 0u);
 }
 
+// reduce_db now detaches only the dropped clauses' watchers in place
+// instead of rebuilding every watch list. A tiny learnt-clause cap forces
+// it to fire constantly; verdicts, models, and the whole deterministic
+// search trajectory must be unaffected.
+TEST(Solver, ReduceDbUnderLoadKeepsVerdicts) {
+  Rng rng(505);
+  for (int round = 0; round < 10; ++round) {
+    const int nvars = 30;
+    const int nclauses = 120;
+    std::vector<std::vector<Lit>> cnf;
+    for (int i = 0; i < nclauses; ++i) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.push_back(Lit(static_cast<Var>(rng.below(nvars)), rng.bit()));
+      cnf.push_back(cl);
+    }
+    Solver loaded;
+    loaded.set_max_learnts(8);  // clamp floor: reduce_db fires constantly
+    Solver fresh;
+    for (int v = 0; v < nvars; ++v) {
+      loaded.new_var();
+      fresh.new_var();
+    }
+    bool loaded_ok = true, fresh_ok = true;
+    for (const auto& cl : cnf) {
+      loaded_ok &= loaded.add_clause(cl);
+      fresh_ok &= fresh.add_clause(cl);
+    }
+    ASSERT_EQ(loaded_ok, fresh_ok);
+    const auto a = loaded_ok ? loaded.solve() : Solver::Result::kUnsat;
+    const auto b = fresh_ok ? fresh.solve() : Solver::Result::kUnsat;
+    EXPECT_EQ(a, b) << "round " << round;
+    if (a == Solver::Result::kSat) {
+      for (const auto& cl : cnf) {
+        bool sat = false;
+        for (const Lit l : cl) sat |= loaded.model_value(l.var()) != l.sign();
+        EXPECT_TRUE(sat) << "round " << round;
+      }
+    }
+  }
+}
+
+TEST(Solver, ReduceDbUnderLoadStaysDeterministic) {
+  // PHP is conflict-heavy enough that an 8-clause learnt cap triggers many
+  // reductions; two identical runs must take the identical search path.
+  auto run = [](SolverStats* out) {
+    Solver s;
+    s.set_max_learnts(8);
+    add_php(s, 7, 6);
+    EXPECT_EQ(s.solve(), Solver::Result::kUnsat);
+    *out = s.stats();
+  };
+  SolverStats s1, s2;
+  run(&s1);
+  run(&s2);
+  EXPECT_GT(s1.reduce_dbs, 0u);
+  EXPECT_EQ(s1.reduce_dbs, s2.reduce_dbs);
+  EXPECT_EQ(s1.decisions, s2.decisions);
+  EXPECT_EQ(s1.conflicts, s2.conflicts);
+  EXPECT_EQ(s1.propagations, s2.propagations);
+  EXPECT_EQ(s1.restarts, s2.restarts);
+
+  // Same instance without the cap: verdict identical, reductions rarer.
+  Solver relaxed;
+  add_php(relaxed, 7, 6);
+  EXPECT_EQ(relaxed.solve(), Solver::Result::kUnsat);
+  EXPECT_LE(relaxed.stats().reduce_dbs, s1.reduce_dbs);
+}
+
+TEST(Solver, ReduceDbUnderLoadWithAssumptions) {
+  // Core extraction must survive aggressive clause deletion: the learnt
+  // database shrinking mid-search cannot lose root-level implications.
+  Solver s;
+  s.set_max_learnts(8);
+  add_php(s, 7, 6);
+  const Var sel = s.new_var();
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(sel)}), Solver::Result::kUnsat);
+  EXPECT_EQ(s.solve(std::vector<Lit>{neg(sel)}), Solver::Result::kUnsat);
+  // The PHP contradiction does not involve the selector.
+  for (const Lit l : s.unsat_core()) EXPECT_NE(l.var(), sel);
+}
+
 }  // namespace
 }  // namespace orap::sat

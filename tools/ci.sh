@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: builds and runs the tier-1 test suite twice —
-#   1. a normal RelWithDebInfo build, and
+# CI entry point: builds and runs the tier-1 test suite three times —
+#   1. a normal RelWithDebInfo build,
 #   2. a ThreadSanitizer build (ORAP_SANITIZE=thread) to race-check the
-#      work-stealing pool and everything layered on it.
+#      work-stealing pool and everything layered on it, and
+#   3. an AddressSanitizer build (ORAP_SANITIZE=address) to catch heap
+#      errors in the arena / occurrence-list code of the solver and the
+#      CNF simplifier.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   ORAP_CI_JOBS     parallel build/test jobs (default: nproc)
 #   ORAP_CI_TSAN=0   skip the TSan pass
-#   ORAP_CI_FILTER   optional ctest -R regex for the TSan pass (default:
-#                    the full suite; set to e.g. 'parallel|atpg|eval' to
-#                    keep a slow machine within budget)
+#   ORAP_CI_ASAN=0   skip the ASan pass
+#   ORAP_CI_FILTER   optional ctest -R regex for the sanitizer passes
+#                    (default: the full suite; set to e.g.
+#                    'parallel|atpg|eval' to keep a slow machine within
+#                    budget)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +22,7 @@ cd "$(dirname "$0")/.."
 PREFIX="${1:-build-ci}"
 JOBS="${ORAP_CI_JOBS:-$(nproc)}"
 RUN_TSAN="${ORAP_CI_TSAN:-1}"
+RUN_ASAN="${ORAP_CI_ASAN:-1}"
 TSAN_FILTER="${ORAP_CI_FILTER:-}"
 
 run_pass() {
@@ -47,6 +53,23 @@ if "$PREFIX/bench/lfsr_mixing" --threads=-1 >/dev/null 2>&1; then
   exit 1
 fi
 
+# Attack-suite smoke with CNF preprocessing on: the full oracle-guided
+# attack stack (SAT / AppSAT / Double-DIP / hill-climb / sensitization)
+# over simplified miters, JSON record validated and carrying the flag.
+echo "==== [plain] attack suite --preprocess smoke ===="
+PRE_OUT="$PREFIX/attack_suite_pre.json"
+"$PREFIX/bench/attack_suite" --scale=0.05 --preprocess=1 \
+  --json="$PRE_OUT" >/dev/null
+python3 -m json.tool "$PRE_OUT" >/dev/null
+grep -q '"preprocess": 1' "$PRE_OUT"
+
+# One pass over the engine microbenchmarks (smallest size per bench,
+# minimal repetitions) so a bench that asserts or regresses into a hang
+# is caught here, not at release time.
+echo "==== [plain] engine_micro smoke ===="
+"$PREFIX/bench/engine_micro" --benchmark_min_time=0.01 \
+  --benchmark_filter='/(500|1000)$' >/dev/null
+
 if [[ "$RUN_TSAN" == "1" ]]; then
   CTEST_EXTRA=()
   [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
@@ -55,6 +78,13 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   export ORAP_THREADS="${ORAP_THREADS:-4}"
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
   run_pass "$PREFIX-tsan" "tsan" -DORAP_SANITIZE=thread
+fi
+
+if [[ "$RUN_ASAN" == "1" ]]; then
+  CTEST_EXTRA=()
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+  run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
 fi
 
 echo "==== CI OK ===="

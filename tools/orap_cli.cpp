@@ -242,6 +242,7 @@ int cmd_atpg(const Args& a) {
       static_cast<std::int64_t>(a.get_num("budget", 10000));
   opts.seed = a.get_num("seed", 1);
   opts.portfolio_size = a.get_num("portfolio", 1);
+  opts.preprocess = a.get_num("preprocess", 0) != 0;
   const AtpgResult r = run_atpg(n, opts);
   std::printf("faults (collapsed):  %zu\n", r.total_faults);
   std::printf("fault coverage:      %.2f%%\n", r.fault_coverage_pct());
@@ -292,6 +293,7 @@ int cmd_attack(const Args& a) {
     opts.max_iterations =
         static_cast<std::int64_t>(a.get_num("max-iter", 4096));
     opts.portfolio_size = a.get_num("portfolio", 1);
+    opts.preprocess = a.get_num("preprocess", 0) != 0;
     SatAttackResult r;
     if (kind == "sat")
       r = sat_attack(lc, oracle, opts);
@@ -300,6 +302,7 @@ int cmd_attack(const Args& a) {
     else {
       AppSatOptions app_opts;
       app_opts.portfolio_size = opts.portfolio_size;
+      app_opts.preprocess = opts.preprocess;
       r = appsat_attack(lc, oracle, app_opts);
     }
     const char* status = "?";
@@ -311,6 +314,13 @@ int cmd_attack(const Args& a) {
     }
     std::printf("%s attack: %s after %zu DIPs, %zu oracle queries\n",
                 kind.c_str(), status, r.iterations, r.oracle_queries);
+    if (opts.preprocess)
+      std::printf("preprocess: %llu of %zu vars eliminated, %llu clauses "
+                  "removed (%.1f ms)\n",
+                  static_cast<unsigned long long>(r.eliminated_vars),
+                  r.solver_vars,
+                  static_cast<unsigned long long>(r.removed_clauses),
+                  r.simplify_ms);
     if (r.status != SatAttackResult::Status::kKeyFound) return 1;
     recovered = r.key;
   } else if (kind == "hillclimb") {
@@ -389,7 +399,8 @@ int cmd_protect(const Args& a) {
 
 int cmd_solve(const Args& a) {
   if (a.positional.empty())
-    die("usage: orap solve <file.cnf> [--budget N] [--portfolio N]");
+    die("usage: orap solve <file.cnf> [--budget N] [--portfolio N] "
+        "[--preprocess]");
   std::ifstream is(a.positional[0]);
   if (!is.good()) die("cannot read " + a.positional[0]);
   const sat::Cnf cnf = sat::read_dimacs(is);
@@ -397,6 +408,12 @@ int cmd_solve(const Args& a) {
   po.size = a.get_num("portfolio", 1);
   sat::PortfolioSolver s(po);
   if (!cnf.load_into(s)) {
+    std::puts("s UNSATISFIABLE");
+    return 20;
+  }
+  // No variable is ever constrained after load: everything is eliminable,
+  // and the model is reconstructed over eliminated vars before printing.
+  if (a.get_num("preprocess", 0) != 0 && !s.simplify()) {
     std::puts("s UNSATISFIABLE");
     return 20;
   }
@@ -442,20 +459,22 @@ void usage() {
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
       "  orap atpg    <in.bench> [--random-words N] [--budget B] "
-      "[--portfolio N]\n"
+      "[--portfolio N] [--preprocess]\n"
       "  orap attack  <locked.bench> --key key.txt [--kind "
       "sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
-      "[--portfolio N]\n"
+      "[--portfolio N] [--preprocess]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
-      "  orap solve   <file.cnf> [--budget N] [--portfolio N] — standalone "
-      "DIMACS SAT solver\n"
+      "  orap solve   <file.cnf> [--budget N] [--portfolio N] "
+      "[--preprocess] — standalone DIMACS SAT solver\n"
       "  orap export  <in.bench> [-o out.v]\n"
       "\n"
       "Global: --threads N sets the parallel pool size (0 = auto; also "
       "settable via ORAP_THREADS).\n--portfolio N races N diversified CDCL "
-      "instances per SAT query in deterministic\nlockstep epochs. Results "
-      "are deterministic for a given seed at any thread count.");
+      "instances per SAT query in deterministic\nlockstep epochs. "
+      "--preprocess 0|1 runs SatELite-style CNF simplification\n(variable "
+      "elimination + subsumption) before solving. Results are deterministic "
+      "for\na given seed at any thread count.");
 }
 
 }  // namespace
