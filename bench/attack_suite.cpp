@@ -78,8 +78,18 @@ int main(int argc, char** argv) {
       opts.max_iterations = 4096;
       opts.portfolio_size = args.portfolio;
       opts.preprocess = args.preprocess;
+      opts.cube_depth = static_cast<std::uint32_t>(args.cube);
       c.r = sat_attack(c.lc, oracle, opts);
     });
+    std::uint64_t part1_cubes = 0, part1_refuted = 0;
+    for (const auto& c : cases) {
+      part1_cubes += c.r.cubes;
+      part1_refuted += c.r.cubes_refuted;
+    }
+    // Deterministic counters only (no cube wall time): the results object
+    // must stay byte-identical across thread counts.
+    report.add("golden_cubes", static_cast<std::size_t>(part1_cubes));
+    report.add("golden_cubes_refuted", static_cast<std::size_t>(part1_refuted));
     for (auto& c : cases) {
       const std::string outcome = status_str(c.r, c.lc.correct_key, c.lc);
       t.add_row({c.name, std::to_string(c.lc.num_key_inputs),
@@ -104,6 +114,7 @@ int main(int argc, char** argv) {
     // device model), but the golden and OraP groups are independent.
     using Row = std::vector<std::string>;
     std::vector<Row> group_rows[2];
+    std::uint64_t group_cubes[2] = {0, 0};
     auto run_against = [&](std::size_t group, const char* oracle_name,
                            Oracle& oracle, const LockedCircuit& view,
                            const BitVec& correct) {
@@ -111,22 +122,27 @@ int main(int argc, char** argv) {
       SatAttackOptions sat_opts;
       sat_opts.portfolio_size = args.portfolio;
       sat_opts.preprocess = args.preprocess;
+      sat_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
       AppSatOptions app_opts;
       app_opts.portfolio_size = args.portfolio;
       app_opts.preprocess = args.preprocess;
+      app_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
       {
         const SatAttackResult r = sat_attack(view, oracle, sat_opts);
+        group_cubes[group] += r.cubes;
         rows.push_back({"SAT", oracle_name, std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
       }
       {
         const SatAttackResult r = appsat_attack(view, oracle, app_opts);
+        group_cubes[group] += r.cubes;
         rows.push_back({"AppSAT", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
       }
       {
         const SatAttackResult r = double_dip_attack(view, oracle, sat_opts);
+        group_cubes[group] += r.cubes;
         rows.push_back({"Double-DIP", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
@@ -174,6 +190,10 @@ int main(int argc, char** argv) {
         t.add_row(row);
         report.add_string(row[1] + "_" + row[0], row[3]);
       }
+    // Deterministic cube counters per oracle group (no wall time, so the
+    // results object stays byte-identical across thread counts).
+    report.add("golden_scan_cubes", static_cast<std::size_t>(group_cubes[0]));
+    report.add("orap_scan_cubes", static_cast<std::size_t>(group_cubes[1]));
     std::printf("-- full attack suite: weighted locking (18-bit key) --\n");
     t.print(std::cout);
   }

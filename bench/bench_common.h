@@ -29,12 +29,14 @@ struct BenchArgs {
   bool full = false;
   std::size_t threads = 0;   // 0 = auto (ORAP_THREADS / hardware)
   std::size_t portfolio = 1; // CDCL portfolio size for SAT-bound benches
+  std::size_t cube = 0;      // cube-and-conquer split depth (2^D cubes)
   bool preprocess = false;   // SatELite-style CNF simplification
   std::string json_path;     // empty = no JSON record
   bool help = false;
 
   static constexpr std::size_t kMaxThreads = 1024;
   static constexpr std::size_t kMaxPortfolio = 64;
+  static constexpr std::size_t kMaxCube = 6;  // 2^6 = 64 cubes
 
   /// Strict unsigned parse: whole token, base 10, no sign characters.
   static bool parse_size(const char* s, std::size_t* out) {
@@ -95,6 +97,13 @@ struct BenchArgs {
                    std::to_string(kMaxPortfolio) + "])";
           return false;
         }
+      } else if (std::strncmp(arg, "--cube=", 7) == 0) {
+        if (!parse_size(arg + 7, &a.cube) || a.cube > kMaxCube) {
+          *error = std::string("invalid --cube value '") + (arg + 7) +
+                   "' (want an integer in [0, " + std::to_string(kMaxCube) +
+                   "])";
+          return false;
+        }
       } else if (std::strcmp(arg, "--preprocess") == 0) {
         a.preprocess = true;
       } else if (std::strncmp(arg, "--preprocess=", 13) == 0) {
@@ -124,13 +133,15 @@ struct BenchArgs {
     std::fprintf(
         os,
         "usage: %s [--full | --scale=<0..1>] [--threads=N] [--portfolio=N] "
-        "[--json=<path>]\n"
+        "[--cube=D] [--json=<path>]\n"
         "  --full          paper-scale circuits (slow: minutes)\n"
         "  --scale=S       shrink benchmark circuits to S of paper size\n"
         "  --threads=N     thread-pool size (0 = auto: ORAP_THREADS or "
         "hardware concurrency)\n"
         "  --portfolio=N   CDCL portfolio size for SAT-solver-bound work "
         "(default 1)\n"
+        "  --cube=D        split every SAT query into 2^D cubes, conquered "
+        "in parallel (default 0)\n"
         "  --preprocess[=0|1]  SatELite-style CNF simplification before "
         "solving (default 0)\n"
         "  --json=PATH     write a machine-readable result record\n",
@@ -159,6 +170,9 @@ struct BenchArgs {
     std::printf("== %s ==\n", what);
     std::printf("threads: %zu\n", parallel_threads());
     if (portfolio > 1) std::printf("portfolio: %zu CDCL instances\n", portfolio);
+    if (cube > 0)
+      std::printf("cube: 2^%zu = %zu cubes per SAT query\n", cube,
+                  std::size_t{1} << cube);
     if (preprocess) std::printf("preprocess: CNF simplification on\n");
     if (full)
       std::printf("mode: FULL (paper-scale circuits)\n\n");
@@ -215,6 +229,7 @@ class JsonReport {
     os << "{\"bench\": \"" << escaped(bench_) << "\", \"scale\": " << scale_buf
        << ", \"threads\": " << parallel_threads()
        << ", \"portfolio\": " << args_.portfolio
+       << ", \"cube\": " << args_.cube
        << ", \"preprocess\": " << (args_.preprocess ? 1 : 0)
        << ", \"wall_ms\": ";
     char wall_buf[32];

@@ -72,6 +72,7 @@ int main(int argc, char** argv) {
     opts.max_iterations = (std::int64_t{1} << (max_sar + 1));
     opts.portfolio_size = args.portfolio;
     opts.preprocess = args.preprocess;
+    opts.cube_depth = static_cast<std::uint32_t>(args.cube);
     switch (idx % 3) {
       case 0: {
         const LockedCircuit wl = lock_weighted(n, k, 2, 81);
@@ -95,15 +96,20 @@ int main(int argc, char** argv) {
   });
   double total_solver_ms = 0.0;
   double total_simplify_ms = 0.0;
+  double total_cube_ms = 0.0;
   std::size_t total_vars = 0, total_active = 0;
   std::uint64_t total_eliminated = 0, total_removed = 0;
+  std::uint64_t total_cubes = 0, total_cubes_refuted = 0;
   for (const auto& r : results) {
     total_solver_ms += r.solver_wall_ms;
     total_simplify_ms += r.simplify_ms;
+    total_cube_ms += r.cube_wall_ms;
     total_vars += r.solver_vars;
     total_active += r.solver_active_vars;
     total_eliminated += r.eliminated_vars;
     total_removed += r.removed_clauses;
+    total_cubes += r.cubes;
+    total_cubes_refuted += r.cubes_refuted;
   }
   report.add("solver_wall_ms", total_solver_ms, 1);
   report.add("simplify_ms", total_simplify_ms, 1);
@@ -111,6 +117,9 @@ int main(int argc, char** argv) {
   report.add("solver_active_vars", total_active);
   report.add("eliminated_vars", static_cast<std::size_t>(total_eliminated));
   report.add("removed_clauses", static_cast<std::size_t>(total_removed));
+  report.add("cubes", static_cast<std::size_t>(total_cubes));
+  report.add("cubes_refuted", static_cast<std::size_t>(total_cubes_refuted));
+  report.add("cube_wall_ms", total_cube_ms, 1);
 
   for (std::size_t i = 0; i < key_sizes.size(); ++i) {
     const std::size_t k = key_sizes[i];

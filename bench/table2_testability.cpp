@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
   opts.conflict_budget = args.full ? 10000 : 2000;
   opts.portfolio_size = args.portfolio;
   opts.preprocess = args.preprocess;
+  opts.cube_depth = static_cast<std::uint32_t>(args.cube);
 
   const auto& profiles = paper_benchmarks();
 
@@ -74,6 +75,17 @@ int main(int argc, char** argv) {
       prot[i] = run_atpg(lc.netlist, o);
     }
   });
+
+  std::uint64_t total_cubes = 0, total_cubes_refuted = 0;
+  double total_cube_ms = 0.0;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    total_cubes += orig[i].cubes + prot[i].cubes;
+    total_cubes_refuted += orig[i].cubes_refuted + prot[i].cubes_refuted;
+    total_cube_ms += orig[i].cube_wall_ms + prot[i].cube_wall_ms;
+  }
+  report.add("cubes", static_cast<std::size_t>(total_cubes));
+  report.add("cubes_refuted", static_cast<std::size_t>(total_cubes_refuted));
+  report.add("cube_wall_ms", total_cube_ms, 1);
 
   for (std::size_t i = 0; i < profiles.size(); ++i) {
     const BenchmarkProfile& p = profiles[i];

@@ -1,8 +1,8 @@
 #include "atpg/atpg.h"
 
 #include "netlist/analysis.h"
+#include "sat/cube.h"
 #include "sat/encode.h"
-#include "sat/portfolio.h"
 
 namespace orap {
 
@@ -29,8 +29,11 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
                                     bool* aborted_out,
                                     std::size_t portfolio_size,
-                                    bool preprocess) {
+                                    bool preprocess,
+                                    std::uint32_t cube_depth,
+                                    sat::SolverStats* stats_out) {
   if (aborted_out != nullptr) *aborted_out = false;
+  if (stats_out != nullptr) *stats_out = sat::SolverStats{};
 
   // Cone of influence: only the fanin support of the POs the fault can
   // reach matters. Everything outside stays unconstrained (and its
@@ -43,9 +46,10 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
   if (reachable_pos.empty()) return std::nullopt;  // cannot reach any PO
   const auto needed = fanin_cone(n, reachable_pos);
 
-  sat::PortfolioOptions po;
-  po.size = portfolio_size;
-  sat::PortfolioSolver s(po);
+  sat::CubeOptions co;
+  co.depth = cube_depth;
+  co.portfolio.size = portfolio_size == 0 ? 1 : portfolio_size;
+  sat::CubeSolver s(co);
   sat::Encoder e(s);
 
   // Good copy, restricted to the cone of influence.
@@ -118,6 +122,7 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
   }
 
   const auto res = s.solve({}, conflict_budget);
+  if (stats_out != nullptr) *stats_out = s.total_stats();
   if (res == sat::Solver::Result::kUnknown) {
     if (aborted_out != nullptr) *aborted_out = true;
     return std::nullopt;
@@ -146,8 +151,14 @@ AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts) {
     const Fault f = remaining.back();
     remaining.pop_back();
     bool aborted = false;
-    const auto pattern = generate_test(n, f, opts.conflict_budget, &aborted,
-                                       opts.portfolio_size, opts.preprocess);
+    sat::SolverStats qstats;
+    const auto pattern =
+        generate_test(n, f, opts.conflict_budget, &aborted,
+                      opts.portfolio_size, opts.preprocess, opts.cube_depth,
+                      &qstats);
+    result.cubes += qstats.cubes;
+    result.cubes_refuted += qstats.cubes_refuted;
+    result.cube_wall_ms += qstats.cube_wall_ms;
     if (!pattern.has_value()) {
       if (aborted)
         ++result.aborted;

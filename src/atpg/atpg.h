@@ -16,6 +16,10 @@
 #include "atpg/fault_sim.h"
 #include "util/bitvec.h"
 
+namespace orap::sat {
+struct SolverStats;
+}
+
 namespace orap {
 
 enum class FaultClass { kDetectedRandom, kDetectedAtpg, kRedundant, kAborted };
@@ -33,6 +37,10 @@ struct AtpgOptions {
   /// good/faulty miter before solving. Fault-site and PI/PO variables are
   /// frozen so the test pattern stays readable from the model.
   bool preprocess = false;
+  /// > 0 splits every fault query into 2^depth cubes via deterministic
+  /// lookahead and conquers them in parallel (sat/cube.h); the conflict
+  /// budget becomes a TOTAL per query, split across cubes.
+  std::uint32_t cube_depth = 0;
 };
 
 struct AtpgResult {
@@ -42,6 +50,12 @@ struct AtpgResult {
   std::size_t redundant = 0;
   std::size_t aborted = 0;
   std::vector<BitVec> patterns;  // ATPG-phase patterns only
+
+  // Cube-and-conquer accounting over the ATPG phase (0 when cube_depth
+  // is 0 — see AtpgOptions::cube_depth).
+  std::uint64_t cubes = 0;
+  std::uint64_t cubes_refuted = 0;
+  double cube_wall_ms = 0.0;
 
   std::size_t detected() const { return detected_random + detected_atpg; }
   double fault_coverage_pct() const {
@@ -56,12 +70,16 @@ struct AtpgResult {
 /// Generates a test pattern for one fault (nullopt = redundant or
 /// aborted; `aborted_out` distinguishes the two). portfolio_size > 1
 /// races diversified solver instances on the good/faulty miter;
-/// `preprocess` simplifies the miter CNF before the solve.
+/// `preprocess` simplifies the miter CNF before the solve; cube_depth > 0
+/// splits the query into 2^depth cubes. `stats_out` (optional) receives
+/// the query's summed solver stats, cube counters included.
 std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
                                     std::int64_t conflict_budget,
                                     bool* aborted_out,
                                     std::size_t portfolio_size = 1,
-                                    bool preprocess = false);
+                                    bool preprocess = false,
+                                    std::uint32_t cube_depth = 0,
+                                    sat::SolverStats* stats_out = nullptr);
 
 /// The full Table II flow: collapse faults, pseudorandom phase with
 /// dropping, SAT-ATPG on the remainder.

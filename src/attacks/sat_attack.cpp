@@ -4,8 +4,8 @@
 
 #include "attacks/encode_util.h"
 #include "netlist/simulator.h"
+#include "sat/cube.h"
 #include "sat/encode.h"
-#include "sat/portfolio.h"
 #include "sat/simplify.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -14,22 +14,24 @@ namespace orap {
 
 namespace {
 
+using sat::CubeSolver;
 using sat::Encoder;
 using sat::Lit;
-using sat::PortfolioSolver;
 using sat::Solver;
 using sat::Var;
 
-sat::PortfolioOptions portfolio_options(std::size_t size) {
-  sat::PortfolioOptions po;
-  po.size = size == 0 ? 1 : size;
-  return po;
+sat::CubeOptions cube_options(std::size_t portfolio_size,
+                              std::uint32_t cube_depth) {
+  sat::CubeOptions co;
+  co.depth = cube_depth;
+  co.portfolio.size = portfolio_size == 0 ? 1 : portfolio_size;
+  return co;
 }
 
 /// Shared state of the DIP loop.
 struct AttackContext {
   const LockedCircuit& lc;
-  PortfolioSolver solver;
+  CubeSolver solver;
   LockedEncoder lenc;
   std::vector<Var> x;    // shared data-input vars of the miter
   std::vector<Var> k1;   // key copy 1
@@ -37,9 +39,10 @@ struct AttackContext {
   Var act = -1;          // miter activation literal
   bool oracle_inconsistent = false;
 
-  AttackContext(const LockedCircuit& locked, std::size_t portfolio_size)
+  AttackContext(const LockedCircuit& locked, std::size_t portfolio_size,
+                std::uint32_t cube_depth)
       : lc(locked),
-        solver(portfolio_options(portfolio_size)),
+        solver(cube_options(portfolio_size, cube_depth)),
         lenc(solver, locked) {}
 
   std::size_t nd() const { return lc.num_data_inputs; }
@@ -84,9 +87,9 @@ struct AttackContext {
         static_cast<std::size_t>(solver.stats().eliminated_vars);
   }
 
-  /// Copies formula-size / preprocessing counters into the result.
+  /// Copies formula-size / preprocessing / cube counters into the result.
   void fill_solver_stats(SatAttackResult* result) const {
-    const sat::SolverStats& st = solver.stats();
+    const sat::SolverStats st = solver.stats();
     result->solver_vars =
         miter_vars_ != 0 ? miter_vars_ : solver.num_vars();
     result->solver_active_vars =
@@ -96,6 +99,9 @@ struct AttackContext {
     result->eliminated_vars = st.eliminated_vars;
     result->removed_clauses = st.simplify_removed_clauses;
     result->simplify_ms = st.simplify_ms;
+    result->cubes = st.cubes;
+    result->cubes_refuted = st.cubes_refuted;
+    result->cube_wall_ms = st.cube_wall_ms;
   }
 
   std::size_t miter_vars_ = 0;
@@ -137,7 +143,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   ORAP_CHECK(oracle.num_inputs() == locked.num_data_inputs);
   ORAP_CHECK(oracle.num_outputs() == locked.netlist.num_outputs());
 
-  AttackContext ctx(locked, opts.portfolio_size);
+  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -161,7 +167,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
-    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+    result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
@@ -185,9 +191,12 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
       return result;
     }
   }
-  finish();
+  // finish() exactly once per exit path: a second call after extract_key
+  // used to overwrite the stats snapshot and misattribute solver wall
+  // time between the DIP loop and the extraction.
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
+    finish();
     return result;
   }
 
@@ -206,7 +215,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
                               const AppSatOptions& opts) {
-  AttackContext ctx(locked, opts.portfolio_size);
+  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -231,12 +240,18 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
   const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
-    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+    result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
 
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
-    const auto res = ctx.solver.solve(on);
+    const auto res = ctx.solver.solve(on, opts.conflict_budget);
+    if (res == Solver::Result::kUnknown) {
+      // Budget abort, exactly as in sat_attack — NOT a lying oracle.
+      result.status = SatAttackResult::Status::kSolverBudget;
+      finish();
+      return result;
+    }
     if (res == Solver::Result::kUnsat) break;  // exact convergence
     ++result.iterations;
     const BitVec xd = ctx.model_bits(ctx.x);
@@ -251,9 +266,16 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
 
     if (result.iterations % opts.check_period != 0) continue;
     // Random-sampling round on the current candidate key.
-    SatAttackResult::Status ignored;
+    SatAttackResult::Status mid_status = SatAttackResult::Status::kKeyFound;
     BitVec candidate;
-    if (!ctx.extract_key(&candidate, -1, &ignored)) break;
+    if (!ctx.extract_key(&candidate, opts.conflict_budget, &mid_status)) {
+      if (mid_status == SatAttackResult::Status::kSolverBudget) {
+        result.status = mid_status;
+        finish();
+        return result;
+      }
+      break;  // no consistent key: the final extraction settles the status
+    }
     std::size_t mismatches = 0;
     for (std::size_t q = 0; q < opts.random_queries; ++q) {
       const BitVec xr = BitVec::random(ctx.nd(), rng);
@@ -277,30 +299,36 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
       clean_rounds = 0;
     }
   }
-  finish();
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
+    finish();
     return result;
   }
   SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
-  if (ctx.extract_key(&result.key, -1, &budget_status))
+  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
     result.status = SatAttackResult::Status::kKeyFound;
-  else
-    result.status = SatAttackResult::Status::kInconsistentOracle;
+  } else {
+    // A budget abort must surface as kSolverBudget; only a genuinely
+    // unsatisfiable key formula means the oracle lied.
+    result.status =
+        budget_status == SatAttackResult::Status::kSolverBudget
+            ? budget_status
+            : SatAttackResult::Status::kInconsistentOracle;
+  }
   finish();
   return result;
 }
 
 SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
                                   const SatAttackOptions& opts) {
-  AttackContext ctx(locked, opts.portfolio_size);
+  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
   auto k3 = fresh_vars(ctx.solver, ctx.nk());
   auto k4 = fresh_vars(ctx.solver, ctx.nk());
   ctx.act = ctx.solver.new_var();
-  PortfolioSolver& s = ctx.solver;
+  CubeSolver& s = ctx.solver;
   Encoder& e = ctx.enc();
 
   const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
@@ -340,7 +368,7 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
   const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
-    result.solver_wall_ms = ctx.solver.portfolio_stats().solve_wall_ms;
+    result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
   while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
@@ -364,9 +392,9 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
       return result;
     }
   }
-  finish();
   if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
     result.status = SatAttackResult::Status::kIterationLimit;
+    finish();
     return result;
   }
   // No double-DIP remains: at most one equivalence class of the

@@ -30,6 +30,11 @@ struct SatAttackOptions {
   /// (data inputs, key vectors, activation literal, miter outputs, encoder
   /// constants) so every later add_io_constraint stays expressible.
   bool preprocess = false;
+  /// > 0 splits every SAT query into 2^depth cubes via deterministic
+  /// lookahead and conquers them in parallel (sat/cube.h); composes with
+  /// portfolio_size (one portfolio per cube) and preprocess. A finite
+  /// conflict_budget is the TOTAL for the query, split across cubes.
+  std::uint32_t cube_depth = 0;
 };
 
 struct SatAttackResult {
@@ -54,6 +59,11 @@ struct SatAttackResult {
   std::uint64_t eliminated_vars = 0;   // removed by variable elimination
   std::uint64_t removed_clauses = 0;   // net clause-count reduction
   double simplify_ms = 0.0;            // time spent preprocessing
+
+  // Cube-and-conquer accounting (all 0 when cube_depth == 0).
+  std::uint64_t cubes = 0;          // cubes enumerated across all queries
+  std::uint64_t cubes_refuted = 0;  // cubes individually proven UNSAT
+  double cube_wall_ms = 0.0;        // wall time inside split solves
 };
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -65,12 +75,14 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
 /// deobfuscation (effective against point-function schemes like SARLock).
 struct AppSatOptions {
   std::int64_t max_iterations = 1024;
+  std::int64_t conflict_budget = -1; // per SAT call; <0 = unlimited
   std::size_t check_period = 8;      // DIPs between random-sampling rounds
   std::size_t random_queries = 64;   // samples per round
   std::size_t settle_rounds = 2;     // consecutive clean rounds to stop
   std::uint64_t seed = 1;
   std::size_t portfolio_size = 1;    // as in SatAttackOptions
   bool preprocess = false;           // as in SatAttackOptions
+  std::uint32_t cube_depth = 0;      // as in SatAttackOptions
 };
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,

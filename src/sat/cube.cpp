@@ -1,0 +1,335 @@
+#include "sat/cube.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sat/simplify.h"
+#include "util/parallel.h"
+
+namespace orap::sat {
+
+// --- lookahead splitter (a Solver member: it probes the internal trail) ----
+
+std::vector<Var> Solver::pick_cube_vars(std::size_t count,
+                                        std::span<const Lit> avoid,
+                                        std::uint32_t candidates) {
+  std::vector<Var> out;
+  if (count == 0 || !ok_) return out;
+  ORAP_CHECK_MSG(decision_level() == 0, "pick_cube_vars only at root level");
+  if (propagate() != kNullClause) {
+    ok_ = false;
+    return out;
+  }
+
+  // Rank variables by clause-length-weighted occurrences over the live
+  // (unsatisfied) problem clauses: short clauses constrain hardest, so
+  // their variables make the strongest split candidates.
+  std::vector<double> occ(num_vars(), 0.0);
+  for (const ClauseRef c : clauses_) {
+    const Lit* ls = lits(c);
+    const std::uint32_t size = header(c).size;
+    std::uint32_t free_lits = 0;
+    bool satisfied = false;
+    for (std::uint32_t k = 0; k < size && !satisfied; ++k) {
+      if (value(ls[k]) == LBool::kTrue)
+        satisfied = true;
+      else if (value(ls[k]) == LBool::kUndef)
+        ++free_lits;
+    }
+    if (satisfied || free_lits == 0) continue;
+    const double w =
+        1.0 / static_cast<double>(1u << (free_lits < 12 ? free_lits : 12));
+    for (std::uint32_t k = 0; k < size; ++k)
+      if (value(ls[k]) == LBool::kUndef) occ[ls[k].var()] += w;
+  }
+
+  std::vector<char> blocked(num_vars(), 0);
+  for (const Lit a : avoid) {
+    ORAP_DCHECK(a.var() >= 0 &&
+                static_cast<std::size_t>(a.var()) < blocked.size());
+    blocked[a.var()] = 1;
+  }
+  std::vector<Var> cand;
+  for (std::size_t v = 0; v < num_vars(); ++v) {
+    if (occ[v] <= 0.0 || blocked[v] || eliminated_[v] ||
+        assigns_[v] != LBool::kUndef)
+      continue;
+    cand.push_back(static_cast<Var>(v));
+  }
+  if (cand.empty()) return out;
+  const std::size_t pool = std::min<std::size_t>(
+      cand.size(), std::max<std::size_t>(candidates, count));
+  std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(pool),
+                    cand.end(), [&occ](Var a, Var b) {
+                      if (occ[a] != occ[b]) return occ[a] > occ[b];
+                      return a < b;
+                    });
+  cand.resize(pool);
+
+  // March-style probing: propagate each polarity at a throwaway decision
+  // level and score by how much of the formula each side forces. A
+  // conflicting polarity is a failed literal — the best possible split,
+  // since one of its cubes refutes by propagation alone.
+  constexpr double kFailedScore = 1e12;
+  struct Scored {
+    double score;
+    Var v;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(cand.size());
+  for (const Var v : cand) {
+    double growth[2];
+    for (int s = 0; s < 2; ++s) {
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      enqueue(Lit(v, s == 1), kNullClause);
+      const std::size_t base = trail_.size();
+      const ClauseRef confl = propagate();
+      growth[s] = confl != kNullClause
+                      ? kFailedScore
+                      : static_cast<double>(trail_.size() - base);
+      cancel_until(0);
+    }
+    scored.push_back(
+        {(growth[0] + 1.0) * (growth[1] + 1.0) + growth[0] + growth[1], v});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.v < b.v;
+            });
+  const std::size_t n = std::min(count, scored.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(scored[i].v);
+  return out;
+}
+
+// --- CubeSolver ------------------------------------------------------------
+
+CubeSolver::CubeSolver(const CubeOptions& opts) : opts_(opts) {
+  if (opts_.depth > CubeOptions::kMaxDepth) opts_.depth = CubeOptions::kMaxDepth;
+  if (opts_.epoch_budget < 1) opts_.epoch_budget = 1;
+  if (opts_.epoch_growth < 1.0) opts_.epoch_growth = 1.0;
+  const std::size_t n = std::size_t{1} << opts_.depth;
+  lanes_.reserve(n);
+  // Every lane gets the identical portfolio configuration (same seed):
+  // lanes must differ only by the cube literals they assume, so a verdict
+  // never depends on which lane found it first.
+  for (std::size_t i = 0; i < n; ++i)
+    lanes_.push_back(std::make_unique<PortfolioSolver>(opts_.portfolio));
+}
+
+Var CubeSolver::new_var() {
+  const Var v = lanes_[0]->new_var();
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    const Var w = lanes_[i]->new_var();
+    ORAP_DCHECK(w == v);
+    (void)w;
+  }
+  return v;
+}
+
+bool CubeSolver::add_clause(std::span<const Lit> lits) {
+  bool ok = true;
+  for (auto& l : lanes_) ok &= l->add_clause(lits);
+  return ok;
+}
+
+bool CubeSolver::simplify() { return simplify(SimplifyOptions{}); }
+
+bool CubeSolver::simplify(const SimplifyOptions& opts) {
+  // Lane 0 simplifies (once, on its instance 0); everyone else adopts the
+  // simplified database, mirroring PortfolioSolver::simplify one level up.
+  const bool ok0 = lanes_[0]->simplify(opts);
+  for (std::size_t i = 1; i < lanes_.size(); ++i)
+    lanes_[i]->adopt_simplification_from(lanes_[0]->instance(0));
+  return ok0;
+}
+
+bool CubeSolver::ok() const {
+  for (const auto& l : lanes_)
+    if (!l->ok()) return false;
+  return true;
+}
+
+SolverStats CubeSolver::stats() const {
+  SolverStats st = lanes_[winner_lane_]->stats();
+  st.cubes = cstats_.cubes;
+  st.cubes_refuted = cstats_.cubes_refuted;
+  st.cube_wall_ms = cstats_.cube_wall_ms;
+  return st;
+}
+
+SolverStats CubeSolver::total_stats() const {
+  SolverStats t = lanes_[0]->total_stats();
+  for (std::size_t i = 1; i < lanes_.size(); ++i) {
+    const SolverStats s = lanes_[i]->total_stats();
+    t.decisions += s.decisions;
+    t.propagations += s.propagations;
+    t.conflicts += s.conflicts;
+    t.restarts += s.restarts;
+    t.learnt_literals += s.learnt_literals;
+    t.minimized_literals += s.minimized_literals;
+    t.reduce_dbs += s.reduce_dbs;
+    // Simplification runs once and is adopted everywhere: lane 0's copy
+    // already accounts for it.
+  }
+  t.cubes = cstats_.cubes;
+  t.cubes_refuted = cstats_.cubes_refuted;
+  t.cube_wall_ms = cstats_.cube_wall_ms;
+  return t;
+}
+
+CubeSolver::Result CubeSolver::solve(std::span<const Lit> assumptions,
+                                     std::int64_t conflict_budget) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall = [&t0] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  cubed_core_ = false;
+  winner_lane_ = 0;
+  last_cube_vars_.clear();
+
+  // Paths that never split: no splitting configured, a formula already
+  // proven UNSAT at root (identical in every lane), or a zero budget —
+  // match the single solver's immediate "aborted query" without paying
+  // for a lookahead.
+  if (lanes_.size() == 1 || !lanes_[0]->ok() || conflict_budget == 0) {
+    const Result r = lanes_[0]->solve(assumptions, conflict_budget);
+    cstats_.solve_wall_ms += wall();
+    return r;
+  }
+
+  const std::vector<Var> vars = lanes_[0]->pick_cube_vars(
+      opts_.depth, assumptions, opts_.lookahead_candidates);
+  if (vars.empty()) {
+    // Too few splittable variables (or the lookahead hit a root
+    // conflict): fall back to a plain solve on lane 0.
+    const Result r = lanes_[0]->solve(assumptions, conflict_budget);
+    cstats_.solve_wall_ms += wall();
+    return r;
+  }
+  last_cube_vars_ = vars;
+  const Result r = conquer(assumptions, conflict_budget, vars);
+  const double w = wall();
+  cstats_.solve_wall_ms += w;
+  cstats_.cube_wall_ms += w;
+  return r;
+}
+
+CubeSolver::Result CubeSolver::conquer(std::span<const Lit> assumptions,
+                                       std::int64_t budget,
+                                       const std::vector<Var>& vars) {
+  const std::size_t ncubes = std::size_t{1} << vars.size();
+  ++cstats_.split_calls;
+  cstats_.cubes += ncubes;
+  cstats_.epochs = 0;
+  cstats_.winner_cube = 0;
+
+  // Cube c assumes the caller's assumptions first (so lane cores keep
+  // referring to them), then one literal per branching variable — bit j
+  // of c picks the polarity of vars[j].
+  std::vector<std::vector<Lit>> cube_assum(ncubes);
+  for (std::size_t c = 0; c < ncubes; ++c) {
+    auto& as = cube_assum[c];
+    as.reserve(assumptions.size() + vars.size());
+    as.assign(assumptions.begin(), assumptions.end());
+    for (std::size_t j = 0; j < vars.size(); ++j)
+      as.push_back(Lit(vars[j], ((c >> j) & 1) != 0));
+  }
+  std::vector<char> is_cube_var(num_vars(), 0);
+  for (const Var v : vars) is_cube_var[static_cast<std::size_t>(v)] = 1;
+
+  std::vector<Result> results(ncubes, Result::kUnknown);
+  std::vector<char> refuted(ncubes, 0);
+  std::vector<std::uint64_t> before(ncubes, 0);
+  std::vector<Lit> merged_core;
+  std::size_t live = ncubes;
+  std::int64_t total_spent = 0;
+  std::int64_t epoch_budget = opts_.epoch_budget;
+
+  while (true) {
+    if (budget >= 0 && total_spent >= budget) return Result::kUnknown;
+    // Deterministic per-cube grant: the epoch budget, capped by an equal
+    // share of whatever remains of the call's total budget. Charging the
+    // ACTUAL post-epoch conflict deltas (not the grants) keeps --cube=D
+    // runs comparable to a single solver under the same budget.
+    std::int64_t grant = epoch_budget;
+    if (budget >= 0) {
+      std::int64_t share =
+          (budget - total_spent) / static_cast<std::int64_t>(live);
+      if (share < 1) share = 1;
+      if (grant > share) grant = share;
+    }
+    // Lockstep epoch: lanes are independent sequential searches writing
+    // to disjoint slots, so pool placement cannot affect any result.
+    parallel_for(1, ncubes, [&](std::size_t c) {
+      if (refuted[c]) return;
+      before[c] = lanes_[c]->total_stats().conflicts;
+      results[c] = lanes_[c]->solve(cube_assum[c], grant);
+    });
+    ++cstats_.epochs;
+    for (std::size_t c = 0; c < ncubes; ++c)
+      if (!refuted[c])
+        total_spent += static_cast<std::int64_t>(
+            lanes_[c]->total_stats().conflicts - before[c]);
+
+    // Barrier arbitration in ascending cube index on the calling thread:
+    // the smallest satisfied cube wins kSat.
+    for (std::size_t c = 0; c < ncubes; ++c) {
+      if (refuted[c] || results[c] != Result::kSat) continue;
+      winner_lane_ = c;
+      cstats_.winner_cube = c;
+      return Result::kSat;
+    }
+    for (std::size_t c = 0; c < ncubes; ++c) {
+      if (refuted[c] || results[c] != Result::kUnsat) continue;
+      const std::vector<Lit>& core = lanes_[c]->unsat_core();
+      bool uses_cube_lit = false;
+      for (const Lit l : core) {
+        if (is_cube_var[static_cast<std::size_t>(l.var())]) {
+          uses_cube_lit = true;
+          break;
+        }
+      }
+      if (!uses_cube_lit) {
+        // The refutation never touched this cube's literals, so it holds
+        // for the whole query; lane c's core is already the answer.
+        winner_lane_ = c;
+        cstats_.winner_cube = c;
+        return Result::kUnsat;
+      }
+      refuted[c] = 1;
+      --live;
+      ++cstats_.cubes_refuted;
+      for (const Lit l : core)
+        if (!is_cube_var[static_cast<std::size_t>(l.var())])
+          merged_core.push_back(l);
+    }
+    if (live == 0) {
+      // Every cube refuted: the union of the per-cube cores (cube
+      // literals excluded) is a valid core, because the cubes cover the
+      // whole assignment space of the branching variables.
+      std::sort(merged_core.begin(), merged_core.end(),
+                [](Lit a, Lit b) { return a.index() < b.index(); });
+      merged_core.erase(std::unique(merged_core.begin(), merged_core.end()),
+                        merged_core.end());
+      core_ = std::move(merged_core);
+      cubed_core_ = true;
+      winner_lane_ = 0;
+      cstats_.winner_cube = 0;
+      return Result::kUnsat;
+    }
+
+    constexpr std::int64_t kMaxEpochBudget = std::int64_t{1} << 40;
+    if (epoch_budget < kMaxEpochBudget) {
+      epoch_budget = static_cast<std::int64_t>(
+          static_cast<double>(epoch_budget) * opts_.epoch_growth);
+      if (epoch_budget < opts_.epoch_budget) epoch_budget = opts_.epoch_budget;
+      if (epoch_budget > kMaxEpochBudget) epoch_budget = kMaxEpochBudget;
+    }
+  }
+}
+
+}  // namespace orap::sat

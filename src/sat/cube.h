@@ -1,0 +1,135 @@
+#pragma once
+// Deterministic cube-and-conquer [Heule et al., HVC'11]: one SAT query is
+// split into 2^depth cubes — assumption prefixes over `depth` branching
+// variables chosen by a march-style lookahead — and the cubes are
+// conquered in parallel on the work-stealing pool, one PortfolioSolver
+// lane per cube.
+//
+// Split: Solver::pick_cube_vars ranks variables by clause-length-weighted
+// occurrence counts, probes the top candidates (propagate each polarity at
+// a fresh decision level, score by trail growth), and returns the best
+// `depth` propagators. Assigned variables, variables eliminated by
+// simplify(), and the caller's assumption variables are never picked, so
+// splitting composes with --preprocess (frozen-interface simplification)
+// and with assumption-driven incremental use.
+//
+// Conquer: all live cubes run in lockstep conflict-budget epochs, exactly
+// like the portfolio layer one level down. At each barrier the calling
+// thread scans cubes in ascending index: the SMALLEST satisfied cube index
+// wins a kSat verdict; a cube whose refutation does not involve its cube
+// literals proves the whole query kUnsat on the spot; otherwise refuted
+// cubes leave the live set and kUnsat is returned once every cube is
+// refuted (the union of the per-cube cores, minus cube literals, is the
+// reported core). Every lane is a deterministic sequential search and all
+// arbitration happens in cube order on the calling thread, so statuses,
+// models and cores are bit-identical at any thread count — the PR 1/2
+// determinism contract.
+//
+// Budgets: a finite conflict_budget is a TOTAL for the query, split
+// across cubes and charged by actual conflict deltas (not by grants), so
+// --cube=D with the same budget aborts on comparable effort to a single
+// solver. depth == 0 is a zero-overhead pass-through to the portfolio.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sat/portfolio.h"
+#include "sat/solver.h"
+
+namespace orap::sat {
+
+struct CubeOptions {
+  std::uint32_t depth = 0;  ///< split into 2^depth cubes; 0 = no splitting
+  std::int64_t epoch_budget = 2000;  ///< conflicts per cube per epoch
+  double epoch_growth = 2.0;         ///< epoch budget multiplier (>= 1)
+  std::uint32_t lookahead_candidates = 32;  ///< vars probed by the splitter
+  PortfolioOptions portfolio;  ///< per-lane portfolio configuration
+
+  /// 2^6 = 64 lanes is already far past the useful split for in-repo
+  /// problem sizes; deeper requests are clamped, not rejected.
+  static constexpr std::uint32_t kMaxDepth = 6;
+};
+
+struct CubeStats {
+  std::uint64_t split_calls = 0;    ///< solve() calls that actually split
+  std::uint64_t cubes = 0;          ///< cumulative cubes enumerated
+  std::uint64_t cubes_refuted = 0;  ///< cumulative cubes proven UNSAT
+  std::uint64_t epochs = 0;         ///< epochs of the last split solve
+  std::size_t winner_cube = 0;      ///< cube that decided the last split
+  double cube_wall_ms = 0.0;        ///< cumulative wall inside split solves
+  double solve_wall_ms = 0.0;       ///< cumulative wall inside all solves
+};
+
+/// Drop-in solving front end mirroring PortfolioSolver's public surface.
+/// Building (new_var / add_clause / freeze) fans out to every lane, so all
+/// 2^depth lanes hold the identical formula and differ only by the cube
+/// literals they assume during a split solve.
+class CubeSolver : public ClauseSink {
+ public:
+  using Result = Solver::Result;
+
+  explicit CubeSolver(const CubeOptions& opts = {});
+
+  Var new_var() override;
+  std::size_t num_vars() const override { return lanes_[0]->num_vars(); }
+  bool add_clause(std::span<const Lit> lits) override;
+  using ClauseSink::add_clause;
+
+  void freeze(Var v) override {
+    for (auto& l : lanes_) l->freeze(v);
+  }
+  void thaw(Var v) override {
+    for (auto& l : lanes_) l->thaw(v);
+  }
+
+  /// Preprocesses ONCE (lane 0 simplifies; every other lane adopts the
+  /// simplified database). Returns false on UNSAT.
+  bool simplify();
+  bool simplify(const SimplifyOptions& opts);
+
+  /// Splits the query into cubes and conquers them (see file comment).
+  /// conflict_budget < 0 means unlimited; otherwise it is a TOTAL budget
+  /// for the call, charged by actual conflict deltas across all cubes, and
+  /// kUnknown is returned once it is exhausted without a verdict.
+  Result solve(std::span<const Lit> assumptions = {},
+               std::int64_t conflict_budget = -1);
+
+  /// Model / core access after solve(), served by the deciding lane (for a
+  /// cubed UNSAT: the deduplicated union of per-cube cores, cube literals
+  /// excluded — a valid core since the cubes partition the search space).
+  bool model_value(Var v) const { return lanes_[winner_lane_]->model_value(v); }
+  const std::vector<Lit>& unsat_core() const {
+    return cubed_core_ ? core_ : lanes_[winner_lane_]->unsat_core();
+  }
+
+  bool ok() const;
+  std::size_t num_lanes() const { return lanes_.size(); }
+  const PortfolioSolver& lane(std::size_t i) const { return *lanes_[i]; }
+  const CubeOptions& options() const { return opts_; }
+  const CubeStats& cube_stats() const { return cstats_; }
+  /// Branching variables of the last split solve (empty: no split).
+  const std::vector<Var>& last_cube_vars() const { return last_cube_vars_; }
+
+  /// Deciding lane's solver stats with the cube counters merged in (the
+  /// SolverStats cube fields are only ever filled here).
+  SolverStats stats() const;
+  /// Summed over every lane (simplification reported once), plus the cube
+  /// counters.
+  SolverStats total_stats() const;
+
+ private:
+  Result conquer(std::span<const Lit> assumptions, std::int64_t budget,
+                 const std::vector<Var>& vars);
+
+  CubeOptions opts_;
+  std::vector<std::unique_ptr<PortfolioSolver>> lanes_;
+  std::vector<Lit> core_;            // merged core of a cubed UNSAT
+  std::vector<Var> last_cube_vars_;  // split of the last solve() call
+  std::size_t winner_lane_ = 0;
+  bool cubed_core_ = false;  // last verdict came with a merged core
+  CubeStats cstats_;
+};
+
+}  // namespace orap::sat

@@ -69,6 +69,12 @@ bool PortfolioSolver::simplify(const SimplifyOptions& opts) {
   return ok0;
 }
 
+void PortfolioSolver::adopt_simplification_from(const Solver& src) {
+  for (auto& s : solvers_) s->adopt_simplification_from(src);
+  for (std::size_t i = 0; i < solvers_.size(); ++i)
+    unit_cursor_[i] = solvers_[i]->root_trail().size();
+}
+
 bool PortfolioSolver::ok() const {
   for (const auto& s : solvers_)
     if (!s->ok()) return false;
@@ -174,8 +180,14 @@ PortfolioSolver::Result PortfolioSolver::solve(
         if (left <= 0) return;  // this instance's call budget is used up
         if (budget > left) budget = left;
       }
+      // Charge the ACTUAL conflicts of the call, not the grant: instances
+      // that decide (or abort past the budget on a conflict chain) rarely
+      // use exactly `budget`, and charging grants made --portfolio=N runs
+      // abort earlier than a single solver under the same call budget.
+      const std::uint64_t before = solvers_[i]->stats().conflicts;
       results[i] = solvers_[i]->solve(assumptions, budget);
-      spent[i] += budget;
+      spent[i] +=
+          static_cast<std::int64_t>(solvers_[i]->stats().conflicts - before);
     });
     ++pstats_.epochs;
 

@@ -1,0 +1,190 @@
+// Budget-path regression suite: a conflict budget that runs out must
+// surface as kSolverBudget (attacks) / aborted (ATPG) — never as
+// kInconsistentOracle, which is reserved for a genuinely lying oracle
+// (the OraP signal). Covers all three oracle-guided attacks and the ATPG
+// flow across the threads x portfolio x cube configuration grid, plus the
+// AppSAT regression (it used to ignore conflict_budget entirely) and
+// real-budget aborts mid-loop.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "atpg/atpg.h"
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "util/parallel.h"
+
+namespace orap {
+namespace {
+
+Netlist small_circuit(std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 16;
+  spec.num_gates = 300;
+  spec.depth = 8;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+struct GridPoint {
+  std::size_t threads, portfolio;
+  std::uint32_t cube;
+};
+
+std::vector<GridPoint> config_grid() {
+  std::vector<GridPoint> grid;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}})
+    for (const std::size_t portfolio : {std::size_t{1}, std::size_t{3}})
+      for (const std::uint32_t cube : {0u, 2u})
+        grid.push_back({threads, portfolio, cube});
+  return grid;
+}
+
+TEST(Budget, ZeroBudgetSurfacesAsSolverBudgetAcrossGrid) {
+  // Budget 0 is the tightest possible budget: the very first SAT query
+  // aborts, deterministically in every configuration. Each attack must
+  // report kSolverBudget — a budget abort is not evidence of a lying
+  // oracle.
+  const Netlist n = small_circuit(60);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 61);
+  for (const GridPoint g : config_grid()) {
+    set_parallel_threads(g.threads);
+    SatAttackOptions sat_opts;
+    sat_opts.conflict_budget = 0;
+    sat_opts.portfolio_size = g.portfolio;
+    sat_opts.cube_depth = g.cube;
+    AppSatOptions app_opts;
+    app_opts.conflict_budget = 0;
+    app_opts.portfolio_size = g.portfolio;
+    app_opts.cube_depth = g.cube;
+
+    const char* const names[] = {"sat", "appsat", "double_dip"};
+    SatAttackResult results[3];
+    {
+      GoldenOracle oracle(lc);
+      results[0] = sat_attack(lc, oracle, sat_opts);
+    }
+    {
+      GoldenOracle oracle(lc);
+      results[1] = appsat_attack(lc, oracle, app_opts);
+    }
+    {
+      GoldenOracle oracle(lc);
+      results[2] = double_dip_attack(lc, oracle, sat_opts);
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(results[i].status, SatAttackResult::Status::kSolverBudget)
+          << names[i] << " threads " << g.threads << " portfolio "
+          << g.portfolio << " cube " << g.cube;
+      EXPECT_NE(results[i].status,
+                SatAttackResult::Status::kInconsistentOracle);
+    }
+  }
+  set_parallel_threads(0);
+}
+
+TEST(Budget, AtpgZeroBudgetAbortsDeterministicallyAcrossGrid) {
+  // Every SAT-phase fault query aborts on a zero budget, so the
+  // aborted/redundant/detected split must be identical at every grid
+  // point (the ATPG phase does no solver work that could diverge).
+  const Netlist n = small_circuit(62);
+  std::vector<AtpgResult> results;
+  for (const GridPoint g : config_grid()) {
+    set_parallel_threads(g.threads);
+    AtpgOptions opts;
+    opts.random_words = 16;  // leave real work for the SAT phase
+    opts.conflict_budget = 0;
+    opts.portfolio_size = g.portfolio;
+    opts.cube_depth = g.cube;
+    results.push_back(run_atpg(n, opts));
+  }
+  set_parallel_threads(0);
+  ASSERT_GT(results[0].aborted, 0u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].aborted, results[0].aborted) << "grid point " << i;
+    EXPECT_EQ(results[i].redundant, results[0].redundant)
+        << "grid point " << i;
+    EXPECT_EQ(results[i].detected_atpg, results[0].detected_atpg)
+        << "grid point " << i;
+  }
+}
+
+TEST(Budget, SatAttackRealBudgetAbortsNotInconsistent) {
+  // A small-but-nonzero budget on a SAT-hard scheme: some DIP query runs
+  // past it mid-loop. The attack must stop with kSolverBudget (a partial
+  // key is not "the oracle lied").
+  const Netlist n = small_circuit(63);
+  const LockedCircuit lc = lock_xor_plus_sarlock(n, 8, 10, 64);
+  GoldenOracle oracle(lc);
+  SatAttackOptions opts;
+  opts.conflict_budget = 3;
+  const SatAttackResult r = sat_attack(lc, oracle, opts);
+  EXPECT_NE(r.status, SatAttackResult::Status::kInconsistentOracle);
+  EXPECT_EQ(r.status, SatAttackResult::Status::kSolverBudget);
+}
+
+TEST(Budget, AppSatFiniteBudgetNeverReportsInconsistentOracle) {
+  // The regression this PR fixes: AppSAT used to drop conflict_budget on
+  // the floor (solving unlimited) and hard-mapped a failed final
+  // extraction to kInconsistentOracle. With a truthful oracle and a
+  // finite budget, the only acceptable non-success status is
+  // kSolverBudget.
+  const Netlist n = small_circuit(65);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 66);
+  for (const std::int64_t budget : {std::int64_t{0}, std::int64_t{3}}) {
+    GoldenOracle oracle(lc);
+    AppSatOptions opts;
+    opts.conflict_budget = budget;
+    const SatAttackResult r = appsat_attack(lc, oracle, opts);
+    EXPECT_NE(r.status, SatAttackResult::Status::kInconsistentOracle)
+        << "budget " << budget;
+    EXPECT_TRUE(r.status == SatAttackResult::Status::kSolverBudget ||
+                r.status == SatAttackResult::Status::kKeyFound)
+        << "budget " << budget;
+  }
+}
+
+TEST(Budget, AppSatUnlimitedBudgetStillFindsKeys) {
+  // Guard in the other direction: threading the budget through must not
+  // change the unlimited path.
+  const Netlist n = small_circuit(67);
+  const LockedCircuit lc = lock_weighted(n, 12, 3, 68);
+  GoldenOracle oracle(lc);
+  AppSatOptions opts;  // conflict_budget = -1
+  const SatAttackResult r = appsat_attack(lc, oracle, opts);
+  ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound);
+  GoldenOracle verify_oracle(lc);
+  EXPECT_EQ(verify_key_against_oracle(lc, r.key, verify_oracle, 64, 5), 0u);
+}
+
+TEST(Budget, PortfolioAndSingleReachSameStatusUnderSameBudget) {
+  // Same-budget parity (the portfolio over-charging regression): with the
+  // budget charged by actual conflict deltas, a budget generous enough
+  // for the single solver must also let every portfolio size decide, and
+  // a zero budget must abort everywhere.
+  const Netlist n = small_circuit(69);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 70);
+  for (const std::int64_t budget : {std::int64_t{0}, std::int64_t{200000}}) {
+    SatAttackResult::Status statuses[2];
+    std::size_t idx = 0;
+    for (const std::size_t portfolio : {std::size_t{1}, std::size_t{3}}) {
+      GoldenOracle oracle(lc);
+      SatAttackOptions opts;
+      opts.conflict_budget = budget;
+      opts.portfolio_size = portfolio;
+      statuses[idx++] = sat_attack(lc, oracle, opts).status;
+    }
+    EXPECT_EQ(statuses[0], statuses[1]) << "budget " << budget;
+    EXPECT_EQ(statuses[0], budget == 0
+                               ? SatAttackResult::Status::kSolverBudget
+                               : SatAttackResult::Status::kKeyFound)
+        << "budget " << budget;
+  }
+}
+
+}  // namespace
+}  // namespace orap

@@ -1,0 +1,363 @@
+// Tests for the deterministic cube-and-conquer layer: depth-0
+// pass-through, lookahead splitting invariants, agreement with the plain
+// solver on SAT/UNSAT, merged-core semantics, total-budget accounting,
+// composition with --portfolio / --preprocess, and the determinism
+// contract (bit-identical results at any pool thread count), including at
+// the attack level.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "attacks/sat_attack.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "sat/cube.h"
+#include "sat/solver.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace orap::sat {
+namespace {
+
+// Pigeonhole principle PHP(pigeons, holes) into any sink.
+void add_php(ClauseSink& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+  for (auto& row : x)
+    for (auto& v : row) v = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < holes; ++h) some.push_back(pos(x[p][h]));
+    s.add_clause(some);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({neg(x[p1][h]), neg(x[p2][h])});
+}
+
+std::vector<std::vector<Lit>> random_cnf(std::uint64_t seed, int nvars,
+                                         int nclauses) {
+  Rng rng(seed);
+  std::vector<std::vector<Lit>> cnf;
+  for (int i = 0; i < nclauses; ++i) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k)
+      cl.push_back(Lit(static_cast<Var>(rng.below(nvars)), rng.bit()));
+    cnf.push_back(cl);
+  }
+  return cnf;
+}
+
+bool model_satisfies(const CubeSolver& s,
+                     const std::vector<std::vector<Lit>>& cnf) {
+  for (const auto& cl : cnf) {
+    bool any = false;
+    for (const Lit l : cl) any |= s.model_value(l.var()) != l.sign();
+    if (!any) return false;
+  }
+  return true;
+}
+
+TEST(CubeSplit, PickCubeVarsIsDeterministicAndRespectsAvoid) {
+  auto build = [](Solver& s) {
+    for (int v = 0; v < 12; ++v) s.new_var();
+    for (auto cl : random_cnf(7, 12, 40)) s.add_clause(cl);
+  };
+  Solver a, b;
+  build(a);
+  build(b);
+  const auto va = a.pick_cube_vars(3, {});
+  const auto vb = b.pick_cube_vars(3, {});
+  ASSERT_EQ(va.size(), 3u);
+  EXPECT_EQ(va, vb);  // same formula, same split
+
+  // Avoided variables (the caller's assumptions) are never picked.
+  Solver c;
+  build(c);
+  std::vector<Lit> avoid;
+  for (const Var v : va) avoid.push_back(pos(v));
+  const auto vc = c.pick_cube_vars(3, avoid);
+  for (const Var v : vc)
+    for (const Var w : va) EXPECT_NE(v, w);
+}
+
+TEST(CubeSplit, AssignedVarsAreNeverPicked) {
+  Solver s;
+  for (int v = 0; v < 10; ++v) s.new_var();
+  for (auto cl : random_cnf(9, 10, 30)) s.add_clause(cl);
+  s.add_clause({pos(Var{0})});  // root unit: var 0 is assigned
+  const auto vars = s.pick_cube_vars(4, {});
+  for (const Var v : vars) EXPECT_NE(v, Var{0});
+}
+
+TEST(Cube, DepthZeroIsPassThrough) {
+  CubeSolver s;  // default depth 0
+  EXPECT_EQ(s.num_lanes(), 1u);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({neg(a), pos(b)});
+  s.add_clause({pos(a)});
+  EXPECT_EQ(s.solve(), Solver::Result::kSat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.cube_stats().split_calls, 0u);
+  EXPECT_EQ(s.stats().cubes, 0u);
+  EXPECT_TRUE(s.last_cube_vars().empty());
+}
+
+TEST(Cube, AgreesWithPlainSolverOnRandomCnf) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto cnf = random_cnf(seed, 10, 42);
+    Solver plain;
+    for (int v = 0; v < 10; ++v) plain.new_var();
+    bool plain_ok = true;
+    for (auto cl : cnf) plain_ok &= plain.add_clause(cl);
+    const auto expect = plain_ok ? plain.solve() : Solver::Result::kUnsat;
+
+    for (const std::uint32_t depth : {0u, 2u, 3u}) {
+      CubeOptions co;
+      co.depth = depth;
+      CubeSolver s(co);
+      for (int v = 0; v < 10; ++v) s.new_var();
+      bool s_ok = true;
+      for (auto cl : cnf) s_ok &= s.add_clause(cl);
+      ASSERT_EQ(s_ok, plain_ok) << "seed " << seed << " depth " << depth;
+      const auto got = s_ok ? s.solve() : Solver::Result::kUnsat;
+      ASSERT_EQ(got, expect) << "seed " << seed << " depth " << depth;
+      if (got == Solver::Result::kSat)
+        EXPECT_TRUE(model_satisfies(s, cnf))
+            << "seed " << seed << " depth " << depth;
+    }
+  }
+}
+
+TEST(Cube, PigeonholeUnsatAllDepths) {
+  for (const std::uint32_t depth : {1u, 2u, 3u}) {
+    CubeOptions co;
+    co.depth = depth;
+    co.epoch_budget = 50;  // force multiple epochs
+    CubeSolver s(co);
+    add_php(s, 7, 6);
+    EXPECT_EQ(s.solve(), Solver::Result::kUnsat) << "depth " << depth;
+    // A split happened and every refuted cube was counted.
+    EXPECT_EQ(s.cube_stats().split_calls, 1u);
+    EXPECT_EQ(s.stats().cubes, std::uint64_t{1} << depth);
+    EXPECT_LE(s.stats().cubes_refuted, s.stats().cubes);
+  }
+}
+
+TEST(Cube, BitIdenticalAcrossPoolThreadCounts) {
+  // The determinism contract: verdict, winning cube, epoch count, refuted
+  // count and model bits must not depend on the pool thread count.
+  struct Outcome {
+    Solver::Result res;
+    std::uint64_t epochs, refuted;
+    std::size_t winner;
+    std::vector<Var> split;
+    std::vector<bool> model;
+  };
+  auto run = [](std::size_t threads) {
+    set_parallel_threads(threads);
+    CubeOptions co;
+    co.depth = 2;
+    co.epoch_budget = 50;
+    CubeSolver s(co);
+    add_php(s, 8, 7);
+    Outcome o;
+    o.res = s.solve();
+    o.epochs = s.cube_stats().epochs;
+    o.refuted = s.cube_stats().cubes_refuted;
+    o.winner = s.cube_stats().winner_cube;
+    o.split = s.last_cube_vars();
+    for (std::size_t v = 0; v < s.num_vars(); ++v)
+      o.model.push_back(o.res == Solver::Result::kSat ? s.model_value(v)
+                                                      : false);
+    return o;
+  };
+  const Outcome one = run(1);
+  const Outcome four = run(4);
+  set_parallel_threads(0);  // restore auto for the rest of the binary
+  EXPECT_EQ(one.res, four.res);
+  EXPECT_EQ(one.res, Solver::Result::kUnsat);
+  EXPECT_EQ(one.epochs, four.epochs);
+  EXPECT_EQ(one.refuted, four.refuted);
+  EXPECT_EQ(one.winner, four.winner);
+  EXPECT_EQ(one.split, four.split);
+  EXPECT_EQ(one.model, four.model);
+}
+
+TEST(Cube, AssumptionCoreExcludesCubeVars) {
+  // A satisfiable base formula (equivalence chain, so the splitter has
+  // strong propagators to pick) plus an incompatible assumption pair: the
+  // reported core must mention the failing assumptions and never the
+  // branching variables.
+  CubeOptions co;
+  co.depth = 2;
+  CubeSolver s(co);
+  std::vector<Var> chain;
+  for (int i = 0; i < 12; ++i) chain.push_back(s.new_var());
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    s.add_clause({neg(chain[i - 1]), pos(chain[i])});
+    s.add_clause({pos(chain[i - 1]), neg(chain[i])});
+  }
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({neg(a), neg(b)});
+  s.add_clause({pos(c), pos(chain[0])});  // tie c into the formula
+
+  const std::vector<Lit> assumptions{pos(c), pos(a), pos(b)};
+  ASSERT_EQ(s.solve(assumptions), Solver::Result::kUnsat);
+  bool mentions_ab = false;
+  for (const Lit l : s.unsat_core()) {
+    if (l.var() == a || l.var() == b) mentions_ab = true;
+    EXPECT_NE(l.var(), c);
+    for (const Var v : s.last_cube_vars()) EXPECT_NE(l.var(), v);
+  }
+  EXPECT_TRUE(mentions_ab);
+  // Not poisoned: succeeding assumptions still work.
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(a)}), Solver::Result::kSat);
+  EXPECT_FALSE(s.model_value(b));
+}
+
+TEST(Cube, TotalBudgetAbortsAndStaysUsable) {
+  CubeOptions co;
+  co.depth = 2;
+  co.epoch_budget = 5;
+  CubeSolver s(co);
+  add_php(s, 8, 7);
+  // Zero budget: the immediate "aborted query", exactly like the single
+  // solver (no split, no lookahead).
+  EXPECT_EQ(s.solve({}, 0), Solver::Result::kUnknown);
+  EXPECT_EQ(s.cube_stats().split_calls, 0u);
+  // Tiny total budget: the conquest runs out before any verdict.
+  EXPECT_EQ(s.solve({}, 20), Solver::Result::kUnknown);
+  // Unlimited: still decides afterwards.
+  EXPECT_EQ(s.solve({}, -1), Solver::Result::kUnsat);
+}
+
+TEST(Cube, ComposesWithPortfolioAndPreprocess) {
+  const auto cnf = random_cnf(21, 14, 55);
+  Solver plain;
+  for (int v = 0; v < 14; ++v) plain.new_var();
+  bool plain_ok = true;
+  for (auto cl : cnf) plain_ok &= plain.add_clause(cl);
+  ASSERT_TRUE(plain_ok);
+  const auto expect = plain.solve();
+
+  CubeOptions co;
+  co.depth = 2;
+  co.portfolio.size = 2;
+  CubeSolver s(co);
+  for (int v = 0; v < 14; ++v) s.new_var();
+  for (auto cl : cnf) s.add_clause(cl);
+  // Freeze an interface subset, simplify once (lane 0 + adoption), then
+  // split: the chosen branching variables must all have survived
+  // elimination.
+  for (int v = 0; v < 4; ++v) s.freeze(Var{v});
+  s.simplify();
+  ASSERT_EQ(s.solve(), expect);
+  for (const Var v : s.last_cube_vars())
+    EXPECT_FALSE(s.lane(0).instance(0).is_eliminated(v));
+}
+
+TEST(Cube, RootContradictionIsUnsatWithEmptyCore) {
+  CubeOptions co;
+  co.depth = 2;
+  CubeSolver s(co);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a)});
+  EXPECT_FALSE(s.add_clause({neg(a)}));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.solve(std::vector<Lit>{pos(b)}), Solver::Result::kUnsat);
+  EXPECT_TRUE(s.unsat_core().empty());
+}
+
+}  // namespace
+}  // namespace orap::sat
+
+namespace orap {
+namespace {
+
+Netlist attack_circuit(std::uint64_t seed) {
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 16;
+  spec.num_gates = 300;
+  spec.depth = 8;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+TEST(CubeAttack, CubeDepthsBitIdenticalAcrossThreadCounts) {
+  // Acceptance criterion: for each cube depth the attack result — key
+  // bits, DIP count, oracle queries, cube counters — is identical between
+  // 1 and 4 pool threads, and every recovered key is functionally right.
+  const Netlist n = attack_circuit(40);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 41);
+  for (const std::uint32_t depth : {0u, 2u, 3u}) {
+    struct Outcome {
+      BitVec key;
+      std::size_t iterations, queries;
+      std::uint64_t cubes, refuted;
+    };
+    std::vector<Outcome> outcomes;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      set_parallel_threads(threads);
+      GoldenOracle oracle(lc);
+      SatAttackOptions opts;
+      opts.cube_depth = depth;
+      const SatAttackResult r = sat_attack(lc, oracle, opts);
+      ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound)
+          << "threads " << threads << " depth " << depth;
+      if (depth == 0)
+        EXPECT_EQ(r.cubes, 0u);
+      else
+        EXPECT_GT(r.cubes, 0u);
+      GoldenOracle verify_oracle(lc);
+      EXPECT_EQ(verify_key_against_oracle(lc, r.key, verify_oracle, 64, 5), 0u)
+          << "threads " << threads << " depth " << depth;
+      outcomes.push_back(
+          {r.key, r.iterations, r.oracle_queries, r.cubes, r.cubes_refuted});
+    }
+    set_parallel_threads(0);
+    EXPECT_EQ(outcomes[0].key, outcomes[1].key) << "depth " << depth;
+    EXPECT_EQ(outcomes[0].iterations, outcomes[1].iterations)
+        << "depth " << depth;
+    EXPECT_EQ(outcomes[0].queries, outcomes[1].queries) << "depth " << depth;
+    EXPECT_EQ(outcomes[0].cubes, outcomes[1].cubes) << "depth " << depth;
+    EXPECT_EQ(outcomes[0].refuted, outcomes[1].refuted) << "depth " << depth;
+  }
+}
+
+TEST(CubeAttack, ComposesWithPortfolioAndPreprocess) {
+  const Netlist n = attack_circuit(44);
+  const LockedCircuit lc = lock_weighted(n, 12, 3, 45);
+  struct Outcome {
+    BitVec key;
+    std::size_t iterations;
+  };
+  std::vector<Outcome> outcomes;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    set_parallel_threads(threads);
+    GoldenOracle oracle(lc);
+    SatAttackOptions opts;
+    opts.cube_depth = 2;
+    opts.portfolio_size = 2;
+    opts.preprocess = true;
+    const SatAttackResult r = sat_attack(lc, oracle, opts);
+    ASSERT_EQ(r.status, SatAttackResult::Status::kKeyFound)
+        << "threads " << threads;
+    GoldenOracle verify_oracle(lc);
+    EXPECT_EQ(verify_key_against_oracle(lc, r.key, verify_oracle, 64, 5), 0u);
+    outcomes.push_back({r.key, r.iterations});
+  }
+  set_parallel_threads(0);
+  EXPECT_EQ(outcomes[0].key, outcomes[1].key);
+  EXPECT_EQ(outcomes[0].iterations, outcomes[1].iterations);
+}
+
+}  // namespace
+}  // namespace orap

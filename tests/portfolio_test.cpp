@@ -178,6 +178,30 @@ TEST(Portfolio, ConflictBudgetAbortsAndStaysUsable) {
   EXPECT_EQ(p.solve({}, -1), Solver::Result::kUnsat);
 }
 
+TEST(Portfolio, SameBudgetParityWithSingleSolver) {
+  // Budget-accounting parity regression: each instance's spend is charged
+  // by its ACTUAL conflict delta, not by the epoch grant it was handed,
+  // so a call budget that lets the single solver decide also lets every
+  // portfolio size decide — and a zero budget aborts everywhere.
+  Solver plain;
+  add_php(plain, 7, 6);
+  ASSERT_EQ(plain.solve(), Solver::Result::kUnsat);
+  const std::int64_t need = static_cast<std::int64_t>(plain.stats().conflicts);
+
+  for (const std::size_t size : {std::size_t{1}, std::size_t{3}}) {
+    PortfolioOptions po;
+    po.size = size;
+    po.epoch_budget = 40;  // many epochs, so mis-charging would compound
+    PortfolioSolver p(po);
+    add_php(p, 7, 6);
+    EXPECT_EQ(p.solve({}, 4 * need + 64), Solver::Result::kUnsat)
+        << "size " << size;
+    PortfolioSolver q(po);
+    add_php(q, 7, 6);
+    EXPECT_EQ(q.solve({}, 0), Solver::Result::kUnknown) << "size " << size;
+  }
+}
+
 TEST(Portfolio, RootContradictionIsUnsatWithEmptyCore) {
   PortfolioOptions po;
   po.size = 3;

@@ -63,6 +63,36 @@ PRE_OUT="$PREFIX/attack_suite_pre.json"
 python3 -m json.tool "$PRE_OUT" >/dev/null
 grep -q '"preprocess": 1' "$PRE_OUT"
 
+# Cube-and-conquer determinism smoke: the same attack suite with every
+# SAT query split into 4 cubes must produce a byte-identical "results"
+# object at 1 and 4 pool threads (the results carry statuses, DIP counts
+# and cube counters — no timing — so any divergence is a real
+# determinism regression).
+echo "==== [plain] attack suite --cube determinism smoke ===="
+CUBE_OUT1="$PREFIX/attack_suite_cube_t1.json"
+CUBE_OUT4="$PREFIX/attack_suite_cube_t4.json"
+"$PREFIX/bench/attack_suite" --scale=0.05 --cube=2 --threads=1 \
+  --json="$CUBE_OUT1" >/dev/null
+"$PREFIX/bench/attack_suite" --scale=0.05 --cube=2 --threads=4 \
+  --json="$CUBE_OUT4" >/dev/null
+python3 - "$CUBE_OUT1" "$CUBE_OUT4" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["cube"] == b["cube"] == 2, "cube flag missing from the record"
+assert a["results"] == b["results"], \
+    "attack_suite --cube=2 results differ between 1 and 4 threads"
+EOF
+
+# Cube-scaling baseline record: dip_scaling with --cube=2, the same grid
+# that produced BENCH_cube_scaling.json (wall times vary per machine; the
+# JSON just has to be well-formed and carry the cube counters).
+echo "==== [plain] dip_scaling --cube baseline smoke ===="
+CUBE_SCALING="$PREFIX/BENCH_cube_scaling.json"
+"$PREFIX/bench/dip_scaling" --scale=0.05 --cube=2 \
+  --json="$CUBE_SCALING" >/dev/null
+python3 -m json.tool "$CUBE_SCALING" >/dev/null
+grep -q '"cubes":' "$CUBE_SCALING"
+
 # One pass over the engine microbenchmarks (smallest size per bench,
 # minimal repetitions) so a bench that asserts or regresses into a hang
 # is caught here, not at release time.
@@ -72,7 +102,11 @@ echo "==== [plain] engine_micro smoke ===="
 
 if [[ "$RUN_TSAN" == "1" ]]; then
   CTEST_EXTRA=()
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
+  # The budget-path regression suite always runs under TSan (its grid
+  # spans threads x portfolio x cube, exactly the surface where a data
+  # race would corrupt budget accounting), even when a filter trims the
+  # rest of the suite.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"

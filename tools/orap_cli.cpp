@@ -26,8 +26,8 @@
 
 #include "atpg/atpg.h"
 #include "chip/chip.h"
+#include "sat/cube.h"
 #include "sat/dimacs.h"
-#include "sat/portfolio.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "attacks/simple_attacks.h"
@@ -243,6 +243,7 @@ int cmd_atpg(const Args& a) {
   opts.seed = a.get_num("seed", 1);
   opts.portfolio_size = a.get_num("portfolio", 1);
   opts.preprocess = a.get_num("preprocess", 0) != 0;
+  opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
   const AtpgResult r = run_atpg(n, opts);
   std::printf("faults (collapsed):  %zu\n", r.total_faults);
   std::printf("fault coverage:      %.2f%%\n", r.fault_coverage_pct());
@@ -292,8 +293,12 @@ int cmd_attack(const Args& a) {
     SatAttackOptions opts;
     opts.max_iterations =
         static_cast<std::int64_t>(a.get_num("max-iter", 4096));
+    opts.conflict_budget =
+        a.has("budget") ? static_cast<std::int64_t>(a.get_num("budget", 0))
+                        : -1;
     opts.portfolio_size = a.get_num("portfolio", 1);
     opts.preprocess = a.get_num("preprocess", 0) != 0;
+    opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
     SatAttackResult r;
     if (kind == "sat")
       r = sat_attack(lc, oracle, opts);
@@ -301,8 +306,10 @@ int cmd_attack(const Args& a) {
       r = double_dip_attack(lc, oracle, opts);
     else {
       AppSatOptions app_opts;
+      app_opts.conflict_budget = opts.conflict_budget;
       app_opts.portfolio_size = opts.portfolio_size;
       app_opts.preprocess = opts.preprocess;
+      app_opts.cube_depth = opts.cube_depth;
       r = appsat_attack(lc, oracle, app_opts);
     }
     const char* status = "?";
@@ -400,13 +407,14 @@ int cmd_protect(const Args& a) {
 int cmd_solve(const Args& a) {
   if (a.positional.empty())
     die("usage: orap solve <file.cnf> [--budget N] [--portfolio N] "
-        "[--preprocess]");
+        "[--cube D] [--preprocess]");
   std::ifstream is(a.positional[0]);
   if (!is.good()) die("cannot read " + a.positional[0]);
   const sat::Cnf cnf = sat::read_dimacs(is);
-  sat::PortfolioOptions po;
-  po.size = a.get_num("portfolio", 1);
-  sat::PortfolioSolver s(po);
+  sat::CubeOptions co;
+  co.depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
+  co.portfolio.size = a.get_num("portfolio", 1);
+  sat::CubeSolver s(co);
   if (!cnf.load_into(s)) {
     std::puts("s UNSATISFIABLE");
     return 20;
@@ -459,22 +467,24 @@ void usage() {
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
       "  orap atpg    <in.bench> [--random-words N] [--budget B] "
-      "[--portfolio N] [--preprocess]\n"
+      "[--portfolio N] [--cube D] [--preprocess]\n"
       "  orap attack  <locked.bench> --key key.txt [--kind "
       "sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
-      "[--portfolio N] [--preprocess]\n"
+      "[--budget B] [--portfolio N] [--cube D] [--preprocess]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
-      "  orap solve   <file.cnf> [--budget N] [--portfolio N] "
+      "  orap solve   <file.cnf> [--budget N] [--portfolio N] [--cube D] "
       "[--preprocess] — standalone DIMACS SAT solver\n"
       "  orap export  <in.bench> [-o out.v]\n"
       "\n"
       "Global: --threads N sets the parallel pool size (0 = auto; also "
       "settable via ORAP_THREADS).\n--portfolio N races N diversified CDCL "
-      "instances per SAT query in deterministic\nlockstep epochs. "
-      "--preprocess 0|1 runs SatELite-style CNF simplification\n(variable "
-      "elimination + subsumption) before solving. Results are deterministic "
-      "for\na given seed at any thread count.");
+      "instances per SAT query in deterministic\nlockstep epochs. --cube D "
+      "splits every SAT query into 2^D cubes by lookahead and\nconquers "
+      "them in parallel (composes with --portfolio). --preprocess 0|1 runs\n"
+      "SatELite-style CNF simplification (variable elimination + "
+      "subsumption) before\nsolving. Results are deterministic for a given "
+      "seed at any thread count.");
 }
 
 }  // namespace
