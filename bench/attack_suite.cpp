@@ -7,7 +7,9 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
+#include "attacks/faulty_oracle.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "attacks/simple_attacks.h"
@@ -44,6 +46,39 @@ std::string status_str(const SatAttackResult& r, const BitVec& correct,
   return "wrong key";
 }
 
+/// Wraps a bench oracle in the fault decorators selected on the command
+/// line (attacks/faulty_oracle.h). With the rates at their 0 defaults this
+/// is a plain pass-through and the run is byte-identical to older builds.
+class OracleUnderTest {
+ public:
+  OracleUnderTest(Oracle& base, const bench::BenchArgs& args,
+                  std::uint64_t seed) {
+    oracle_ = &base;
+    if (args.oracle_noise > 0.0) {
+      noisy_ = std::make_unique<NoisyOracle>(*oracle_, args.oracle_noise, seed);
+      oracle_ = noisy_.get();
+    }
+    if (args.oracle_fail_rate > 0.0) {
+      flaky_ = std::make_unique<IntermittentOracle>(
+          *oracle_, args.oracle_fail_rate, seed + 1);
+      oracle_ = flaky_.get();
+    }
+  }
+  Oracle& get() { return *oracle_; }
+
+ private:
+  Oracle* oracle_;
+  std::unique_ptr<Oracle> noisy_, flaky_;
+};
+
+void apply_resilience(const bench::BenchArgs& args,
+                      OracleResilienceOptions* res, std::int64_t* deadline) {
+  res->retries = args.oracle_retries;
+  res->votes = args.oracle_votes;
+  res->quarantine = args.quarantine;
+  *deadline = args.deadline_ms;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,13 +108,15 @@ int main(int argc, char** argv) {
     parallel_for(1, std::size(cases), [&](std::size_t i) {
       Case& c = cases[i];
       c.hd = hamming_corruptibility(c.lc, 16, 8, 9);
-      GoldenOracle oracle(c.lc);
+      GoldenOracle base(c.lc);
+      OracleUnderTest oracle(base, args, 101 + i);
       SatAttackOptions opts;
       opts.max_iterations = 4096;
       opts.portfolio_size = args.portfolio;
       opts.preprocess = args.preprocess;
       opts.cube_depth = static_cast<std::uint32_t>(args.cube);
-      c.r = sat_attack(c.lc, oracle, opts);
+      apply_resilience(args, &opts.resilience, &opts.deadline_ms);
+      c.r = sat_attack(c.lc, oracle.get(), opts);
     });
     std::uint64_t part1_cubes = 0, part1_refuted = 0;
     for (const auto& c : cases) {
@@ -123,10 +160,12 @@ int main(int argc, char** argv) {
       sat_opts.portfolio_size = args.portfolio;
       sat_opts.preprocess = args.preprocess;
       sat_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+      apply_resilience(args, &sat_opts.resilience, &sat_opts.deadline_ms);
       AppSatOptions app_opts;
       app_opts.portfolio_size = args.portfolio;
       app_opts.preprocess = args.preprocess;
       app_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+      apply_resilience(args, &app_opts.resilience, &app_opts.deadline_ms);
       {
         const SatAttackResult r = sat_attack(view, oracle, sat_opts);
         group_cubes[group] += r.cubes;
@@ -173,16 +212,19 @@ int main(int argc, char** argv) {
     parallel_for(1, 2, [&](std::size_t group) {
       if (group == 0) {
         const LockedCircuit lc = lock_weighted(n, 18, 3, 6);
-        GoldenOracle oracle(lc);
-        run_against(0, "golden scan", oracle, lc, lc.correct_key);
+        GoldenOracle base(lc);
+        OracleUnderTest oracle(base, args, 201);
+        run_against(0, "golden scan", oracle.get(), lc, lc.correct_key);
       } else {
         LockedCircuit lc = lock_weighted(n, 18, 3, 6);
         const BitVec correct = lc.correct_key;
         OrapOptions opt;
         opt.variant = OrapVariant::kModified;
         OrapChip chip(std::move(lc), 8, opt, 7);
-        ChipScanOracle oracle(chip);
-        run_against(1, "OraP scan", oracle, chip.locked_circuit(), correct);
+        ChipScanOracle base(chip);
+        OracleUnderTest oracle(base, args, 301);
+        run_against(1, "OraP scan", oracle.get(), chip.locked_circuit(),
+                    correct);
       }
     });
     for (const auto& rows : group_rows)

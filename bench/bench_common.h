@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,12 +32,20 @@ struct BenchArgs {
   std::size_t portfolio = 1; // CDCL portfolio size for SAT-bound benches
   std::size_t cube = 0;      // cube-and-conquer split depth (2^D cubes)
   bool preprocess = false;   // SatELite-style CNF simplification
+  // Oracle-resilience knobs (attack benches; attacks/faulty_oracle.h).
+  double oracle_noise = 0.0;      // seeded response bit-flip rate
+  double oracle_fail_rate = 0.0;  // seeded transient-failure rate
+  std::size_t oracle_votes = 1;   // N-of-M majority vote (1 = off)
+  std::size_t oracle_retries = 0; // retry attempts on retryable errors
+  bool quarantine = false;        // suspect-pair quarantine
+  std::int64_t deadline_ms = -1;  // wall-clock deadline (-1 = none)
   std::string json_path;     // empty = no JSON record
   bool help = false;
 
   static constexpr std::size_t kMaxThreads = 1024;
   static constexpr std::size_t kMaxPortfolio = 64;
   static constexpr std::size_t kMaxCube = 6;  // 2^6 = 64 cubes
+  static constexpr std::size_t kMaxVotes = 63;  // odd cap keeps ties rare
 
   /// Strict unsigned parse: whole token, base 10, no sign characters.
   static bool parse_size(const char* s, std::size_t* out) {
@@ -114,6 +123,54 @@ struct BenchArgs {
           return false;
         }
         a.preprocess = v == 1;
+      } else if (std::strncmp(arg, "--oracle-noise=", 15) == 0) {
+        if (!parse_double(arg + 15, &a.oracle_noise) || a.oracle_noise < 0.0 ||
+            a.oracle_noise > 1.0) {
+          *error = std::string("invalid --oracle-noise value '") + (arg + 15) +
+                   "' (want a rate in [0, 1])";
+          return false;
+        }
+      } else if (std::strncmp(arg, "--oracle-fail-rate=", 19) == 0) {
+        if (!parse_double(arg + 19, &a.oracle_fail_rate) ||
+            a.oracle_fail_rate < 0.0 || a.oracle_fail_rate > 1.0) {
+          *error = std::string("invalid --oracle-fail-rate value '") +
+                   (arg + 19) + "' (want a rate in [0, 1])";
+          return false;
+        }
+      } else if (std::strncmp(arg, "--oracle-votes=", 15) == 0) {
+        if (!parse_size(arg + 15, &a.oracle_votes) || a.oracle_votes == 0 ||
+            a.oracle_votes > kMaxVotes) {
+          *error = std::string("invalid --oracle-votes value '") + (arg + 15) +
+                   "' (want an integer in [1, " + std::to_string(kMaxVotes) +
+                   "])";
+          return false;
+        }
+      } else if (std::strncmp(arg, "--oracle-retries=", 17) == 0) {
+        if (!parse_size(arg + 17, &a.oracle_retries) ||
+            a.oracle_retries > 1024) {
+          *error = std::string("invalid --oracle-retries value '") +
+                   (arg + 17) + "' (want an integer in [0, 1024])";
+          return false;
+        }
+      } else if (std::strcmp(arg, "--quarantine") == 0) {
+        a.quarantine = true;
+      } else if (std::strncmp(arg, "--quarantine=", 13) == 0) {
+        std::size_t v = 0;
+        if (!parse_size(arg + 13, &v) || v > 1) {
+          *error = std::string("invalid --quarantine value '") + (arg + 13) +
+                   "' (want 0 or 1)";
+          return false;
+        }
+        a.quarantine = v == 1;
+      } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+        std::size_t v = 0;
+        if (!parse_size(arg + 14, &v) ||
+            v > static_cast<std::size_t>(1) << 40) {
+          *error = std::string("invalid --deadline-ms value '") + (arg + 14) +
+                   "' (want a non-negative millisecond count)";
+          return false;
+        }
+        a.deadline_ms = static_cast<std::int64_t>(v);
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         a.json_path = arg + 7;
         if (a.json_path.empty()) {
@@ -144,6 +201,18 @@ struct BenchArgs {
         "in parallel (default 0)\n"
         "  --preprocess[=0|1]  SatELite-style CNF simplification before "
         "solving (default 0)\n"
+        "  --oracle-noise=P      seeded oracle response bit-flip rate "
+        "(default 0)\n"
+        "  --oracle-fail-rate=P  seeded oracle transient-failure rate "
+        "(default 0)\n"
+        "  --oracle-votes=N      N-of-M majority vote per oracle query "
+        "(default 1 = off)\n"
+        "  --oracle-retries=N    retries per query on retryable errors "
+        "(default 0)\n"
+        "  --quarantine[=0|1]    suspect-pair quarantine in the DIP loop "
+        "(default 0)\n"
+        "  --deadline-ms=T       wall-clock deadline per attack "
+        "(default: none)\n"
         "  --json=PATH     write a machine-readable result record\n",
         prog);
   }
@@ -174,6 +243,14 @@ struct BenchArgs {
       std::printf("cube: 2^%zu = %zu cubes per SAT query\n", cube,
                   std::size_t{1} << cube);
     if (preprocess) std::printf("preprocess: CNF simplification on\n");
+    if (oracle_noise > 0.0 || oracle_fail_rate > 0.0)
+      std::printf("oracle faults: noise=%.4f fail-rate=%.4f\n", oracle_noise,
+                  oracle_fail_rate);
+    if (oracle_votes > 1 || oracle_retries > 0 || quarantine)
+      std::printf("resilience: votes=%zu retries=%zu quarantine=%s\n",
+                  oracle_votes, oracle_retries, quarantine ? "on" : "off");
+    if (deadline_ms >= 0)
+      std::printf("deadline: %lld ms\n", static_cast<long long>(deadline_ms));
     if (full)
       std::printf("mode: FULL (paper-scale circuits)\n\n");
     else
@@ -230,7 +307,16 @@ class JsonReport {
        << ", \"threads\": " << parallel_threads()
        << ", \"portfolio\": " << args_.portfolio
        << ", \"cube\": " << args_.cube
-       << ", \"preprocess\": " << (args_.preprocess ? 1 : 0)
+       << ", \"preprocess\": " << (args_.preprocess ? 1 : 0);
+    char rate_buf[32];
+    std::snprintf(rate_buf, sizeof rate_buf, "%.6f", args_.oracle_noise);
+    os << ", \"oracle_noise\": " << rate_buf;
+    std::snprintf(rate_buf, sizeof rate_buf, "%.6f", args_.oracle_fail_rate);
+    os << ", \"oracle_fail_rate\": " << rate_buf
+       << ", \"oracle_votes\": " << args_.oracle_votes
+       << ", \"oracle_retries\": " << args_.oracle_retries
+       << ", \"quarantine\": " << (args_.quarantine ? 1 : 0)
+       << ", \"deadline_ms\": " << args_.deadline_ms
        << ", \"wall_ms\": ";
     char wall_buf[32];
     std::snprintf(wall_buf, sizeof wall_buf, "%.1f", wall);

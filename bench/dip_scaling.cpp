@@ -31,6 +31,8 @@ const char* status_str(SatAttackResult::Status s) {
     case SatAttackResult::Status::kIterationLimit: return "iteration_limit";
     case SatAttackResult::Status::kSolverBudget: return "solver_budget";
     case SatAttackResult::Status::kInconsistentOracle: return "inconsistent";
+    case SatAttackResult::Status::kDegraded: return "degraded";
+    case SatAttackResult::Status::kOracleError: return "oracle_error";
   }
   return "?";
 }
@@ -73,6 +75,7 @@ int main(int argc, char** argv) {
     opts.portfolio_size = args.portfolio;
     opts.preprocess = args.preprocess;
     opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+    opts.deadline_ms = args.deadline_ms;
     switch (idx % 3) {
       case 0: {
         const LockedCircuit wl = lock_weighted(n, k, 2, 81);

@@ -25,13 +25,11 @@ std::vector<bool> fanout_cone(const Netlist& n, GateId site) {
 
 }  // namespace
 
-std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
-                                    std::int64_t conflict_budget,
-                                    bool* aborted_out,
-                                    std::size_t portfolio_size,
-                                    bool preprocess,
-                                    std::uint32_t cube_depth,
-                                    sat::SolverStats* stats_out) {
+std::optional<BitVec> generate_test(
+    const Netlist& n, const Fault& f, std::int64_t conflict_budget,
+    bool* aborted_out, std::size_t portfolio_size, bool preprocess,
+    std::uint32_t cube_depth, sat::SolverStats* stats_out,
+    const std::chrono::steady_clock::time_point* deadline) {
   if (aborted_out != nullptr) *aborted_out = false;
   if (stats_out != nullptr) *stats_out = sat::SolverStats{};
 
@@ -50,6 +48,7 @@ std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
   co.depth = cube_depth;
   co.portfolio.size = portfolio_size == 0 ? 1 : portfolio_size;
   sat::CubeSolver s(co);
+  if (deadline != nullptr) s.set_deadline(*deadline);
   sat::Encoder e(s);
 
   // Good copy, restricted to the cone of influence.
@@ -146,16 +145,29 @@ AtpgResult run_atpg(const Netlist& n, const AtpgOptions& opts) {
   Rng rng(opts.seed);
   result.detected_random = fsim.run_random(opts.random_words, rng, remaining);
 
+  std::chrono::steady_clock::time_point deadline{};
+  const bool has_deadline = opts.deadline_ms >= 0;
+  if (has_deadline)
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(opts.deadline_ms);
+
   // Deterministic phase: SAT per leftover fault.
   while (!remaining.empty()) {
+    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+      // Out of wall clock: every unattempted fault counts as aborted, the
+      // same class a per-fault budget exhaustion lands in.
+      result.aborted += remaining.size();
+      remaining.clear();
+      break;
+    }
     const Fault f = remaining.back();
     remaining.pop_back();
     bool aborted = false;
     sat::SolverStats qstats;
-    const auto pattern =
-        generate_test(n, f, opts.conflict_budget, &aborted,
-                      opts.portfolio_size, opts.preprocess, opts.cube_depth,
-                      &qstats);
+    const auto pattern = generate_test(
+        n, f, opts.conflict_budget, &aborted, opts.portfolio_size,
+        opts.preprocess, opts.cube_depth, &qstats,
+        has_deadline ? &deadline : nullptr);
     result.cubes += qstats.cubes;
     result.cubes_refuted += qstats.cubes_refuted;
     result.cube_wall_ms += qstats.cube_wall_ms;

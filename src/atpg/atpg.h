@@ -8,6 +8,7 @@
 //   UNSAT   -> fault is provably redundant,
 //   UNKNOWN -> aborted (budget exhausted), like Atalanta's backtrack limit.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -41,6 +42,11 @@ struct AtpgOptions {
   /// lookahead and conquers them in parallel (sat/cube.h); the conflict
   /// budget becomes a TOTAL per query, split across cubes.
   std::uint32_t cube_depth = 0;
+  /// Wall-clock deadline for the whole ATPG phase; < 0 = none. Once it
+  /// expires, the in-flight fault query aborts (solver-internal check) and
+  /// every not-yet-attempted fault is counted as aborted. Timing-dependent,
+  /// so it waives bit-identity only when it actually fires.
+  std::int64_t deadline_ms = -1;
 };
 
 struct AtpgResult {
@@ -72,14 +78,13 @@ struct AtpgResult {
 /// races diversified solver instances on the good/faulty miter;
 /// `preprocess` simplifies the miter CNF before the solve; cube_depth > 0
 /// splits the query into 2^depth cubes. `stats_out` (optional) receives
-/// the query's summed solver stats, cube counters included.
-std::optional<BitVec> generate_test(const Netlist& n, const Fault& f,
-                                    std::int64_t conflict_budget,
-                                    bool* aborted_out,
-                                    std::size_t portfolio_size = 1,
-                                    bool preprocess = false,
-                                    std::uint32_t cube_depth = 0,
-                                    sat::SolverStats* stats_out = nullptr);
+/// the query's summed solver stats, cube counters included. `deadline`
+/// (optional) bounds the query by wall clock: expiry aborts it.
+std::optional<BitVec> generate_test(
+    const Netlist& n, const Fault& f, std::int64_t conflict_budget,
+    bool* aborted_out, std::size_t portfolio_size = 1, bool preprocess = false,
+    std::uint32_t cube_depth = 0, sat::SolverStats* stats_out = nullptr,
+    const std::chrono::steady_clock::time_point* deadline = nullptr);
 
 /// The full Table II flow: collapse faults, pseudorandom phase with
 /// dropping, SAT-ATPG on the remainder.

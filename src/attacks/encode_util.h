@@ -122,8 +122,16 @@ class LockedEncoder {
   /// simulation and enter the CNF as constants). Returns false when a
   /// key-independent output already contradicts `y` — a lying oracle no
   /// key assignment can explain.
+  ///
+  /// `guard >= 0` makes the constraint retractable: every output-pinning
+  /// clause carries ¬guard, so the pair only binds while pos(guard) is
+  /// assumed (or asserted), and a unit ¬guard evicts it for good. The cone
+  /// definition clauses stay unguarded — they only define fresh variables
+  /// and are satisfiable under any key. This is the suspect-pair
+  /// quarantine hook of the resilient attack loop.
   bool add_io_constraint(const BitVec& xd, const BitVec& y,
-                         const std::vector<sat::Var>& key_vars) {
+                         const std::vector<sat::Var>& key_vars,
+                         sat::Var guard = -1) {
     const Netlist& n = lc_.netlist;
     // Key-independent values via simulation (key bits are irrelevant for
     // these gates; use zeros).
@@ -150,7 +158,10 @@ class LockedEncoder {
     for (std::size_t o = 0; o < n.num_outputs(); ++o) {
       const GateId g = n.outputs()[o].gate;
       if (key_dep_[g]) {
-        s_.add_clause({sat::Lit(var[g], !y.get(o))});
+        if (guard >= 0)
+          s_.add_clause({sat::neg(guard), sat::Lit(var[g], !y.get(o))});
+        else
+          s_.add_clause({sat::Lit(var[g], !y.get(o))});
       } else if (sim_bit(g) != y.get(o)) {
         consistent = false;
       }

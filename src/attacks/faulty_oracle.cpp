@@ -1,0 +1,67 @@
+#include "attacks/faulty_oracle.h"
+
+namespace orap {
+
+NoisyOracle::NoisyOracle(Oracle& inner, double flip_rate, std::uint64_t seed)
+    : OracleDecorator(inner), flip_rate_(flip_rate), rng_(seed) {}
+
+OracleResult NoisyOracle::do_query(const BitVec& data) {
+  OracleResult r = inner().query(data);
+  // A zero rate must not touch the RNG: the zero-rate decorator is the
+  // byte-identity baseline of the determinism contract.
+  if (!r.ok() || flip_rate_ <= 0.0) return r;
+  BitVec y = r.response();
+  std::size_t flips = 0;
+  for (std::size_t o = 0; o < y.size(); ++o) {
+    if (rng_.chance(flip_rate_)) {
+      y.set(o, !y.get(o));
+      ++flips;
+    }
+  }
+  if (flips > 0) {
+    flipped_bits_ += flips;
+    ++corrupted_responses_;
+  }
+  return y;
+}
+
+IntermittentOracle::IntermittentOracle(Oracle& inner, double fail_rate,
+                                       std::uint64_t seed,
+                                       OracleErrorKind kind)
+    : OracleDecorator(inner), fail_rate_(fail_rate), kind_(kind), rng_(seed) {}
+
+OracleResult IntermittentOracle::do_query(const BitVec& data) {
+  if (fail_rate_ > 0.0 && rng_.chance(fail_rate_)) {
+    ++injected_failures_;
+    return OracleResult::failure(kind_);
+  }
+  return inner().query(data);
+}
+
+StuckOracle::StuckOracle(Oracle& inner, double stick_rate, std::uint64_t seed)
+    : OracleDecorator(inner), stick_rate_(stick_rate), rng_(seed) {}
+
+OracleResult StuckOracle::do_query(const BitVec& data) {
+  if (have_last_ && stick_rate_ > 0.0 && rng_.chance(stick_rate_)) {
+    ++stale_responses_;
+    return last_;
+  }
+  OracleResult r = inner().query(data);
+  if (r.ok()) {
+    last_ = r.response();
+    have_last_ = true;
+  }
+  return r;
+}
+
+BudgetedOracle::BudgetedOracle(Oracle& inner, std::size_t max_queries)
+    : OracleDecorator(inner), max_queries_(max_queries) {}
+
+OracleResult BudgetedOracle::do_query(const BitVec& data) {
+  if (attempts_ >= max_queries_)
+    return OracleResult::failure(OracleErrorKind::kExhausted);
+  ++attempts_;
+  return inner().query(data);
+}
+
+}  // namespace orap

@@ -1,0 +1,107 @@
+#pragma once
+// Deterministic fault-injected oracle decorators.
+//
+// Each decorator wraps any Oracle (GoldenOracle, ChipScanOracle, or
+// another decorator — they compose) and injects one failure mode,
+// reproducibly from a seed:
+//
+//  * NoisyOracle       — flips each response bit with probability
+//                        `flip_rate` (ATPG-guided fault-injection /
+//                        measurement-noise model),
+//  * IntermittentOracle — fails whole queries with probability
+//                        `fail_rate` (tester-link transients / timeouts),
+//  * StuckOracle       — repeats the previous response with probability
+//                        `stick_rate` (a stale capture register),
+//  * BudgetedOracle    — hard cap on device accesses; every access past
+//                        the cap returns kExhausted.
+//
+// Determinism contract: the injected faults are a pure function of the
+// seed and the *sequence* of do_query calls, never of wall time or thread
+// count. A zero-rate decorator draws nothing from its RNG, so its output
+// is byte-identical to the bare oracle (regression-tested in
+// tests/resilience_test.cpp).
+
+#include <cstdint>
+
+#include "attacks/oracle.h"
+#include "util/rng.h"
+
+namespace orap {
+
+/// Flips each response bit independently with probability `flip_rate`.
+class NoisyOracle final : public OracleDecorator {
+ public:
+  NoisyOracle(Oracle& inner, double flip_rate, std::uint64_t seed);
+
+  std::size_t flipped_bits() const { return flipped_bits_; }
+  std::size_t corrupted_responses() const { return corrupted_responses_; }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  double flip_rate_;
+  Rng rng_;
+  std::size_t flipped_bits_ = 0;
+  std::size_t corrupted_responses_ = 0;
+};
+
+/// Fails whole queries with probability `fail_rate` before they reach the
+/// inner oracle (the device was never asked — a dropped tester link).
+class IntermittentOracle final : public OracleDecorator {
+ public:
+  IntermittentOracle(Oracle& inner, double fail_rate, std::uint64_t seed,
+                     OracleErrorKind kind = OracleErrorKind::kTransient);
+
+  std::size_t injected_failures() const { return injected_failures_; }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  double fail_rate_;
+  OracleErrorKind kind_;
+  Rng rng_;
+  std::size_t injected_failures_ = 0;
+};
+
+/// Repeats the previous (stale) response with probability `stick_rate`.
+/// The first query is always served fresh; only successful responses are
+/// remembered.
+class StuckOracle final : public OracleDecorator {
+ public:
+  StuckOracle(Oracle& inner, double stick_rate, std::uint64_t seed);
+
+  std::size_t stale_responses() const { return stale_responses_; }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  double stick_rate_;
+  Rng rng_;
+  bool have_last_ = false;
+  BitVec last_;
+  std::size_t stale_responses_ = 0;
+};
+
+/// Hard cap on device accesses. Retries and votes count — they are real
+/// accesses — so resilience policies spend this budget too.
+class BudgetedOracle final : public OracleDecorator {
+ public:
+  BudgetedOracle(Oracle& inner, std::size_t max_queries);
+
+  std::size_t attempts() const { return attempts_; }
+  std::size_t remaining() const {
+    return attempts_ >= max_queries_ ? 0 : max_queries_ - attempts_;
+  }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  std::size_t max_queries_;
+  std::size_t attempts_ = 0;
+};
+
+}  // namespace orap

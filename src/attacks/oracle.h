@@ -9,15 +9,73 @@
 //  * ChipScanOracle — an OraP chip driven through its scan interface; the
 //    pulse generators clear the key register on scan entry, so responses
 //    correspond to the locked circuit.
+//
+// Real oracles are also *unreliable*: tester links drop (transients),
+// sessions stall (timeouts), access runs out (query caps), and fault
+// injection corrupts responses outright. `query` therefore returns an
+// OracleResult — a response or a typed OracleError — and the seeded fault
+// decorators in attacks/faulty_oracle.h compose over any oracle to model
+// these failure modes reproducibly.
 
 #include <cstddef>
+#include <utility>
 
 #include "chip/chip.h"
 #include "locking/locking.h"
 #include "netlist/simulator.h"
 #include "util/bitvec.h"
+#include "util/check.h"
 
 namespace orap {
+
+enum class OracleErrorKind {
+  kTransient,  // momentary failure; retrying the same query may succeed
+  kTimeout,    // the device did not answer in time; retryable
+  kExhausted,  // query budget spent / access revoked; never retryable
+};
+
+inline const char* to_string(OracleErrorKind k) {
+  switch (k) {
+    case OracleErrorKind::kTransient: return "transient";
+    case OracleErrorKind::kTimeout: return "timeout";
+    case OracleErrorKind::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+struct OracleError {
+  OracleErrorKind kind = OracleErrorKind::kTransient;
+  bool retryable() const { return kind != OracleErrorKind::kExhausted; }
+};
+
+/// Response-or-error sum type returned by Oracle::query. Implicitly
+/// constructible from a BitVec so concrete oracles can keep returning
+/// plain responses.
+class OracleResult {
+ public:
+  OracleResult(BitVec response)  // NOLINT: implicit by design
+      : ok_(true), response_(std::move(response)) {}
+  OracleResult(OracleError error)  // NOLINT: implicit by design
+      : ok_(false), error_(error) {}
+  static OracleResult failure(OracleErrorKind kind) {
+    return OracleResult(OracleError{kind});
+  }
+
+  bool ok() const { return ok_; }
+  const BitVec& response() const {
+    ORAP_CHECK_MSG(ok_, "OracleResult::response() on an error result");
+    return response_;
+  }
+  const OracleError& error() const {
+    ORAP_CHECK_MSG(!ok_, "OracleResult::error() on an ok result");
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  BitVec response_;
+  OracleError error_;
+};
 
 class Oracle {
  public:
@@ -26,17 +84,60 @@ class Oracle {
   virtual std::size_t num_inputs() const = 0;
   virtual std::size_t num_outputs() const = 0;
 
-  BitVec query(const BitVec& data) {
+  /// One logical query. Counters are bumped AFTER do_query returns, so a
+  /// throwing oracle never inflates query_count (exception safety), and
+  /// failed attempts are visible in error_count.
+  OracleResult query(const BitVec& data) {
+    OracleResult r = do_query(data);
     ++queries_;
-    return do_query(data);
+    if (!r.ok()) ++errors_;
+    return r;
   }
+
+  /// A retry or extra majority-vote attempt for a query already counted by
+  /// query(). Charged to retry_count, NOT query_count, so logical query
+  /// counts stay comparable whether resilience is on or off.
+  OracleResult requery(const BitVec& data) {
+    OracleResult r = do_query(data);
+    ++retries_;
+    if (!r.ok()) ++errors_;
+    return r;
+  }
+
   std::size_t query_count() const { return queries_; }
+  std::size_t retry_count() const { return retries_; }
+  std::size_t error_count() const { return errors_; }
+
+  /// Attack-side bookkeeping: a response from this oracle was identified
+  /// as corrupted (quarantined / evicted).
+  void note_corruption_suspected() { ++corrupted_suspected_; }
+  std::size_t corrupted_suspected() const { return corrupted_suspected_; }
 
  protected:
-  virtual BitVec do_query(const BitVec& data) = 0;
+  virtual OracleResult do_query(const BitVec& data) = 0;
 
  private:
   std::size_t queries_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t corrupted_suspected_ = 0;
+};
+
+/// Base for oracles that wrap another oracle (the fault injectors in
+/// attacks/faulty_oracle.h). Forwards the interface shape; each layer
+/// keeps its own counters, and the attack reads the outermost ones.
+class OracleDecorator : public Oracle {
+ public:
+  explicit OracleDecorator(Oracle& inner) : inner_(inner) {}
+
+  std::size_t num_inputs() const override { return inner_.num_inputs(); }
+  std::size_t num_outputs() const override { return inner_.num_outputs(); }
+
+  Oracle& inner() { return inner_; }
+  const Oracle& inner() const { return inner_; }
+
+ private:
+  Oracle& inner_;
 };
 
 /// Conventional (unprotected) chip: scan access yields correct responses.
@@ -50,7 +151,7 @@ class GoldenOracle final : public Oracle {
   }
 
  private:
-  BitVec do_query(const BitVec& data) override {
+  OracleResult do_query(const BitVec& data) override {
     return sim_.run_single(lc_.assemble_input(data, lc_.correct_key));
   }
 
@@ -72,7 +173,7 @@ class ChipScanOracle final : public Oracle {
   }
 
  private:
-  BitVec do_query(const BitVec& data) override {
+  OracleResult do_query(const BitVec& data) override {
     return scan_oracle_query(chip_, data);
   }
 

@@ -1,5 +1,7 @@
 #include "attacks/sat_attack.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 
 #include "attacks/encode_util.h"
@@ -28,6 +30,16 @@ sat::CubeOptions cube_options(std::size_t portfolio_size,
   return co;
 }
 
+/// One recorded oracle I/O pair. With quarantine on, `sel` guards every
+/// clause the pair contributed, so assuming pos(sel) binds it and a unit
+/// ¬sel evicts it; with quarantine off the pair is unguarded (sel == -1)
+/// and is never tracked here.
+struct PairRecord {
+  BitVec x, y;
+  Var sel = -1;
+  bool live = true;
+};
+
 /// Shared state of the DIP loop.
 struct AttackContext {
   const LockedCircuit& lc;
@@ -39,29 +51,240 @@ struct AttackContext {
   Var act = -1;          // miter activation literal
   bool oracle_inconsistent = false;
 
-  AttackContext(const LockedCircuit& locked, std::size_t portfolio_size,
-                std::uint32_t cube_depth)
+  // Resilience state.
+  Oracle* oracle = nullptr;
+  OracleResilienceOptions res;
+  std::vector<std::vector<Var>> key_sets;  // key copies each pair constrains
+  std::vector<PairRecord> pairs;           // quarantine-guarded pairs only
+  bool oracle_failed = false;              // a query failed terminally
+  std::size_t oracle_retries = 0;
+  std::size_t vote_queries = 0;
+  std::size_t evicted_pairs = 0;
+  std::size_t requeried_pairs = 0;
+  double oracle_error_rate = -1.0;
+
+  // Wall-clock deadline (opts.deadline_ms >= 0).
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  AttackContext(const LockedCircuit& locked, Oracle& orc,
+                std::size_t portfolio_size, std::uint32_t cube_depth,
+                const OracleResilienceOptions& resilience,
+                std::int64_t deadline_ms)
       : lc(locked),
         solver(cube_options(portfolio_size, cube_depth)),
-        lenc(solver, locked) {}
+        lenc(solver, locked),
+        oracle(&orc),
+        res(resilience) {
+    if (deadline_ms >= 0) {
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+      has_deadline = true;
+      solver.set_deadline(deadline);
+    }
+  }
 
   std::size_t nd() const { return lc.num_data_inputs; }
   std::size_t nk() const { return lc.num_key_inputs; }
   Encoder& enc() { return lenc.encoder(); }
 
-  /// Adds an oracle I/O constraint for one key copy: C(xd, key) == y.
-  /// Only the key-dependent cone is encoded; key-independent outputs are
-  /// checked against simulation, flagging a lying oracle.
-  void add_io_constraint(const BitVec& xd, const BitVec& y,
-                         const std::vector<Var>& key) {
-    if (!lenc.add_io_constraint(xd, y, key)) oracle_inconsistent = true;
+  bool deadline_expired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
   }
+
+  /// Assumptions for a solve: `base` (the miter on/off literal) plus the
+  /// selector of every live quarantined pair.
+  std::vector<Lit> assumps(Lit base) const {
+    std::vector<Lit> v{base};
+    for (const PairRecord& p : pairs)
+      if (p.live) v.push_back(sat::pos(p.sel));
+    return v;
+  }
+
+  // --- resilient oracle access --------------------------------------------
+
+  /// One oracle attempt with bounded retry on retryable errors. `logical`
+  /// charges the first attempt to query_count (a fresh logical query);
+  /// retries and vote/re-query attempts go to retry_count, so logical
+  /// query counts stay comparable with resilience off. The backoff is the
+  /// attempt index itself — a deterministic schedule, never a wall-clock
+  /// sleep, preserving bit-reproducibility.
+  bool attempt_with_retries(const BitVec& xd, bool logical, BitVec* y) {
+    OracleResult r = logical ? oracle->query(xd) : oracle->requery(xd);
+    std::size_t attempt = 0;
+    while (!r.ok() && r.error().retryable() && attempt < res.retries) {
+      ++attempt;
+      ++oracle_retries;
+      r = oracle->requery(xd);
+    }
+    if (!r.ok()) {
+      oracle_failed = true;
+      return false;
+    }
+    *y = r.response();
+    return true;
+  }
+
+  /// One logical query under the full policy: retry, then N-of-M majority
+  /// vote per output bit (ties fall back to the first response).
+  bool resilient_query(const BitVec& xd, BitVec* y, bool logical = true) {
+    BitVec first;
+    if (!attempt_with_retries(xd, logical, &first)) return false;
+    const std::size_t votes = res.votes < 1 ? 1 : res.votes;
+    if (votes == 1) {
+      *y = first;
+      return true;
+    }
+    std::vector<std::uint32_t> ones(first.size(), 0);
+    for (std::size_t o = 0; o < first.size(); ++o)
+      if (first.get(o)) ++ones[o];
+    for (std::size_t v = 1; v < votes; ++v) {
+      ++vote_queries;
+      BitVec yv;
+      if (!attempt_with_retries(xd, /*logical=*/false, &yv)) return false;
+      for (std::size_t o = 0; o < yv.size(); ++o)
+        if (yv.get(o)) ++ones[o];
+    }
+    BitVec out(first.size());
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      const std::uint32_t count = ones[o];
+      if (2 * count > votes)
+        out.set(o, true);
+      else if (2 * count == votes)  // even split: keep the first response
+        out.set(o, first.get(o));
+    }
+    *y = out;
+    return true;
+  }
+
+  // --- pair recording ------------------------------------------------------
+
+  enum class RecordStatus { kOk, kEvicted, kInconsistent };
+
+  /// Adds the I/O pair as a constraint on every key copy. A mismatch on a
+  /// key-INDEPENDENT output is proof the response is corrupted: with
+  /// quarantine on, the pair is evicted on the spot (its guarded clauses
+  /// are killed by a unit ¬sel); with quarantine off, it is the classic
+  /// kInconsistentOracle signal.
+  RecordStatus record_pair(const BitVec& xd, const BitVec& y) {
+    const Var sel = res.quarantine ? solver.new_var() : -1;
+    bool consistent = true;
+    for (const std::vector<Var>& keys : key_sets)
+      consistent &= lenc.add_io_constraint(xd, y, keys, sel);
+    if (consistent) {
+      if (sel >= 0) pairs.push_back({xd, y, sel, true});
+      return RecordStatus::kOk;
+    }
+    if (!res.quarantine) {
+      oracle_inconsistent = true;
+      return RecordStatus::kInconsistent;
+    }
+    solver.add_clause({sat::neg(sel)});
+    oracle->note_corruption_suspected();
+    ++evicted_pairs;
+    return RecordStatus::kEvicted;
+  }
+
+  /// Evicts a recorded pair for good: a unit ¬sel retracts its guarded
+  /// clauses from every future solve.
+  void evict_pair(std::size_t idx) {
+    PairRecord& p = pairs[idx];
+    ORAP_DCHECK(p.live);
+    p.live = false;
+    solver.add_clause({sat::neg(p.sel)});
+    oracle->note_corruption_suspected();
+    ++evicted_pairs;
+  }
+
+  // --- quarantine repair ---------------------------------------------------
+
+  /// After an UNSAT key extraction: isolates a minimal-ish inconsistent
+  /// subset of the live pairs via unsat cores over their selectors —
+  /// first a core fixpoint (re-solve with only the core's pairs enabled;
+  /// the new core can only shrink), then a binary halving pass (if one
+  /// half alone is inconsistent, recurse into it). Returns pair indices;
+  /// empty when the UNSAT involves no pair at all (a genuinely empty key
+  /// space). Sets *aborted when a solve hits the conflict budget.
+  std::vector<std::size_t> minimize_suspects(std::int64_t budget,
+                                             bool* aborted) {
+    *aborted = false;
+    std::vector<std::size_t> suspects = core_suspects();
+    if (suspects.empty()) return suspects;
+
+    // Core fixpoint: each round solves with only the suspects enabled, so
+    // the returned core — a subset of those selectors — can only shrink.
+    for (int round = 0; round < 8; ++round) {
+      const Solver::Result r = solve_subset(suspects, budget);
+      if (r == Solver::Result::kUnknown) {
+        *aborted = true;
+        return {};
+      }
+      if (r == Solver::Result::kSat) break;  // cannot happen for a sound core
+      std::vector<std::size_t> next = core_suspects();
+      if (next.size() >= suspects.size()) break;
+      suspects = std::move(next);
+    }
+
+    // Binary halving: if either half is inconsistent on its own, the
+    // minimal subset lives entirely inside it.
+    while (suspects.size() > 1) {
+      const std::size_t mid = suspects.size() / 2;
+      bool narrowed = false;
+      for (int half = 0; half < 2 && !narrowed; ++half) {
+        std::vector<std::size_t> part(
+            suspects.begin() + (half == 0 ? 0 : mid),
+            half == 0 ? suspects.begin() + mid : suspects.end());
+        const Solver::Result r = solve_subset(part, budget);
+        if (r == Solver::Result::kUnknown) {
+          *aborted = true;
+          return {};
+        }
+        if (r == Solver::Result::kUnsat) {
+          std::vector<std::size_t> next = core_suspects();
+          suspects = next.empty() ? std::move(part) : std::move(next);
+          narrowed = true;
+        }
+      }
+      if (!narrowed) break;  // the inconsistency needs pairs of both halves
+    }
+    return suspects;
+  }
+
+  /// Solve with the miter off and ONLY the given pairs bound.
+  Solver::Result solve_subset(const std::vector<std::size_t>& subset,
+                              std::int64_t budget) {
+    std::vector<Lit> as{sat::neg(act)};
+    for (const std::size_t i : subset) as.push_back(sat::pos(pairs[i].sel));
+    return solver.solve(as, budget);
+  }
+
+  /// Live pair indices whose selector shows up in the last unsat core
+  /// (the core is in failed-clause form, i.e. negated assumptions — match
+  /// by variable).
+  std::vector<std::size_t> core_suspects() const {
+    std::vector<std::size_t> out;
+    const std::vector<Lit>& core = solver.unsat_core();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (!pairs[i].live) continue;
+      for (const Lit l : core) {
+        if (l.var() == pairs[i].sel) {
+          out.push_back(i);
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::size_t miter_vars_ = 0;
+  std::size_t miter_active_vars_ = 0;
 
   /// Freezes the miter interface variables and runs SatELite-style
   /// preprocessing. Must run after the miter is fully built and before
   /// the first solve: everything the DIP loop later constrains (data
   /// inputs, key vectors, activation literal, miter outputs, encoder
-  /// constants) must survive elimination.
+  /// constants) must survive elimination. Pair selectors are created
+  /// after this point, so they are never elimination candidates.
   void preprocess_miter(
       std::initializer_list<const std::vector<Var>*> interface_vars) {
     for (const auto* vs : interface_vars)
@@ -87,7 +310,8 @@ struct AttackContext {
         static_cast<std::size_t>(solver.stats().eliminated_vars);
   }
 
-  /// Copies formula-size / preprocessing / cube counters into the result.
+  /// Copies formula-size / preprocessing / cube / resilience counters into
+  /// the result.
   void fill_solver_stats(SatAttackResult* result) const {
     const sat::SolverStats st = solver.stats();
     result->solver_vars =
@@ -102,10 +326,12 @@ struct AttackContext {
     result->cubes = st.cubes;
     result->cubes_refuted = st.cubes_refuted;
     result->cube_wall_ms = st.cube_wall_ms;
+    result->oracle_retries = oracle_retries;
+    result->vote_queries = vote_queries;
+    result->evicted_pairs = evicted_pairs;
+    result->requeried_pairs = requeried_pairs;
+    result->oracle_error_rate = oracle_error_rate;
   }
-
-  std::size_t miter_vars_ = 0;
-  std::size_t miter_active_vars_ = 0;
 
   BitVec model_bits(const std::vector<Var>& vars) const {
     BitVec out(vars.size());
@@ -114,17 +340,17 @@ struct AttackContext {
     return out;
   }
 
-  /// Extracts a key consistent with all I/O constraints (miter disabled).
-  /// Returns false when none exists (lying oracle).
+  /// Extracts a key consistent with all live I/O constraints (miter
+  /// disabled). Returns false when none exists (a lying oracle — or, with
+  /// quarantine on, a corrupted pair the caller should repair).
   bool extract_key(BitVec* key, std::int64_t budget,
                    SatAttackResult::Status* budget_status) {
-    const std::vector<Lit> off{sat::neg(act)};
-    const auto res = solver.solve(off, budget);
-    if (res == Solver::Result::kUnknown) {
+    const auto res_ = solver.solve(assumps(sat::neg(act)), budget);
+    if (res_ == Solver::Result::kUnknown) {
       *budget_status = SatAttackResult::Status::kSolverBudget;
       return false;
     }
-    if (res != Solver::Result::kSat) return false;
+    if (res_ != Solver::Result::kSat) return false;
     *key = model_bits(k1);
     return true;
   }
@@ -136,6 +362,129 @@ std::vector<Var> fresh_vars(sat::ClauseSink& s, std::size_t n) {
   return v;
 }
 
+/// Caps the repair rounds per attack independently of max_evictions (each
+/// round evicts at least one pair, but a pathological oracle could feed
+/// one corrupted pair per round forever).
+constexpr std::size_t kMaxRepairRounds = 256;
+
+/// Outcome of one extraction + repair attempt.
+enum class ExtractOutcome {
+  kDone,    // result.status / result.key are final
+  kResume,  // corrupted pairs evicted: re-enter the DIP loop
+};
+
+/// Measures the candidate key's response error against the (resilient)
+/// oracle on fresh random samples and fills result with kDegraded.
+void finish_degraded(AttackContext& ctx, const BitVec& key,
+                     SatAttackResult* result) {
+  result->status = SatAttackResult::Status::kDegraded;
+  result->key = key;
+  Rng rng(0x0ddf00dULL);
+  Simulator sim(ctx.lc.netlist);
+  std::size_t mismatched_bits = 0, total_bits = 0;
+  for (std::size_t q = 0; q < ctx.res.degraded_samples; ++q) {
+    const BitVec xr = BitVec::random(ctx.nd(), rng);
+    BitVec yo;
+    if (!ctx.resilient_query(xr, &yo)) break;  // keep the partial estimate
+    const BitVec yc = sim.run_single(ctx.lc.assemble_input(xr, key));
+    mismatched_bits += (yo ^ yc).count();
+    total_bits += yo.size();
+  }
+  ctx.oracle_error_rate =
+      total_bits == 0 ? -1.0
+                      : static_cast<double>(mismatched_bits) /
+                            static_cast<double>(total_bits);
+}
+
+/// Degraded recovery once eviction stops converging: greedily keeps a
+/// maximal consistent subset of the live pairs (in recording order, each
+/// accepted only if the key space stays non-empty), extracts a key from
+/// it, and measures its error rate. Deterministic: the pair order and
+/// every solve are.
+void degrade(AttackContext& ctx, std::int64_t budget,
+             SatAttackResult* result) {
+  std::vector<std::size_t> chosen;
+  for (std::size_t i = 0; i < ctx.pairs.size(); ++i) {
+    if (!ctx.pairs[i].live) continue;
+    chosen.push_back(i);
+    const Solver::Result r = ctx.solve_subset(chosen, budget);
+    if (r == Solver::Result::kUnknown) {
+      result->status = SatAttackResult::Status::kSolverBudget;
+      return;
+    }
+    if (r != Solver::Result::kSat) chosen.pop_back();
+  }
+  const Solver::Result r = ctx.solve_subset(chosen, budget);
+  if (r == Solver::Result::kUnknown) {
+    result->status = SatAttackResult::Status::kSolverBudget;
+    return;
+  }
+  if (r != Solver::Result::kSat) {
+    // Even the empty subset is UNSAT: the key space is empty regardless
+    // of any oracle answer.
+    result->status = SatAttackResult::Status::kInconsistentOracle;
+    return;
+  }
+  finish_degraded(ctx, ctx.model_bits(ctx.k1), result);
+}
+
+/// Final key extraction with quarantine repair. On kResume the caller
+/// re-enters its DIP loop (corrupted pairs were evicted and re-queried).
+ExtractOutcome extract_or_repair(AttackContext& ctx, std::int64_t budget,
+                                 std::size_t* repair_rounds,
+                                 SatAttackResult* result) {
+  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
+  if (ctx.extract_key(&result->key, budget, &budget_status)) {
+    result->status = SatAttackResult::Status::kKeyFound;
+    return ExtractOutcome::kDone;
+  }
+  if (budget_status == SatAttackResult::Status::kSolverBudget) {
+    result->status = budget_status;
+    return ExtractOutcome::kDone;
+  }
+  // Proven UNSAT. Without quarantine this is the classic verdict: no key
+  // explains the observed pairs — the oracle lied.
+  if (!ctx.res.quarantine) {
+    result->status = SatAttackResult::Status::kInconsistentOracle;
+    return ExtractOutcome::kDone;
+  }
+  bool aborted = false;
+  const std::vector<std::size_t> suspects =
+      ctx.minimize_suspects(budget, &aborted);
+  if (aborted) {
+    result->status = SatAttackResult::Status::kSolverBudget;
+    return ExtractOutcome::kDone;
+  }
+  if (suspects.empty()) {
+    // The refutation never leaned on a pair selector: the key space is
+    // empty independent of the observations — genuinely inconsistent.
+    result->status = SatAttackResult::Status::kInconsistentOracle;
+    return ExtractOutcome::kDone;
+  }
+  if (++*repair_rounds > kMaxRepairRounds ||
+      ctx.evicted_pairs + suspects.size() > ctx.res.max_evictions) {
+    degrade(ctx, budget, result);
+    return ExtractOutcome::kDone;
+  }
+  // Evict the minimal inconsistent subset and ask the oracle again about
+  // each of its inputs — a fresh answer (new noise draw, retries, votes)
+  // usually disagrees with the corrupted one and re-enters cleanly.
+  for (const std::size_t i : suspects) {
+    const BitVec xd = ctx.pairs[i].x;
+    ctx.evict_pair(i);
+    ++ctx.requeried_pairs;
+    BitVec y;
+    if (!ctx.resilient_query(xd, &y, /*logical=*/false)) {
+      result->status = SatAttackResult::Status::kOracleError;
+      return ExtractOutcome::kDone;
+    }
+    // A re-recorded pair that is corrupted again evicts itself; the next
+    // extraction round deals with subtler corruption.
+    ctx.record_pair(xd, y);
+  }
+  return ExtractOutcome::kResume;
+}
+
 }  // namespace
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -143,11 +492,13 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   ORAP_CHECK(oracle.num_inputs() == locked.num_data_inputs);
   ORAP_CHECK(oracle.num_outputs() == locked.netlist.num_outputs());
 
-  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
+  AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
+                    opts.resilience, opts.deadline_ms);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
   ctx.act = ctx.solver.new_var();
+  ctx.key_sets = {ctx.k1, ctx.k2};
 
   const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
   const auto b = ctx.lenc.encode_key_variant(a, ctx.k2);
@@ -164,62 +515,77 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   ctx.snapshot_miter_size();
 
   SatAttackResult result;
-  const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
     result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
-  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
-    const auto res = ctx.solver.solve(on, opts.conflict_budget);
-    if (res == Solver::Result::kUnknown) {
-      result.status = SatAttackResult::Status::kSolverBudget;
+  std::size_t repair_rounds = 0;
+  while (true) {
+    // --- DIP loop over the live pair set ---------------------------------
+    while (static_cast<std::int64_t>(result.iterations) <
+           opts.max_iterations) {
+      if (ctx.deadline_expired()) {
+        result.status = SatAttackResult::Status::kSolverBudget;
+        finish();
+        return result;
+      }
+      const auto res =
+          ctx.solver.solve(ctx.assumps(sat::pos(ctx.act)),
+                           opts.conflict_budget);
+      if (res == Solver::Result::kUnknown) {
+        result.status = SatAttackResult::Status::kSolverBudget;
+        finish();
+        return result;
+      }
+      if (res == Solver::Result::kUnsat) break;  // no DIP left
+      ++result.iterations;
+      const BitVec xd = ctx.model_bits(ctx.x);
+      BitVec y;
+      if (!ctx.resilient_query(xd, &y)) {
+        result.status = SatAttackResult::Status::kOracleError;
+        finish();
+        return result;
+      }
+      const auto rs = ctx.record_pair(xd, y);
+      if (rs == AttackContext::RecordStatus::kInconsistent) {
+        // A key-independent output contradicted the response: no key can
+        // explain this oracle (and quarantine is off).
+        result.status = SatAttackResult::Status::kInconsistentOracle;
+        finish();
+        return result;
+      }
+      // kEvicted: the corrupted pair was quarantined without constraining
+      // anything; the same DIP resurfaces and is re-queried next round.
+    }
+    // finish() exactly once per exit path: a second call after extract_key
+    // used to overwrite the stats snapshot and misattribute solver wall
+    // time between the DIP loop and the extraction.
+    if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+      result.status = SatAttackResult::Status::kIterationLimit;
       finish();
       return result;
     }
-    if (res == Solver::Result::kUnsat) break;  // no DIP left
-    ++result.iterations;
-    const BitVec xd = ctx.model_bits(ctx.x);
-    const BitVec y = oracle.query(xd);
-    ctx.add_io_constraint(xd, y, ctx.k1);
-    ctx.add_io_constraint(xd, y, ctx.k2);
-    if (ctx.oracle_inconsistent) {
-      // A key-independent output contradicted the response: no key can
-      // explain this oracle.
-      result.status = SatAttackResult::Status::kInconsistentOracle;
-      finish();
-      return result;
-    }
-  }
-  // finish() exactly once per exit path: a second call after extract_key
-  // used to overwrite the stats snapshot and misattribute solver wall
-  // time between the DIP loop and the extraction.
-  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
-    result.status = SatAttackResult::Status::kIterationLimit;
-    finish();
-    return result;
-  }
 
-  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
-  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
-    result.status = SatAttackResult::Status::kKeyFound;
-  } else {
-    result.status =
-        budget_status == SatAttackResult::Status::kSolverBudget
-            ? budget_status
-            : SatAttackResult::Status::kInconsistentOracle;
+    if (extract_or_repair(ctx, opts.conflict_budget, &repair_rounds,
+                          &result) == ExtractOutcome::kDone) {
+      finish();
+      return result;
+    }
+    // Pairs were evicted and re-queried: the key space reopened, so the
+    // DIP loop continues refining it.
   }
-  finish();
-  return result;
 }
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
                               const AppSatOptions& opts) {
-  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
+  AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
+                    opts.resilience, opts.deadline_ms);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
   ctx.act = ctx.solver.new_var();
+  ctx.key_sets = {ctx.k1, ctx.k2};
   const auto a = ctx.lenc.encode_full(ctx.x, ctx.k1);
   const auto b = ctx.lenc.encode_key_variant(a, ctx.k2);
   {
@@ -237,97 +603,118 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
   Simulator sim(locked.netlist);
   SatAttackResult result;
   std::size_t clean_rounds = 0;
-  const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
     result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
+  std::size_t repair_rounds = 0;
 
-  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
-    const auto res = ctx.solver.solve(on, opts.conflict_budget);
-    if (res == Solver::Result::kUnknown) {
-      // Budget abort, exactly as in sat_attack — NOT a lying oracle.
-      result.status = SatAttackResult::Status::kSolverBudget;
-      finish();
-      return result;
-    }
-    if (res == Solver::Result::kUnsat) break;  // exact convergence
-    ++result.iterations;
-    const BitVec xd = ctx.model_bits(ctx.x);
-    const BitVec y = oracle.query(xd);
-    ctx.add_io_constraint(xd, y, ctx.k1);
-    ctx.add_io_constraint(xd, y, ctx.k2);
-    if (ctx.oracle_inconsistent) {
-      result.status = SatAttackResult::Status::kInconsistentOracle;
-      finish();
-      return result;
-    }
-
-    if (result.iterations % opts.check_period != 0) continue;
-    // Random-sampling round on the current candidate key.
-    SatAttackResult::Status mid_status = SatAttackResult::Status::kKeyFound;
-    BitVec candidate;
-    if (!ctx.extract_key(&candidate, opts.conflict_budget, &mid_status)) {
-      if (mid_status == SatAttackResult::Status::kSolverBudget) {
-        result.status = mid_status;
+  while (true) {
+    bool dip_space_empty = false;
+    while (static_cast<std::int64_t>(result.iterations) <
+           opts.max_iterations) {
+      if (ctx.deadline_expired()) {
+        result.status = SatAttackResult::Status::kSolverBudget;
         finish();
         return result;
       }
-      break;  // no consistent key: the final extraction settles the status
-    }
-    std::size_t mismatches = 0;
-    for (std::size_t q = 0; q < opts.random_queries; ++q) {
-      const BitVec xr = BitVec::random(ctx.nd(), rng);
-      const BitVec yo = oracle.query(xr);
-      const BitVec yc = sim.run_single(locked.assemble_input(xr, candidate));
-      if (yo != yc) {
-        ++mismatches;
-        ctx.add_io_constraint(xr, yo, ctx.k1);
-        ctx.add_io_constraint(xr, yo, ctx.k2);
-      }
-    }
-    if (mismatches == 0) {
-      if (++clean_rounds >= opts.settle_rounds) {
-        // Approximate key settled.
-        result.status = SatAttackResult::Status::kKeyFound;
-        result.key = candidate;
+      const auto res = ctx.solver.solve(ctx.assumps(sat::pos(ctx.act)),
+                                        opts.conflict_budget);
+      if (res == Solver::Result::kUnknown) {
+        // Budget abort, exactly as in sat_attack — NOT a lying oracle.
+        result.status = SatAttackResult::Status::kSolverBudget;
         finish();
         return result;
       }
-    } else {
-      clean_rounds = 0;
+      if (res == Solver::Result::kUnsat) {
+        dip_space_empty = true;  // exact convergence (over the live pairs)
+        break;
+      }
+      ++result.iterations;
+      const BitVec xd = ctx.model_bits(ctx.x);
+      BitVec y;
+      if (!ctx.resilient_query(xd, &y)) {
+        result.status = SatAttackResult::Status::kOracleError;
+        finish();
+        return result;
+      }
+      if (ctx.record_pair(xd, y) ==
+          AttackContext::RecordStatus::kInconsistent) {
+        result.status = SatAttackResult::Status::kInconsistentOracle;
+        finish();
+        return result;
+      }
+
+      if (result.iterations % opts.check_period != 0) continue;
+      // Random-sampling round on the current candidate key.
+      SatAttackResult::Status mid_status = SatAttackResult::Status::kKeyFound;
+      BitVec candidate;
+      if (!ctx.extract_key(&candidate, opts.conflict_budget, &mid_status)) {
+        if (mid_status == SatAttackResult::Status::kSolverBudget) {
+          result.status = mid_status;
+          finish();
+          return result;
+        }
+        break;  // no consistent key: extraction + repair settles it below
+      }
+      std::size_t mismatches = 0;
+      for (std::size_t q = 0; q < opts.random_queries; ++q) {
+        const BitVec xr = BitVec::random(ctx.nd(), rng);
+        BitVec yo;
+        if (!ctx.resilient_query(xr, &yo)) {
+          result.status = SatAttackResult::Status::kOracleError;
+          finish();
+          return result;
+        }
+        const BitVec yc = sim.run_single(locked.assemble_input(xr, candidate));
+        if (yo != yc) {
+          ++mismatches;
+          if (ctx.record_pair(xr, yo) ==
+              AttackContext::RecordStatus::kInconsistent) {
+            result.status = SatAttackResult::Status::kInconsistentOracle;
+            finish();
+            return result;
+          }
+        }
+      }
+      if (mismatches == 0) {
+        if (++clean_rounds >= opts.settle_rounds) {
+          // Approximate key settled.
+          result.status = SatAttackResult::Status::kKeyFound;
+          result.key = candidate;
+          finish();
+          return result;
+        }
+      } else {
+        clean_rounds = 0;
+      }
+    }
+    if (!dip_space_empty &&
+        static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+      result.status = SatAttackResult::Status::kIterationLimit;
+      finish();
+      return result;
+    }
+    if (extract_or_repair(ctx, opts.conflict_budget, &repair_rounds,
+                          &result) == ExtractOutcome::kDone) {
+      finish();
+      return result;
     }
   }
-  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
-    result.status = SatAttackResult::Status::kIterationLimit;
-    finish();
-    return result;
-  }
-  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
-  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
-    result.status = SatAttackResult::Status::kKeyFound;
-  } else {
-    // A budget abort must surface as kSolverBudget; only a genuinely
-    // unsatisfiable key formula means the oracle lied.
-    result.status =
-        budget_status == SatAttackResult::Status::kSolverBudget
-            ? budget_status
-            : SatAttackResult::Status::kInconsistentOracle;
-  }
-  finish();
-  return result;
 }
 
 SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
                                   const SatAttackOptions& opts) {
-  AttackContext ctx(locked, opts.portfolio_size, opts.cube_depth);
+  AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
+                    opts.resilience, opts.deadline_ms);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
   auto k3 = fresh_vars(ctx.solver, ctx.nk());
   auto k4 = fresh_vars(ctx.solver, ctx.nk());
   ctx.act = ctx.solver.new_var();
+  ctx.key_sets = {ctx.k1, ctx.k2, k3, k4};
   CubeSolver& s = ctx.solver;
   Encoder& e = ctx.enc();
 
@@ -365,55 +752,60 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
   ctx.snapshot_miter_size();
 
   SatAttackResult result;
-  const std::vector<Lit> on{sat::pos(ctx.act)};
   const auto finish = [&ctx, &result, &oracle] {
     result.oracle_queries = oracle.query_count();
     result.solver_wall_ms = ctx.solver.cube_stats().solve_wall_ms;
     ctx.fill_solver_stats(&result);
   };
-  while (static_cast<std::int64_t>(result.iterations) < opts.max_iterations) {
-    const auto res = s.solve(on, opts.conflict_budget);
-    if (res == Solver::Result::kUnknown) {
-      result.status = SatAttackResult::Status::kSolverBudget;
+  std::size_t repair_rounds = 0;
+  while (true) {
+    while (static_cast<std::int64_t>(result.iterations) <
+           opts.max_iterations) {
+      if (ctx.deadline_expired()) {
+        result.status = SatAttackResult::Status::kSolverBudget;
+        finish();
+        return result;
+      }
+      const auto res = s.solve(ctx.assumps(sat::pos(ctx.act)),
+                               opts.conflict_budget);
+      if (res == Solver::Result::kUnknown) {
+        result.status = SatAttackResult::Status::kSolverBudget;
+        finish();
+        return result;
+      }
+      if (res == Solver::Result::kUnsat) break;
+      ++result.iterations;
+      const BitVec xd = ctx.model_bits(ctx.x);
+      BitVec y;
+      if (!ctx.resilient_query(xd, &y)) {
+        result.status = SatAttackResult::Status::kOracleError;
+        finish();
+        return result;
+      }
+      if (ctx.record_pair(xd, y) ==
+          AttackContext::RecordStatus::kInconsistent) {
+        result.status = SatAttackResult::Status::kInconsistentOracle;
+        finish();
+        return result;
+      }
+    }
+    if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
+      result.status = SatAttackResult::Status::kIterationLimit;
       finish();
       return result;
     }
-    if (res == Solver::Result::kUnsat) break;
-    ++result.iterations;
-    const BitVec xd = ctx.model_bits(ctx.x);
-    const BitVec y = oracle.query(xd);
-    ctx.add_io_constraint(xd, y, ctx.k1);
-    ctx.add_io_constraint(xd, y, ctx.k2);
-    ctx.add_io_constraint(xd, y, k3);
-    ctx.add_io_constraint(xd, y, k4);
-    if (ctx.oracle_inconsistent) {
-      result.status = SatAttackResult::Status::kInconsistentOracle;
+    // No double-DIP remains: at most one equivalence class of the
+    // "traditional" key part survives (point-function flips like SARLock's
+    // cannot form a double-DIP, so they stay unresolved — the Double-DIP
+    // paper's point is precisely that this part does not matter). Extract a
+    // key from the surviving class; run sat_attack afterwards if exactness
+    // on the point-function part is required.
+    if (extract_or_repair(ctx, opts.conflict_budget, &repair_rounds,
+                          &result) == ExtractOutcome::kDone) {
       finish();
       return result;
     }
   }
-  if (static_cast<std::int64_t>(result.iterations) >= opts.max_iterations) {
-    result.status = SatAttackResult::Status::kIterationLimit;
-    finish();
-    return result;
-  }
-  // No double-DIP remains: at most one equivalence class of the
-  // "traditional" key part survives (point-function flips like SARLock's
-  // cannot form a double-DIP, so they stay unresolved — the Double-DIP
-  // paper's point is precisely that this part does not matter). Extract a
-  // key from the surviving class; run sat_attack afterwards if exactness
-  // on the point-function part is required.
-  SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
-  if (ctx.extract_key(&result.key, opts.conflict_budget, &budget_status)) {
-    result.status = SatAttackResult::Status::kKeyFound;
-  } else {
-    result.status =
-        budget_status == SatAttackResult::Status::kSolverBudget
-            ? budget_status
-            : SatAttackResult::Status::kInconsistentOracle;
-  }
-  finish();
-  return result;
 }
 
 std::size_t verify_key_against_oracle(const LockedCircuit& locked,
@@ -429,13 +821,16 @@ std::size_t verify_key_against_oracle(const LockedCircuit& locked,
   xs.reserve(samples);
   ys.reserve(samples);
   for (std::size_t q = 0; q < samples; ++q) {
-    xs.push_back(BitVec::random(locked.num_data_inputs, rng));
-    ys.push_back(oracle.query(xs.back()));
+    BitVec x = BitVec::random(locked.num_data_inputs, rng);
+    const OracleResult r = oracle.query(x);
+    if (!r.ok()) continue;  // unanswered samples cannot witness a mismatch
+    xs.push_back(std::move(x));
+    ys.push_back(r.response());
   }
 
   std::vector<std::unique_ptr<Simulator>> sims(parallel_threads());
   return parallel_reduce(
-      /*grain=*/16, samples, std::size_t{0},
+      /*grain=*/16, xs.size(), std::size_t{0},
       [&](std::size_t b, std::size_t e, std::size_t) {
         const std::size_t slot = parallel_slot();
         if (!sims[slot]) sims[slot] = std::make_unique<Simulator>(locked.netlist);

@@ -19,9 +19,45 @@
 
 namespace orap {
 
+/// Resilience policy against unreliable oracles (attacks/faulty_oracle.h
+/// models them; real testers misbehave the same ways). All features
+/// default OFF: a default-constructed policy changes no behavior.
+struct OracleResilienceOptions {
+  /// Extra attempts per oracle query on retryable errors (transients /
+  /// timeouts). The backoff between attempts is *logical* — a bounded,
+  /// attempt-indexed schedule, never a wall-clock sleep — so retried runs
+  /// stay bit-reproducible.
+  std::size_t retries = 0;
+  /// N-of-M majority vote: each logical query is asked `votes` times and
+  /// every response bit is decided by majority (ties fall back to the
+  /// first response). 1 = off. Extra attempts are charged to
+  /// SatAttackResult::vote_queries, not oracle_queries.
+  std::size_t votes = 1;
+  /// Suspect-pair quarantine: every recorded I/O pair is guarded by a
+  /// fresh selector literal; when the learned-constraint formula goes
+  /// UNSAT the minimal inconsistent pair subset is isolated via unsat
+  /// cores over the selectors, evicted, re-queried, and the DIP loop
+  /// continues instead of dying with kInconsistentOracle.
+  bool quarantine = false;
+  /// Evicting more pairs than this abandons exact recovery: the attack
+  /// keeps a maximal consistent pair subset and returns kDegraded with
+  /// the best approximate key + a measured error rate.
+  std::size_t max_evictions = 256;
+  /// Oracle samples used to measure the error rate of a kDegraded key.
+  std::size_t degraded_samples = 64;
+
+  bool enabled() const { return retries > 0 || votes > 1 || quarantine; }
+};
+
 struct SatAttackOptions {
   std::int64_t max_iterations = 4096;
   std::int64_t conflict_budget = -1;  // per SAT call; <0 = unlimited
+  /// Wall-clock deadline for the whole attack; < 0 = none. Checked between
+  /// DIP iterations and inside every solver epoch; expiry surfaces as
+  /// kSolverBudget. Timing-dependent by nature, so it waives the
+  /// bit-identity contract only when it actually fires.
+  std::int64_t deadline_ms = -1;
+  OracleResilienceOptions resilience;
   /// > 1 races that many diversified CDCL instances per SAT call in
   /// deterministic lockstep epochs (sat/portfolio.h); 1 = single solver.
   std::size_t portfolio_size = 1;
@@ -41,15 +77,30 @@ struct SatAttackResult {
   enum class Status {
     kKeyFound,           // DIP loop converged to a consistent key
     kIterationLimit,     // budget exhausted
-    kSolverBudget,       // a SAT call aborted on its conflict budget
+    kSolverBudget,       // a SAT call aborted on its conflict budget or
+                         // the attack's wall-clock deadline
     kInconsistentOracle, // no key matches the observed I/O pairs — the
-                         // oracle is lying (what OraP causes)
+                         // oracle is lying (what OraP causes) — and it is
+                         // PROVEN empty, never a budget abort
+    kDegraded,           // quarantine hit max_evictions: `key` is the best
+                         // approximate key over a maximal consistent pair
+                         // subset; oracle_error_rate holds the measured
+                         // response error
+    kOracleError,        // a query failed terminally (exhausted budget /
+                         // unretried transient) before the attack settled
   };
   Status status = Status::kIterationLimit;
-  BitVec key;                 // valid when kKeyFound
+  BitVec key;                 // valid when kKeyFound or kDegraded
   std::size_t iterations = 0; // DIPs used
   std::size_t oracle_queries = 0;
   double solver_wall_ms = 0.0;  // wall time spent inside SAT solve calls
+
+  // Oracle-resilience accounting (all 0 / -1 with the policy off).
+  std::size_t oracle_retries = 0;   // retry attempts on retryable errors
+  std::size_t vote_queries = 0;     // extra majority-vote attempts
+  std::size_t evicted_pairs = 0;    // I/O pairs quarantined as corrupted
+  std::size_t requeried_pairs = 0;  // evicted pairs asked again
+  double oracle_error_rate = -1.0;  // measured bit error rate (kDegraded)
 
   // Formula-size accounting, sampled at DIP-loop start so preprocess
   // on/off runs compare the same formula (preprocess off: active == total,
@@ -83,6 +134,8 @@ struct AppSatOptions {
   std::size_t portfolio_size = 1;    // as in SatAttackOptions
   bool preprocess = false;           // as in SatAttackOptions
   std::uint32_t cube_depth = 0;      // as in SatAttackOptions
+  std::int64_t deadline_ms = -1;     // as in SatAttackOptions
+  OracleResilienceOptions resilience;
 };
 
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,

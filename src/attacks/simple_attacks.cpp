@@ -15,8 +15,11 @@ HillClimbResult hill_climb_attack(const LockedCircuit& locked, Oracle& oracle,
   std::vector<BitVec> probes;
   std::vector<BitVec> responses;
   for (std::size_t i = 0; i < opts.samples; ++i) {
-    probes.push_back(BitVec::random(locked.num_data_inputs, rng));
-    responses.push_back(oracle.query(probes.back()));
+    BitVec probe = BitVec::random(locked.num_data_inputs, rng);
+    const OracleResult r = oracle.query(probe);
+    if (!r.ok()) continue;  // failed probe: fit against the ones that landed
+    probes.push_back(std::move(probe));
+    responses.push_back(r.response());
   }
 
   // Fitness is the summed bit-level Hamming distance, not the count of
@@ -107,7 +110,12 @@ SensitizationResult sensitization_attack(const LockedCircuit& locked,
       BitVec x(nd);
       for (std::size_t i = 0; i < nd; ++i)
         x.set(i, s.model_value(c0.inputs[i]));
-      const BitVec yo = oracle.query(x);
+      const OracleResult qr = oracle.query(x);
+      if (!qr.ok()) {
+        consistent = false;  // no observation: the bit stays unresolved
+        break;
+      }
+      const BitVec& yo = qr.response();
       BitVec key0 = ref;
       key0.set(bit, false);
       BitVec key1 = ref;

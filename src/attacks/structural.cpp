@@ -230,7 +230,12 @@ std::optional<BypassResult> bypass_attack(const LockedCircuit& lc,
       if (trial > 0)
         for (std::size_t j = 0; j < nd; ++j)
           if (!bound.get(j)) probe.set(j, crng.bit());
-      const BitVec yo = oracle.query(probe);
+      const OracleResult qr = oracle.query(probe);
+      if (!qr.ok()) {
+        consistent = false;  // unobservable cube: treat as not bypassable
+        break;
+      }
+      const BitVec& yo = qr.response();
       const BitVec yw = sim.run_single(lc.assemble_input(probe, wrong_key));
       const BitVec f = yo ^ yw;
       if (!fix_known) {

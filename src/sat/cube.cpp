@@ -145,6 +145,17 @@ bool CubeSolver::simplify(const SimplifyOptions& opts) {
   return ok0;
 }
 
+void CubeSolver::set_deadline(std::chrono::steady_clock::time_point tp) {
+  has_deadline_ = true;
+  deadline_ = tp;
+  for (auto& l : lanes_) l->set_deadline(tp);
+}
+
+void CubeSolver::clear_deadline() {
+  has_deadline_ = false;
+  for (auto& l : lanes_) l->clear_deadline();
+}
+
 bool CubeSolver::ok() const {
   for (const auto& l : lanes_)
     if (!l->ok()) return false;
@@ -251,6 +262,10 @@ CubeSolver::Result CubeSolver::conquer(std::span<const Lit> assumptions,
 
   while (true) {
     if (budget >= 0 && total_spent >= budget) return Result::kUnknown;
+    // Deadline check at the barrier (see set_deadline): expired lanes all
+    // answer kUnknown, so the loop must stop here, not spin.
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_)
+      return Result::kUnknown;
     // Deterministic per-cube grant: the epoch budget, capped by an equal
     // share of whatever remains of the call's total budget. Charging the
     // ACTUAL post-epoch conflict deltas (not the grants) keeps --cube=D

@@ -30,6 +30,7 @@
 // --cube=D with the same budget aborts on comparable effort to a single
 // solver. depth == 0 is a zero-overhead pass-through to the portfolio.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -96,6 +97,13 @@ class CubeSolver : public ClauseSink {
   Result solve(std::span<const Lit> assumptions = {},
                std::int64_t conflict_budget = -1);
 
+  /// Wall-clock deadline, forwarded to every lane and re-checked at each
+  /// conquer barrier (an expired deadline makes every lane return kUnknown
+  /// instantly, which would otherwise spin the unlimited-budget loop).
+  /// Expiry surfaces as kUnknown.
+  void set_deadline(std::chrono::steady_clock::time_point tp);
+  void clear_deadline();
+
   /// Model / core access after solve(), served by the deciding lane (for a
   /// cubed UNSAT: the deduplicated union of per-cube cores, cube literals
   /// excluded — a valid core since the cubes partition the search space).
@@ -124,6 +132,8 @@ class CubeSolver : public ClauseSink {
                  const std::vector<Var>& vars);
 
   CubeOptions opts_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
   std::vector<std::unique_ptr<PortfolioSolver>> lanes_;
   std::vector<Lit> core_;            // merged core of a cubed UNSAT
   std::vector<Var> last_cube_vars_;  // split of the last solve() call

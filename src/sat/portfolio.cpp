@@ -75,6 +75,17 @@ void PortfolioSolver::adopt_simplification_from(const Solver& src) {
     unit_cursor_[i] = solvers_[i]->root_trail().size();
 }
 
+void PortfolioSolver::set_deadline(std::chrono::steady_clock::time_point tp) {
+  has_deadline_ = true;
+  deadline_ = tp;
+  for (auto& s : solvers_) s->set_deadline(tp);
+}
+
+void PortfolioSolver::clear_deadline() {
+  has_deadline_ = false;
+  for (auto& s : solvers_) s->clear_deadline();
+}
+
 bool PortfolioSolver::ok() const {
   for (const auto& s : solvers_)
     if (!s->ok()) return false;
@@ -209,6 +220,14 @@ PortfolioSolver::Result PortfolioSolver::solve(
         record_wall();
         return Result::kUnknown;
       }
+    }
+    // Deadline check at the barrier: once expired, every instance returns
+    // kUnknown instantly, so without this the unlimited-budget race would
+    // spin through empty epochs forever.
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      pstats_.winner = 0;
+      record_wall();
+      return Result::kUnknown;
     }
 
     if (opts_.share_max_lbd > 0) share_at_barrier(results);

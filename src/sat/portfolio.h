@@ -20,6 +20,7 @@
 //
 // size == 1 is a zero-overhead pass-through to the single-instance path.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -92,6 +93,12 @@ class PortfolioSolver : public ClauseSink {
   Result solve(std::span<const Lit> assumptions = {},
                std::int64_t conflict_budget = -1);
 
+  /// Wall-clock deadline, forwarded to every instance and re-checked at
+  /// each lockstep barrier (so an unlimited-budget race cannot spin after
+  /// every instance starts refusing work). Expiry surfaces as kUnknown.
+  void set_deadline(std::chrono::steady_clock::time_point tp);
+  void clear_deadline();
+
   /// Model / core access after solve(), served by the winning instance.
   bool model_value(Var v) const { return winner().model_value(v); }
   const std::vector<Lit>& unsat_core() const { return winner().unsat_core(); }
@@ -109,6 +116,8 @@ class PortfolioSolver : public ClauseSink {
   void share_at_barrier(std::span<const Result> results);
 
   PortfolioOptions opts_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
   std::vector<std::unique_ptr<Solver>> solvers_;
   std::vector<Rng> rngs_;                 // per-instance diversify streams
   std::vector<std::size_t> unit_cursor_;  // root-trail export positions

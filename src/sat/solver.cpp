@@ -441,6 +441,8 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
                    "freeze() it before preprocessing");
   }
 
+  if (deadline_expired()) return Result::kUnknown;
+
   const std::uint64_t conflicts_at_start = stats_.conflicts;
   int restart_count = 0;
   std::int64_t restart_limit =
@@ -489,6 +491,13 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
     if (conflict_budget >= 0 &&
         static_cast<std::int64_t>(stats_.conflicts - conflicts_at_start) >=
             conflict_budget) {
+      cancel_until(0);
+      return Result::kUnknown;
+    }
+    // Wall-clock deadline: poll the clock once per ~1k decisions (a clock
+    // read per decision would dominate propagation on easy formulas).
+    if (has_deadline_ && (++deadline_poll_ & 1023u) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
       cancel_until(0);
       return Result::kUnknown;
     }

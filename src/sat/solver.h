@@ -7,6 +7,7 @@
 // solving under assumptions, and a conflict budget (the ATPG "aborted
 // fault" mechanism and the SAT-attack iteration cap).
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -120,6 +121,22 @@ class Solver : public ClauseSink {
   /// exceeding the budget yields kUnknown (an "aborted" query).
   Result solve(std::span<const Lit> assumptions = {},
                std::int64_t conflict_budget = -1);
+
+  /// Wall-clock deadline: solve() returns kUnknown once the deadline has
+  /// passed. Checked at solve() entry and periodically at decision
+  /// boundaries (the clock is polled once per ~1k decisions, so overshoot
+  /// is bounded). Persists across solve() calls until cleared. A hit
+  /// deadline is inherently timing-dependent — it waives the bit-identity
+  /// contract for that call, which is why it defaults off.
+  void set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ = tp;
+    has_deadline_ = true;
+  }
+  void clear_deadline() { has_deadline_ = false; }
+  bool has_deadline() const { return has_deadline_; }
+  bool deadline_expired() const {
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
 
   // --- SatELite-style preprocessing (sat/simplify.h) ----------------------
 
@@ -332,6 +349,9 @@ class Solver : public ClauseSink {
   std::uint32_t lbd_epoch_ = 0;
 
   std::int64_t restart_unit_ = 100;  // Luby unit, in conflicts
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::uint32_t deadline_poll_ = 0;  // throttles clock reads in solve()
   std::uint32_t export_max_lbd_ = 0;
   static constexpr std::size_t kMaxExportBuffer = 4096;
   std::vector<std::vector<Lit>> export_buf_;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "atpg/atpg.h"
+#include "attacks/faulty_oracle.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "gen/circuit_gen.h"
@@ -183,6 +184,55 @@ TEST(Budget, PortfolioAndSingleReachSameStatusUnderSameBudget) {
                                ? SatAttackResult::Status::kSolverBudget
                                : SatAttackResult::Status::kKeyFound)
         << "budget " << budget;
+  }
+}
+
+TEST(Budget, NoisyQuarantineAttackIsDeterministicAcrossGrid) {
+  // The resilient loop must honor the same determinism contract as the
+  // clean one: with a seeded noisy oracle and quarantine on, every
+  // threads x portfolio x cube configuration reproduces the identical
+  // trajectory — same status, DIPs, evictions, and recovered key. The
+  // noise seed is fixed, so the oracle corrupts the same bits in every
+  // run; any divergence would mean the repair loop leaked scheduling
+  // nondeterminism into the learned constraints.
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 16;
+  spec.num_gates = 400;
+  spec.depth = 8;
+  spec.seed = 77;
+  const Netlist n = generate_circuit(spec);
+  const LockedCircuit lc = lock_random_xor(n, 32, 5);
+
+  std::vector<SatAttackResult> results;
+  for (const GridPoint g : config_grid()) {
+    set_parallel_threads(g.threads);
+    GoldenOracle golden(lc);
+    NoisyOracle noisy(golden, 0.01, 0xbadc0ffeULL);
+    SatAttackOptions opts;
+    opts.portfolio_size = g.portfolio;
+    opts.cube_depth = g.cube;
+    opts.resilience.quarantine = true;
+    results.push_back(sat_attack(lc, noisy, opts));
+  }
+  set_parallel_threads(0);
+
+  ASSERT_EQ(results[0].status, SatAttackResult::Status::kKeyFound);
+  ASSERT_GT(results[0].evicted_pairs, 0u);  // the noise actually landed
+  GoldenOracle verify(lc);
+  EXPECT_EQ(verify_key_against_oracle(lc, results[0].key, verify, 128, 5),
+            0u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, results[0].status) << "grid point " << i;
+    EXPECT_EQ(results[i].iterations, results[0].iterations)
+        << "grid point " << i;
+    EXPECT_EQ(results[i].oracle_queries, results[0].oracle_queries)
+        << "grid point " << i;
+    EXPECT_EQ(results[i].evicted_pairs, results[0].evicted_pairs)
+        << "grid point " << i;
+    EXPECT_EQ(results[i].requeried_pairs, results[0].requeried_pairs)
+        << "grid point " << i;
+    EXPECT_EQ(results[i].key, results[0].key) << "grid point " << i;
   }
 }
 

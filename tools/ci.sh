@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: builds and runs the tier-1 test suite three times —
+# CI entry point: builds and runs the tier-1 test suite four times —
 #   1. a normal RelWithDebInfo build,
 #   2. a ThreadSanitizer build (ORAP_SANITIZE=thread) to race-check the
-#      work-stealing pool and everything layered on it, and
+#      work-stealing pool and everything layered on it,
 #   3. an AddressSanitizer build (ORAP_SANITIZE=address) to catch heap
 #      errors in the arena / occurrence-list code of the solver and the
-#      CNF simplifier.
+#      CNF simplifier, and
+#   4. an UndefinedBehaviorSanitizer build (ORAP_SANITIZE=undefined) to
+#      catch overflow/shift/alignment UB in the bit-packing and solver
+#      hot paths.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #   ORAP_CI_JOBS     parallel build/test jobs (default: nproc)
 #   ORAP_CI_TSAN=0   skip the TSan pass
 #   ORAP_CI_ASAN=0   skip the ASan pass
+#   ORAP_CI_UBSAN=0  skip the UBSan pass
 #   ORAP_CI_FILTER   optional ctest -R regex for the sanitizer passes
 #                    (default: the full suite; set to e.g.
 #                    'parallel|atpg|eval' to keep a slow machine within
@@ -23,6 +27,7 @@ PREFIX="${1:-build-ci}"
 JOBS="${ORAP_CI_JOBS:-$(nproc)}"
 RUN_TSAN="${ORAP_CI_TSAN:-1}"
 RUN_ASAN="${ORAP_CI_ASAN:-1}"
+RUN_UBSAN="${ORAP_CI_UBSAN:-1}"
 TSAN_FILTER="${ORAP_CI_FILTER:-}"
 
 run_pass() {
@@ -93,6 +98,16 @@ CUBE_SCALING="$PREFIX/BENCH_cube_scaling.json"
 python3 -m json.tool "$CUBE_SCALING" >/dev/null
 grep -q '"cubes":' "$CUBE_SCALING"
 
+# Oracle-resilience smoke: the noise x votes x quarantine sweep must run
+# end-to-end (baseline dies on a noisy oracle, quarantine recovers) and
+# emit a well-formed JSON record carrying the resilience header fields.
+echo "==== [plain] oracle_resilience --json smoke ===="
+RES_OUT="$PREFIX/oracle_resilience_smoke.json"
+"$PREFIX/bench/oracle_resilience" --json="$RES_OUT" >/dev/null
+python3 -m json.tool "$RES_OUT" >/dev/null
+grep -q '"quarantine":' "$RES_OUT"
+grep -q '"oracle_noise":' "$RES_OUT"
+
 # One pass over the engine microbenchmarks (smallest size per bench,
 # minimal repetitions) so a bench that asserts or regresses into a hang
 # is caught here, not at release time.
@@ -102,11 +117,11 @@ echo "==== [plain] engine_micro smoke ===="
 
 if [[ "$RUN_TSAN" == "1" ]]; then
   CTEST_EXTRA=()
-  # The budget-path regression suite always runs under TSan (its grid
-  # spans threads x portfolio x cube, exactly the surface where a data
-  # race would corrupt budget accounting), even when a filter trims the
-  # rest of the suite.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.")
+  # The budget-path and oracle-resilience regression suites always run
+  # under TSan (their grids span threads x portfolio x cube, exactly the
+  # surface where a data race would corrupt budget accounting or the
+  # quarantine repair loop), even when a filter trims the rest.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"
@@ -119,6 +134,13 @@ if [[ "$RUN_ASAN" == "1" ]]; then
   [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
   run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
+fi
+
+if [[ "$RUN_UBSAN" == "1" ]]; then
+  CTEST_EXTRA=()
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.")
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+  run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi
 
 echo "==== CI OK ===="

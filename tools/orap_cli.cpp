@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,6 +29,7 @@
 #include "chip/chip.h"
 #include "sat/cube.h"
 #include "sat/dimacs.h"
+#include "attacks/faulty_oracle.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "attacks/simple_attacks.h"
@@ -77,6 +79,10 @@ struct Args {
   std::size_t get_num(const std::string& key, std::size_t fallback) const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : std::stoull(it->second);
+  }
+  double get_rate(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
   }
   bool has(const std::string& key) const { return options.count(key) > 0; }
 };
@@ -244,6 +250,8 @@ int cmd_atpg(const Args& a) {
   opts.portfolio_size = a.get_num("portfolio", 1);
   opts.preprocess = a.get_num("preprocess", 0) != 0;
   opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
+  if (a.has("deadline-ms"))
+    opts.deadline_ms = static_cast<std::int64_t>(a.get_num("deadline-ms", 0));
   const AtpgResult r = run_atpg(n, opts);
   std::printf("faults (collapsed):  %zu\n", r.total_faults);
   std::printf("fault coverage:      %.2f%%\n", r.fault_coverage_pct());
@@ -286,7 +294,25 @@ int cmd_attack(const Args& a) {
     oracle_holder = std::make_unique<GoldenOracle>(lc);
     std::printf("oracle: conventional scan access (golden responses)\n");
   }
-  Oracle& oracle = *oracle_holder;
+  // Optional fault-injection decorators (deterministic, seeded) to
+  // exercise the resilience policy against an unreliable tester.
+  std::unique_ptr<Oracle> noisy_holder, flaky_holder;
+  Oracle* oracle_ptr = oracle_holder.get();
+  const double noise = a.get_rate("oracle-noise", 0.0);
+  if (noise > 0.0) {
+    noisy_holder = std::make_unique<NoisyOracle>(*oracle_ptr, noise,
+                                                 a.get_num("fault-seed", 7));
+    oracle_ptr = noisy_holder.get();
+    std::printf("oracle fault model: %.4f bit-flip rate\n", noise);
+  }
+  const double fail = a.get_rate("oracle-fail-rate", 0.0);
+  if (fail > 0.0) {
+    flaky_holder = std::make_unique<IntermittentOracle>(
+        *oracle_ptr, fail, a.get_num("fault-seed", 7) + 1);
+    oracle_ptr = flaky_holder.get();
+    std::printf("oracle fault model: %.4f transient-failure rate\n", fail);
+  }
+  Oracle& oracle = *oracle_ptr;
   const std::string kind = a.get("kind", "sat");
   BitVec recovered;
   if (kind == "sat" || kind == "appsat" || kind == "doubledip") {
@@ -299,6 +325,11 @@ int cmd_attack(const Args& a) {
     opts.portfolio_size = a.get_num("portfolio", 1);
     opts.preprocess = a.get_num("preprocess", 0) != 0;
     opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
+    if (a.has("deadline-ms"))
+      opts.deadline_ms = static_cast<std::int64_t>(a.get_num("deadline-ms", 0));
+    opts.resilience.retries = a.get_num("oracle-retries", 0);
+    opts.resilience.votes = a.get_num("oracle-votes", 1);
+    opts.resilience.quarantine = a.get_num("quarantine", 0) != 0;
     SatAttackResult r;
     if (kind == "sat")
       r = sat_attack(lc, oracle, opts);
@@ -310,6 +341,8 @@ int cmd_attack(const Args& a) {
       app_opts.portfolio_size = opts.portfolio_size;
       app_opts.preprocess = opts.preprocess;
       app_opts.cube_depth = opts.cube_depth;
+      app_opts.deadline_ms = opts.deadline_ms;
+      app_opts.resilience = opts.resilience;
       r = appsat_attack(lc, oracle, app_opts);
     }
     const char* status = "?";
@@ -318,9 +351,18 @@ int cmd_attack(const Args& a) {
       case SatAttackResult::Status::kIterationLimit: status = "iteration limit"; break;
       case SatAttackResult::Status::kSolverBudget: status = "solver budget"; break;
       case SatAttackResult::Status::kInconsistentOracle: status = "oracle inconsistent"; break;
+      case SatAttackResult::Status::kDegraded: status = "degraded (approximate key)"; break;
+      case SatAttackResult::Status::kOracleError: status = "oracle error"; break;
     }
     std::printf("%s attack: %s after %zu DIPs, %zu oracle queries\n",
                 kind.c_str(), status, r.iterations, r.oracle_queries);
+    if (opts.resilience.enabled())
+      std::printf("resilience: %zu retries, %zu vote queries, %zu pairs "
+                  "evicted, %zu re-queried\n",
+                  r.oracle_retries, r.vote_queries, r.evicted_pairs,
+                  r.requeried_pairs);
+    if (r.status == SatAttackResult::Status::kDegraded)
+      std::printf("measured oracle error rate: %.4f\n", r.oracle_error_rate);
     if (opts.preprocess)
       std::printf("preprocess: %llu of %zu vars eliminated, %llu clauses "
                   "removed (%.1f ms)\n",
@@ -328,7 +370,9 @@ int cmd_attack(const Args& a) {
                   r.solver_vars,
                   static_cast<unsigned long long>(r.removed_clauses),
                   r.simplify_ms);
-    if (r.status != SatAttackResult::Status::kKeyFound) return 1;
+    if (r.status != SatAttackResult::Status::kKeyFound &&
+        r.status != SatAttackResult::Status::kDegraded)
+      return 1;
     recovered = r.key;
   } else if (kind == "hillclimb") {
     const HillClimbResult r = hill_climb_attack(lc, oracle);
@@ -427,6 +471,10 @@ int cmd_solve(const Args& a) {
   }
   const std::int64_t budget =
       a.has("budget") ? static_cast<std::int64_t>(a.get_num("budget", 0)) : -1;
+  if (a.has("deadline-ms"))
+    s.set_deadline(std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(
+                       static_cast<std::int64_t>(a.get_num("deadline-ms", 0))));
   const auto res = s.solve({}, budget);
   if (res == sat::Solver::Result::kUnknown) {
     std::puts("s UNKNOWN");
@@ -467,14 +515,17 @@ void usage() {
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
       "  orap atpg    <in.bench> [--random-words N] [--budget B] "
-      "[--portfolio N] [--cube D] [--preprocess]\n"
+      "[--portfolio N] [--cube D] [--preprocess] [--deadline-ms T]\n"
       "  orap attack  <locked.bench> --key key.txt [--kind "
       "sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
-      "[--budget B] [--portfolio N] [--cube D] [--preprocess]\n"
+      "[--budget B] [--portfolio N] [--cube D] [--preprocess] "
+      "[--deadline-ms T]\n"
+      "               [--oracle-noise P] [--oracle-fail-rate P] "
+      "[--oracle-retries N] [--oracle-votes N] [--quarantine]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
       "  orap solve   <file.cnf> [--budget N] [--portfolio N] [--cube D] "
-      "[--preprocess] — standalone DIMACS SAT solver\n"
+      "[--preprocess] [--deadline-ms T] — standalone DIMACS SAT solver\n"
       "  orap export  <in.bench> [-o out.v]\n"
       "\n"
       "Global: --threads N sets the parallel pool size (0 = auto; also "
@@ -484,7 +535,15 @@ void usage() {
       "them in parallel (composes with --portfolio). --preprocess 0|1 runs\n"
       "SatELite-style CNF simplification (variable elimination + "
       "subsumption) before\nsolving. Results are deterministic for a given "
-      "seed at any thread count.");
+      "seed at any thread count.\n"
+      "\n"
+      "Oracle resilience (attack): --oracle-noise P / --oracle-fail-rate P "
+      "inject seeded\nresponse bit-flips / transient failures into the "
+      "oracle; --oracle-retries N retries\nretryable failures, "
+      "--oracle-votes N majority-votes each query, --quarantine "
+      "isolates\nand re-queries corrupted I/O pairs via unsat cores. "
+      "--deadline-ms T bounds attack,\natpg, or solve by wall clock "
+      "(expiry reports solver budget / aborted faults).");
 }
 
 }  // namespace
