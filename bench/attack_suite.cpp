@@ -115,18 +115,30 @@ int main(int argc, char** argv) {
       opts.portfolio_size = args.portfolio;
       opts.preprocess = args.preprocess;
       opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+      opts.incremental = args.incremental;
       apply_resilience(args, &opts.resilience, &opts.deadline_ms);
       c.r = sat_attack(c.lc, oracle.get(), opts);
     });
     std::uint64_t part1_cubes = 0, part1_refuted = 0;
+    std::uint64_t part1_rounds = 0, part1_carried = 0, part1_reused = 0;
     for (const auto& c : cases) {
       part1_cubes += c.r.cubes;
       part1_refuted += c.r.cubes_refuted;
+      part1_rounds += c.r.incremental_rounds;
+      part1_carried += c.r.clauses_carried;
+      part1_reused += c.r.encode_reused;
     }
     // Deterministic counters only (no cube wall time): the results object
-    // must stay byte-identical across thread counts.
+    // must stay byte-identical across thread counts. The incremental
+    // counters qualify at the default portfolio of 1 (one solver per
+    // attack, fixed solve sequence); wall times never do.
     report.add("golden_cubes", static_cast<std::size_t>(part1_cubes));
     report.add("golden_cubes_refuted", static_cast<std::size_t>(part1_refuted));
+    report.add("golden_incremental_rounds",
+               static_cast<std::size_t>(part1_rounds));
+    report.add("golden_clauses_carried",
+               static_cast<std::size_t>(part1_carried));
+    report.add("golden_encode_reused", static_cast<std::size_t>(part1_reused));
     for (auto& c : cases) {
       const std::string outcome = status_str(c.r, c.lc.correct_key, c.lc);
       t.add_row({c.name, std::to_string(c.lc.num_key_inputs),
@@ -152,6 +164,8 @@ int main(int argc, char** argv) {
     using Row = std::vector<std::string>;
     std::vector<Row> group_rows[2];
     std::uint64_t group_cubes[2] = {0, 0};
+    std::uint64_t group_rounds[2] = {0, 0};
+    std::uint64_t group_carried[2] = {0, 0};
     auto run_against = [&](std::size_t group, const char* oracle_name,
                            Oracle& oracle, const LockedCircuit& view,
                            const BitVec& correct) {
@@ -160,21 +174,27 @@ int main(int argc, char** argv) {
       sat_opts.portfolio_size = args.portfolio;
       sat_opts.preprocess = args.preprocess;
       sat_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+      sat_opts.incremental = args.incremental;
       apply_resilience(args, &sat_opts.resilience, &sat_opts.deadline_ms);
       AppSatOptions app_opts;
       app_opts.portfolio_size = args.portfolio;
       app_opts.preprocess = args.preprocess;
       app_opts.cube_depth = static_cast<std::uint32_t>(args.cube);
+      app_opts.incremental = args.incremental;
       apply_resilience(args, &app_opts.resilience, &app_opts.deadline_ms);
       {
         const SatAttackResult r = sat_attack(view, oracle, sat_opts);
         group_cubes[group] += r.cubes;
+        group_rounds[group] += r.incremental_rounds;
+        group_carried[group] += r.clauses_carried;
         rows.push_back({"SAT", oracle_name, std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
       }
       {
         const SatAttackResult r = appsat_attack(view, oracle, app_opts);
         group_cubes[group] += r.cubes;
+        group_rounds[group] += r.incremental_rounds;
+        group_carried[group] += r.clauses_carried;
         rows.push_back({"AppSAT", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
@@ -182,6 +202,8 @@ int main(int argc, char** argv) {
       {
         const SatAttackResult r = double_dip_attack(view, oracle, sat_opts);
         group_cubes[group] += r.cubes;
+        group_rounds[group] += r.incremental_rounds;
+        group_carried[group] += r.clauses_carried;
         rows.push_back({"Double-DIP", oracle_name,
                         std::to_string(r.oracle_queries),
                         status_str(r, correct, view)});
@@ -196,7 +218,8 @@ int main(int argc, char** argv) {
                         ok ? "KEY RECOVERED" : "wrong key"});
       }
       {
-        const SensitizationResult r = sensitization_attack(view, oracle);
+        const SensitizationResult r =
+            sensitization_attack(view, oracle, 1, 20000, args.incremental);
         std::size_t right = 0;
         for (std::size_t i = 0; i < correct.size(); ++i)
           if (r.key_bits[i] >= 0 && r.key_bits[i] == (correct.get(i) ? 1 : 0))
@@ -236,6 +259,14 @@ int main(int argc, char** argv) {
     // results object stays byte-identical across thread counts).
     report.add("golden_scan_cubes", static_cast<std::size_t>(group_cubes[0]));
     report.add("orap_scan_cubes", static_cast<std::size_t>(group_cubes[1]));
+    report.add("golden_scan_solver_rounds",
+               static_cast<std::size_t>(group_rounds[0]));
+    report.add("orap_scan_solver_rounds",
+               static_cast<std::size_t>(group_rounds[1]));
+    report.add("golden_scan_clauses_carried",
+               static_cast<std::size_t>(group_carried[0]));
+    report.add("orap_scan_clauses_carried",
+               static_cast<std::size_t>(group_carried[1]));
     std::printf("-- full attack suite: weighted locking (18-bit key) --\n");
     t.print(std::cout);
   }

@@ -32,6 +32,7 @@ struct BenchArgs {
   std::size_t portfolio = 1; // CDCL portfolio size for SAT-bound benches
   std::size_t cube = 0;      // cube-and-conquer split depth (2^D cubes)
   bool preprocess = false;   // SatELite-style CNF simplification
+  bool incremental = false;  // persistent single-solver attack/ATPG core
   // Oracle-resilience knobs (attack benches; attacks/faulty_oracle.h).
   double oracle_noise = 0.0;      // seeded response bit-flip rate
   double oracle_fail_rate = 0.0;  // seeded transient-failure rate
@@ -123,6 +124,16 @@ struct BenchArgs {
           return false;
         }
         a.preprocess = v == 1;
+      } else if (std::strcmp(arg, "--incremental") == 0) {
+        a.incremental = true;
+      } else if (std::strncmp(arg, "--incremental=", 14) == 0) {
+        std::size_t v = 0;
+        if (!parse_size(arg + 14, &v) || v > 1) {
+          *error = std::string("invalid --incremental value '") + (arg + 14) +
+                   "' (want 0 or 1)";
+          return false;
+        }
+        a.incremental = v == 1;
       } else if (std::strncmp(arg, "--oracle-noise=", 15) == 0) {
         if (!parse_double(arg + 15, &a.oracle_noise) || a.oracle_noise < 0.0 ||
             a.oracle_noise > 1.0) {
@@ -201,6 +212,8 @@ struct BenchArgs {
         "in parallel (default 0)\n"
         "  --preprocess[=0|1]  SatELite-style CNF simplification before "
         "solving (default 0)\n"
+        "  --incremental[=0|1] persistent single-solver attack/ATPG core "
+        "(default 0)\n"
         "  --oracle-noise=P      seeded oracle response bit-flip rate "
         "(default 0)\n"
         "  --oracle-fail-rate=P  seeded oracle transient-failure rate "
@@ -243,6 +256,8 @@ struct BenchArgs {
       std::printf("cube: 2^%zu = %zu cubes per SAT query\n", cube,
                   std::size_t{1} << cube);
     if (preprocess) std::printf("preprocess: CNF simplification on\n");
+    if (incremental)
+      std::printf("incremental: persistent single-solver core on\n");
     if (oracle_noise > 0.0 || oracle_fail_rate > 0.0)
       std::printf("oracle faults: noise=%.4f fail-rate=%.4f\n", oracle_noise,
                   oracle_fail_rate);
@@ -259,6 +274,15 @@ struct BenchArgs {
                   scale);
   }
 };
+
+/// Simulation throughput in Mpatterns/s. Timing-derived by construction:
+/// report it (stdout, perf-trajectory JSON fields), but keep it out of any
+/// byte-compared "results" payload (attack_suite's cross-thread
+/// determinism check diffs those bytes).
+inline double mpatterns_per_sec(std::size_t patterns, double wall_ms) {
+  return wall_ms <= 0.0 ? 0.0
+                        : static_cast<double>(patterns) / (wall_ms * 1e3);
+}
 
 /// Collects result key/value pairs during a bench run and writes one
 /// {bench, scale, threads, portfolio, wall_ms, results} JSON object at the
@@ -307,7 +331,8 @@ class JsonReport {
        << ", \"threads\": " << parallel_threads()
        << ", \"portfolio\": " << args_.portfolio
        << ", \"cube\": " << args_.cube
-       << ", \"preprocess\": " << (args_.preprocess ? 1 : 0);
+       << ", \"preprocess\": " << (args_.preprocess ? 1 : 0)
+       << ", \"incremental\": " << (args_.incremental ? 1 : 0);
     char rate_buf[32];
     std::snprintf(rate_buf, sizeof rate_buf, "%.6f", args_.oracle_noise);
     os << ", \"oracle_noise\": " << rate_buf;

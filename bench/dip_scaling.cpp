@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
     opts.preprocess = args.preprocess;
     opts.cube_depth = static_cast<std::uint32_t>(args.cube);
     opts.deadline_ms = args.deadline_ms;
+    opts.incremental = args.incremental;
     switch (idx % 3) {
       case 0: {
         const LockedCircuit wl = lock_weighted(n, k, 2, 81);
@@ -103,6 +104,7 @@ int main(int argc, char** argv) {
   std::size_t total_vars = 0, total_active = 0;
   std::uint64_t total_eliminated = 0, total_removed = 0;
   std::uint64_t total_cubes = 0, total_cubes_refuted = 0;
+  std::uint64_t total_inc_rounds = 0, total_carried = 0, total_reused = 0;
   for (const auto& r : results) {
     total_solver_ms += r.solver_wall_ms;
     total_simplify_ms += r.simplify_ms;
@@ -113,6 +115,9 @@ int main(int argc, char** argv) {
     total_removed += r.removed_clauses;
     total_cubes += r.cubes;
     total_cubes_refuted += r.cubes_refuted;
+    total_inc_rounds += r.incremental_rounds;
+    total_carried += r.clauses_carried;
+    total_reused += r.encode_reused;
   }
   report.add("solver_wall_ms", total_solver_ms, 1);
   report.add("simplify_ms", total_simplify_ms, 1);
@@ -123,6 +128,9 @@ int main(int argc, char** argv) {
   report.add("cubes", static_cast<std::size_t>(total_cubes));
   report.add("cubes_refuted", static_cast<std::size_t>(total_cubes_refuted));
   report.add("cube_wall_ms", total_cube_ms, 1);
+  report.add("incremental_rounds", static_cast<std::size_t>(total_inc_rounds));
+  report.add("clauses_carried", static_cast<std::size_t>(total_carried));
+  report.add("encode_reused", static_cast<std::size_t>(total_reused));
 
   for (std::size_t i = 0; i < key_sizes.size(); ++i) {
     const std::size_t k = key_sizes[i];

@@ -13,6 +13,7 @@
 #include "netlist/simulator.h"
 #include "attacks/encode_util.h"
 #include "sat/encode.h"
+#include "util/simd.h"
 
 using namespace orap;
 
@@ -37,10 +38,29 @@ void BM_BitParallelSim(benchmark::State& state) {
     sim.run();
     benchmark::DoNotOptimize(sim.output_word(0));
   }
-  // 64 patterns per run.
+  // 64 patterns per run. items_per_second in the report is patterns/s;
+  // divide by 1e6 for the Mpatterns/s quoted in EXPERIMENTS.md.
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_BitParallelSim)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BitParallelSimWide(benchmark::State& state) {
+  // Same circuit, multi-word blocks: one pass evaluates 64*kBlockWords
+  // patterns per gate with the striped kernels of util/simd.h (AVX2 when
+  // the CPU has it, auto-vectorized scalar otherwise). Compare
+  // items_per_second against BM_BitParallelSim for the widening speedup.
+  const Netlist n = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  Simulator sim(n, simd::kBlockWords);
+  Rng rng(1);
+  for (auto _ : state) {
+    sim.randomize_inputs(rng);
+    sim.run();
+    benchmark::DoNotOptimize(sim.output_block(0).back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          static_cast<std::int64_t>(simd::kBlockWords));
+}
+BENCHMARK(BM_BitParallelSimWide)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_FaultSimBlock(benchmark::State& state) {
   const Netlist n = bench_circuit(static_cast<std::size_t>(state.range(0)));
@@ -59,6 +79,26 @@ void BM_FaultSimBlock(benchmark::State& state) {
                           static_cast<std::int64_t>(all_faults.size()));
 }
 BENCHMARK(BM_FaultSimBlock)->Arg(1000)->Arg(5000);
+
+void BM_FaultSimBlockWide(benchmark::State& state) {
+  // Fault simulation with 64*kBlockWords patterns per pass: the good
+  // machine and every propagation overlay run the striped block kernels.
+  const Netlist n = bench_circuit(static_cast<std::size_t>(state.range(0)));
+  FaultSimulator fsim(n, simd::kBlockWords);
+  const auto all_faults = collapse_faults(n);
+  Rng rng(2);
+  std::vector<std::uint64_t> words(n.num_inputs() * simd::kBlockWords);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Fault> faults = all_faults;  // fresh list (no dropping bias)
+    for (auto& w : words) w = rng.word();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(fsim.run_block(words, faults));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(all_faults.size()));
+}
+BENCHMARK(BM_FaultSimBlockWide)->Arg(1000)->Arg(5000);
 
 void BM_AigRewritePass(benchmark::State& state) {
   const Netlist n = bench_circuit(static_cast<std::size_t>(state.range(0)));

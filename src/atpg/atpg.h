@@ -47,6 +47,22 @@ struct AtpgOptions {
   /// every not-yet-attempted fault is counted as aborted. Timing-dependent,
   /// so it waives bit-identity only when it actually fires.
   std::int64_t deadline_ms = -1;
+  /// Incremental single-solver mode: one persistent solver for the whole
+  /// ATPG phase. The good circuit is encoded once; each fault adds only
+  /// its faulty fanout cone plus a miter clause guarded by a fresh
+  /// activation literal, solves under that assumption, and retires the
+  /// query with a unit ¬act — so learnt clauses about the shared good
+  /// logic carry from fault to fault instead of being re-derived per
+  /// query. Same fault classification semantics; the generated patterns
+  /// may differ (different CNF, different model), and each is still
+  /// validated in the fault simulator. With `preprocess`, simplification
+  /// runs once after the good copy with every gate variable frozen
+  /// (any gate can become a future cone boundary), i.e. subsumption and
+  /// strengthening only — no elimination.
+  bool incremental = false;
+  /// Words per fault-simulation block (64 patterns each). 0 = auto
+  /// (simd::kBlockWords). Any width detects the identical fault set.
+  std::size_t sim_block_words = 0;
 };
 
 struct AtpgResult {
@@ -62,6 +78,20 @@ struct AtpgResult {
   std::uint64_t cubes = 0;
   std::uint64_t cubes_refuted = 0;
   double cube_wall_ms = 0.0;
+
+  // Incremental-solver accounting. solver_rounds / clauses_carried come
+  // from the solver (learnts alive at each solve() entry, summed);
+  // encode_reused counts good-copy gates a fault query shared instead of
+  // re-encoding and is nonzero only with AtpgOptions::incremental.
+  std::uint64_t solver_rounds = 0;
+  std::uint64_t clauses_carried = 0;
+  std::uint64_t encode_reused = 0;
+
+  // Pseudorandom-phase throughput (satellite of the wide fault simulator):
+  // patterns pushed through the simulator and the wall time they took.
+  // Timing-derived — report it, never byte-compare it.
+  std::size_t random_sim_patterns = 0;
+  double random_sim_ms = 0.0;
 
   std::size_t detected() const { return detected_random + detected_atpg; }
   double fault_coverage_pct() const {

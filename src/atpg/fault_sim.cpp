@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace orap {
 
@@ -13,8 +14,12 @@ constexpr std::size_t kParallelFaultThreshold = 256;
 constexpr std::size_t kFaultGrain = 64;
 }  // namespace
 
-FaultSimulator::FaultSimulator(const Netlist& n)
-    : n_(n), sim_(n), fanouts_(n.num_gates()), is_po_(n.num_gates(), 0) {
+FaultSimulator::FaultSimulator(const Netlist& n, std::size_t block_words)
+    : n_(n),
+      w_(block_words == 0 ? 1 : block_words),
+      sim_(n, block_words),
+      fanouts_(n.num_gates()),
+      is_po_(n.num_gates(), 0) {
   for (GateId g = 0; g < n.num_gates(); ++g)
     for (const GateId f : n.fanins(g)) fanouts_[f].push_back(g);
   for (const auto& po : n.outputs()) is_po_[po.gate] = 1;
@@ -26,33 +31,46 @@ FaultSimulator::PropState& FaultSimulator::slot_state() {
   const std::size_t slot = parallel_slot();
   if (slot >= states_.size()) states_.resize(slot + 1);  // serial context only
   if (!states_[slot])
-    states_[slot] = std::make_unique<PropState>(n_.num_gates());
+    states_[slot] = std::make_unique<PropState>(n_.num_gates(), w_);
   return *states_[slot];
 }
 
-std::uint64_t FaultSimulator::faulty_site_value(const Fault& f,
-                                                PropState& st) const {
+void FaultSimulator::faulty_site_value(const Fault& f, PropState& st) const {
   const std::uint64_t stuck = f.stuck_value ? ~0ULL : 0ULL;
-  if (f.pin < 0) return stuck;
-  // Input-pin fault: re-evaluate the gate with that pin forced.
+  if (f.pin < 0) {
+    for (std::size_t j = 0; j < w_; ++j) st.site_buf[j] = stuck;
+    return;
+  }
+  // Input-pin fault: re-evaluate the gate with that pin's block forced.
   const auto fi = n_.fanins(f.gate);
-  st.fanin_buf.resize(fi.size());
-  for (std::size_t i = 0; i < fi.size(); ++i) st.fanin_buf[i] = val_[fi[i]];
-  st.fanin_buf[f.pin] = stuck;
-  return eval_gate_word(n_.type(f.gate), {st.fanin_buf.data(), fi.size()});
+  st.fanin_buf.resize(fi.size() * w_);
+  st.ptr_buf.resize(fi.size());
+  for (std::size_t i = 0; i < fi.size(); ++i) {
+    std::uint64_t* blk = &st.fanin_buf[i * w_];
+    const std::uint64_t* src = &val_[fi[i] * w_];
+    for (std::size_t j = 0; j < w_; ++j) blk[j] = src[j];
+    st.ptr_buf[i] = blk;
+  }
+  std::uint64_t* pin_blk = &st.fanin_buf[static_cast<std::size_t>(f.pin) * w_];
+  for (std::size_t j = 0; j < w_; ++j) pin_blk[j] = stuck;
+  eval_gate_block(n_.type(f.gate), st.ptr_buf.data(), fi.size(),
+                  st.site_buf.data(), w_);
 }
 
-std::uint64_t FaultSimulator::propagate(const Fault& f,
-                                        std::uint64_t site_value,
-                                        PropState& st) const {
-  if (site_value == val_[f.gate]) return 0;  // fault not excited
+bool FaultSimulator::propagate(const Fault& f, PropState& st) const {
+  const std::size_t w = w_;
+  if (simd::eq(st.site_buf.data(), &val_[f.gate * w], w))
+    return false;  // fault not excited in any lane
   ++st.epoch;
   st.stamp[f.gate] = st.epoch;
-  st.faulty_val[f.gate] = site_value;
-  std::uint64_t detect = is_po_[f.gate] ? site_value ^ val_[f.gate] : 0;
+  std::uint64_t* site = &st.faulty_val[f.gate * w];
+  for (std::size_t j = 0; j < w; ++j) site[j] = st.site_buf[j];
+  std::uint64_t detect = 0;
+  if (is_po_[f.gate])
+    for (std::size_t j = 0; j < w; ++j) detect |= site[j] ^ val_[f.gate * w + j];
 
-  auto value_of = [&st, this](GateId g) {
-    return st.stamp[g] == st.epoch ? st.faulty_val[g] : val_[g];
+  auto block_of = [&st, this, w](GateId g) -> const std::uint64_t* {
+    return st.stamp[g] == st.epoch ? &st.faulty_val[g * w] : &val_[g * w];
   };
 
   // Min-heap over gate ids = topological processing order; each gate is
@@ -76,32 +94,31 @@ std::uint64_t FaultSimulator::propagate(const Fault& f,
     const GateId g = heap.back();
     heap.pop_back();
     const auto fi = n_.fanins(g);
-    st.fanin_buf.resize(fi.size());
+    st.ptr_buf.resize(fi.size());
     for (std::size_t i = 0; i < fi.size(); ++i)
-      st.fanin_buf[i] = value_of(fi[i]);
-    const std::uint64_t nv =
-        eval_gate_word(n_.type(g), {st.fanin_buf.data(), fi.size()});
-    if (nv == val_[g]) {
-      // Fault effect dies here; if a previous overlay existed it is now
-      // stale, so record the clean value explicitly.
-      if (st.stamp[g] == st.epoch) {
-        st.faulty_val[g] = nv;
-      }
+      st.ptr_buf[i] = block_of(fi[i]);
+    // Evaluate straight into g's overlay block (fanins have smaller ids,
+    // so no aliasing); the stamp decides whether it is ever read.
+    std::uint64_t* nv = &st.faulty_val[g * w];
+    eval_gate_block(n_.type(g), st.ptr_buf.data(), fi.size(), nv, w);
+    if (simd::eq(nv, &val_[g * w], w)) {
+      // Fault effect dies here; the overlay now holds the clean value, so
+      // a stale stamp from an earlier epoch reading it stays correct.
       continue;
     }
     st.stamp[g] = st.epoch;
-    st.faulty_val[g] = nv;
-    if (is_po_[g]) detect |= nv ^ val_[g];
+    if (is_po_[g])
+      for (std::size_t j = 0; j < w; ++j) detect |= nv[j] ^ val_[g * w + j];
     push_fanouts(g);
   }
-  return detect;
+  return detect != 0;
 }
 
 std::size_t FaultSimulator::run_block(
     std::span<const std::uint64_t> input_words, std::vector<Fault>& remaining) {
-  ORAP_CHECK(input_words.size() == n_.num_inputs());
-  for (std::size_t i = 0; i < input_words.size(); ++i)
-    sim_.set_input_word(i, input_words[i]);
+  ORAP_CHECK(input_words.size() == n_.num_inputs() * w_);
+  for (std::size_t i = 0; i < n_.num_inputs(); ++i)
+    sim_.set_input_block(i, input_words.subspan(i * w_, w_));
   sim_.run();
 
   const std::size_t nf = remaining.size();
@@ -136,10 +153,23 @@ std::size_t FaultSimulator::run_block(
 std::size_t FaultSimulator::run_random(std::size_t words, Rng& rng,
                                        std::vector<Fault>& remaining) {
   std::size_t total = 0;
-  std::vector<std::uint64_t> in(n_.num_inputs());
-  for (std::size_t w = 0; w < words && !remaining.empty(); ++w) {
-    for (auto& x : in) x = rng.word();
+  std::vector<std::uint64_t> in(n_.num_inputs() * w_);
+  std::size_t done = 0;
+  while (done < words && !remaining.empty()) {
+    const std::size_t take = std::min(w_, words - done);
+    // Word-major draw order: the global rng stream matches a width-1 run
+    // over the same word budget.
+    for (std::size_t w = 0; w < take; ++w)
+      for (std::size_t i = 0; i < n_.num_inputs(); ++i)
+        in[i * w_ + w] = rng.word();
+    // Pad a partial tail block by repeating its first word: a duplicated
+    // pattern detects exactly what the original does, so the detected set
+    // is unchanged.
+    for (std::size_t w = take; w < w_; ++w)
+      for (std::size_t i = 0; i < n_.num_inputs(); ++i)
+        in[i * w_ + w] = in[i * w_];
     total += run_block(in, remaining);
+    done += take;
   }
   return total;
 }

@@ -1,8 +1,14 @@
 #pragma once
-// HOPE-style bit-parallel fault simulator: 64 patterns per pass,
+// HOPE-style bit-parallel fault simulator: 64 patterns per word,
 // event-driven forward propagation from the fault site, fault dropping.
 // This is the pseudorandom phase of the Table II flow (the paper runs
 // HOPE before Atalanta on the largest circuits).
+//
+// Block mode: constructed with block_words = W > 1 every pass carries
+// 64*W patterns (W words per gate, evaluated as one contiguous block —
+// see netlist/simulator.h). Detection is the union over the block's
+// lanes, so a W-wide pass detects exactly the faults the same patterns
+// detect one word at a time; only the pattern count per pass changes.
 //
 // Parallel execution: every fault's detect decision depends only on the
 // shared good-machine values of the current block, so run_block shards the
@@ -25,15 +31,23 @@ namespace orap {
 
 class FaultSimulator {
  public:
-  explicit FaultSimulator(const Netlist& n);
+  explicit FaultSimulator(const Netlist& n, std::size_t block_words = 1);
 
-  /// Simulates one 64-pattern block (one word per input) against
-  /// `remaining`; detected faults are removed (fault dropping, order of
-  /// the survivors preserved). Returns the number detected by this block.
+  std::size_t block_words() const { return w_; }
+
+  /// Simulates one block (block_words() words per input, input-major)
+  /// against `remaining`; detected faults are removed (fault dropping,
+  /// order of the survivors preserved). Returns the number detected by
+  /// this block.
   std::size_t run_block(std::span<const std::uint64_t> input_words,
                         std::vector<Fault>& remaining);
 
-  /// Convenience: `words` random blocks; returns total detected.
+  /// Convenience: `words` random 64-pattern words (drawn in the same
+  /// global order at any block width; a partial tail block is padded with
+  /// repeats of its first word, which cannot detect anything new); returns
+  /// total detected. Early exit on an emptied fault list is per block, so
+  /// rng consumption — but never the detected set — may differ between
+  /// block widths.
   std::size_t run_random(std::size_t words, Rng& rng,
                          std::vector<Fault>& remaining);
 
@@ -45,43 +59,47 @@ class FaultSimulator {
 
  private:
   /// Per-worker propagation scratch: an epoch-stamped overlay of faulty
-  /// values (avoids clearing per fault) plus reusable heap/fanin buffers
-  /// so the hot loop never allocates.
+  /// value blocks (avoids clearing per fault) plus reusable heap/fanin
+  /// buffers so the hot loop never allocates.
   struct PropState {
-    std::vector<std::uint64_t> faulty_val;
+    std::vector<std::uint64_t> faulty_val;  // num_gates * w blocks
     std::vector<std::uint32_t> stamp;
     std::vector<std::uint32_t> queued_stamp;
     std::uint32_t epoch = 0;
     std::vector<GateId> heap;           // binary min-heap over gate ids
-    std::vector<std::uint64_t> fanin_buf;
+    std::vector<std::uint64_t> fanin_buf;   // fanin blocks, fanin-major
+    std::vector<const std::uint64_t*> ptr_buf;
+    std::vector<std::uint64_t> site_buf;    // faulty site value block
 
-    explicit PropState(std::size_t num_gates)
-        : faulty_val(num_gates, 0),
+    PropState(std::size_t num_gates, std::size_t w)
+        : faulty_val(num_gates * w, 0),
           stamp(num_gates, 0),
-          queued_stamp(num_gates, 0) {}
+          queued_stamp(num_gates, 0),
+          site_buf(w, 0) {}
   };
 
-  /// Faulty value of the fault-site gate under the good values in val_
-  /// (0/1 lanes where the fault changes the site's output).
-  std::uint64_t faulty_site_value(const Fault& f, PropState& st) const;
+  /// Faulty value block of the fault-site gate under the good values in
+  /// val_ (written to st.site_buf).
+  void faulty_site_value(const Fault& f, PropState& st) const;
 
-  /// Propagates a faulty value at f.gate through the fanout cone;
-  /// returns the OR over POs of (good ^ faulty) — the detect mask.
-  std::uint64_t propagate(const Fault& f, std::uint64_t site_value,
-                          PropState& st) const;
+  /// Propagates the faulty block in st.site_buf through the fanout cone;
+  /// returns true iff some PO lane differs from the good machine.
+  bool propagate(const Fault& f, PropState& st) const;
 
   /// True iff the shared good-machine block detects `f` (pure w.r.t.
   /// shared state; writes only to `st`).
   bool block_detects(const Fault& f, PropState& st) const {
-    return propagate(f, faulty_site_value(f, st), st) != 0;
+    faulty_site_value(f, st);
+    return propagate(f, st);
   }
 
   /// Scratch for the pool slot of the calling thread (lazily created).
   PropState& slot_state();
 
   const Netlist& n_;
+  std::size_t w_ = 1;
   Simulator sim_;
-  std::span<const std::uint64_t> val_;      // good values (sim_'s buffer)
+  std::span<const std::uint64_t> val_;      // good blocks (sim_'s buffer)
   std::vector<std::vector<GateId>> fanouts_;
   std::vector<std::uint8_t> is_po_;
   std::vector<std::unique_ptr<PropState>> states_;  // one per pool slot

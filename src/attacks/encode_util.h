@@ -39,6 +39,21 @@ class LockedEncoder {
   sat::Encoder& encoder() { return enc_; }
   const std::vector<bool>& key_dependent() const { return key_dep_; }
 
+  /// Incremental mode: per-DIP cones are constant-folded against the
+  /// simulated key-independent values before any clause is emitted —
+  /// buffers/inverters become literal aliases, controlling constants
+  /// collapse whole gates, XOR chains fold to polarity flips. Only the
+  /// residual gates get fresh variables and clauses, so the persistent
+  /// solver's formula grows far slower across the DIP loop. The folded
+  /// and unfolded constraints are equisatisfiable over the key variables;
+  /// the CNF (and hence the solver's search trajectory) differs, which is
+  /// why the knob defaults off.
+  void set_fold_constants(bool on) { fold_ = on; }
+  bool fold_constants() const { return fold_; }
+  /// Cone gates resolved during add_io_constraint without fresh clauses
+  /// (folded to a constant or aliased to an existing literal).
+  std::uint64_t encode_reused() const { return encode_reused_; }
+
   /// Freezes the encoder-owned interface vars (the constants) against
   /// preprocessing. Attacks call this — together with freezing their data
   /// inputs, key vectors, activation literal and miter outputs — before
@@ -139,6 +154,8 @@ class LockedEncoder {
     sim_.run();
     auto sim_bit = [this](GateId g) { return (sim_.value(g) & 1) != 0; };
 
+    if (fold_) return add_io_constraint_folded(y, key_vars, guard, sim_bit);
+
     // This runs once per DIP: reuse the gate-var map and fanin scratch
     // across calls instead of reallocating num_gates() entries each time.
     auto& var = io_var_;
@@ -170,6 +187,180 @@ class LockedEncoder {
   }
 
  private:
+  /// Folded cone value: a known constant (k = 0/1) or a literal (k = -1).
+  struct FLit {
+    sat::Lit lit{};
+    std::int8_t k = -1;
+    static FLit constant(bool v) { return {sat::Lit{}, v ? std::int8_t{1} : std::int8_t{0}}; }
+    static FLit symbolic(sat::Lit l) { return {l, -1}; }
+    bool is_const() const { return k >= 0; }
+  };
+
+  /// Incremental-mode cone encoding: same key constraint as the unfolded
+  /// path, but gates whose value is forced by the key-independent
+  /// simulation (or that reduce to an alias / negation of one literal)
+  /// never touch the solver. Returns false exactly when an output's value
+  /// is forced — by simulation or by folding — to contradict `y`: no key
+  /// assignment can explain the response (the classic lying-oracle proof,
+  /// caught here without a single solver call).
+  template <typename SimBit>
+  bool add_io_constraint_folded(const BitVec& y,
+                                const std::vector<sat::Var>& key_vars,
+                                sat::Var guard, SimBit sim_bit) {
+    const Netlist& n = lc_.netlist;
+    auto& fv = io_fold_;
+    fv.assign(n.num_gates(), FLit{});
+    for (std::size_t i = 0; i < lc_.num_key_inputs; ++i)
+      fv[lc_.key_input(i)] = FLit::symbolic(sat::pos(key_vars[i]));
+
+    auto fanin_of = [&](GateId f) {
+      return key_dep_[f] ? fv[f] : FLit::constant(sim_bit(f));
+    };
+
+    std::vector<sat::Lit>& res = cl_;  // residual-literal scratch
+    for (GateId g = 0; g < n.num_gates(); ++g) {
+      if (!key_dep_[g] || n.type(g) == GateType::kInput) continue;
+      const auto fins = n.fanins(g);
+      const GateType t = n.type(g);
+      FLit out;
+      switch (t) {
+        case GateType::kConst0:
+        case GateType::kConst1:
+          out = FLit::constant(t == GateType::kConst1);
+          break;
+        case GateType::kBuf: {
+          out = fanin_of(fins[0]);
+          ++encode_reused_;
+          break;
+        }
+        case GateType::kNot: {
+          out = fanin_of(fins[0]);
+          if (out.is_const())
+            out.k = static_cast<std::int8_t>(1 - out.k);
+          else
+            out.lit = ~out.lit;
+          ++encode_reused_;
+          break;
+        }
+        case GateType::kAnd:
+        case GateType::kNand:
+        case GateType::kOr:
+        case GateType::kNor: {
+          const bool is_or = t == GateType::kOr || t == GateType::kNor;
+          const bool inv = t == GateType::kNand || t == GateType::kNor;
+          // Controlling value: 0 for AND, 1 for OR.
+          const bool ctrl = is_or;
+          bool controlled = false;
+          res.clear();
+          for (const GateId f : fins) {
+            const FLit v = fanin_of(f);
+            if (v.is_const()) {
+              if ((v.k != 0) == ctrl) {
+                controlled = true;
+                break;
+              }
+              continue;  // neutral constant: drop
+            }
+            res.push_back(v.lit);
+          }
+          if (controlled) {
+            out = FLit::constant(ctrl != inv);
+            ++encode_reused_;
+          } else if (res.empty()) {
+            out = FLit::constant(!ctrl != inv);
+            ++encode_reused_;
+          } else if (res.size() == 1) {
+            out = FLit::symbolic(inv ? ~res[0] : res[0]);
+            ++encode_reused_;
+          } else {
+            out = FLit::symbolic(is_or ? enc_.encode_or_lits(res, inv)
+                                       : enc_.encode_and_lits(res, inv));
+          }
+          break;
+        }
+        case GateType::kXor:
+        case GateType::kXnor: {
+          bool parity = t == GateType::kXnor;
+          res.clear();
+          for (const GateId f : fins) {
+            const FLit v = fanin_of(f);
+            if (v.is_const())
+              parity = parity != (v.k != 0);
+            else
+              res.push_back(v.lit);
+          }
+          if (res.empty()) {
+            out = FLit::constant(parity);
+            ++encode_reused_;
+          } else if (res.size() == 1) {
+            out = FLit::symbolic(parity ? ~res[0] : res[0]);
+            ++encode_reused_;
+          } else {
+            sat::Lit acc = res[0];
+            for (std::size_t i = 1; i < res.size(); ++i)
+              acc = enc_.encode_xor2_lit(acc, res[i]);
+            out = FLit::symbolic(parity ? ~acc : acc);
+          }
+          break;
+        }
+        case GateType::kMux: {
+          const FLit s = fanin_of(fins[0]);
+          const FLit d0 = fanin_of(fins[1]);
+          const FLit d1 = fanin_of(fins[2]);
+          if (s.is_const()) {
+            out = s.k != 0 ? d1 : d0;
+            ++encode_reused_;
+          } else if (d0.is_const() && d1.is_const()) {
+            if (d0.k == d1.k)
+              out = d0;
+            else if (d0.k == 0)  // d0=0, d1=1: out = s
+              out = FLit::symbolic(s.lit);
+            else  // d0=1, d1=0: out = !s
+              out = FLit::symbolic(~s.lit);
+            ++encode_reused_;
+          } else if (!d0.is_const() && !d1.is_const() && d0.lit == d1.lit) {
+            out = d0;
+            ++encode_reused_;
+          } else {
+            auto as_lit = [this](const FLit& v) {
+              return v.is_const() ? sat::pos(const_var(v.k != 0)) : v.lit;
+            };
+            out = FLit::symbolic(
+                enc_.encode_mux_lit(s.lit, as_lit(d0), as_lit(d1)));
+          }
+          break;
+        }
+        case GateType::kInput:
+          break;  // unreachable (filtered above)
+      }
+      fv[g] = out;
+    }
+
+    bool consistent = true;
+    for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+      const GateId g = n.outputs()[o].gate;
+      const bool want = y.get(o);
+      if (!key_dep_[g]) {
+        if (sim_bit(g) != want) consistent = false;
+        continue;
+      }
+      const FLit v = fv[g];
+      if (v.is_const()) {
+        // The cone folded to a constant: equal is a tautology, different
+        // is the same no-key-can-explain-this proof as the key-independent
+        // mismatch above.
+        if ((v.k != 0) != want) consistent = false;
+        continue;
+      }
+      const sat::Lit pin = want ? v.lit : ~v.lit;
+      if (guard >= 0)
+        s_.add_clause({sat::neg(guard), pin});
+      else
+        s_.add_clause({pin});
+    }
+    return consistent;
+  }
+
   /// Fresh variable e with e <-> (a == b).
   sat::Var xnor_var(sat::Var a, sat::Var b) {
     const sat::Var e = s_.new_var();
@@ -197,10 +388,14 @@ class LockedEncoder {
   sat::Var const_true_ = -1;
   sat::Var const_false_ = -1;
 
+  bool fold_ = false;
+  std::uint64_t encode_reused_ = 0;
+
   // Scratch buffers reused across encode calls.
   std::vector<sat::Var> fi_;
   std::vector<sat::Lit> cl_;
   std::vector<sat::Var> io_var_;
+  std::vector<FLit> io_fold_;
 };
 
 }  // namespace orap

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <bit>
 #include <memory>
+#include <span>
 
 #include "attacks/encode_util.h"
 #include "netlist/simulator.h"
@@ -11,6 +13,7 @@
 #include "sat/simplify.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace orap {
 
@@ -70,12 +73,13 @@ struct AttackContext {
   AttackContext(const LockedCircuit& locked, Oracle& orc,
                 std::size_t portfolio_size, std::uint32_t cube_depth,
                 const OracleResilienceOptions& resilience,
-                std::int64_t deadline_ms)
+                std::int64_t deadline_ms, bool incremental = false)
       : lc(locked),
         solver(cube_options(portfolio_size, cube_depth)),
         lenc(solver, locked),
         oracle(&orc),
         res(resilience) {
+    lenc.set_fold_constants(incremental);
     if (deadline_ms >= 0) {
       deadline = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(deadline_ms);
@@ -93,12 +97,17 @@ struct AttackContext {
   }
 
   /// Assumptions for a solve: `base` (the miter on/off literal) plus the
-  /// selector of every live quarantined pair.
-  std::vector<Lit> assumps(Lit base) const {
-    std::vector<Lit> v{base};
+  /// selector of every live quarantined pair. Returns a view into a
+  /// member scratch buffer — the DIP loop calls this every iteration, and
+  /// with quarantine on the vector grows to one literal per recorded pair,
+  /// so a fresh allocation per solve was pure churn. Valid until the next
+  /// assumps()/solve_subset() call.
+  std::span<const Lit> assumps(Lit base) {
+    assumps_buf_.clear();
+    assumps_buf_.push_back(base);
     for (const PairRecord& p : pairs)
-      if (p.live) v.push_back(sat::pos(p.sel));
-    return v;
+      if (p.live) assumps_buf_.push_back(sat::pos(p.sel));
+    return assumps_buf_;
   }
 
   // --- resilient oracle access --------------------------------------------
@@ -253,9 +262,10 @@ struct AttackContext {
   /// Solve with the miter off and ONLY the given pairs bound.
   Solver::Result solve_subset(const std::vector<std::size_t>& subset,
                               std::int64_t budget) {
-    std::vector<Lit> as{sat::neg(act)};
-    for (const std::size_t i : subset) as.push_back(sat::pos(pairs[i].sel));
-    return solver.solve(as, budget);
+    assumps_buf_.assign(1, sat::neg(act));
+    for (const std::size_t i : subset)
+      assumps_buf_.push_back(sat::pos(pairs[i].sel));
+    return solver.solve(assumps_buf_, budget);
   }
 
   /// Live pair indices whose selector shows up in the last unsat core
@@ -278,6 +288,7 @@ struct AttackContext {
 
   std::size_t miter_vars_ = 0;
   std::size_t miter_active_vars_ = 0;
+  std::vector<Lit> assumps_buf_;  // assumps()/solve_subset() scratch
 
   /// Freezes the miter interface variables and runs SatELite-style
   /// preprocessing. Must run after the miter is fully built and before
@@ -331,6 +342,9 @@ struct AttackContext {
     result->evicted_pairs = evicted_pairs;
     result->requeried_pairs = requeried_pairs;
     result->oracle_error_rate = oracle_error_rate;
+    result->incremental_rounds = st.incremental_rounds;
+    result->clauses_carried = st.clauses_carried;
+    result->encode_reused = lenc.encode_reused();
   }
 
   BitVec model_bits(const std::vector<Var>& vars) const {
@@ -373,6 +387,68 @@ enum class ExtractOutcome {
   kResume,  // corrupted pairs evicted: re-enter the DIP loop
 };
 
+// --- wide candidate-key simulation -----------------------------------------
+// The verification paths (verify_key_against_oracle, AppSAT's random-check
+// rounds, the degraded-key error measurement) all simulate the locked
+// circuit under one fixed key over many input samples. Packing
+// 64 * simd::kBlockWords samples per simulator pass replaces those
+// per-sample run_single calls with a handful of block evaluations over the
+// same netlist walk. Bit-exact with the per-sample path: each sample owns
+// one lane and the per-lane extraction reads exactly the bits run_single
+// would produce.
+
+/// Simulates `lc` under `key` for xs[q0..q1) in one wide pass (q1 - q0 must
+/// fit in one block, i.e. <= 64 * sim.block_words()); appends one response
+/// per sample to `out`, in order.
+void simulate_key_block(const LockedCircuit& lc, Simulator& sim,
+                        std::span<const BitVec> xs, const BitVec& key,
+                        std::size_t q0, std::size_t q1,
+                        std::vector<BitVec>* out) {
+  const std::size_t w = sim.block_words();
+  const std::size_t nd = lc.num_data_inputs;
+  std::vector<std::uint64_t> block(w);
+  for (std::size_t i = 0; i < nd; ++i) {
+    for (std::size_t j = 0; j < w; ++j) {
+      std::uint64_t word = 0;
+      const std::size_t base = q0 + j * 64;
+      const std::size_t nb =
+          base < q1 ? std::min<std::size_t>(64, q1 - base) : 0;
+      for (std::size_t b = 0; b < nb; ++b)
+        if (xs[base + b].get(i)) word |= std::uint64_t{1} << b;
+      block[j] = word;
+    }
+    sim.set_input_block(i, block);
+  }
+  for (std::size_t i = 0; i < lc.num_key_inputs; ++i) {
+    std::fill(block.begin(), block.end(),
+              key.get(i) ? ~std::uint64_t{0} : std::uint64_t{0});
+    sim.set_input_block(nd + i, block);
+  }
+  sim.run();
+  const std::size_t nout = lc.netlist.num_outputs();
+  for (std::size_t q = q0; q < q1; ++q) {
+    const std::size_t lane = q - q0;
+    BitVec y(nout);
+    for (std::size_t o = 0; o < nout; ++o)
+      y.set(o, (sim.output_block(o)[lane / 64] >> (lane % 64)) & 1);
+    out->push_back(std::move(y));
+  }
+}
+
+/// Candidate-key responses for every input in `xs`.
+std::vector<BitVec> simulate_key_batch(const LockedCircuit& lc,
+                                       std::span<const BitVec> xs,
+                                       const BitVec& key) {
+  Simulator sim(lc.netlist, simd::kBlockWords);
+  const std::size_t lanes = 64 * sim.block_words();
+  std::vector<BitVec> out;
+  out.reserve(xs.size());
+  for (std::size_t q0 = 0; q0 < xs.size(); q0 += lanes)
+    simulate_key_block(lc, sim, xs, key, q0,
+                       std::min(xs.size(), q0 + lanes), &out);
+  return out;
+}
+
 /// Measures the candidate key's response error against the (resilient)
 /// oracle on fresh random samples and fills result with kDegraded.
 void finish_degraded(AttackContext& ctx, const BitVec& key,
@@ -380,14 +456,19 @@ void finish_degraded(AttackContext& ctx, const BitVec& key,
   result->status = SatAttackResult::Status::kDegraded;
   result->key = key;
   Rng rng(0x0ddf00dULL);
-  Simulator sim(ctx.lc.netlist);
+  // Draw every sample up front (same rng stream as drawing per query) and
+  // batch the candidate-key responses through the wide simulator; the
+  // oracle is still asked serially in draw order.
+  std::vector<BitVec> xrs;
+  xrs.reserve(ctx.res.degraded_samples);
+  for (std::size_t q = 0; q < ctx.res.degraded_samples; ++q)
+    xrs.push_back(BitVec::random(ctx.nd(), rng));
+  const std::vector<BitVec> ycs = simulate_key_batch(ctx.lc, xrs, key);
   std::size_t mismatched_bits = 0, total_bits = 0;
-  for (std::size_t q = 0; q < ctx.res.degraded_samples; ++q) {
-    const BitVec xr = BitVec::random(ctx.nd(), rng);
+  for (std::size_t q = 0; q < xrs.size(); ++q) {
     BitVec yo;
-    if (!ctx.resilient_query(xr, &yo)) break;  // keep the partial estimate
-    const BitVec yc = sim.run_single(ctx.lc.assemble_input(xr, key));
-    mismatched_bits += (yo ^ yc).count();
+    if (!ctx.resilient_query(xrs[q], &yo)) break;  // keep the partial estimate
+    mismatched_bits += (yo ^ ycs[q]).count();
     total_bits += yo.size();
   }
   ctx.oracle_error_rate =
@@ -493,7 +574,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
   ORAP_CHECK(oracle.num_outputs() == locked.netlist.num_outputs());
 
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
-                    opts.resilience, opts.deadline_ms);
+                    opts.resilience, opts.deadline_ms, opts.incremental);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -580,7 +661,7 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
 SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
                               const AppSatOptions& opts) {
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
-                    opts.resilience, opts.deadline_ms);
+                    opts.resilience, opts.deadline_ms, opts.incremental);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -600,7 +681,6 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
   ctx.snapshot_miter_size();
 
   Rng rng(opts.seed);
-  Simulator sim(locked.netlist);
   SatAttackResult result;
   std::size_t clean_rounds = 0;
   const auto finish = [&ctx, &result, &oracle] {
@@ -658,19 +738,27 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
         }
         break;  // no consistent key: extraction + repair settles it below
       }
+      // Draw the whole round up front (identical rng stream to drawing one
+      // sample per query) and batch the candidate's responses through the
+      // wide simulator; the oracle query order and every early exit stay
+      // exactly as in the per-sample loop.
+      std::vector<BitVec> xrs;
+      xrs.reserve(opts.random_queries);
+      for (std::size_t q = 0; q < opts.random_queries; ++q)
+        xrs.push_back(BitVec::random(ctx.nd(), rng));
+      const std::vector<BitVec> ycs =
+          simulate_key_batch(locked, xrs, candidate);
       std::size_t mismatches = 0;
-      for (std::size_t q = 0; q < opts.random_queries; ++q) {
-        const BitVec xr = BitVec::random(ctx.nd(), rng);
+      for (std::size_t q = 0; q < xrs.size(); ++q) {
         BitVec yo;
-        if (!ctx.resilient_query(xr, &yo)) {
+        if (!ctx.resilient_query(xrs[q], &yo)) {
           result.status = SatAttackResult::Status::kOracleError;
           finish();
           return result;
         }
-        const BitVec yc = sim.run_single(locked.assemble_input(xr, candidate));
-        if (yo != yc) {
+        if (yo != ycs[q]) {
           ++mismatches;
-          if (ctx.record_pair(xr, yo) ==
+          if (ctx.record_pair(xrs[q], yo) ==
               AttackContext::RecordStatus::kInconsistent) {
             result.status = SatAttackResult::Status::kInconsistentOracle;
             finish();
@@ -707,7 +795,7 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
 SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
                                   const SatAttackOptions& opts) {
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
-                    opts.resilience, opts.deadline_ms);
+                    opts.resilience, opts.deadline_ms, opts.incremental);
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -828,16 +916,66 @@ std::size_t verify_key_against_oracle(const LockedCircuit& locked,
     ys.push_back(r.response());
   }
 
+  // Candidate simulation: 64 * kBlockWords samples per wide pass, wide
+  // passes sharded across the pool. A sample mismatches when any output
+  // bit differs, so per pass the expected responses are packed into lane
+  // words, XORed against the simulated output blocks, and the surviving
+  // lane mask popcounted — the count is identical to comparing run_single
+  // sample by sample.
+  const std::size_t lanes = 64 * simd::kBlockWords;
+  const std::size_t num_blocks = (xs.size() + lanes - 1) / lanes;
   std::vector<std::unique_ptr<Simulator>> sims(parallel_threads());
   return parallel_reduce(
-      /*grain=*/16, xs.size(), std::size_t{0},
-      [&](std::size_t b, std::size_t e, std::size_t) {
+      /*grain=*/1, num_blocks, std::size_t{0},
+      [&](std::size_t bb, std::size_t be, std::size_t) {
         const std::size_t slot = parallel_slot();
-        if (!sims[slot]) sims[slot] = std::make_unique<Simulator>(locked.netlist);
+        if (!sims[slot])
+          sims[slot] =
+              std::make_unique<Simulator>(locked.netlist, simd::kBlockWords);
+        Simulator& sim = *sims[slot];
+        const std::size_t w = sim.block_words();
+        const std::size_t nd = locked.num_data_inputs;
+        std::vector<std::uint64_t> block(w);
         std::size_t miss = 0;
-        for (std::size_t q = b; q < e; ++q)
-          if (ys[q] != sims[slot]->run_single(locked.assemble_input(xs[q], key)))
-            ++miss;
+        for (std::size_t blk = bb; blk < be; ++blk) {
+          const std::size_t q0 = blk * lanes;
+          const std::size_t q1 = std::min(xs.size(), q0 + lanes);
+          for (std::size_t i = 0; i < nd; ++i) {
+            for (std::size_t j = 0; j < w; ++j) {
+              std::uint64_t word = 0;
+              const std::size_t base = q0 + j * 64;
+              const std::size_t nb =
+                  base < q1 ? std::min<std::size_t>(64, q1 - base) : 0;
+              for (std::size_t b = 0; b < nb; ++b)
+                if (xs[base + b].get(i)) word |= std::uint64_t{1} << b;
+              block[j] = word;
+            }
+            sim.set_input_block(i, block);
+          }
+          for (std::size_t i = 0; i < locked.num_key_inputs; ++i) {
+            std::fill(block.begin(), block.end(),
+                      key.get(i) ? ~std::uint64_t{0} : std::uint64_t{0});
+            sim.set_input_block(nd + i, block);
+          }
+          sim.run();
+          for (std::size_t j = 0; j < w; ++j) {
+            const std::size_t base = q0 + j * 64;
+            const std::size_t nb =
+                base < q1 ? std::min<std::size_t>(64, q1 - base) : 0;
+            if (nb == 0) break;
+            std::uint64_t diff = 0;
+            for (std::size_t o = 0; o < locked.netlist.num_outputs(); ++o) {
+              std::uint64_t exp = 0;
+              for (std::size_t b = 0; b < nb; ++b)
+                if (ys[base + b].get(o)) exp |= std::uint64_t{1} << b;
+              diff |= sim.output_block(o)[j] ^ exp;
+            }
+            const std::uint64_t valid =
+                nb == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << nb) - 1;
+            miss += static_cast<std::size_t>(
+                std::popcount(diff & valid));
+          }
+        }
         return miss;
       },
       [](std::size_t acc, std::size_t part) { return acc + part; });

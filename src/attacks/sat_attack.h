@@ -71,6 +71,15 @@ struct SatAttackOptions {
   /// portfolio_size (one portfolio per cube) and preprocess. A finite
   /// conflict_budget is the TOTAL for the query, split across cubes.
   std::uint32_t cube_depth = 0;
+  /// Incremental single-solver mode: per-DIP oracle constraints are
+  /// constant-folded against the key-independent simulation before they
+  /// reach the persistent miter solver (LockedEncoder::set_fold_constants),
+  /// so the formula grows far slower across iterations and learnt clauses
+  /// carry further. Equisatisfiable over the key variables but a different
+  /// CNF, hence a different solver trajectory — defaults off so historical
+  /// runs replay bit-identically. Results stay deterministic for any fixed
+  /// incremental setting across threads/portfolio/cube.
+  bool incremental = false;
 };
 
 struct SatAttackResult {
@@ -115,6 +124,15 @@ struct SatAttackResult {
   std::uint64_t cubes = 0;          // cubes enumerated across all queries
   std::uint64_t cubes_refuted = 0;  // cubes individually proven UNSAT
   double cube_wall_ms = 0.0;        // wall time inside split solves
+
+  // Incremental-miter accounting. incremental_rounds / clauses_carried are
+  // counted by the solver on every solve() entry (learnt clauses persist
+  // across DIP iterations in all modes); encode_reused counts cone gates
+  // the folding encoder resolved without emitting clauses and is nonzero
+  // only with `incremental`.
+  std::uint64_t incremental_rounds = 0;  // solve() calls on the miter
+  std::uint64_t clauses_carried = 0;     // learnts alive at solve() entry, summed
+  std::uint64_t encode_reused = 0;       // folded-away cone gates
 };
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -135,6 +153,7 @@ struct AppSatOptions {
   bool preprocess = false;           // as in SatAttackOptions
   std::uint32_t cube_depth = 0;      // as in SatAttackOptions
   std::int64_t deadline_ms = -1;     // as in SatAttackOptions
+  bool incremental = false;          // as in SatAttackOptions
   OracleResilienceOptions resilience;
 };
 

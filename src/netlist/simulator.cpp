@@ -1,5 +1,7 @@
 #include "netlist/simulator.h"
 
+#include "util/simd.h"
+
 namespace orap {
 
 std::uint64_t eval_gate_word(GateType type, std::span<const std::uint64_t> in) {
@@ -50,25 +52,92 @@ std::uint64_t eval_gate_word(GateType type, std::span<const std::uint64_t> in) {
   return 0;
 }
 
+void eval_gate_block(GateType type, const std::uint64_t* const* in,
+                     std::size_t nf, std::uint64_t* dst, std::size_t w) {
+  switch (type) {
+    case GateType::kConst0:
+    case GateType::kInput:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = 0;
+      return;
+    case GateType::kConst1:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = ~0ULL;
+      return;
+    case GateType::kBuf:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = in[0][j];
+      return;
+    case GateType::kNot:
+      simd::vnot(dst, in[0], w);
+      return;
+    case GateType::kAnd:
+    case GateType::kNand:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = in[0][j];
+      for (std::size_t i = 1; i < nf; ++i) simd::vand(dst, dst, in[i], w);
+      if (type == GateType::kNand) simd::vnot(dst, dst, w);
+      return;
+    case GateType::kOr:
+    case GateType::kNor:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = in[0][j];
+      for (std::size_t i = 1; i < nf; ++i) simd::vor(dst, dst, in[i], w);
+      if (type == GateType::kNor) simd::vnot(dst, dst, w);
+      return;
+    case GateType::kXor:
+    case GateType::kXnor:
+      for (std::size_t j = 0; j < w; ++j) dst[j] = in[0][j];
+      for (std::size_t i = 1; i < nf; ++i) simd::vxor(dst, dst, in[i], w);
+      if (type == GateType::kXnor) simd::vnot(dst, dst, w);
+      return;
+    case GateType::kMux:
+      simd::vmux(dst, in[0], in[1], in[2], w);
+      return;
+  }
+}
+
 void Simulator::broadcast_inputs(const BitVec& pattern) {
   ORAP_CHECK(pattern.size() == n_.num_inputs());
-  for (std::size_t i = 0; i < n_.num_inputs(); ++i)
-    values_[n_.inputs()[i]] = pattern.get(i) ? ~0ULL : 0ULL;
+  for (std::size_t i = 0; i < n_.num_inputs(); ++i) {
+    const std::uint64_t v = pattern.get(i) ? ~0ULL : 0ULL;
+    std::uint64_t* dst = &values_[n_.inputs()[i] * w_];
+    for (std::size_t j = 0; j < w_; ++j) dst[j] = v;
+  }
 }
 
 void Simulator::run() {
-  std::uint64_t buf[64];
+  if (w_ == 1) {
+    // Single-word mode: the historical hot loop, untouched.
+    std::uint64_t buf[64];
+    for (GateId g = 0; g < n_.num_gates(); ++g) {
+      const GateType t = n_.type(g);
+      if (t == GateType::kInput) continue;
+      const auto fi = n_.fanins(g);
+      if (fi.size() <= 64) {
+        for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = values_[fi[i]];
+        values_[g] = eval_gate_word(t, {buf, fi.size()});
+      } else {
+        wide_buf_.resize(fi.size());
+        for (std::size_t i = 0; i < fi.size(); ++i)
+          wide_buf_[i] = values_[fi[i]];
+        values_[g] = eval_gate_word(t, {wide_buf_.data(), fi.size()});
+      }
+    }
+    return;
+  }
+  // Block mode: one multi-word step per gate. A gate's block never
+  // aliases a fanin block (fanins have strictly smaller gate ids).
+  const std::uint64_t* ptrs[64];
   for (GateId g = 0; g < n_.num_gates(); ++g) {
     const GateType t = n_.type(g);
     if (t == GateType::kInput) continue;
     const auto fi = n_.fanins(g);
+    std::uint64_t* dst = &values_[g * w_];
     if (fi.size() <= 64) {
-      for (std::size_t i = 0; i < fi.size(); ++i) buf[i] = values_[fi[i]];
-      values_[g] = eval_gate_word(t, {buf, fi.size()});
+      for (std::size_t i = 0; i < fi.size(); ++i)
+        ptrs[i] = &values_[fi[i] * w_];
+      eval_gate_block(t, ptrs, fi.size(), dst, w_);
     } else {
-      wide_buf_.resize(fi.size());
-      for (std::size_t i = 0; i < fi.size(); ++i) wide_buf_[i] = values_[fi[i]];
-      values_[g] = eval_gate_word(t, {wide_buf_.data(), fi.size()});
+      ptr_buf_.resize(fi.size());
+      for (std::size_t i = 0; i < fi.size(); ++i)
+        ptr_buf_[i] = &values_[fi[i] * w_];
+      eval_gate_block(t, ptr_buf_.data(), fi.size(), dst, w_);
     }
   }
 }

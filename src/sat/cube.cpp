@@ -181,6 +181,8 @@ SolverStats CubeSolver::total_stats() const {
     t.learnt_literals += s.learnt_literals;
     t.minimized_literals += s.minimized_literals;
     t.reduce_dbs += s.reduce_dbs;
+    t.clauses_carried += s.clauses_carried;
+    t.incremental_rounds += s.incremental_rounds;
     // Simplification runs once and is adopted everywhere: lane 0's copy
     // already accounts for it.
   }

@@ -83,6 +83,52 @@ Var Encoder::encode_xor2(Var a, Var b) {
   return out;
 }
 
+Lit Encoder::encode_and_lits(std::span<const Lit> fi, bool invert) {
+  const Var out = s_.new_var();
+  // o <-> AND(fi); with invert the fresh var itself is the NAND, so the
+  // gate's output literal is always pos(out).
+  const Lit o = Lit(out, invert);
+  big_.assign(1, o);
+  for (const Lit f : fi) {
+    s_.add_clause({~o, f});
+    big_.push_back(~f);
+  }
+  s_.add_clause(big_);
+  return pos(out);
+}
+
+Lit Encoder::encode_or_lits(std::span<const Lit> fi, bool invert) {
+  const Var out = s_.new_var();
+  const Lit o = Lit(out, invert);  // o <-> OR(fi); pos(out) is the NOR
+  big_.assign(1, ~o);
+  for (const Lit f : fi) {
+    s_.add_clause({o, ~f});
+    big_.push_back(f);
+  }
+  s_.add_clause(big_);
+  return pos(out);
+}
+
+Lit Encoder::encode_xor2_lit(Lit a, Lit b) {
+  const Var out = s_.new_var();
+  s_.add_clause({neg(out), a, b});
+  s_.add_clause({neg(out), ~a, ~b});
+  s_.add_clause({pos(out), ~a, b});
+  s_.add_clause({pos(out), a, ~b});
+  return pos(out);
+}
+
+Lit Encoder::encode_mux_lit(Lit s, Lit d0, Lit d1) {
+  const Var out = s_.new_var();
+  s_.add_clause({s, neg(out), d0});
+  s_.add_clause({s, pos(out), ~d0});
+  s_.add_clause({~s, neg(out), d1});
+  s_.add_clause({~s, pos(out), ~d1});
+  s_.add_clause({~d0, ~d1, pos(out)});
+  s_.add_clause({d0, d1, neg(out)});
+  return pos(out);
+}
+
 CircuitVars Encoder::encode(const Netlist& n,
                             const std::vector<Var>& shared_inputs) {
   if (!shared_inputs.empty())

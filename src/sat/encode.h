@@ -6,6 +6,7 @@
 // independent copies of the same circuit can be encoded into one solver
 // (the SAT attack's two-key miter), optionally sharing the input variables.
 
+#include <span>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -36,6 +37,19 @@ class Encoder {
 
   /// XOR constraint out = a ^ b on existing vars.
   Var encode_xor2(Var a, Var b);
+
+  // --- literal-level variants ----------------------------------------------
+  // Same Tseitin shapes as encode_gate / encode_xor2, but the fanins are
+  // literals: the constant-folding incremental encoder
+  // (attacks/encode_util.h) resolves buffers, inverters and controlling
+  // constants to (possibly negated) existing literals and only encodes the
+  // residual gates. Each returns pos(v) of a fresh variable v equal to the
+  // gate's output (`invert` selects the NAND/NOR sense of that output).
+
+  Lit encode_and_lits(std::span<const Lit> fanins, bool invert = false);
+  Lit encode_or_lits(std::span<const Lit> fanins, bool invert = false);
+  Lit encode_xor2_lit(Lit a, Lit b);
+  Lit encode_mux_lit(Lit s, Lit d0, Lit d1);
 
   /// Adds clauses forcing vector equality / inequality of two var vectors.
   void force_equal(const std::vector<Var>& a, const std::vector<Var>& b);

@@ -103,6 +103,8 @@ SolverStats PortfolioSolver::total_stats() const {
     t.learnt_literals += st.learnt_literals;
     t.minimized_literals += st.minimized_literals;
     t.reduce_dbs += st.reduce_dbs;
+    t.clauses_carried += st.clauses_carried;
+    t.incremental_rounds += st.incremental_rounds;
   }
   // Preprocessing runs once and is copied everywhere — report it once.
   const SolverStats& s0 = solvers_[0]->stats();

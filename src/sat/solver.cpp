@@ -443,6 +443,12 @@ Solver::Result Solver::solve(std::span<const Lit> assumptions,
 
   if (deadline_expired()) return Result::kUnknown;
 
+  // Incremental accounting: how many learnt clauses this round starts
+  // from (all of them are formula-implied, so carrying them across
+  // assumption sets is sound) and how many rounds this instance answered.
+  ++stats_.incremental_rounds;
+  stats_.clauses_carried += learnts_.size();
+
   const std::uint64_t conflicts_at_start = stats_.conflicts;
   int restart_count = 0;
   std::int64_t restart_limit =

@@ -73,6 +73,18 @@ struct SolverStats {
   std::uint64_t cubes = 0;          ///< cubes enumerated by split solves
   std::uint64_t cubes_refuted = 0;  ///< cubes individually proven UNSAT
   double cube_wall_ms = 0.0;        ///< wall time inside split solves
+
+  // Incremental-solving counters. Learnt clauses persist across solve()
+  // calls on the same instance (only simplify() and
+  // adopt_simplification_from() drop them), so clauses_carried — the
+  // learnt count alive at each solve() entry, summed — measures how much
+  // derived knowledge later rounds start from, and incremental_rounds
+  // counts the solve() calls answered by one instance. encode_reused is
+  // filled by the encoding layer (attacks/encode_util.h, atpg): gates
+  // resolved against the persistent formula without fresh clauses.
+  std::uint64_t clauses_carried = 0;
+  std::uint64_t incremental_rounds = 0;
+  std::uint64_t encode_reused = 0;
 };
 
 struct SimplifyOptions;  // sat/simplify.h

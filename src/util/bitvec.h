@@ -10,6 +10,7 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace orap {
 
@@ -76,16 +77,11 @@ class BitVec {
   }
 
   std::size_t count() const {
-    std::size_t n = 0;
-    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
-    return n;
+    return static_cast<std::size_t>(
+        simd::popcount(words_.data(), words_.size()));
   }
 
-  bool any() const {
-    for (auto w : words_)
-      if (w) return true;
-    return false;
-  }
+  bool any() const { return simd::any(words_.data(), words_.size()); }
   bool none() const { return !any(); }
 
   /// Index of the lowest set bit, or size() if none.
@@ -98,17 +94,17 @@ class BitVec {
 
   BitVec& operator^=(const BitVec& o) {
     ORAP_DCHECK(nbits_ == o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    simd::vxor(words_.data(), words_.data(), o.words_.data(), words_.size());
     return *this;
   }
   BitVec& operator&=(const BitVec& o) {
     ORAP_DCHECK(nbits_ == o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    simd::vand(words_.data(), words_.data(), o.words_.data(), words_.size());
     return *this;
   }
   BitVec& operator|=(const BitVec& o) {
     ORAP_DCHECK(nbits_ == o.nbits_);
-    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    simd::vor(words_.data(), words_.data(), o.words_.data(), words_.size());
     return *this;
   }
 
@@ -117,7 +113,8 @@ class BitVec {
   friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
 
   bool operator==(const BitVec& o) const {
-    return nbits_ == o.nbits_ && words_ == o.words_;
+    return nbits_ == o.nbits_ &&
+           simd::eq(words_.data(), o.words_.data(), words_.size());
   }
 
   /// GF(2) dot product (parity of AND).

@@ -1,0 +1,229 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define ORAP_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define ORAP_SIMD_X86 0
+#endif
+
+namespace orap::simd {
+
+namespace {
+
+// --- scalar reference kernels ----------------------------------------------
+// Plain word loops; the compiler is free to auto-vectorize them within the
+// baseline ISA. These are also the semantics contract for the AVX2 path.
+
+void s_vand(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] & b[i];
+}
+void s_vor(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+           std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] | b[i];
+}
+void s_vxor(std::uint64_t* dst, const std::uint64_t* a, const std::uint64_t* b,
+            std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] ^ b[i];
+}
+void s_vnot(std::uint64_t* dst, const std::uint64_t* a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = ~a[i];
+}
+void s_vmux(std::uint64_t* dst, const std::uint64_t* s, const std::uint64_t* d0,
+            const std::uint64_t* d1, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = (s[i] & d1[i]) | (~s[i] & d0[i]);
+}
+void s_vxor_and(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= a[i] & b[i];
+}
+std::uint64_t s_popcount(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t c = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    c += static_cast<std::uint64_t>(__builtin_popcountll(a[i]));
+  return c;
+}
+bool s_any(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc |= a[i];
+  return acc != 0;
+}
+bool s_eq(const std::uint64_t* a, const std::uint64_t* b, std::size_t n) {
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+constexpr Kernels kScalarKernels = {s_vand,     s_vor, s_vxor, s_vnot, s_vmux,
+                                    s_vxor_and, s_popcount, s_any, s_eq};
+
+#if ORAP_SIMD_X86
+
+// --- AVX2 kernels -----------------------------------------------------------
+// 256-bit (4-word) steps with a scalar tail. Unaligned loads/stores: the
+// value buffers are plain std::vector allocations with no alignment
+// guarantee, and vmovdqu on aligned data costs nothing on every AVX2 part.
+
+__attribute__((target("avx2"))) void a_vand(std::uint64_t* dst,
+                                            const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+__attribute__((target("avx2"))) void a_vor(std::uint64_t* dst,
+                                           const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+__attribute__((target("avx2"))) void a_vxor(std::uint64_t* dst,
+                                            const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(va, vb));
+  }
+  for (; i < n; ++i) dst[i] = a[i] ^ b[i];
+}
+
+__attribute__((target("avx2"))) void a_vnot(std::uint64_t* dst,
+                                            const std::uint64_t* a,
+                                            std::size_t n) {
+  std::size_t i = 0;
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(va, ones));
+  }
+  for (; i < n; ++i) dst[i] = ~a[i];
+}
+
+__attribute__((target("avx2"))) void a_vmux(std::uint64_t* dst,
+                                            const std::uint64_t* s,
+                                            const std::uint64_t* d0,
+                                            const std::uint64_t* d1,
+                                            std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vs = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d0 + i));
+    const __m256i v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(d1 + i));
+    // (s & d1) | (~s & d0) == d0 ^ (s & (d0 ^ d1))
+    const __m256i r =
+        _mm256_xor_si256(v0, _mm256_and_si256(vs, _mm256_xor_si256(v0, v1)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), r);
+  }
+  for (; i < n; ++i) dst[i] = (s[i] & d1[i]) | (~s[i] & d0[i]);
+}
+
+__attribute__((target("avx2"))) void a_vxor_and(std::uint64_t* dst,
+                                                const std::uint64_t* a,
+                                                const std::uint64_t* b,
+                                                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i vd = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(vd, _mm256_and_si256(va, vb)));
+  }
+  for (; i < n; ++i) dst[i] ^= a[i] & b[i];
+}
+
+// popcount has no AVX2 single instruction; the scalar 64-bit popcnt loop
+// is already throughput-bound on the popcnt unit, so reuse it.
+__attribute__((target("avx2"))) bool a_any(const std::uint64_t* a,
+                                           std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= a[i];
+  return !_mm256_testz_si256(acc, acc) || tail != 0;
+}
+
+__attribute__((target("avx2"))) bool a_eq(const std::uint64_t* a,
+                                          const std::uint64_t* b,
+                                          std::size_t n) {
+  std::size_t i = 0;
+  __m256i acc = _mm256_setzero_si256();
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_or_si256(acc, _mm256_xor_si256(va, vb));
+  }
+  std::uint64_t tail = 0;
+  for (; i < n; ++i) tail |= a[i] ^ b[i];
+  return _mm256_testz_si256(acc, acc) && tail == 0;
+}
+
+constexpr Kernels kAvx2Kernels = {a_vand,     a_vor, a_vxor, a_vnot, a_vmux,
+                                  a_vxor_and, s_popcount, a_any, a_eq};
+
+#endif  // ORAP_SIMD_X86
+
+struct Dispatch {
+  Isa isa;
+  const Kernels* k;
+};
+
+Dispatch resolve() {
+  const char* env = std::getenv("ORAP_SIMD");
+  const bool force_scalar =
+      env != nullptr && std::strcmp(env, "scalar") == 0;
+#if ORAP_SIMD_X86
+  if (!force_scalar && __builtin_cpu_supports("avx2"))
+    return {Isa::kAvx2, &kAvx2Kernels};
+#else
+  (void)force_scalar;
+#endif
+  return {Isa::kScalar, &kScalarKernels};
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = resolve();  // magic static: resolved once
+  return d;
+}
+
+}  // namespace
+
+Isa active_isa() { return dispatch().isa; }
+
+const char* isa_name() {
+  return dispatch().isa == Isa::kAvx2 ? "avx2" : "scalar";
+}
+
+const Kernels& kernels() { return *dispatch().k; }
+
+const Kernels& scalar_kernels() { return kScalarKernels; }
+
+}  // namespace orap::simd

@@ -88,6 +88,46 @@ assert a["results"] == b["results"], \
     "attack_suite --cube=2 results differ between 1 and 4 threads"
 EOF
 
+# Incremental-core determinism smoke: the persistent single-solver attack
+# path (--incremental=1) must also produce a byte-identical "results"
+# object at 1 and 4 pool threads, and its new counters must be live
+# (clauses carried across DIP rounds, constant-folded cone gates).
+echo "==== [plain] attack suite --incremental determinism smoke ===="
+INC_OUT1="$PREFIX/attack_suite_inc_t1.json"
+INC_OUT4="$PREFIX/attack_suite_inc_t4.json"
+"$PREFIX/bench/attack_suite" --scale=0.05 --incremental=1 --threads=1 \
+  --json="$INC_OUT1" >/dev/null
+"$PREFIX/bench/attack_suite" --scale=0.05 --incremental=1 --threads=4 \
+  --json="$INC_OUT4" >/dev/null
+python3 - "$INC_OUT1" "$INC_OUT4" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["incremental"] == b["incremental"] == 1, \
+    "incremental flag missing from the record"
+assert a["results"] == b["results"], \
+    "attack_suite --incremental=1 results differ between 1 and 4 threads"
+assert a["results"]["golden_clauses_carried"] > 0, \
+    "incremental attack carried no learnt clauses"
+assert a["results"]["golden_encode_reused"] > 0, \
+    "incremental attack folded no cone gates"
+EOF
+
+# SIMD dispatch A/B: the scalar kernel table must produce the same attack
+# results as whatever ISA the runtime dispatch picked (the two paths are
+# bit-identical by contract; ORAP_SIMD=scalar forces the portable one).
+echo "==== [plain] scalar vs SIMD dispatch smoke ===="
+SIMD_OUT="$PREFIX/attack_suite_simd.json"
+SCALAR_OUT="$PREFIX/attack_suite_scalar.json"
+"$PREFIX/bench/attack_suite" --scale=0.05 --json="$SIMD_OUT" >/dev/null
+ORAP_SIMD=scalar "$PREFIX/bench/attack_suite" --scale=0.05 \
+  --json="$SCALAR_OUT" >/dev/null
+python3 - "$SIMD_OUT" "$SCALAR_OUT" <<'EOF'
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["results"] == b["results"], \
+    "attack_suite results differ between SIMD dispatch and ORAP_SIMD=scalar"
+EOF
+
 # Cube-scaling baseline record: dip_scaling with --cube=2, the same grid
 # that produced BENCH_cube_scaling.json (wall times vary per machine; the
 # JSON just has to be well-formed and carry the cube counters).
@@ -138,7 +178,10 @@ fi
 
 if [[ "$RUN_UBSAN" == "1" ]]; then
   CTEST_EXTRA=()
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.")
+  # The Simd suite always joins a filtered UBSan pass: the multi-word
+  # kernels and the block simulator are exactly where a shift/alignment
+  # mistake would hide.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.")
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi

@@ -250,6 +250,7 @@ int cmd_atpg(const Args& a) {
   opts.portfolio_size = a.get_num("portfolio", 1);
   opts.preprocess = a.get_num("preprocess", 0) != 0;
   opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
+  opts.incremental = a.get_num("incremental", 0) != 0;
   if (a.has("deadline-ms"))
     opts.deadline_ms = static_cast<std::int64_t>(a.get_num("deadline-ms", 0));
   const AtpgResult r = run_atpg(n, opts);
@@ -260,6 +261,17 @@ int cmd_atpg(const Args& a) {
   std::printf("redundant:           %zu\n", r.redundant);
   std::printf("aborted:             %zu\n", r.aborted);
   std::printf("atpg patterns:       %zu\n", r.patterns.size());
+  if (r.random_sim_ms > 0.0)
+    std::printf("random-phase sim:    %zu patterns, %.2f Mpatterns/s\n",
+                r.random_sim_patterns,
+                static_cast<double>(r.random_sim_patterns) /
+                    (r.random_sim_ms * 1e3));
+  if (opts.incremental)
+    std::printf("incremental: %llu solver rounds, %llu learnts carried, "
+                "%llu cone gates reused\n",
+                static_cast<unsigned long long>(r.solver_rounds),
+                static_cast<unsigned long long>(r.clauses_carried),
+                static_cast<unsigned long long>(r.encode_reused));
   return 0;
 }
 
@@ -325,6 +337,7 @@ int cmd_attack(const Args& a) {
     opts.portfolio_size = a.get_num("portfolio", 1);
     opts.preprocess = a.get_num("preprocess", 0) != 0;
     opts.cube_depth = static_cast<std::uint32_t>(a.get_num("cube", 0));
+    opts.incremental = a.get_num("incremental", 0) != 0;
     if (a.has("deadline-ms"))
       opts.deadline_ms = static_cast<std::int64_t>(a.get_num("deadline-ms", 0));
     opts.resilience.retries = a.get_num("oracle-retries", 0);
@@ -342,6 +355,7 @@ int cmd_attack(const Args& a) {
       app_opts.preprocess = opts.preprocess;
       app_opts.cube_depth = opts.cube_depth;
       app_opts.deadline_ms = opts.deadline_ms;
+      app_opts.incremental = opts.incremental;
       app_opts.resilience = opts.resilience;
       r = appsat_attack(lc, oracle, app_opts);
     }
@@ -370,6 +384,12 @@ int cmd_attack(const Args& a) {
                   r.solver_vars,
                   static_cast<unsigned long long>(r.removed_clauses),
                   r.simplify_ms);
+    if (opts.incremental)
+      std::printf("incremental: %llu solver rounds, %llu learnts carried, "
+                  "%llu cone gates folded away\n",
+                  static_cast<unsigned long long>(r.incremental_rounds),
+                  static_cast<unsigned long long>(r.clauses_carried),
+                  static_cast<unsigned long long>(r.encode_reused));
     if (r.status != SatAttackResult::Status::kKeyFound &&
         r.status != SatAttackResult::Status::kDegraded)
       return 1;
@@ -515,11 +535,12 @@ void usage() {
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
       "  orap atpg    <in.bench> [--random-words N] [--budget B] "
-      "[--portfolio N] [--cube D] [--preprocess] [--deadline-ms T]\n"
+      "[--portfolio N] [--cube D] [--preprocess] [--incremental] "
+      "[--deadline-ms T]\n"
       "  orap attack  <locked.bench> --key key.txt [--kind "
       "sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
       "[--budget B] [--portfolio N] [--cube D] [--preprocess] "
-      "[--deadline-ms T]\n"
+      "[--incremental] [--deadline-ms T]\n"
       "               [--oracle-noise P] [--oracle-fail-rate P] "
       "[--oracle-retries N] [--oracle-votes N] [--quarantine]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
@@ -534,7 +555,10 @@ void usage() {
       "splits every SAT query into 2^D cubes by lookahead and\nconquers "
       "them in parallel (composes with --portfolio). --preprocess 0|1 runs\n"
       "SatELite-style CNF simplification (variable elimination + "
-      "subsumption) before\nsolving. Results are deterministic for a given "
+      "subsumption) before\nsolving. --incremental 0|1 keeps one persistent "
+      "solver per attack/ATPG run:\nper-query constraints are "
+      "constant-folded (attack) or activation-guarded\n(ATPG) so learnt "
+      "clauses carry across queries. Results are deterministic for\na given "
       "seed at any thread count.\n"
       "\n"
       "Oracle resilience (attack): --oracle-noise P / --oracle-fail-rate P "
