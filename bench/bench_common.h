@@ -296,6 +296,13 @@ class JsonReport {
         start_(std::chrono::steady_clock::now()) {}
 
   void add(const std::string& key, double value, int decimals = 4) {
+    // %.*f renders non-finite doubles as `nan` / `inf` — bare words that
+    // are not JSON. A NaN latency or a divide-by-zero rate must degrade to
+    // a parseable record, not break every downstream consumer.
+    if (!std::isfinite(value)) {
+      entries_.emplace_back(key, "null");
+      return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
     entries_.emplace_back(key, buf);
@@ -314,16 +321,19 @@ class JsonReport {
   }
 
   /// Writes the record (no-op without --json) and prints the wall time.
-  void finish() {
+  /// Returns false when the record could not be written intact — a failure
+  /// mid-stream (disk full, closed fd) deletes the partial file rather
+  /// than leaving truncated JSON that looks like a successful run.
+  bool finish() {
     const double wall = elapsed_ms();
     std::printf("wall-clock: %.1f ms (%zu threads)\n", wall,
                 parallel_threads());
-    if (args_.json_path.empty()) return;
+    if (args_.json_path.empty()) return true;
     std::ofstream os(args_.json_path);
     if (!os.good()) {
-      std::fprintf(stderr, "warning: cannot write %s\n",
+      std::fprintf(stderr, "error: cannot write %s\n",
                    args_.json_path.c_str());
-      return;
+      return false;
     }
     char scale_buf[32];
     std::snprintf(scale_buf, sizeof scale_buf, "%.4f", args_.scale);
@@ -351,7 +361,19 @@ class JsonReport {
       os << "\"" << escaped(entries_[i].first) << "\": " << entries_[i].second;
     }
     os << "}}\n";
+    // good() was only a precondition check: a stream can fail on any write
+    // after it. Flush and re-check before claiming success; a truncated
+    // record must not survive to be parsed as a complete bench run.
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(args_.json_path.c_str());
+      std::fprintf(stderr, "error: write to %s failed; partial record "
+                   "deleted\n", args_.json_path.c_str());
+      return false;
+    }
     std::printf("json record -> %s\n", args_.json_path.c_str());
+    return true;
   }
 
   /// JSON string escaping: backslash, quote, and \uXXXX for every control

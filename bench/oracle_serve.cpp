@@ -1,0 +1,187 @@
+// Oracle-serving throughput: the batching-vs-latency tradeoff over the
+// serve/wire.h protocol. A served oracle charges its round-trip latency
+// once per request FRAME (exactly like a tester session charges its cable
+// round-trip once per scan burst), so B batched queries pay one round
+// trip where B unbatched queries pay B. This bench drives a real
+// OracleServer over a real fd transport (pipe pair + server thread — the
+// same read/write/poll path the TCP and subprocess transports use) and
+// sweeps injected latency x batch size, reporting queries/sec per cell
+// and the speedup over the unbatched column.
+//
+// Expected shape: at zero injected latency batching still wins a modest
+// factor (fewer syscalls and frame headers per query); at >= 1 ms
+// injected latency the unbatched column collapses to ~1/latency queries
+// per second while batched throughput holds, so the speedup grows roughly
+// linearly in the batch size until simulation cost dominates. A pipelined
+// row (all frames in flight before any reply is read) is included at each
+// latency; it overlaps client/server framing work (visible at 0 latency)
+// but cannot beat the injected latency, because the server charges it per
+// frame IN SERIES — a single half-duplex tester session, not a window of
+// independent links. Batching, not pipelining, is how you defeat a slow
+// session.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "attacks/oracle.h"
+#include "bench_common.h"
+#include "gen/circuit_gen.h"
+#include "locking/locking.h"
+#include "serve/oracle_server.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+#include "util/bitvec.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace orap;
+
+namespace {
+
+LockedCircuit serve_target(std::size_t gates) {
+  GenSpec spec;
+  spec.num_inputs = 20;
+  spec.num_outputs = 16;
+  spec.num_gates = gates;
+  spec.depth = 8;
+  spec.seed = 9;
+  return lock_weighted(generate_circuit(spec), 16, 3, 10);
+}
+
+struct Pipes {
+  std::unique_ptr<serve::FdTransport> client;
+  std::unique_ptr<serve::FdTransport> server;
+};
+
+Pipes make_pipes() {
+  int c2s[2], s2c[2];
+  ORAP_CHECK(::pipe(c2s) == 0 && ::pipe(s2c) == 0);
+  Pipes p;
+  p.client = std::make_unique<serve::FdTransport>(s2c[0], c2s[1]);
+  p.server = std::make_unique<serve::FdTransport>(c2s[0], s2c[1]);
+  return p;
+}
+
+/// Sends `total` queries in frames of `batch`; with `pipelined` all
+/// frames go out before any reply is read (the transports are ordered
+/// streams, so replies come back in frame order). Returns wall seconds.
+double drive(serve::Transport& t, const std::vector<BitVec>& inputs,
+             std::size_t batch, bool pipelined, std::size_t num_outputs) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::vector<BitVec>> frames;
+  for (std::size_t off = 0; off < inputs.size(); off += batch) {
+    const std::size_t n = std::min(batch, inputs.size() - off);
+    frames.emplace_back(inputs.begin() + off, inputs.begin() + off + n);
+  }
+  std::size_t answered = 0;
+  const auto read_reply = [&](std::size_t expect) {
+    serve::Frame f;
+    ORAP_CHECK(serve::read_frame(t, &f));
+    ORAP_CHECK(f.type == serve::FrameType::kBatchReply);
+    std::vector<OracleResult> rs;
+    ORAP_CHECK(serve::decode_batch_reply(f.body, num_outputs, &rs));
+    ORAP_CHECK(rs.size() == expect);
+    for (const OracleResult& r : rs) answered += r.ok() ? 1 : 0;
+  };
+  if (pipelined) {
+    for (const auto& fr : frames)
+      ORAP_CHECK(serve::write_frame(t, serve::FrameType::kQueryBatch,
+                                    serve::encode_query_batch(fr, false)));
+    for (const auto& fr : frames) read_reply(fr.size());
+  } else {
+    for (const auto& fr : frames) {
+      ORAP_CHECK(serve::write_frame(t, serve::FrameType::kQueryBatch,
+                                    serve::encode_query_batch(fr, false)));
+      read_reply(fr.size());
+    }
+  }
+  ORAP_CHECK(answered == inputs.size());
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  args.banner("Oracle serving: batching/pipelining vs link latency");
+  bench::JsonReport report("oracle_serve", args);
+
+  const LockedCircuit lc = serve_target(args.full ? 1200 : 400);
+  const std::size_t total = args.full ? 8192 : 2048;
+  Rng rng(11);
+  std::vector<BitVec> inputs;
+  inputs.reserve(total);
+  for (std::size_t i = 0; i < total; ++i)
+    inputs.push_back(BitVec::random(lc.num_data_inputs, rng));
+
+  const std::uint64_t latencies_us[] = {0, 1000};
+  const std::size_t batches[] = {1, 16, 256, 2048};
+
+  Table t({"Latency", "Mode", "Batch", "Wall ms", "Queries/s", "Speedup"});
+  for (const std::uint64_t lat : latencies_us) {
+    double unbatched_qps = 0.0;
+    for (const bool pipelined : {false, true}) {
+      for (const std::size_t batch : batches) {
+        if (pipelined && batch != 1) continue;  // one pipelined row per
+                                                // latency: depth = total
+        // Fresh connection per cell so a slow cell cannot leave stale
+        // frames behind for the next one.
+        GoldenOracle oracle(lc);
+        serve::OracleServerOptions sopts;
+        sopts.latency_us = lat;
+        serve::OracleServer server(oracle, sopts);
+        Pipes pipes = make_pipes();
+        std::thread st([&] { server.serve(*pipes.server); });
+        const double secs = drive(*pipes.client, inputs, batch, pipelined,
+                                  lc.netlist.num_outputs());
+        ORAP_CHECK(serve::write_frame(*pipes.client,
+                                      serve::FrameType::kShutdown, {}));
+        serve::Frame ack;
+        ORAP_CHECK(serve::read_frame(*pipes.client, &ack));
+        st.join();
+
+        const double qps = static_cast<double>(total) / secs;
+        if (!pipelined && batch == 1) unbatched_qps = qps;
+        const double speedup = unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0;
+        char lat_buf[16], qps_buf[32], sp_buf[16];
+        std::snprintf(lat_buf, sizeof lat_buf, "%llu us",
+                      static_cast<unsigned long long>(lat));
+        std::snprintf(qps_buf, sizeof qps_buf, "%.0f", qps);
+        std::snprintf(sp_buf, sizeof sp_buf, "%.1fx", speedup);
+        t.add_row({lat_buf, pipelined ? "pipelined" : "sync",
+                   std::to_string(batch),
+                   std::to_string(static_cast<std::size_t>(secs * 1e3)),
+                   qps_buf, sp_buf});
+
+        const std::string tag =
+            "lat" + std::to_string(lat) + (pipelined ? "_pipe" : "_b") +
+            (pipelined ? std::to_string(total) : std::to_string(batch));
+        report.add(tag + "_wall_ms", secs * 1e3, 1);
+        report.add(tag + "_qps", qps, 1);
+        report.add(tag + "_speedup", speedup, 2);
+      }
+    }
+  }
+  t.print(std::cout);
+  report.finish();
+  std::printf(
+      "\nReading: every row moves the same %zu queries through the same "
+      "server; only the\nframing changes. At 0 injected latency the "
+      "protocol itself is the cost — batching\namortizes the per-frame "
+      "syscalls. At 1 ms the sync batch-1 row pays one round trip\nPER "
+      "QUERY and collapses to ~1000 queries/s; batch-256 pays it once per "
+      "256 queries.\nThe acceptance bar (batched >= 5x unbatched at >= 1 "
+      "ms) falls out of arithmetic:\nspeedup ~= batch size until "
+      "simulation time, not the link, is the bottleneck.\n",
+      total);
+  return 0;
+}

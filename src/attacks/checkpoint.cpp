@@ -1,0 +1,197 @@
+#include "attacks/checkpoint.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/bytes.h"
+
+namespace orap {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'R', 'A', 'P', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bitvec(std::vector<std::uint8_t>* out, const BitVec& v) {
+  bytes::put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::uint64_t w : v.words()) bytes::put_u64(out, w);
+}
+
+bool get_bitvec(bytes::Reader* in, BitVec* v) {
+  const std::uint32_t nbits = in->u32();
+  if (!in->ok()) return false;
+  BitVec out(nbits);
+  for (auto& w : out.words()) w = in->u64();
+  if (!in->ok()) return false;
+  // Bits past nbits in the tail word can only come from corruption.
+  if (nbits % 64 != 0 && !out.words().empty() &&
+      (out.words().back() >> (nbits % 64)) != 0)
+    return false;
+  *v = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+CheckpointedOracle::CheckpointedOracle(Oracle& inner,
+                                       std::uint64_t config_hash)
+    : OracleDecorator(inner), config_hash_(config_hash) {}
+
+OracleResult CheckpointedOracle::do_query(const BitVec& data) {
+  if (replay_pos_ < transcript_.size()) {
+    const Entry& e = transcript_[replay_pos_];
+    if (e.x == data) {
+      ++replay_pos_;
+      if (e.status == 0) return e.y;
+      return OracleResult::failure(
+          static_cast<OracleErrorKind>(e.status - 1));
+    }
+    // The replayed attack asked something the recorded one did not: the
+    // job configuration differs from the checkpoint's. Everything past
+    // this point in the recording belongs to the other trajectory.
+    diverged_ = true;
+    transcript_.resize(replay_pos_);
+  }
+  OracleResult r = inner().query(data);
+  Entry e;
+  e.x = data;
+  if (r.ok()) {
+    e.y = r.response();
+  } else {
+    e.status = static_cast<std::uint8_t>(r.error().kind) + 1;
+  }
+  transcript_.push_back(std::move(e));
+  // Keep replay_pos_ == transcript_.size() while live, so a recorded
+  // entry is never mistaken for replayable history.
+  replay_pos_ = transcript_.size();
+  if (autosave_every_ > 0 && ++live_since_save_ >= autosave_every_) {
+    live_since_save_ = 0;
+    if (save_file(autosave_path_)) ++autosaves_;
+  }
+  return r;
+}
+
+void CheckpointedOracle::enable_autosave(std::string path,
+                                         std::size_t every_n) {
+  autosave_path_ = std::move(path);
+  autosave_every_ = every_n;
+  live_since_save_ = 0;
+}
+
+std::vector<std::uint8_t> CheckpointedOracle::serialize() const {
+  std::vector<std::uint8_t> out;
+  bytes::put_bytes(&out, kMagic, sizeof(kMagic));
+  bytes::put_u32(&out, kVersion);
+  bytes::put_u64(&out, config_hash_);
+  bytes::put_u64(&out, inner().num_inputs());
+  bytes::put_u64(&out, inner().num_outputs());
+  bytes::put_u64(&out, progress_dips_);
+  bytes::put_u64(&out, query_count());
+  bytes::put_u64(&out, retry_count());
+  bytes::put_u64(&out, error_count());
+  std::vector<std::uint8_t> state;
+  inner().save_state(&state);
+  bytes::put_blob(&out, state.data(), state.size());
+  bytes::put_u32(&out, static_cast<std::uint32_t>(transcript_.size()));
+  for (const Entry& e : transcript_) {
+    put_bitvec(&out, e.x);
+    bytes::put_u8(&out, e.status);
+    if (e.status == 0) put_bitvec(&out, e.y);
+  }
+  bytes::put_u32(&out, bytes::crc32(out.data(), out.size()));
+  return out;
+}
+
+CheckpointedOracle::LoadStatus CheckpointedOracle::deserialize(
+    const std::vector<std::uint8_t>& blob) {
+  // CRC gate first: everything after it can assume the bytes are the bytes
+  // serialize() wrote (modulo a truncated tail, which the length check
+  // catches here too).
+  if (blob.size() < sizeof(kMagic) + 8) return LoadStatus::kCorrupt;
+  const std::size_t payload = blob.size() - 4;
+  bytes::Reader tail(blob.data() + payload, 4);
+  if (bytes::crc32(blob.data(), payload) != tail.u32())
+    return LoadStatus::kCorrupt;
+
+  bytes::Reader in(blob.data(), payload);
+  char magic[sizeof(kMagic)];
+  if (!in.raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    return LoadStatus::kCorrupt;
+  if (in.u32() != kVersion) return LoadStatus::kCorrupt;
+  if (in.u64() != config_hash_) return LoadStatus::kMismatch;
+  if (in.u64() != inner().num_inputs() ||
+      in.u64() != inner().num_outputs())
+    return LoadStatus::kMismatch;
+  const std::uint64_t dips = in.u64();
+  in.u64();  // queries/retries/errors are informational: the resumed
+  in.u64();  // attack regenerates the live counters by replaying.
+  in.u64();
+  std::vector<std::uint8_t> state;
+  if (!in.blob(&state)) return LoadStatus::kCorrupt;
+  const std::uint32_t count = in.u32();
+  std::vector<Entry> entries;
+  entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    if (!get_bitvec(&in, &e.x)) return LoadStatus::kCorrupt;
+    e.status = in.u8();
+    if (e.status > 3) return LoadStatus::kCorrupt;
+    if (e.status == 0 && !get_bitvec(&in, &e.y)) return LoadStatus::kCorrupt;
+    entries.push_back(std::move(e));
+  }
+  if (!in.ok() || in.remaining() != 0) return LoadStatus::kCorrupt;
+
+  // Structural validation done; apply. The oracle-stack state is the state
+  // at save time — after every transcript entry — and replay never touches
+  // the inner stack, so restoring it now leaves the live continuation
+  // exactly where the interrupted run's would have been. A load_state
+  // failure past this point means the wrapped decorator stack is shaped
+  // differently from the saved one (the config hash should have caught
+  // it); the stack is then partially written and the caller must rebuild
+  // the oracle before reusing it.
+  bytes::Reader sr(state);
+  if (!inner().load_state(&sr) || !sr.ok() || sr.remaining() != 0)
+    return LoadStatus::kMismatch;
+  transcript_ = std::move(entries);
+  replay_pos_ = 0;
+  diverged_ = false;
+  progress_dips_ = dips;
+  return LoadStatus::kOk;
+}
+
+bool CheckpointedOracle::save_file(const std::string& path) const {
+  const std::vector<std::uint8_t> blob = serialize();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size() &&
+      std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+CheckpointedOracle::LoadStatus CheckpointedOracle::load_file(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return LoadStatus::kMissing;
+  std::vector<std::uint8_t> blob;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    blob.insert(blob.end(), buf, buf + n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return LoadStatus::kCorrupt;
+  return deserialize(blob);
+}
+
+}  // namespace orap

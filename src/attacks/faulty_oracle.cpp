@@ -1,6 +1,58 @@
 #include "attacks/faulty_oracle.h"
 
+#include <chrono>
+#include <thread>
+
 namespace orap {
+
+namespace {
+
+// State-blob framing shared by all decorators: a per-class tag byte (so a
+// blob saved from one decorator stack cannot be silently loaded into a
+// differently-shaped one) followed by the class's fixed-layout fields.
+enum : std::uint8_t {
+  kTagNoisy = 0xa1,
+  kTagIntermittent = 0xa2,
+  kTagStuck = 0xa3,
+  kTagBudgeted = 0xa4,
+  // 0xa5 is reserved: LatentOracle intentionally serializes no state
+  // (latency config must not pin a checkpoint to one link speed).
+};
+
+void put_rng(std::vector<std::uint8_t>* out, const Rng& rng) {
+  std::uint64_t s[4];
+  rng.save_state(s);
+  for (const std::uint64_t w : s) bytes::put_u64(out, w);
+}
+
+bool get_rng(bytes::Reader* in, Rng* rng) {
+  std::uint64_t s[4];
+  for (auto& w : s) w = in->u64();
+  if (!in->ok()) return false;
+  rng->restore_state(s);
+  return true;
+}
+
+void put_bitvec(std::vector<std::uint8_t>* out, const BitVec& v) {
+  bytes::put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const std::uint64_t w : v.words()) bytes::put_u64(out, w);
+}
+
+bool get_bitvec(bytes::Reader* in, BitVec* v) {
+  const std::uint32_t nbits = in->u32();
+  if (!in->ok()) return false;
+  BitVec out(nbits);
+  for (auto& w : out.words()) w = in->u64();
+  if (!in->ok()) return false;
+  // Reject blobs whose tail word carries bits beyond nbits (corruption).
+  if (nbits % 64 != 0 && !out.words().empty() &&
+      (out.words().back() >> (nbits % 64)) != 0)
+    return false;
+  *v = std::move(out);
+  return true;
+}
+
+}  // namespace
 
 NoisyOracle::NoisyOracle(Oracle& inner, double flip_rate, std::uint64_t seed)
     : OracleDecorator(inner), flip_rate_(flip_rate), rng_(seed) {}
@@ -62,6 +114,90 @@ OracleResult BudgetedOracle::do_query(const BitVec& data) {
     return OracleResult::failure(OracleErrorKind::kExhausted);
   ++attempts_;
   return inner().query(data);
+}
+
+LatentOracle::LatentOracle(Oracle& inner, std::uint64_t latency_us,
+                           std::uint64_t jitter_us, std::uint64_t seed)
+    : OracleDecorator(inner),
+      latency_us_(latency_us),
+      jitter_us_(jitter_us),
+      rng_(seed) {}
+
+OracleResult LatentOracle::do_query(const BitVec& data) {
+  // Zero jitter must not touch the RNG (same contract as a zero-rate
+  // fault decorator), and a fully-zero configuration must not sleep.
+  std::uint64_t us = latency_us_;
+  if (jitter_us_ > 0) us += rng_.below(jitter_us_ + 1);
+  if (us > 0) {
+    total_injected_us_ += us;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  return inner().query(data);
+}
+
+// --- checkpoint/resume state blobs -----------------------------------------
+
+void NoisyOracle::save_state(std::vector<std::uint8_t>* out) const {
+  OracleDecorator::save_state(out);
+  bytes::put_u8(out, kTagNoisy);
+  put_rng(out, rng_);
+  bytes::put_u64(out, flipped_bits_);
+  bytes::put_u64(out, corrupted_responses_);
+}
+
+bool NoisyOracle::load_state(bytes::Reader* in) {
+  if (!OracleDecorator::load_state(in)) return false;
+  if (in->u8() != kTagNoisy || !get_rng(in, &rng_)) return false;
+  flipped_bits_ = static_cast<std::size_t>(in->u64());
+  corrupted_responses_ = static_cast<std::size_t>(in->u64());
+  return in->ok();
+}
+
+void IntermittentOracle::save_state(std::vector<std::uint8_t>* out) const {
+  OracleDecorator::save_state(out);
+  bytes::put_u8(out, kTagIntermittent);
+  put_rng(out, rng_);
+  bytes::put_u64(out, injected_failures_);
+}
+
+bool IntermittentOracle::load_state(bytes::Reader* in) {
+  if (!OracleDecorator::load_state(in)) return false;
+  if (in->u8() != kTagIntermittent || !get_rng(in, &rng_)) return false;
+  injected_failures_ = static_cast<std::size_t>(in->u64());
+  return in->ok();
+}
+
+void StuckOracle::save_state(std::vector<std::uint8_t>* out) const {
+  OracleDecorator::save_state(out);
+  bytes::put_u8(out, kTagStuck);
+  put_rng(out, rng_);
+  bytes::put_u8(out, have_last_ ? 1 : 0);
+  if (have_last_) put_bitvec(out, last_);
+  bytes::put_u64(out, stale_responses_);
+}
+
+bool StuckOracle::load_state(bytes::Reader* in) {
+  if (!OracleDecorator::load_state(in)) return false;
+  if (in->u8() != kTagStuck || !get_rng(in, &rng_)) return false;
+  const std::uint8_t have = in->u8();
+  if (have > 1) return false;
+  have_last_ = have == 1;
+  if (have_last_ && !get_bitvec(in, &last_)) return false;
+  stale_responses_ = static_cast<std::size_t>(in->u64());
+  return in->ok();
+}
+
+void BudgetedOracle::save_state(std::vector<std::uint8_t>* out) const {
+  OracleDecorator::save_state(out);
+  bytes::put_u8(out, kTagBudgeted);
+  bytes::put_u64(out, attempts_);
+}
+
+bool BudgetedOracle::load_state(bytes::Reader* in) {
+  if (!OracleDecorator::load_state(in)) return false;
+  if (in->u8() != kTagBudgeted) return false;
+  attempts_ = static_cast<std::size_t>(in->u64());
+  return in->ok();
 }
 
 }  // namespace orap

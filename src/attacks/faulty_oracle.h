@@ -13,13 +13,23 @@
 //  * StuckOracle       — repeats the previous response with probability
 //                        `stick_rate` (a stale capture register),
 //  * BudgetedOracle    — hard cap on device accesses; every access past
-//                        the cap returns kExhausted.
+//                        the cap returns kExhausted,
+//  * LatentOracle      — burns wall-clock time per query (fixed latency
+//                        plus seeded jitter), modelling a slow tester link
+//                        or a served oracle's network round-trip.
 //
 // Determinism contract: the injected faults are a pure function of the
 // seed and the *sequence* of do_query calls, never of wall time or thread
 // count. A zero-rate decorator draws nothing from its RNG, so its output
 // is byte-identical to the bare oracle (regression-tested in
-// tests/resilience_test.cpp).
+// tests/resilience_test.cpp). LatentOracle never alters response bytes —
+// only their timing — so it preserves byte-identity of results while
+// making deadline paths and batching tradeoffs measurable.
+//
+// All decorators implement the Oracle save_state/load_state hooks
+// (RNG stream positions, stale caches, attempt counters), so a
+// checkpointed attack resumes against the exact fault sequence the
+// uninterrupted run would have seen (src/attacks/checkpoint.h).
 
 #include <cstdint>
 
@@ -35,6 +45,9 @@ class NoisyOracle final : public OracleDecorator {
 
   std::size_t flipped_bits() const { return flipped_bits_; }
   std::size_t corrupted_responses() const { return corrupted_responses_; }
+
+  void save_state(std::vector<std::uint8_t>* out) const override;
+  bool load_state(bytes::Reader* in) override;
 
  protected:
   OracleResult do_query(const BitVec& data) override;
@@ -55,6 +68,9 @@ class IntermittentOracle final : public OracleDecorator {
 
   std::size_t injected_failures() const { return injected_failures_; }
 
+  void save_state(std::vector<std::uint8_t>* out) const override;
+  bool load_state(bytes::Reader* in) override;
+
  protected:
   OracleResult do_query(const BitVec& data) override;
 
@@ -73,6 +89,9 @@ class StuckOracle final : public OracleDecorator {
   StuckOracle(Oracle& inner, double stick_rate, std::uint64_t seed);
 
   std::size_t stale_responses() const { return stale_responses_; }
+
+  void save_state(std::vector<std::uint8_t>* out) const override;
+  bool load_state(bytes::Reader* in) override;
 
  protected:
   OracleResult do_query(const BitVec& data) override;
@@ -96,12 +115,44 @@ class BudgetedOracle final : public OracleDecorator {
     return attempts_ >= max_queries_ ? 0 : max_queries_ - attempts_;
   }
 
+  void save_state(std::vector<std::uint8_t>* out) const override;
+  bool load_state(bytes::Reader* in) override;
+
  protected:
   OracleResult do_query(const BitVec& data) override;
 
  private:
   std::size_t max_queries_;
   std::size_t attempts_ = 0;
+};
+
+/// Burns `latency_us` plus a seeded jitter draw in [0, jitter_us] of wall
+/// clock per query before forwarding. Responses are byte-identical to the
+/// inner oracle's — only their timing changes — so results stay
+/// deterministic while deadline handling and the batching-vs-latency
+/// tradeoff become measurable (the oracle-serve bench and the deadline
+/// regression tests are its main consumers).
+class LatentOracle final : public OracleDecorator {
+ public:
+  LatentOracle(Oracle& inner, std::uint64_t latency_us,
+               std::uint64_t jitter_us = 0, std::uint64_t seed = 1);
+
+  std::uint64_t total_injected_us() const { return total_injected_us_; }
+
+  // Deliberately NO save_state/load_state override: latency shapes timing,
+  // never responses, and checkpoints must resume across latency-config
+  // changes (a snapshot taken over a slow link resumes against a fast
+  // one), so this layer keeps the pass-through default and its jitter RNG
+  // stays out of the state blob.
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  std::uint64_t latency_us_;
+  std::uint64_t jitter_us_;
+  Rng rng_;
+  std::uint64_t total_injected_us_ = 0;
 };
 
 }  // namespace orap

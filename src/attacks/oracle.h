@@ -18,12 +18,15 @@
 // these failure modes reproducibly.
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "chip/chip.h"
 #include "locking/locking.h"
 #include "netlist/simulator.h"
 #include "util/bitvec.h"
+#include "util/bytes.h"
 #include "util/check.h"
 
 namespace orap {
@@ -113,6 +116,22 @@ class Oracle {
   void note_corruption_suspected() { ++corrupted_suspected_; }
   std::size_t corrupted_suspected() const { return corrupted_suspected_; }
 
+  // --- checkpoint/resume state (src/attacks/checkpoint.h) -----------------
+  // A resumed attack replays its recorded oracle transcript, but the live
+  // continuation afterwards must also match the uninterrupted run — which
+  // means every stateful layer of the oracle stack (fault-injector RNG
+  // stream positions, stale-response caches, access budgets) has to be
+  // restored to where the interrupted run left it. save_state appends this
+  // oracle's resume-relevant state to `out`; load_state consumes the same
+  // bytes back. Decorators serialize the wrapped oracle FIRST, then their
+  // own state, so one blob round-trips a whole decorator stack. Stateless
+  // oracles (GoldenOracle, ChipScanOracle) keep the no-op default.
+
+  virtual void save_state(std::vector<std::uint8_t>* out) const {
+    (void)out;
+  }
+  virtual bool load_state(bytes::Reader* in) { return in->ok(); }
+
  protected:
   virtual OracleResult do_query(const BitVec& data) = 0;
 
@@ -132,6 +151,15 @@ class OracleDecorator : public Oracle {
 
   std::size_t num_inputs() const override { return inner_.num_inputs(); }
   std::size_t num_outputs() const override { return inner_.num_outputs(); }
+
+  /// Inner-first so a decorator stack serializes bottom-up; overriding
+  /// decorators call these and then handle their own state.
+  void save_state(std::vector<std::uint8_t>* out) const override {
+    inner_.save_state(out);
+  }
+  bool load_state(bytes::Reader* in) override {
+    return inner_.load_state(in);
+  }
 
   Oracle& inner() { return inner_; }
   const Oracle& inner() const { return inner_; }

@@ -466,6 +466,15 @@ void finish_degraded(AttackContext& ctx, const BitVec& key,
   const std::vector<BitVec> ycs = simulate_key_batch(ctx.lc, xrs, key);
   std::size_t mismatched_bits = 0, total_bits = 0;
   for (std::size_t q = 0; q < xrs.size(); ++q) {
+    // The measurement loop is pure oracle traffic, so the solver's deadline
+    // check never fires in it; with a slow (e.g. remote) oracle it used to
+    // overshoot the deadline by up to degraded_samples round-trips and
+    // still report kDegraded. Deadline expiry must win over the
+    // degraded verdict; the partial error estimate is kept for diagnostics.
+    if (ctx.deadline_expired()) {
+      result->status = SatAttackResult::Status::kSolverBudget;
+      break;
+    }
     BitVec yo;
     if (!ctx.resilient_query(xrs[q], &yo)) break;  // keep the partial estimate
     mismatched_bits += (yo ^ ycs[q]).count();
@@ -484,6 +493,10 @@ void finish_degraded(AttackContext& ctx, const BitVec& key,
 /// every solve are.
 void degrade(AttackContext& ctx, std::int64_t budget,
              SatAttackResult* result) {
+  if (ctx.deadline_expired()) {
+    result->status = SatAttackResult::Status::kSolverBudget;
+    return;
+  }
   std::vector<std::size_t> chosen;
   for (std::size_t i = 0; i < ctx.pairs.size(); ++i) {
     if (!ctx.pairs[i].live) continue;
@@ -514,6 +527,10 @@ void degrade(AttackContext& ctx, std::int64_t budget,
 ExtractOutcome extract_or_repair(AttackContext& ctx, std::int64_t budget,
                                  std::size_t* repair_rounds,
                                  SatAttackResult* result) {
+  if (ctx.deadline_expired()) {
+    result->status = SatAttackResult::Status::kSolverBudget;
+    return ExtractOutcome::kDone;
+  }
   SatAttackResult::Status budget_status = SatAttackResult::Status::kKeyFound;
   if (ctx.extract_key(&result->key, budget, &budget_status)) {
     result->status = SatAttackResult::Status::kKeyFound;
@@ -551,6 +568,15 @@ ExtractOutcome extract_or_repair(AttackContext& ctx, std::int64_t budget,
   // each of its inputs — a fresh answer (new noise draw, retries, votes)
   // usually disagrees with the corrupted one and re-enters cleanly.
   for (const std::size_t i : suspects) {
+    // Re-queries are oracle traffic: nothing on this path reaches the
+    // solver's deadline check, so a slow oracle used to drag the repair
+    // loop arbitrarily past the deadline and then report whatever verdict
+    // the repair happened to reach (kDegraded, kInconsistentOracle, even
+    // kKeyFound). Deadline expiry here is a deadline result, full stop.
+    if (ctx.deadline_expired()) {
+      result->status = SatAttackResult::Status::kSolverBudget;
+      return ExtractOutcome::kDone;
+    }
     const BitVec xd = ctx.pairs[i].x;
     ctx.evict_pair(i);
     ++ctx.requeried_pairs;

@@ -1,0 +1,176 @@
+#include "serve/job_server.h"
+
+#include <memory>
+#include <vector>
+
+#include "attacks/checkpoint.h"
+#include "attacks/faulty_oracle.h"
+#include "util/bytes.h"
+#include "util/parallel.h"
+
+namespace orap::serve {
+
+namespace {
+
+void hash_u64(std::vector<std::uint8_t>* buf, std::uint64_t v) {
+  bytes::put_u64(buf, v);
+}
+
+void hash_double(std::vector<std::uint8_t>* buf, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bytes::put_u64(buf, bits);
+}
+
+/// The job's oracle stack, owned as a unit. Construction order is the
+/// serialization order (innermost first), so checkpoint state blobs
+/// round-trip through the same shape every run.
+struct OracleStack {
+  explicit OracleStack(const AttackJob& job)
+      : golden(*job.circuit) {
+    Oracle* top = &golden;
+    const JobOracleConfig& c = job.oracle;
+    if (c.noise_rate > 0.0) {
+      noisy = std::make_unique<NoisyOracle>(*top, c.noise_rate, c.noise_seed);
+      top = noisy.get();
+    }
+    if (c.stick_rate > 0.0) {
+      stuck = std::make_unique<StuckOracle>(*top, c.stick_rate, c.stick_seed);
+      top = stuck.get();
+    }
+    if (c.drop_rate > 0.0) {
+      drop = std::make_unique<IntermittentOracle>(*top, c.drop_rate,
+                                                  c.drop_seed);
+      top = drop.get();
+    }
+    if (c.max_queries > 0) {
+      budget = std::make_unique<BudgetedOracle>(*top, c.max_queries);
+      top = budget.get();
+    }
+    if (c.latency_us > 0 || c.jitter_us > 0) {
+      latent = std::make_unique<LatentOracle>(*top, c.latency_us, c.jitter_us,
+                                              c.latency_seed);
+      top = latent.get();
+    }
+    outer = top;
+  }
+
+  GoldenOracle golden;
+  std::unique_ptr<NoisyOracle> noisy;
+  std::unique_ptr<StuckOracle> stuck;
+  std::unique_ptr<IntermittentOracle> drop;
+  std::unique_ptr<BudgetedOracle> budget;
+  std::unique_ptr<LatentOracle> latent;
+  Oracle* outer = nullptr;
+};
+
+}  // namespace
+
+std::uint64_t job_config_hash(const AttackJob& job) {
+  std::vector<std::uint8_t> buf;
+  // Circuit identity: shape plus the correct key (a cheap proxy for the
+  // netlist — job lists regenerate circuits from seeds, so shape + key
+  // collisions across configs are not a realistic hazard; the replay
+  // divergence guard backstops them anyway).
+  hash_u64(&buf, job.circuit->num_data_inputs);
+  hash_u64(&buf, job.circuit->num_key_inputs);
+  hash_u64(&buf, job.circuit->netlist.num_outputs());
+  for (const std::uint64_t w : job.circuit->correct_key.words())
+    hash_u64(&buf, w);
+  hash_u64(&buf, static_cast<std::uint64_t>(job.kind));
+  const bool app = job.kind == AttackJob::Kind::kAppSat;
+  hash_u64(&buf, static_cast<std::uint64_t>(
+                     app ? job.appsat.max_iterations : job.sat.max_iterations));
+  hash_u64(&buf, static_cast<std::uint64_t>(
+                     app ? job.appsat.conflict_budget : job.sat.conflict_budget));
+  const OracleResilienceOptions& res =
+      app ? job.appsat.resilience : job.sat.resilience;
+  hash_u64(&buf, res.retries);
+  hash_u64(&buf, res.votes);
+  hash_u64(&buf, res.quarantine ? 1 : 0);
+  hash_u64(&buf, res.max_evictions);
+  hash_u64(&buf, res.degraded_samples);
+  hash_u64(&buf, app ? job.appsat.portfolio_size : job.sat.portfolio_size);
+  hash_u64(&buf, app ? job.appsat.cube_depth : job.sat.cube_depth);
+  hash_u64(&buf, (app ? job.appsat.preprocess : job.sat.preprocess) ? 1 : 0);
+  hash_u64(&buf, (app ? job.appsat.incremental : job.sat.incremental) ? 1 : 0);
+  if (app) {
+    hash_u64(&buf, job.appsat.check_period);
+    hash_u64(&buf, job.appsat.random_queries);
+    hash_u64(&buf, job.appsat.settle_rounds);
+    hash_u64(&buf, job.appsat.seed);
+  }
+  hash_double(&buf, job.oracle.noise_rate);
+  hash_u64(&buf, job.oracle.noise_seed);
+  hash_double(&buf, job.oracle.stick_rate);
+  hash_u64(&buf, job.oracle.stick_seed);
+  hash_double(&buf, job.oracle.drop_rate);
+  hash_u64(&buf, job.oracle.drop_seed);
+  hash_u64(&buf, job.oracle.max_queries);
+  // Latency shapes timing only, never responses, so it is deliberately
+  // NOT part of the hash: a checkpoint taken over a slow link resumes
+  // against a fast one.
+  const std::uint32_t lo = bytes::crc32(buf.data(), buf.size());
+  const std::uint32_t hi = bytes::crc32(buf.data(), buf.size(), 0x9e3779b9u);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+JobResult JobServer::run_job(const AttackJob& job) const {
+  ORAP_CHECK_MSG(job.circuit != nullptr, "AttackJob without a circuit");
+  JobResult out;
+  out.id = job.id;
+  out.config_hash = job_config_hash(job);
+
+  auto stack = std::make_unique<OracleStack>(job);
+  auto ckpt =
+      std::make_unique<CheckpointedOracle>(*stack->outer, out.config_hash);
+  if (!opts_.checkpoint_dir.empty()) {
+    out.checkpoint_path = opts_.checkpoint_dir + "/" + job.id + ".ckpt";
+    const CheckpointedOracle::LoadStatus ls =
+        ckpt->load_file(out.checkpoint_path);
+    if (ls == CheckpointedOracle::LoadStatus::kOk) {
+      out.resumed = true;
+      out.replayed_queries = ckpt->transcript_size();
+    } else if (ls != CheckpointedOracle::LoadStatus::kMissing) {
+      // Corrupt or foreign checkpoint: start fresh on a clean stack (a
+      // failed state load may have half-written the decorators).
+      out.checkpoint_rejected = true;
+      ckpt.reset();
+      stack = std::make_unique<OracleStack>(job);
+      ckpt = std::make_unique<CheckpointedOracle>(*stack->outer,
+                                                  out.config_hash);
+    }
+    ckpt->enable_autosave(out.checkpoint_path, opts_.checkpoint_every);
+  }
+
+  switch (job.kind) {
+    case AttackJob::Kind::kSat:
+      out.result = sat_attack(*job.circuit, *ckpt, job.sat);
+      break;
+    case AttackJob::Kind::kAppSat:
+      out.result = appsat_attack(*job.circuit, *ckpt, job.appsat);
+      break;
+    case AttackJob::Kind::kDoubleDip:
+      out.result = double_dip_attack(*job.circuit, *ckpt, job.sat);
+      break;
+  }
+  ORAP_CHECK_MSG(!ckpt->diverged(),
+                 "checkpoint replay diverged despite matching config hash");
+  out.checkpoints_written = ckpt->autosaves();
+  if (!out.checkpoint_path.empty()) {
+    ckpt->set_progress_dips(out.result.iterations);
+    if (ckpt->save_file(out.checkpoint_path)) ++out.checkpoints_written;
+  }
+  return out;
+}
+
+std::vector<JobResult> JobServer::run(
+    const std::vector<AttackJob>& jobs) const {
+  std::vector<JobResult> results(jobs.size());
+  parallel_for(/*grain=*/1, jobs.size(), [&](std::size_t i) {
+    results[i] = run_job(jobs[i]);
+  });
+  return results;
+}
+
+}  // namespace orap::serve

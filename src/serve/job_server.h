@@ -1,0 +1,97 @@
+#pragma once
+// Attack job server: runs N oracle-guided attack jobs concurrently on the
+// work-stealing pool, each against its own (optionally fault-injected)
+// oracle stack wrapped in a CheckpointedOracle. With a checkpoint
+// directory configured, every job's oracle transcript is snapshotted
+// atomically every `checkpoint_every` live queries; a killed server
+// re-run with the same job list resumes each job from its last snapshot
+// and — because the attacks are deterministic given oracle responses and
+// the fault decorators' RNG positions travel in the snapshot — finishes
+// with the byte-identical final key, status, and counters the
+// uninterrupted run produces.
+//
+// Jobs run via parallel_for with grain 1, so the pool schedules them;
+// each job's own attack-internal parallelism (portfolio / cube) runs
+// inline inside the job's worker (nested regions do), keeping the
+// per-job trajectory independent of how many jobs share the pool.
+//
+// Deadlines (`deadline_ms >= 0`) are wall-clock and therefore waive the
+// byte-identity guarantee exactly as they do in-process; checkpointed
+// jobs normally leave them off.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/sat_attack.h"
+#include "locking/locking.h"
+
+namespace orap::serve {
+
+/// Deterministic fault-decorator stack built over a job's GoldenOracle
+/// (innermost to outermost: noisy, stuck, intermittent, budgeted,
+/// latent). All off by default.
+struct JobOracleConfig {
+  double noise_rate = 0.0;
+  std::uint64_t noise_seed = 1;
+  double stick_rate = 0.0;
+  std::uint64_t stick_seed = 2;
+  double drop_rate = 0.0;
+  std::uint64_t drop_seed = 3;
+  std::size_t max_queries = 0;  // 0 = unlimited
+  std::uint64_t latency_us = 0;
+  std::uint64_t jitter_us = 0;
+  std::uint64_t latency_seed = 4;
+};
+
+struct AttackJob {
+  enum class Kind { kSat, kAppSat, kDoubleDip };
+
+  std::string id;  // checkpoint file stem; unique within a job list
+  const LockedCircuit* circuit = nullptr;
+  Kind kind = Kind::kSat;
+  SatAttackOptions sat;     // kSat / kDoubleDip
+  AppSatOptions appsat;     // kAppSat
+  JobOracleConfig oracle;
+};
+
+struct JobServerOptions {
+  /// Directory for <id>.ckpt files; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Live oracle queries between snapshots.
+  std::size_t checkpoint_every = 64;
+};
+
+struct JobResult {
+  std::string id;
+  SatAttackResult result;
+  std::uint64_t config_hash = 0;
+  bool resumed = false;              // a valid checkpoint was replayed
+  std::size_t replayed_queries = 0;  // transcript prefix served from disk
+  bool checkpoint_rejected = false;  // file existed but was corrupt or
+                                     // belonged to a different config
+  std::uint64_t checkpoints_written = 0;
+  std::string checkpoint_path;       // empty when checkpointing is off
+};
+
+/// Fingerprint of everything that shapes a job's trajectory (circuit,
+/// attack kind + options, oracle stack). Embedded in the checkpoint so a
+/// stale file can never resume a different job.
+std::uint64_t job_config_hash(const AttackJob& job);
+
+class JobServer {
+ public:
+  explicit JobServer(const JobServerOptions& opts = {}) : opts_(opts) {}
+
+  /// Runs one job to completion (resuming from its checkpoint if one is
+  /// valid) and writes a final snapshot.
+  JobResult run_job(const AttackJob& job) const;
+
+  /// Runs all jobs concurrently on the pool; results in job order.
+  std::vector<JobResult> run(const std::vector<AttackJob>& jobs) const;
+
+ private:
+  JobServerOptions opts_;
+};
+
+}  // namespace orap::serve

@@ -1,0 +1,83 @@
+#include "serve/oracle_server.h"
+
+#include <chrono>
+#include <thread>
+
+#include "serve/wire.h"
+
+namespace orap::serve {
+
+OracleServer::OracleServer(Oracle& oracle, const OracleServerOptions& opts)
+    : oracle_(oracle), opts_(opts), jitter_rng_(opts.jitter_seed) {}
+
+bool OracleServer::serve(Transport& t) {
+  Frame f;
+  while (true) {
+    if (!read_frame(t, &f)) return true;  // EOF: the client hung up
+    ++frames_;
+    switch (f.type) {
+      case FrameType::kHello: {
+        std::uint32_t version = 0;
+        if (!decode_hello(f.body, &version) || version != kProtoVersion) {
+          write_frame(t, FrameType::kError,
+                      encode_error("unsupported protocol version"));
+          return false;
+        }
+        HelloReply r;
+        r.version = kProtoVersion;
+        r.num_inputs = oracle_.num_inputs();
+        r.num_outputs = oracle_.num_outputs();
+        if (!write_frame(t, FrameType::kHelloReply, encode_hello_reply(r)))
+          return true;
+        break;
+      }
+      case FrameType::kQueryBatch: {
+        bool requery = false;
+        std::vector<BitVec> xs;
+        if (!decode_query_batch(f.body, oracle_.num_inputs(), &requery,
+                                &xs)) {
+          write_frame(t, FrameType::kError,
+                      encode_error("malformed query batch"));
+          return false;
+        }
+        // One round trip, one latency charge — regardless of batch size.
+        if (opts_.latency_us > 0 || opts_.jitter_us > 0) {
+          std::uint64_t us = opts_.latency_us;
+          if (opts_.jitter_us > 0) us += jitter_rng_.below(opts_.jitter_us + 1);
+          if (us > 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(us));
+        }
+        std::vector<OracleResult> rs;
+        rs.reserve(xs.size());
+        for (const BitVec& x : xs)
+          rs.push_back(requery ? oracle_.requery(x) : oracle_.query(x));
+        queries_ += xs.size();
+        if (!write_frame(t, FrameType::kBatchReply, encode_batch_reply(rs)))
+          return true;
+        break;
+      }
+      case FrameType::kStateGet: {
+        std::vector<std::uint8_t> state;
+        oracle_.save_state(&state);
+        if (!write_frame(t, FrameType::kStateBlob, state)) return true;
+        break;
+      }
+      case FrameType::kStateSet: {
+        bytes::Reader in(f.body);
+        const bool ok =
+            oracle_.load_state(&in) && in.ok() && in.remaining() == 0;
+        if (!write_frame(t, FrameType::kAck, encode_ack(ok))) return true;
+        break;
+      }
+      case FrameType::kShutdown:
+        write_frame(t, FrameType::kAck, encode_ack(true));
+        return true;
+      default:
+        write_frame(t, FrameType::kError,
+                    encode_error("unexpected frame type"));
+        return false;
+    }
+  }
+}
+
+}  // namespace orap::serve

@@ -1,0 +1,50 @@
+#pragma once
+// Server side of oracle-as-a-service: exposes any Oracle — including a
+// full fault-decorator stack from attacks/faulty_oracle.h — over one
+// Transport speaking the serve/wire.h protocol.
+//
+// The server processes request frames strictly in order on one
+// connection, modelling what it stands in for: a single physical chip on
+// a single tester session. Configurable per-round-trip latency (fixed +
+// seeded jitter) is charged once per kQueryBatch frame, which is what
+// makes the batching-vs-latency tradeoff real: B batched queries pay one
+// round trip, B unbatched queries pay B.
+
+#include <cstdint>
+
+#include "attacks/oracle.h"
+#include "serve/transport.h"
+#include "util/rng.h"
+
+namespace orap::serve {
+
+struct OracleServerOptions {
+  /// Injected per-request-frame latency (microseconds) plus a seeded
+  /// jitter draw in [0, jitter_us]. Zero = off.
+  std::uint64_t latency_us = 0;
+  std::uint64_t jitter_us = 0;
+  std::uint64_t jitter_seed = 1;
+};
+
+class OracleServer {
+ public:
+  OracleServer(Oracle& oracle, const OracleServerOptions& opts = {});
+
+  /// Serves one connection until kShutdown, EOF, or a protocol error.
+  /// Returns true on an orderly end (shutdown or EOF), false when the
+  /// peer broke the protocol (a kError frame is sent first when the
+  /// stream still works).
+  bool serve(Transport& t);
+
+  std::uint64_t frames_served() const { return frames_; }
+  std::uint64_t queries_served() const { return queries_; }
+
+ private:
+  Oracle& oracle_;
+  OracleServerOptions opts_;
+  Rng jitter_rng_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace orap::serve

@@ -1,0 +1,114 @@
+#include "serve/remote_oracle.h"
+
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace orap::serve {
+
+RemoteOracle::RemoteOracle(std::unique_ptr<Transport> transport,
+                           std::size_t num_inputs, std::size_t num_outputs)
+    : transport_(std::move(transport)),
+      num_inputs_(num_inputs),
+      num_outputs_(num_outputs) {}
+
+std::unique_ptr<RemoteOracle> RemoteOracle::connect(
+    std::unique_ptr<Transport> transport, std::string* error) {
+  const auto fail = [error](const char* msg) {
+    if (error != nullptr) *error = msg;
+    return nullptr;
+  };
+  if (!transport) return fail("no transport");
+  if (!write_frame(*transport, FrameType::kHello, encode_hello()))
+    return fail("handshake write failed");
+  Frame f;
+  if (!read_frame(*transport, &f)) return fail("handshake read failed");
+  if (f.type == FrameType::kError) {
+    std::string msg;
+    decode_error(f.body, &msg);
+    if (error != nullptr) *error = "server rejected hello: " + msg;
+    return nullptr;
+  }
+  HelloReply r;
+  if (f.type != FrameType::kHelloReply || !decode_hello_reply(f.body, &r) ||
+      r.version != kProtoVersion)
+    return fail("bad hello reply");
+  return std::unique_ptr<RemoteOracle>(new RemoteOracle(
+      std::move(transport), static_cast<std::size_t>(r.num_inputs),
+      static_cast<std::size_t>(r.num_outputs)));
+}
+
+bool RemoteOracle::query_batch(const std::vector<BitVec>& xs,
+                               std::vector<OracleResult>* out,
+                               bool requery) {
+  out->clear();
+  if (dead_) return false;
+  Frame f;
+  if (!write_frame(*transport_, FrameType::kQueryBatch,
+                   encode_query_batch(xs, requery)) ||
+      !read_frame(*transport_, &f) || f.type != FrameType::kBatchReply ||
+      !decode_batch_reply(f.body, num_outputs_, out) ||
+      out->size() != xs.size()) {
+    dead_ = true;
+    out->clear();
+    return false;
+  }
+  return true;
+}
+
+OracleResult RemoteOracle::do_query(const BitVec& data) {
+  // A broken stream never recovers (the frame boundary is gone), so it is
+  // a terminal kExhausted, not a retryable transient — retrying into a
+  // dead link would spin the resilience policy for nothing. Genuine
+  // transients/timeouts of the DEVICE travel inside kBatchReply and keep
+  // their own kinds.
+  std::vector<OracleResult> rs;
+  if (!query_batch({data}, &rs)) {
+    return OracleResult::failure(OracleErrorKind::kExhausted);
+  }
+  return std::move(rs.front());
+}
+
+void RemoteOracle::save_state(std::vector<std::uint8_t>* out) const {
+  std::vector<std::uint8_t> state;
+  if (!dead_) {
+    Frame f;
+    if (write_frame(*transport_, FrameType::kStateGet, {}) &&
+        read_frame(*transport_, &f) && f.type == FrameType::kStateBlob) {
+      state = std::move(f.body);
+    } else {
+      dead_ = true;
+    }
+  }
+  bytes::put_blob(out, state.data(), state.size());
+}
+
+bool RemoteOracle::load_state(bytes::Reader* in) {
+  std::vector<std::uint8_t> state;
+  if (!in->blob(&state)) return false;
+  if (dead_) return false;
+  Frame f;
+  bool ok = false;
+  if (!write_frame(*transport_, FrameType::kStateSet, state) ||
+      !read_frame(*transport_, &f) || f.type != FrameType::kAck ||
+      !decode_ack(f.body, &ok)) {
+    dead_ = true;
+    return false;
+  }
+  return ok;
+}
+
+bool RemoteOracle::shutdown() {
+  if (dead_) return false;
+  Frame f;
+  bool ok = false;
+  if (!write_frame(*transport_, FrameType::kShutdown, {}) ||
+      !read_frame(*transport_, &f) || f.type != FrameType::kAck ||
+      !decode_ack(f.body, &ok)) {
+    dead_ = true;
+    return false;
+  }
+  return ok;
+}
+
+}  // namespace orap::serve

@@ -1,0 +1,65 @@
+#pragma once
+// Client side of oracle-as-a-service: RemoteOracle is a full Oracle over
+// a Transport, so every existing attack (sat_attack, appsat, double_dip,
+// the resilient loop, CheckpointedOracle) runs against a served oracle
+// unmodified — including the save_state/load_state chain, which round-
+// trips the SERVER-side decorator stack's resume state through
+// kStateGet/kStateSet.
+//
+// One do_query is one single-query batch (one round trip). Callers
+// holding many independent inputs should use query_batch, and truly
+// latency-bound callers can pipeline whole frames by driving wire.h
+// directly (the bench does).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "serve/transport.h"
+
+namespace orap::serve {
+
+class RemoteOracle final : public Oracle {
+ public:
+  /// Performs the Hello handshake; returns nullptr (with a diagnostic in
+  /// *error) when the transport dies or the server speaks another version.
+  static std::unique_ptr<RemoteOracle> connect(
+      std::unique_ptr<Transport> transport, std::string* error = nullptr);
+
+  std::size_t num_inputs() const override { return num_inputs_; }
+  std::size_t num_outputs() const override { return num_outputs_; }
+
+  /// Many queries, one round trip. false on a dead transport (the per-
+  /// query results are then unspecified). `requery` routes to the server
+  /// oracle's retry accounting.
+  bool query_batch(const std::vector<BitVec>& xs,
+                   std::vector<OracleResult>* out, bool requery = false);
+
+  /// Remote state chain: save_state appends the server stack's state as a
+  /// length-prefixed blob; load_state pushes the same blob back. A dead
+  /// transport surfaces as an empty blob / false.
+  void save_state(std::vector<std::uint8_t>* out) const override;
+  bool load_state(bytes::Reader* in) override;
+
+  /// Orderly server shutdown (kShutdown + ack). The transport stays owned
+  /// until destruction.
+  bool shutdown();
+
+  bool transport_failed() const { return dead_; }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+
+ private:
+  RemoteOracle(std::unique_ptr<Transport> transport, std::size_t num_inputs,
+               std::size_t num_outputs);
+
+  std::unique_ptr<Transport> transport_;
+  std::size_t num_inputs_;
+  std::size_t num_outputs_;
+  mutable bool dead_ = false;
+};
+
+}  // namespace orap::serve

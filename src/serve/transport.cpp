@@ -1,0 +1,240 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace orap::serve {
+
+namespace {
+
+void close_quiet(int fd) {
+  if (fd >= 0) {
+    int rc;
+    do {
+      rc = ::close(fd);
+    } while (rc != 0 && errno == EINTR);
+  }
+}
+
+}  // namespace
+
+// --- FdTransport ------------------------------------------------------------
+
+FdTransport::FdTransport(int read_fd, int write_fd, int timeout_ms,
+                         bool is_socket)
+    : rfd_(read_fd),
+      wfd_(write_fd),
+      timeout_ms_(timeout_ms),
+      is_socket_(is_socket) {}
+
+FdTransport::~FdTransport() {
+  close_quiet(rfd_);
+  if (wfd_ != rfd_) close_quiet(wfd_);
+}
+
+bool FdTransport::wait_ready(bool for_read) {
+  if (timeout_ms_ < 0) return true;
+  struct pollfd p;
+  p.fd = for_read ? rfd_ : wfd_;
+  p.events = for_read ? POLLIN : POLLOUT;
+  p.revents = 0;
+  int rc;
+  do {
+    rc = ::poll(&p, 1, timeout_ms_);
+  } while (rc < 0 && errno == EINTR);
+  // POLLHUP/POLLERR still let the read/write run and report definitively.
+  return rc > 0;
+}
+
+bool FdTransport::read_full(void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    if (!wait_ready(/*for_read=*/true)) return false;
+    const ssize_t got = is_socket_ ? ::recv(rfd_, p, n, 0) : ::read(rfd_, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (got == 0) return false;  // EOF mid-frame
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool FdTransport::write_full(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    if (!wait_ready(/*for_read=*/false)) return false;
+    const ssize_t put =
+        is_socket_ ? ::send(wfd_, p, n, MSG_NOSIGNAL) : ::write(wfd_, p, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+// --- TcpListener ------------------------------------------------------------
+
+TcpListener::~TcpListener() { close(); }
+
+void TcpListener::close() {
+  close_quiet(fd_);
+  fd_ = -1;
+  port_ = 0;
+}
+
+bool TcpListener::listen(std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd_, 8) != 0) {
+    close();
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    close();
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+std::unique_ptr<FdTransport> TcpListener::accept(int timeout_ms,
+                                                 int io_timeout_ms) {
+  if (fd_ < 0) return nullptr;
+  if (timeout_ms >= 0) {
+    struct pollfd p;
+    p.fd = fd_;
+    p.events = POLLIN;
+    p.revents = 0;
+    int rc;
+    do {
+      rc = ::poll(&p, 1, timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) return nullptr;
+  }
+  int cfd;
+  do {
+    cfd = ::accept(fd_, nullptr, nullptr);
+  } while (cfd < 0 && errno == EINTR);
+  if (cfd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<FdTransport>(cfd, cfd, io_timeout_ms,
+                                       /*is_socket=*/true);
+}
+
+std::unique_ptr<FdTransport> tcp_connect(const std::string& host,
+                                         std::uint16_t port,
+                                         int io_timeout_ms) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return nullptr;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    close_quiet(fd);
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<FdTransport>(fd, fd, io_timeout_ms,
+                                       /*is_socket=*/true);
+}
+
+// --- SubprocessTransport ----------------------------------------------------
+
+std::unique_ptr<SubprocessTransport> SubprocessTransport::spawn(
+    const std::vector<std::string>& argv, int io_timeout_ms) {
+  if (argv.empty()) return nullptr;
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  if (::pipe(to_child) != 0) return nullptr;
+  if (::pipe(from_child) != 0) {
+    close_quiet(to_child[0]);
+    close_quiet(to_child[1]);
+    return nullptr;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      close_quiet(fd);
+    return nullptr;
+  }
+  if (pid == 0) {
+    // Child: wire the pipes to stdin/stdout and exec. Protocol bytes own
+    // stdout; the server writes diagnostics to stderr only.
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    for (const int fd : {to_child[0], to_child[1], from_child[0],
+                         from_child[1]})
+      close_quiet(fd);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const std::string& a : argv)
+      cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+    ::execvp(cargv[0], cargv.data());
+    ::_exit(127);
+  }
+  close_quiet(to_child[0]);
+  close_quiet(from_child[1]);
+  return std::unique_ptr<SubprocessTransport>(new SubprocessTransport(
+      pid, from_child[0], to_child[1], io_timeout_ms));
+}
+
+SubprocessTransport::SubprocessTransport(pid_t pid, int read_fd, int write_fd,
+                                         int io_timeout_ms)
+    : pid_(pid),
+      io_(std::make_unique<FdTransport>(read_fd, write_fd, io_timeout_ms)) {}
+
+SubprocessTransport::~SubprocessTransport() {
+  io_.reset();  // closing the child's stdin tells it to exit
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid_, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+}
+
+bool SubprocessTransport::read_full(void* buf, std::size_t n) {
+  return io_->read_full(buf, n);
+}
+
+bool SubprocessTransport::write_full(const void* buf, std::size_t n) {
+  return io_->write_full(buf, n);
+}
+
+}  // namespace orap::serve

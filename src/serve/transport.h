@@ -1,0 +1,119 @@
+#pragma once
+// Blocking byte-stream transports for the oracle wire protocol
+// (serve/wire.h). Two concrete flavors, matching how a served oracle is
+// actually reached:
+//
+//  * loopback/remote TCP  — TcpListener + tcp_connect + FdTransport,
+//  * subprocess stdio     — SubprocessTransport forks the server binary
+//                           and speaks the protocol over its stdin/stdout.
+//
+// FdTransport is deliberately paranoid about POSIX edge cases: every read
+// and write loops over partial transfers, retries EINTR, and (with a
+// timeout configured) polls before blocking so a hung peer surfaces as a
+// clean failure instead of a wedged attack. Socket writes use
+// MSG_NOSIGNAL so a vanished peer reports an error rather than raising
+// SIGPIPE.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace orap::serve {
+
+/// Blocking, reliable, ordered byte stream (both transports are).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Reads exactly `n` bytes. false on EOF, error, or timeout — the
+  /// stream is then unusable (a frame boundary was lost).
+  virtual bool read_full(void* buf, std::size_t n) = 0;
+  /// Writes exactly `n` bytes; false on error or timeout.
+  virtual bool write_full(const void* buf, std::size_t n) = 0;
+};
+
+/// Transport over a pair of file descriptors (equal for a socket).
+/// Owns and closes them.
+class FdTransport final : public Transport {
+ public:
+  /// `timeout_ms` < 0 blocks forever; otherwise every read/write that
+  /// would block for longer fails. `is_socket` selects send/recv with
+  /// MSG_NOSIGNAL over read/write.
+  FdTransport(int read_fd, int write_fd, int timeout_ms = -1,
+              bool is_socket = false);
+  ~FdTransport() override;
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  bool read_full(void* buf, std::size_t n) override;
+  bool write_full(const void* buf, std::size_t n) override;
+
+ private:
+  bool wait_ready(bool for_read);
+
+  int rfd_;
+  int wfd_;
+  int timeout_ms_;
+  bool is_socket_;
+};
+
+/// Listening IPv4 socket. Binds 127.0.0.1 only: the protocol carries no
+/// authentication, so a served oracle must never be reachable off-host by
+/// default.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port —
+  /// read it back via port()).
+  bool listen(std::uint16_t port);
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Accepts one connection. `timeout_ms` < 0 blocks forever. Returns a
+  /// connected Transport or nullptr.
+  std::unique_ptr<FdTransport> accept(int timeout_ms = -1,
+                                      int io_timeout_ms = -1);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port. Returns nullptr on failure.
+std::unique_ptr<FdTransport> tcp_connect(const std::string& host,
+                                         std::uint16_t port,
+                                         int io_timeout_ms = -1);
+
+/// Forks `argv` with a pipe pair wired to the child's stdin/stdout and
+/// speaks the protocol over them. The child is reaped on destruction
+/// (stdin close is its shutdown signal).
+class SubprocessTransport final : public Transport {
+ public:
+  static std::unique_ptr<SubprocessTransport> spawn(
+      const std::vector<std::string>& argv, int io_timeout_ms = -1);
+  ~SubprocessTransport() override;
+  SubprocessTransport(const SubprocessTransport&) = delete;
+  SubprocessTransport& operator=(const SubprocessTransport&) = delete;
+
+  bool read_full(void* buf, std::size_t n) override;
+  bool write_full(const void* buf, std::size_t n) override;
+
+ private:
+  SubprocessTransport(pid_t pid, int read_fd, int write_fd,
+                      int io_timeout_ms);
+
+  pid_t pid_;
+  std::unique_ptr<FdTransport> io_;
+};
+
+}  // namespace orap::serve

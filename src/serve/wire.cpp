@@ -1,0 +1,177 @@
+#include "serve/wire.h"
+
+#include <utility>
+
+namespace orap::serve {
+
+bool read_frame(Transport& t, Frame* out) {
+  std::uint8_t head[5];
+  if (!t.read_full(head, sizeof(head))) return false;
+  bytes::Reader hr(head, sizeof(head));
+  const std::uint32_t len = hr.u32();
+  const std::uint8_t type = hr.u8();
+  if (len > kMaxFrameBody) return false;
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kError))
+    return false;
+  out->type = static_cast<FrameType>(type);
+  out->body.resize(len);
+  return len == 0 || t.read_full(out->body.data(), len);
+}
+
+bool write_frame(Transport& t, FrameType type,
+                 const std::vector<std::uint8_t>& body) {
+  if (body.size() > kMaxFrameBody) return false;
+  std::vector<std::uint8_t> head;
+  head.reserve(5);
+  bytes::put_u32(&head, static_cast<std::uint32_t>(body.size()));
+  bytes::put_u8(&head, static_cast<std::uint8_t>(type));
+  return t.write_full(head.data(), head.size()) &&
+         (body.empty() || t.write_full(body.data(), body.size()));
+}
+
+std::vector<std::uint8_t> encode_hello() {
+  std::vector<std::uint8_t> body;
+  bytes::put_u32(&body, kProtoVersion);
+  return body;
+}
+
+bool decode_hello(const std::vector<std::uint8_t>& body,
+                  std::uint32_t* version) {
+  bytes::Reader in(body);
+  *version = in.u32();
+  return in.ok() && in.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& r) {
+  std::vector<std::uint8_t> body;
+  bytes::put_u32(&body, r.version);
+  bytes::put_u64(&body, r.num_inputs);
+  bytes::put_u64(&body, r.num_outputs);
+  return body;
+}
+
+bool decode_hello_reply(const std::vector<std::uint8_t>& body,
+                        HelloReply* r) {
+  bytes::Reader in(body);
+  r->version = in.u32();
+  r->num_inputs = in.u64();
+  r->num_outputs = in.u64();
+  return in.ok() && in.remaining() == 0;
+}
+
+void pack_bits(std::vector<std::uint8_t>* out, const BitVec& v) {
+  for (const std::uint64_t w : v.words()) bytes::put_u64(out, w);
+}
+
+bool unpack_bits(bytes::Reader* in, std::size_t nbits, BitVec* out) {
+  BitVec v(nbits);
+  for (auto& w : v.words()) w = in->u64();
+  if (!in->ok()) return false;
+  if (nbits % 64 != 0 && !v.words().empty() &&
+      (v.words().back() >> (nbits % 64)) != 0)
+    return false;
+  *out = std::move(v);
+  return true;
+}
+
+std::vector<std::uint8_t> encode_query_batch(const std::vector<BitVec>& xs,
+                                             bool requery) {
+  std::vector<std::uint8_t> body;
+  bytes::put_u8(&body, requery ? 1 : 0);
+  bytes::put_u32(&body, static_cast<std::uint32_t>(xs.size()));
+  for (const BitVec& x : xs) pack_bits(&body, x);
+  return body;
+}
+
+bool decode_query_batch(const std::vector<std::uint8_t>& body,
+                        std::size_t num_inputs, bool* requery,
+                        std::vector<BitVec>* xs) {
+  bytes::Reader in(body);
+  const std::uint8_t kind = in.u8();
+  if (kind > 1) return false;
+  *requery = kind == 1;
+  const std::uint32_t count = in.u32();
+  if (!in.ok()) return false;
+  // Cheap overrun check before reserving anything: each input is a fixed
+  // number of words, so the remaining byte count pins the maximum count.
+  if (static_cast<std::uint64_t>(count) * packed_words(num_inputs) * 8 !=
+      in.remaining())
+    return false;
+  xs->clear();
+  xs->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BitVec x;
+    if (!unpack_bits(&in, num_inputs, &x)) return false;
+    xs->push_back(std::move(x));
+  }
+  return in.ok() && in.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_batch_reply(
+    const std::vector<OracleResult>& rs) {
+  std::vector<std::uint8_t> body;
+  bytes::put_u32(&body, static_cast<std::uint32_t>(rs.size()));
+  for (const OracleResult& r : rs) {
+    if (r.ok()) {
+      bytes::put_u8(&body, 0);
+      pack_bits(&body, r.response());
+    } else {
+      bytes::put_u8(&body,
+                    static_cast<std::uint8_t>(r.error().kind) + 1);
+    }
+  }
+  return body;
+}
+
+bool decode_batch_reply(const std::vector<std::uint8_t>& body,
+                        std::size_t num_outputs,
+                        std::vector<OracleResult>* rs) {
+  bytes::Reader in(body);
+  const std::uint32_t count = in.u32();
+  if (!in.ok()) return false;
+  rs->clear();
+  rs->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t status = in.u8();
+    if (status == 0) {
+      BitVec y;
+      if (!unpack_bits(&in, num_outputs, &y)) return false;
+      rs->push_back(OracleResult(std::move(y)));
+    } else if (status <= 3) {
+      rs->push_back(
+          OracleResult::failure(static_cast<OracleErrorKind>(status - 1)));
+    } else {
+      return false;
+    }
+  }
+  return in.ok() && in.remaining() == 0;
+}
+
+std::vector<std::uint8_t> encode_ack(bool ok) {
+  std::vector<std::uint8_t> body;
+  bytes::put_u8(&body, ok ? 1 : 0);
+  return body;
+}
+
+bool decode_ack(const std::vector<std::uint8_t>& body, bool* ok) {
+  bytes::Reader in(body);
+  const std::uint8_t v = in.u8();
+  if (!in.ok() || in.remaining() != 0 || v > 1) return false;
+  *ok = v == 1;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_error(const std::string& message) {
+  std::vector<std::uint8_t> body;
+  bytes::put_string(&body, message);
+  return body;
+}
+
+bool decode_error(const std::vector<std::uint8_t>& body,
+                  std::string* message) {
+  bytes::Reader in(body);
+  return in.str(message) && in.remaining() == 0;
+}
+
+}  // namespace orap::serve

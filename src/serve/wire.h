@@ -1,0 +1,112 @@
+#pragma once
+// Length-prefixed binary wire protocol for oracle-as-a-service.
+//
+// Frame layout (little-endian, helpers in util/bytes.h):
+//
+//   u32 body_length | u8 frame_type | body
+//
+// Conversation: the client opens with kHello (its protocol version); the
+// server answers kHelloReply with the oracle's I/O shape. After that the
+// client sends any number of request frames and the server answers each in
+// order — the transports are ordered byte streams, so a client may PIPELINE
+// requests (send several frames before reading the replies) and BATCH
+// queries (many inputs per kQueryBatch frame). Both matter against a
+// high-latency link: the server charges its injected per-round-trip
+// latency once per request frame, exactly like a real tester session
+// charges its cable round-trip once per scan burst.
+//
+//   kHello       -> kHelloReply     version/shape handshake
+//   kQueryBatch  -> kBatchReply     n packed inputs -> n status+response
+//   kStateGet    -> kStateBlob      Oracle::save_state of the served stack
+//   kStateSet    -> kAck            Oracle::load_state (checkpoint resume)
+//   kShutdown    -> kAck            orderly server exit
+//   (anything malformed) -> kError  message + connection close
+//
+// Query inputs and responses are packed fixed-width — ceil(nbits/64)
+// words, no per-item length — because both shapes are fixed by the
+// handshake; a batch of B inputs costs 5 + 1 + 4 + B*8*words bytes on the
+// wire.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "serve/transport.h"
+#include "util/bitvec.h"
+
+namespace orap::serve {
+
+constexpr std::uint32_t kProtoVersion = 1;
+/// Upper bound on a frame body; anything larger is a protocol error (and
+/// a malicious peer cannot make the server allocate unbounded memory).
+constexpr std::uint32_t kMaxFrameBody = 1u << 26;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kHelloReply = 2,
+  kQueryBatch = 3,
+  kBatchReply = 4,
+  kStateGet = 5,
+  kStateBlob = 6,
+  kStateSet = 7,
+  kAck = 8,
+  kShutdown = 9,
+  kError = 10,
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::uint8_t> body;
+};
+
+/// Reads one frame. false on EOF/timeout/oversized body (stream dead).
+bool read_frame(Transport& t, Frame* out);
+bool write_frame(Transport& t, FrameType type,
+                 const std::vector<std::uint8_t>& body);
+
+/// kHello body: u32 proto version. kHelloReply body: u32 version accepted,
+/// u64 num_inputs, u64 num_outputs.
+struct HelloReply {
+  std::uint32_t version = 0;
+  std::uint64_t num_inputs = 0;
+  std::uint64_t num_outputs = 0;
+};
+std::vector<std::uint8_t> encode_hello();
+bool decode_hello(const std::vector<std::uint8_t>& body,
+                  std::uint32_t* version);
+std::vector<std::uint8_t> encode_hello_reply(const HelloReply& r);
+bool decode_hello_reply(const std::vector<std::uint8_t>& body, HelloReply* r);
+
+/// Fixed-width BitVec packing: ceil(nbits/64) little-endian words.
+inline std::size_t packed_words(std::size_t nbits) {
+  return (nbits + 63) / 64;
+}
+void pack_bits(std::vector<std::uint8_t>* out, const BitVec& v);
+/// Unpacks `nbits`; false when the tail word carries garbage bits.
+bool unpack_bits(bytes::Reader* in, std::size_t nbits, BitVec* out);
+
+/// kQueryBatch body: u8 kind (0 = logical query, 1 = requery; server-side
+/// accounting only), u32 count, count packed inputs.
+std::vector<std::uint8_t> encode_query_batch(const std::vector<BitVec>& xs,
+                                             bool requery);
+bool decode_query_batch(const std::vector<std::uint8_t>& body,
+                        std::size_t num_inputs, bool* requery,
+                        std::vector<BitVec>* xs);
+
+/// kBatchReply body: u32 count, then per query u8 status (0 = ok, else
+/// OracleErrorKind + 1) and the packed response when ok.
+std::vector<std::uint8_t> encode_batch_reply(
+    const std::vector<OracleResult>& rs);
+bool decode_batch_reply(const std::vector<std::uint8_t>& body,
+                        std::size_t num_outputs,
+                        std::vector<OracleResult>* rs);
+
+/// kAck body: u8 ok. kError body: length-prefixed message.
+std::vector<std::uint8_t> encode_ack(bool ok);
+bool decode_ack(const std::vector<std::uint8_t>& body, bool* ok);
+std::vector<std::uint8_t> encode_error(const std::string& message);
+bool decode_error(const std::vector<std::uint8_t>& body,
+                  std::string* message);
+
+}  // namespace orap::serve

@@ -1,0 +1,138 @@
+#pragma once
+// Little-endian byte (de)serialization helpers shared by the wire protocol
+// (src/serve/wire.h), the attack checkpoint format
+// (src/attacks/checkpoint.h), and oracle resume-state blobs
+// (attacks/oracle.h). Writers append to a std::vector<uint8_t>; the Reader
+// is a bounds-checked cursor that latches failure instead of throwing, so
+// deserializers can parse optimistically and check ok() once — a
+// truncated or corrupted input can never read out of bounds.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace orap::bytes {
+
+inline void put_u8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+inline void put_u32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_u64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void put_bytes(std::vector<std::uint8_t>* out, const void* data,
+                      std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out->insert(out->end(), p, p + n);
+}
+
+/// Length-prefixed string/blob (u32 length + raw bytes).
+inline void put_blob(std::vector<std::uint8_t>* out, const void* data,
+                     std::size_t n) {
+  put_u32(out, static_cast<std::uint32_t>(n));
+  put_bytes(out, data, n);
+}
+
+inline void put_string(std::vector<std::uint8_t>* out, const std::string& s) {
+  put_blob(out, s.data(), s.size());
+}
+
+/// Bounds-checked deserialization cursor. Any read past the end latches
+/// !ok() and yields zeros; callers check ok() after parsing.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+  explicit Reader(const std::vector<std::uint8_t>& buf)
+      : Reader(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const {
+    return ok_ ? static_cast<std::size_t>(end_ - p_) : 0;
+  }
+  const std::uint8_t* cursor() const { return p_; }
+
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return p_[-1];
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(p_[i - 4]) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(p_[i - 8]) << (8 * i);
+    return v;
+  }
+  bool raw(void* out, std::size_t n) {
+    if (!take(n)) return false;
+    std::memcpy(out, p_ - n, n);
+    return true;
+  }
+  /// u32-length-prefixed blob; returns false (and latches !ok) when the
+  /// declared length overruns the buffer.
+  bool blob(std::vector<std::uint8_t>* out) {
+    const std::uint32_t n = u32();
+    if (!take(n)) return false;
+    out->assign(p_ - n, p_);
+    return true;
+  }
+  bool str(std::string* out) {
+    const std::uint32_t n = u32();
+    if (!take(n)) return false;
+    out->assign(reinterpret_cast<const char*>(p_ - n), n);
+    return true;
+  }
+
+ private:
+  bool take(std::size_t n) {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    p_ += n;
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) over a byte range.
+/// Used as the checkpoint-file integrity check: cheap, and any truncation
+/// or bit corruption of a record is overwhelmingly likely to be caught.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  static const std::uint32_t* table = [] {
+    static std::uint32_t t[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = ~seed;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace orap::bytes

@@ -82,6 +82,17 @@ class Rng {
   /// Single uniform bit.
   bool bit() { return ((*this)() >> 63) != 0; }
 
+  /// Stream-position capture for checkpoint/resume: the four state words
+  /// fully determine every future draw, so saving and restoring them makes
+  /// a resumed consumer continue the exact sequence the interrupted run
+  /// would have produced.
+  void save_state(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void restore_state(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

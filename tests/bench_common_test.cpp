@@ -1,9 +1,16 @@
 // Tests for the shared bench CLI plumbing: strict argument parsing (bad
-// values and unknown flags must be rejected, not silently swallowed) and
-// JSON string escaping (control characters must become \uXXXX).
+// values and unknown flags must be rejected, not silently swallowed),
+// JSON string escaping (control characters must become \uXXXX), and the
+// JsonReport record writer (non-finite values must stay valid JSON; a
+// failed write must not leave a truncated record behind).
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -122,6 +129,53 @@ TEST(JsonEscape, HighBytesPassThrough) {
   // UTF-8 continuation bytes are >= 0x80 and must not be mangled.
   const std::string utf8 = "\xc3\xa9";  // é
   EXPECT_EQ(JsonReport::escaped(utf8), utf8);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(JsonReport, NonFiniteValuesBecomeNull) {
+  // %.*f renders nan/inf as bare words, which is not JSON; the report must
+  // degrade them to null so the record stays parseable.
+  const std::string path =
+      ::testing::TempDir() + "/json_report_nonfinite.json";
+  BenchArgs args;
+  args.json_path = path;
+  JsonReport report("nonfinite_test", args);
+  report.add("ok_value", 1.25);
+  report.add("nan_value", std::nan(""));
+  report.add("pos_inf", std::numeric_limits<double>::infinity());
+  report.add("neg_inf", -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(report.finish());
+  const std::string json = slurp(path);
+  EXPECT_NE(json.find("\"ok_value\": 1.2500"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"nan_value\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pos_inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"neg_inf\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": -inf"), std::string::npos) << json;
+  std::remove(path.c_str());
+}
+
+TEST(JsonReport, FinishReportsUnwritablePath) {
+  BenchArgs args;
+  args.json_path = ::testing::TempDir() + "/no_such_dir_xyzzy/report.json";
+  JsonReport report("unwritable_test", args);
+  report.add("v", std::size_t{1});
+  EXPECT_FALSE(report.finish());
+  std::ifstream is(args.json_path);
+  EXPECT_FALSE(is.good());  // no partial file left behind
+}
+
+TEST(JsonReport, FinishSucceedsWithoutJsonPath) {
+  BenchArgs args;  // json_path empty: finish() is a no-op, not a failure
+  JsonReport report("no_json_test", args);
+  EXPECT_TRUE(report.finish());
 }
 
 }  // namespace

@@ -187,6 +187,46 @@ TEST(Budget, PortfolioAndSingleReachSameStatusUnderSameBudget) {
   }
 }
 
+TEST(Budget, DeadlineInQuarantineRepairSurfacesAsSolverBudget) {
+  // Deadline-path regression: the quarantine re-query loop and the
+  // degraded-key error measurement are pure oracle traffic, so the
+  // solver's deadline check never runs inside them. With a slow oracle
+  // (LatentOracle models a tester link / served oracle round-trip) the
+  // attack used to sail arbitrarily far past its deadline in those loops
+  // and then report kDegraded or kInconsistentOracle. Deadline expiry
+  // must surface as the deadline status wherever it lands.
+  const Netlist n = small_circuit(71);
+  const LockedCircuit lc = lock_weighted(n, 14, 3, 72);
+
+  SatAttackOptions opts;
+  opts.resilience.quarantine = true;
+  opts.resilience.max_evictions = 0;  // first repair goes straight to degrade
+  opts.resilience.degraded_samples = 512;
+
+  // Calibration run (no deadline, no latency): this configuration must
+  // deterministically end kDegraded, i.e. the deadline run below really
+  // does reach the degrade/measurement path rather than finding a key.
+  {
+    GoldenOracle golden(lc);
+    NoisyOracle noisy(golden, 0.1, 0x5eedULL);
+    const SatAttackResult r = sat_attack(lc, noisy, opts);
+    ASSERT_EQ(r.status, SatAttackResult::Status::kDegraded);
+  }
+
+  // Deadline run: 500 us per query makes the post-DIP oracle loops (512
+  // measurement samples alone are ~256 ms of injected latency) dwarf the
+  // 60 ms deadline, so expiry lands in an oracle loop on any machine fast
+  // enough to finish the DIP phase first — and on one that is not, the
+  // existing DIP-loop check fires instead. Either way the only correct
+  // verdict is kSolverBudget.
+  opts.deadline_ms = 60;
+  GoldenOracle golden(lc);
+  NoisyOracle noisy(golden, 0.1, 0x5eedULL);
+  LatentOracle slow(noisy, /*latency_us=*/500);
+  const SatAttackResult r = sat_attack(lc, slow, opts);
+  EXPECT_EQ(r.status, SatAttackResult::Status::kSolverBudget);
+}
+
 TEST(Budget, NoisyQuarantineAttackIsDeterministicAcrossGrid) {
   // The resilient loop must honor the same determinism contract as the
   // clean one: with a seeded noisy oracle and quarantine on, every

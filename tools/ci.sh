@@ -148,6 +148,63 @@ python3 -m json.tool "$RES_OUT" >/dev/null
 grep -q '"quarantine":' "$RES_OUT"
 grep -q '"oracle_noise":' "$RES_OUT"
 
+# Oracle-serving smoke: the same locked circuit attacked three ways —
+# in-process, over a loopback TCP served oracle, and over a subprocess
+# stdio served oracle — must recover the identical key. Exercises the
+# whole wire stack (handshake, batch framing, fd transports) end to end
+# through the public CLI.
+echo "==== [plain] oracle-serve loopback smoke ===="
+ORAP_BIN="$PREFIX/tools/orap"
+SD="$PREFIX/serve_smoke"
+rm -rf "$SD" && mkdir -p "$SD"
+"$ORAP_BIN" gen --gates 300 --inputs 18 --outputs 14 --depth 8 --seed 41 \
+  -o "$SD/c.bench" >/dev/null
+"$ORAP_BIN" lock "$SD/c.bench" --scheme xor --key-bits 20 --seed 42 \
+  -o "$SD/locked.bench" --key-out "$SD/key.txt" >/dev/null
+"$ORAP_BIN" attack "$SD/locked.bench" --key "$SD/key.txt" \
+  | grep '^recovered key' > "$SD/key_local.txt"
+"$ORAP_BIN" oracle-serve "$SD/locked.bench" --key "$SD/key.txt" \
+  --port 0 --once > "$SD/serve.out" 2>/dev/null &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q listening "$SD/serve.out" 2>/dev/null && break
+  sleep 0.1
+done
+PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$SD/serve.out")
+[[ -n "$PORT" ]]
+"$ORAP_BIN" attack "$SD/locked.bench" --connect "127.0.0.1:$PORT" \
+  | grep '^recovered key' > "$SD/key_tcp.txt"
+wait "$SERVE_PID"
+"$ORAP_BIN" attack "$SD/locked.bench" \
+  --oracle-cmd "$ORAP_BIN oracle-serve $SD/locked.bench --key $SD/key.txt --stdio" \
+  | grep '^recovered key' > "$SD/key_stdio.txt"
+cmp "$SD/key_local.txt" "$SD/key_tcp.txt"
+cmp "$SD/key_local.txt" "$SD/key_stdio.txt"
+
+# Kill-and-resume smoke: an attack-serve run killed mid-flight (slowed by
+# injected oracle latency so SIGKILL lands inside the DIP loops) must,
+# when re-run against its checkpoint directory WITHOUT the latency
+# (latency is deliberately outside the checkpoint's config hash), finish
+# with a "jobs" object byte-identical to an uninterrupted run's.
+echo "==== [plain] attack-serve kill-and-resume smoke ===="
+SERVE_ARGS=(--jobs 2 --scheme xor --key-bits 32 --gates 400 --inputs 20 \
+            --outputs 16 --depth 8 --seed 77)
+"$ORAP_BIN" attack-serve "${SERVE_ARGS[@]}" --json "$SD/ref.json" >/dev/null
+rm -rf "$SD/ck" && mkdir -p "$SD/ck"
+timeout -s KILL 1 "$ORAP_BIN" attack-serve "${SERVE_ARGS[@]}" \
+  --latency-us 300000 --checkpoint-dir "$SD/ck" --checkpoint-every 1 \
+  >/dev/null 2>&1 || true
+"$ORAP_BIN" attack-serve "${SERVE_ARGS[@]}" --checkpoint-dir "$SD/ck" \
+  --json "$SD/resumed.json" >/dev/null
+python3 - "$SD/ref.json" "$SD/resumed.json" <<'EOF'
+import json, sys
+ref, res = (json.load(open(p)) for p in sys.argv[1:3])
+assert res["jobs"] == ref["jobs"], \
+    "resumed attack-serve jobs differ from the uninterrupted run"
+assert all(j["status"] == "key_found" for j in ref["jobs"].values()), \
+    "reference attack-serve run failed to recover its keys"
+EOF
+
 # One pass over the engine microbenchmarks (smallest size per bench,
 # minimal repetitions) so a bench that asserts or regresses into a hang
 # is caught here, not at release time.
@@ -161,7 +218,10 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   # under TSan (their grids span threads x portfolio x cube, exactly the
   # surface where a data race would corrupt budget accounting or the
   # quarantine repair loop), even when a filter trims the rest.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.")
+  # The serve suites join too: the oracle server runs on its own thread
+  # against client-side attack code, and the job server schedules
+  # checkpointed attacks across the pool.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"
@@ -171,7 +231,9 @@ fi
 
 if [[ "$RUN_ASAN" == "1" ]]; then
   CTEST_EXTRA=()
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER")
+  # Serve suites under ASan: frame decoding is attacker-facing parsing,
+  # exactly where a heap overread would hide.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
   run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
 fi
@@ -181,7 +243,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # The Simd suite always joins a filtered UBSan pass: the multi-word
   # kernels and the block simulator are exactly where a shift/alignment
   # mistake would hide.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.")
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi

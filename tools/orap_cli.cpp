@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -23,12 +24,18 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "atpg/atpg.h"
 #include "chip/chip.h"
 #include "sat/cube.h"
 #include "sat/dimacs.h"
+#include "attacks/checkpoint.h"
 #include "attacks/faulty_oracle.h"
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
@@ -40,6 +47,12 @@
 #include "netlist/analysis.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
+#include "serve/job_server.h"
+#include "serve/oracle_server.h"
+#include "serve/remote_oracle.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+#include "util/bytes.h"
 #include "util/parallel.h"
 
 using namespace orap;
@@ -145,6 +158,36 @@ LockedCircuit load_locked(const std::string& path,
   }
   lc.scheme = "file";
   return lc;
+}
+
+const char* attack_status_slug(SatAttackResult::Status s) {
+  switch (s) {
+    case SatAttackResult::Status::kKeyFound: return "key_found";
+    case SatAttackResult::Status::kIterationLimit: return "iteration_limit";
+    case SatAttackResult::Status::kSolverBudget: return "solver_budget";
+    case SatAttackResult::Status::kInconsistentOracle:
+      return "inconsistent_oracle";
+    case SatAttackResult::Status::kDegraded: return "degraded";
+    case SatAttackResult::Status::kOracleError: return "oracle_error";
+  }
+  return "?";
+}
+
+/// Cheap fingerprint of the attack configuration for `attack --checkpoint`:
+/// enough to stop a checkpoint from resuming a visibly different run (the
+/// replay divergence guard backstops the rest).
+std::uint64_t cli_checkpoint_hash(const Args& a, const LockedCircuit& lc) {
+  std::vector<std::uint8_t> buf;
+  bytes::put_string(&buf, a.get("kind", "sat"));
+  bytes::put_u64(&buf, lc.num_data_inputs);
+  bytes::put_u64(&buf, lc.num_key_inputs);
+  bytes::put_u64(&buf, a.get_num("max-iter", 4096));
+  bytes::put_u64(&buf, a.get_num("budget", 0));
+  bytes::put_u64(&buf, a.get_num("quarantine", 0));
+  bytes::put_u64(&buf, a.get_num("oracle-votes", 1));
+  const std::uint32_t lo = bytes::crc32(buf.data(), buf.size());
+  const std::uint32_t hi = bytes::crc32(buf.data(), buf.size(), 0x5bd1e995u);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
 }
 
 int cmd_gen(const Args& a) {
@@ -276,17 +319,56 @@ int cmd_atpg(const Args& a) {
 }
 
 int cmd_attack(const Args& a) {
-  if (a.positional.empty() || !a.has("key"))
+  const bool remote_oracle = a.has("connect") || a.has("oracle-cmd");
+  if (a.positional.empty() || (!a.has("key") && !remote_oracle))
     die("usage: orap attack <locked.bench> --key key.txt "
         "[--kind sat|appsat|doubledip|hillclimb] [--oracle golden|orap] "
         "[--max-iter N]\n"
+        "       orap attack <locked.bench> --connect host:port | "
+        "--oracle-cmd \"orap oracle-serve ... --stdio\"\n"
         "(--oracle golden: conventional scan access; --oracle orap: the "
-        "queries go through a real OraP chip's scan protocol)");
+        "queries go through a real OraP chip's scan protocol; --connect/"
+        "--oracle-cmd: a served oracle holds the device — no key file "
+        "needed)");
   const LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
-  // Oracle selection: golden (conventional chip) or a live OraP chip.
+  // Oracle selection: golden (conventional chip), a live OraP chip, or a
+  // served oracle reached over TCP / a subprocess's stdio.
   std::unique_ptr<OrapChip> chip;
   std::unique_ptr<Oracle> oracle_holder;
-  if (a.get("oracle", "golden") == "orap") {
+  std::unique_ptr<serve::RemoteOracle> remote_holder;
+  if (remote_oracle) {
+    std::unique_ptr<serve::Transport> transport;
+    if (a.has("connect")) {
+      const std::string hp = a.get("connect", "");
+      const auto colon = hp.rfind(':');
+      if (colon == std::string::npos) die("--connect expects host:port");
+      transport = serve::tcp_connect(
+          hp.substr(0, colon),
+          static_cast<std::uint16_t>(std::stoul(hp.substr(colon + 1))),
+          static_cast<int>(a.get_num("io-timeout-ms", 30000)));
+      if (!transport) die("cannot connect to " + hp);
+    } else {
+      std::vector<std::string> cmd_argv;
+      std::istringstream is(a.get("oracle-cmd", ""));
+      for (std::string tok; is >> tok;) cmd_argv.push_back(tok);
+      transport = serve::SubprocessTransport::spawn(
+          cmd_argv, static_cast<int>(a.get_num("io-timeout-ms", 30000)));
+      if (!transport) die("cannot spawn oracle command");
+    }
+    std::string err;
+    remote_holder = serve::RemoteOracle::connect(std::move(transport), &err);
+    if (!remote_holder) die("oracle handshake failed: " + err);
+    if (remote_holder->num_inputs() != lc.num_data_inputs ||
+        remote_holder->num_outputs() != lc.netlist.num_outputs())
+      die("served oracle shape mismatch: " +
+          std::to_string(remote_holder->num_inputs()) + "x" +
+          std::to_string(remote_holder->num_outputs()) + " vs netlist " +
+          std::to_string(lc.num_data_inputs) + "x" +
+          std::to_string(lc.netlist.num_outputs()));
+    std::printf("oracle: served (%s)\n",
+                a.has("connect") ? a.get("connect", "").c_str()
+                                 : "subprocess stdio");
+  } else if (a.get("oracle", "golden") == "orap") {
     LockedCircuit chip_lc = load_locked(a.positional[0], a.get("key", ""));
     const std::size_t min_pis =
         chip_lc.num_data_inputs > chip_lc.netlist.num_outputs()
@@ -307,9 +389,12 @@ int cmd_attack(const Args& a) {
     std::printf("oracle: conventional scan access (golden responses)\n");
   }
   // Optional fault-injection decorators (deterministic, seeded) to
-  // exercise the resilience policy against an unreliable tester.
+  // exercise the resilience policy against an unreliable tester. A served
+  // oracle carries its fault stack server-side.
   std::unique_ptr<Oracle> noisy_holder, flaky_holder;
-  Oracle* oracle_ptr = oracle_holder.get();
+  Oracle* oracle_ptr = remote_holder
+                           ? static_cast<Oracle*>(remote_holder.get())
+                           : oracle_holder.get();
   const double noise = a.get_rate("oracle-noise", 0.0);
   if (noise > 0.0) {
     noisy_holder = std::make_unique<NoisyOracle>(*oracle_ptr, noise,
@@ -323,6 +408,28 @@ int cmd_attack(const Args& a) {
         *oracle_ptr, fail, a.get_num("fault-seed", 7) + 1);
     oracle_ptr = flaky_holder.get();
     std::printf("oracle fault model: %.4f transient-failure rate\n", fail);
+  }
+  // Checkpoint/resume: the outermost wrapper records the oracle
+  // transcript and snapshots it atomically every --checkpoint-every live
+  // queries; a rerun with the same flags resumes byte-identically.
+  std::unique_ptr<CheckpointedOracle> ckpt_holder;
+  if (a.has("checkpoint")) {
+    const std::string ckpt_path = a.get("checkpoint", "");
+    ckpt_holder = std::make_unique<CheckpointedOracle>(
+        *oracle_ptr, cli_checkpoint_hash(a, lc));
+    const auto ls = ckpt_holder->load_file(ckpt_path);
+    if (ls == CheckpointedOracle::LoadStatus::kOk) {
+      std::printf("checkpoint: resuming, replaying %zu recorded queries\n",
+                  ckpt_holder->transcript_size());
+    } else if (ls == CheckpointedOracle::LoadStatus::kCorrupt) {
+      die("checkpoint " + ckpt_path + " is corrupt or truncated");
+    } else if (ls == CheckpointedOracle::LoadStatus::kMismatch) {
+      die("checkpoint " + ckpt_path +
+          " belongs to a different attack configuration");
+    }
+    ckpt_holder->enable_autosave(ckpt_path,
+                                 a.get_num("checkpoint-every", 64));
+    oracle_ptr = ckpt_holder.get();
   }
   Oracle& oracle = *oracle_ptr;
   const std::string kind = a.get("kind", "sat");
@@ -358,6 +465,16 @@ int cmd_attack(const Args& a) {
       app_opts.incremental = opts.incremental;
       app_opts.resilience = opts.resilience;
       r = appsat_attack(lc, oracle, app_opts);
+    }
+    if (ckpt_holder) {
+      ckpt_holder->set_progress_dips(r.iterations);
+      const std::string ckpt_path = a.get("checkpoint", "");
+      if (ckpt_holder->save_file(ckpt_path))
+        std::printf("checkpoint: %zu oracle queries recorded to %s\n",
+                    ckpt_holder->transcript_size(), ckpt_path.c_str());
+      else
+        std::fprintf(stderr, "orap: warning: cannot write checkpoint %s\n",
+                     ckpt_path.c_str());
     }
     const char* status = "?";
     switch (r.status) {
@@ -402,13 +519,240 @@ int cmd_attack(const Args& a) {
   } else {
     die("unknown attack kind '" + kind + "'");
   }
-  GoldenOracle verify(lc);
-  const std::size_t miss =
-      verify_key_against_oracle(lc, recovered, verify, 256, 3);
+  // Functional check: against the golden simulation when the key file is
+  // on hand, otherwise against the served oracle — the only ground truth
+  // a real attacker has.
+  std::size_t miss;
+  if (a.has("key")) {
+    GoldenOracle verify(lc);
+    miss = verify_key_against_oracle(lc, recovered, verify, 256, 3);
+  } else {
+    miss = verify_key_against_oracle(lc, recovered, *remote_holder, 256, 3);
+  }
   std::printf("recovered key: %s", key_to_string(recovered).c_str());
   std::printf("functional check: %zu/256 sample mismatches%s\n", miss,
               miss == 0 ? " — attack succeeded" : "");
   return miss == 0 ? 0 : 1;
+}
+
+int cmd_oracle_serve(const Args& a) {
+  if (a.positional.empty() || !a.has("key"))
+    die("usage: orap oracle-serve <locked.bench> --key key.txt "
+        "[--port P | --stdio] [--once] [--oracle golden|orap]\n"
+        "       [--oracle-noise P] [--oracle-fail-rate P] "
+        "[--oracle-stick-rate P] [--oracle-max-queries N] [--fault-seed S]\n"
+        "       [--latency-us N] [--jitter-us N]\n"
+        "(--stdio speaks the wire protocol on stdin/stdout for "
+        "`orap attack --oracle-cmd`; --port listens on 127.0.0.1, 0 picks "
+        "an ephemeral port)");
+  const bool stdio = a.has("stdio");
+  const LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
+  // Diagnostics go to stderr: in --stdio mode the protocol owns stdout.
+  std::unique_ptr<OrapChip> chip;
+  std::unique_ptr<Oracle> base;
+  if (a.get("oracle", "golden") == "orap") {
+    LockedCircuit chip_lc = load_locked(a.positional[0], a.get("key", ""));
+    const std::size_t pis =
+        a.get_num("pis", std::min<std::size_t>(chip_lc.num_data_inputs - 1,
+                                               8));
+    OrapOptions copt;
+    copt.variant = OrapVariant::kModified;
+    chip = std::make_unique<OrapChip>(std::move(chip_lc), pis, copt,
+                                      a.get_num("seed", 1));
+    base = std::make_unique<ChipScanOracle>(*chip);
+    std::fprintf(stderr, "serving: OraP chip scan oracle\n");
+  } else {
+    base = std::make_unique<GoldenOracle>(lc);
+    std::fprintf(stderr, "serving: golden oracle\n");
+  }
+  // Fault decorators, innermost to outermost: noise, stuck, transients,
+  // query budget. Latency/jitter is injected per round trip by the server
+  // itself (that is what makes batching pay), not per device access.
+  std::vector<std::unique_ptr<Oracle>> layers;
+  Oracle* top = base.get();
+  const std::uint64_t fault_seed = a.get_num("fault-seed", 7);
+  if (const double p = a.get_rate("oracle-noise", 0.0); p > 0.0) {
+    layers.push_back(std::make_unique<NoisyOracle>(*top, p, fault_seed));
+    top = layers.back().get();
+  }
+  if (const double p = a.get_rate("oracle-stick-rate", 0.0); p > 0.0) {
+    layers.push_back(
+        std::make_unique<StuckOracle>(*top, p, fault_seed + 1));
+    top = layers.back().get();
+  }
+  if (const double p = a.get_rate("oracle-fail-rate", 0.0); p > 0.0) {
+    layers.push_back(
+        std::make_unique<IntermittentOracle>(*top, p, fault_seed + 2));
+    top = layers.back().get();
+  }
+  if (const std::size_t cap = a.get_num("oracle-max-queries", 0); cap > 0) {
+    layers.push_back(std::make_unique<BudgetedOracle>(*top, cap));
+    top = layers.back().get();
+  }
+
+  serve::OracleServerOptions sopts;
+  sopts.latency_us = a.get_num("latency-us", 0);
+  sopts.jitter_us = a.get_num("jitter-us", 0);
+  sopts.jitter_seed = a.get_num("fault-seed", 7) + 3;
+  serve::OracleServer server(*top, sopts);
+
+  if (stdio) {
+    serve::FdTransport t(STDIN_FILENO, STDOUT_FILENO);
+    server.serve(t);
+    std::fprintf(stderr, "served %llu queries in %llu frames\n",
+                 static_cast<unsigned long long>(server.queries_served()),
+                 static_cast<unsigned long long>(server.frames_served()));
+    return 0;
+  }
+  serve::TcpListener listener;
+  if (!listener.listen(
+          static_cast<std::uint16_t>(a.get_num("port", 0))))
+    die("cannot listen on 127.0.0.1:" + a.get("port", "0"));
+  // Scripts parse this line for the ephemeral port.
+  std::printf("listening on 127.0.0.1:%u\n", listener.port());
+  std::fflush(stdout);
+  const bool once = a.has("once");
+  do {
+    auto t = listener.accept();
+    if (!t) break;
+    if (!server.serve(*t))
+      std::fprintf(stderr, "protocol error; connection dropped\n");
+  } while (!once);
+  std::fprintf(stderr, "served %llu queries in %llu frames\n",
+               static_cast<unsigned long long>(server.queries_served()),
+               static_cast<unsigned long long>(server.frames_served()));
+  return 0;
+}
+
+int cmd_attack_serve(const Args& a) {
+  const std::size_t num_jobs = a.get_num("jobs", 4);
+  if (num_jobs == 0) die("usage: orap attack-serve --jobs N [--kind sat|"
+                         "appsat|doubledip] [--scheme weighted|xor] "
+                         "[--gates N --inputs N --outputs N --depth D] "
+                         "[--key-bits K] [--seed S]\n"
+                         "       [--oracle-noise P] [--oracle-fail-rate P] "
+                         "[--oracle-retries N] [--quarantine] "
+                         "[--latency-us N]\n"
+                         "       [--checkpoint-dir D] [--checkpoint-every "
+                         "K] [--json out.json]");
+  GenSpec spec;
+  spec.num_inputs = a.get_num("inputs", 20);
+  spec.num_outputs = a.get_num("outputs", 16);
+  spec.num_gates = a.get_num("gates", 300);
+  spec.depth = static_cast<std::uint32_t>(a.get_num("depth", 8));
+  const std::size_t key_bits = a.get_num("key-bits", 14);
+  const std::uint64_t seed = a.get_num("seed", 1);
+  const std::string kind_s = a.get("kind", "sat");
+  const std::string scheme = a.get("scheme", "weighted");
+
+  // Jobs are regenerated deterministically from --seed: run K of the same
+  // command line resumes exactly the jobs run K-1 checkpointed.
+  std::vector<LockedCircuit> circuits;
+  circuits.reserve(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    spec.seed = seed + 1000 * i;
+    const Netlist n = generate_circuit(spec);
+    circuits.push_back(scheme == "xor"
+                           ? lock_random_xor(n, key_bits, seed + 1000 * i + 1)
+                           : lock_weighted(n, key_bits, 3,
+                                           seed + 1000 * i + 1));
+  }
+  std::vector<serve::AttackJob> jobs(num_jobs);
+  for (std::size_t i = 0; i < num_jobs; ++i) {
+    serve::AttackJob& job = jobs[i];
+    job.id = "job" + std::to_string(i);
+    job.circuit = &circuits[i];
+    job.kind = kind_s == "appsat"
+                   ? serve::AttackJob::Kind::kAppSat
+                   : kind_s == "doubledip" ? serve::AttackJob::Kind::kDoubleDip
+                                           : serve::AttackJob::Kind::kSat;
+    job.sat.max_iterations =
+        static_cast<std::int64_t>(a.get_num("max-iter", 4096));
+    job.sat.resilience.retries = a.get_num("oracle-retries", 0);
+    job.sat.resilience.votes = a.get_num("oracle-votes", 1);
+    job.sat.resilience.quarantine = a.get_num("quarantine", 0) != 0;
+    job.appsat.resilience = job.sat.resilience;
+    job.oracle.noise_rate = a.get_rate("oracle-noise", 0.0);
+    job.oracle.noise_seed = a.get_num("fault-seed", 7) + i;
+    job.oracle.drop_rate = a.get_rate("oracle-fail-rate", 0.0);
+    job.oracle.drop_seed = a.get_num("fault-seed", 7) + 100 + i;
+    job.oracle.latency_us = a.get_num("latency-us", 0);
+  }
+
+  serve::JobServerOptions jopts;
+  jopts.checkpoint_dir = a.get("checkpoint-dir", "");
+  jopts.checkpoint_every = a.get_num("checkpoint-every", 64);
+  if (!jopts.checkpoint_dir.empty()) {
+    // Checkpoint writes fail silently when the directory is absent (the
+    // atomic tmp+rename path treats an unwritable tmp as "skip this
+    // autosave"), so create it up front rather than run uncheckpointed.
+    if (mkdir(jopts.checkpoint_dir.c_str(), 0755) != 0 && errno != EEXIST)
+      die("cannot create checkpoint dir " + jopts.checkpoint_dir);
+  }
+  serve::JobServer server(jopts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<serve::JobResult> results = server.run(jobs);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t resumed = 0, rejected = 0, succeeded = 0;
+  for (const serve::JobResult& r : results) {
+    resumed += r.resumed ? 1 : 0;
+    rejected += r.checkpoint_rejected ? 1 : 0;
+    const bool ok = r.result.status == SatAttackResult::Status::kKeyFound ||
+                    r.result.status == SatAttackResult::Status::kDegraded;
+    succeeded += ok ? 1 : 0;
+    std::printf("%s: %s, %zu DIPs, %zu queries%s%s\n", r.id.c_str(),
+                attack_status_slug(r.result.status), r.result.iterations,
+                r.result.oracle_queries,
+                r.resumed ? ", resumed" : "",
+                r.checkpoint_rejected ? ", stale checkpoint rejected" : "");
+    if (r.resumed)
+      std::printf("  replayed %zu recorded queries from %s\n",
+                  r.replayed_queries, r.checkpoint_path.c_str());
+  }
+  std::printf("%zu/%zu jobs recovered a key; %zu resumed; %.1f ms wall\n",
+              succeeded, results.size(), resumed, wall_ms);
+
+  if (a.has("json")) {
+    const std::string path = a.get("json", "");
+    std::ofstream os(path);
+    if (!os.good()) die("cannot write " + path);
+    // The "jobs" object holds only run-to-run deterministic fields, so CI
+    // can byte-compare it between an uninterrupted run and a
+    // kill-and-resume run. Wall-clock and resume bookkeeping live outside.
+    os << "{\n  \"schema\": \"orap.attack_serve.v1\",\n  \"jobs\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const serve::JobResult& r = results[i];
+      std::string key_str;
+      if (r.result.status == SatAttackResult::Status::kKeyFound ||
+          r.result.status == SatAttackResult::Status::kDegraded) {
+        key_str = key_to_string(r.result.key);
+        key_str.pop_back();  // trailing newline
+      }
+      os << "    \"" << r.id << "\": {\"status\": \""
+         << attack_status_slug(r.result.status)
+         << "\", \"iterations\": " << r.result.iterations
+         << ", \"oracle_queries\": " << r.result.oracle_queries
+         << ", \"retries\": " << r.result.oracle_retries
+         << ", \"evicted_pairs\": " << r.result.evicted_pairs
+         << ", \"requeried_pairs\": " << r.result.requeried_pairs
+         << ", \"key\": \"" << key_str << "\"}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+    }
+    os << "  },\n"
+       << "  \"resumed_jobs\": " << resumed << ",\n"
+       << "  \"rejected_checkpoints\": " << rejected << ",\n"
+       << "  \"wall_ms\": " << static_cast<std::uint64_t>(wall_ms) << "\n"
+       << "}\n";
+    os.flush();
+    if (!os.good()) die("write to " + path + " failed");
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return succeeded == results.size() ? 0 : 1;
 }
 
 int cmd_protect(const Args& a) {
@@ -543,6 +887,15 @@ void usage() {
       "[--incremental] [--deadline-ms T]\n"
       "               [--oracle-noise P] [--oracle-fail-rate P] "
       "[--oracle-retries N] [--oracle-votes N] [--quarantine]\n"
+      "               [--connect host:port | --oracle-cmd \"...\"] "
+      "[--checkpoint file.ckpt [--checkpoint-every K]]\n"
+      "  orap oracle-serve <locked.bench> --key key.txt [--port P | "
+      "--stdio] [--once] [--latency-us N] [--jitter-us N] "
+      "[--oracle-noise P] [--oracle-fail-rate P] [--oracle-stick-rate P] "
+      "[--oracle-max-queries N]\n"
+      "  orap attack-serve --jobs N [--kind sat|appsat|doubledip] "
+      "[--key-bits K] [--checkpoint-dir D] [--checkpoint-every K] "
+      "[--json out.json]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
       "  orap solve   <file.cnf> [--budget N] [--portfolio N] [--cube D] "
@@ -567,7 +920,18 @@ void usage() {
       "--oracle-votes N majority-votes each query, --quarantine "
       "isolates\nand re-queries corrupted I/O pairs via unsat cores. "
       "--deadline-ms T bounds attack,\natpg, or solve by wall clock "
-      "(expiry reports solver budget / aborted faults).");
+      "(expiry reports solver budget / aborted faults).\n"
+      "\n"
+      "Oracle serving: `orap oracle-serve` exposes the oracle over a "
+      "length-prefixed binary\nprotocol on loopback TCP (--port, 0 = "
+      "ephemeral) or stdin/stdout (--stdio); `orap\nattack --connect "
+      "host:port` or `--oracle-cmd \"orap oracle-serve ... --stdio\"` "
+      "runs any\nattack against it without the key file. --checkpoint "
+      "file.ckpt records the oracle\ntranscript atomically every "
+      "--checkpoint-every live queries; rerunning the same\ncommand "
+      "resumes to a byte-identical result. `orap attack-serve` runs N "
+      "jobs on the\npool with per-job checkpoints under "
+      "--checkpoint-dir.");
 }
 
 }  // namespace
@@ -591,6 +955,8 @@ int main(int argc, char** argv) {
     if (cmd == "hd") return cmd_hd(args);
     if (cmd == "atpg") return cmd_atpg(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "oracle-serve") return cmd_oracle_serve(args);
+    if (cmd == "attack-serve") return cmd_attack_serve(args);
     if (cmd == "protect") return cmd_protect(args);
     if (cmd == "solve") return cmd_solve(args);
     if (cmd == "export") return cmd_export(args);
