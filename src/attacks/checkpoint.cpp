@@ -53,8 +53,13 @@ OracleResult CheckpointedOracle::do_query(const BitVec& data) {
     transcript_.resize(replay_pos_);
   }
   OracleResult r = inner().query(data);
+  record_live(data, r);
+  return r;
+}
+
+void CheckpointedOracle::record_live(const BitVec& x, const OracleResult& r) {
   Entry e;
-  e.x = data;
+  e.x = x;
   if (r.ok()) {
     e.y = r.response();
   } else {
@@ -68,7 +73,39 @@ OracleResult CheckpointedOracle::do_query(const BitVec& data) {
     live_since_save_ = 0;
     if (save_file(autosave_path_)) ++autosaves_;
   }
-  return r;
+}
+
+void CheckpointedOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                        std::vector<OracleResult>* out) {
+  out->reserve(xs.size());
+  // Serve the replayable prefix from the recording, element by element.
+  std::size_t i = 0;
+  for (; i < xs.size() && replay_pos_ < transcript_.size(); ++i) {
+    const Entry& e = transcript_[replay_pos_];
+    if (e.x != xs[i]) {
+      diverged_ = true;
+      transcript_.resize(replay_pos_);
+      break;
+    }
+    ++replay_pos_;
+    if (e.status == 0)
+      out->push_back(e.y);
+    else
+      out->push_back(OracleResult::failure(
+          static_cast<OracleErrorKind>(e.status - 1)));
+  }
+  if (i == xs.size()) return;
+  // Live remainder: one inner batch (replay_pos_ is at or past the
+  // transcript end here, and record_live keeps it pinned there, so every
+  // remaining element is live).
+  std::vector<BitVec> live(xs.begin() + static_cast<std::ptrdiff_t>(i),
+                           xs.end());
+  std::vector<OracleResult> sub;
+  inner().query_batch(live, &sub);
+  for (std::size_t j = 0; j < sub.size(); ++j) {
+    record_live(live[j], sub[j]);
+    out->push_back(std::move(sub[j]));
+  }
 }
 
 void CheckpointedOracle::enable_autosave(std::string path,

@@ -98,6 +98,14 @@ class CheckpointedOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  /// Batch-aware: the replayable prefix of the batch is served from the
+  /// recording element by element (exactly as serial replay would), and
+  /// the live remainder ships inward as one batch, each response recorded
+  /// and autosave-checked per element — so transcripts and resume points
+  /// are identical whether the attack batched or not, and a kill mid-batch
+  /// loses at most that batch's unrecorded tail.
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   struct Entry {
@@ -105,6 +113,10 @@ class CheckpointedOracle final : public OracleDecorator {
     std::uint8_t status = 0;  // 0 = ok, else OracleErrorKind + 1
     BitVec y;                 // valid when status == 0
   };
+
+  /// Transcript append + replay_pos_ pinning + autosave check for one
+  /// live response (shared by the serial and batch paths).
+  void record_live(const BitVec& x, const OracleResult& r);
 
   std::uint64_t config_hash_;
   std::vector<Entry> transcript_;

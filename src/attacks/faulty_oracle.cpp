@@ -77,6 +77,30 @@ OracleResult NoisyOracle::do_query(const BitVec& data) {
   return y;
 }
 
+void NoisyOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                 std::vector<OracleResult>* out) {
+  inner().query_batch(xs, out);
+  // Flip draws happen per element in element order, exactly as the serial
+  // loop would draw them; the inner layer's own draws live on independent
+  // RNG streams, so batching the inner query first changes nothing.
+  for (auto& r : *out) {
+    if (!r.ok() || flip_rate_ <= 0.0) continue;
+    BitVec y = r.response();
+    std::size_t flips = 0;
+    for (std::size_t o = 0; o < y.size(); ++o) {
+      if (rng_.chance(flip_rate_)) {
+        y.set(o, !y.get(o));
+        ++flips;
+      }
+    }
+    if (flips > 0) {
+      flipped_bits_ += flips;
+      ++corrupted_responses_;
+      r = OracleResult(std::move(y));
+    }
+  }
+}
+
 IntermittentOracle::IntermittentOracle(Oracle& inner, double fail_rate,
                                        std::uint64_t seed,
                                        OracleErrorKind kind)
@@ -88,6 +112,40 @@ OracleResult IntermittentOracle::do_query(const BitVec& data) {
     return OracleResult::failure(kind_);
   }
   return inner().query(data);
+}
+
+void IntermittentOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                        std::vector<OracleResult>* out) {
+  if (fail_rate_ <= 0.0) {  // zero-rate: no draws, straight pass-through
+    inner().query_batch(xs, out);
+    return;
+  }
+  // Serially, the drop decision for element i is drawn BEFORE the inner
+  // query for element i, and dropped queries never reach the device. The
+  // decisions do not depend on responses, so they can all be drawn first
+  // (still in element order) and the surviving subset shipped as one
+  // inner batch.
+  std::vector<std::uint8_t> dropped(xs.size(), 0);
+  std::vector<BitVec> pass;
+  pass.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (rng_.chance(fail_rate_)) {
+      dropped[i] = 1;
+      ++injected_failures_;
+    } else {
+      pass.push_back(xs[i]);
+    }
+  }
+  std::vector<OracleResult> sub;
+  if (!pass.empty()) inner().query_batch(pass, &sub);
+  out->reserve(xs.size());
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (dropped[i])
+      out->push_back(OracleResult::failure(kind_));
+    else
+      out->push_back(std::move(sub[j++]));
+  }
 }
 
 StuckOracle::StuckOracle(Oracle& inner, double stick_rate, std::uint64_t seed)
@@ -106,6 +164,65 @@ OracleResult StuckOracle::do_query(const BitVec& data) {
   return r;
 }
 
+void StuckOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                 std::vector<OracleResult>* out) {
+  if (stick_rate_ <= 0.0) {  // zero-rate: no draws, straight pass-through
+    inner().query_batch(xs, out);
+    for (const auto& r : *out) {
+      if (r.ok()) {
+        last_ = r.response();
+        have_last_ = true;
+      }
+    }
+    return;
+  }
+  out->reserve(xs.size());
+  // Pending run of fresh (non-stale) elements and where their results go.
+  std::vector<BitVec> run;
+  std::vector<std::size_t> run_at;
+  const OracleResult placeholder =
+      OracleResult::failure(OracleErrorKind::kTransient);
+  auto flush_run = [&] {
+    if (run.empty()) return;
+    std::vector<OracleResult> sub;
+    inner().query_batch(run, &sub);
+    for (std::size_t j = 0; j < sub.size(); ++j) {
+      if (sub[j].ok()) {
+        last_ = sub[j].response();
+        have_last_ = true;
+      }
+      (*out)[run_at[j]] = std::move(sub[j]);
+    }
+    run.clear();
+    run_at.clear();
+  };
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    // Serially, the stick draw for element i only happens once a previous
+    // response has been remembered. have_last_ can become true inside a
+    // pending run (on its first OK response), so while it is still false
+    // each element must be resolved before the next one's draw decision —
+    // a singleton flush. After that the draw sequence is response-free and
+    // runs can batch up.
+    if (!have_last_) {
+      out->push_back(placeholder);
+      run.push_back(xs[i]);
+      run_at.push_back(i);
+      flush_run();
+      continue;
+    }
+    if (rng_.chance(stick_rate_)) {
+      flush_run();  // a stale element repeats last_ as of NOW, serially
+      ++stale_responses_;
+      out->push_back(last_);
+      continue;
+    }
+    out->push_back(placeholder);
+    run.push_back(xs[i]);
+    run_at.push_back(i);
+  }
+  flush_run();
+}
+
 BudgetedOracle::BudgetedOracle(Oracle& inner, std::size_t max_queries)
     : OracleDecorator(inner), max_queries_(max_queries) {}
 
@@ -114,6 +231,22 @@ OracleResult BudgetedOracle::do_query(const BitVec& data) {
     return OracleResult::failure(OracleErrorKind::kExhausted);
   ++attempts_;
   return inner().query(data);
+}
+
+void BudgetedOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                    std::vector<OracleResult>* out) {
+  const std::size_t remaining =
+      attempts_ >= max_queries_ ? 0 : max_queries_ - attempts_;
+  const std::size_t fit = xs.size() < remaining ? xs.size() : remaining;
+  out->reserve(xs.size());
+  if (fit > 0) {
+    std::vector<BitVec> head(xs.begin(),
+                             xs.begin() + static_cast<std::ptrdiff_t>(fit));
+    attempts_ += fit;
+    inner().query_batch(head, out);
+  }
+  for (std::size_t i = fit; i < xs.size(); ++i)
+    out->push_back(OracleResult::failure(OracleErrorKind::kExhausted));
 }
 
 LatentOracle::LatentOracle(Oracle& inner, std::uint64_t latency_us,
@@ -133,6 +266,18 @@ OracleResult LatentOracle::do_query(const BitVec& data) {
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
   return inner().query(data);
+}
+
+void LatentOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                  std::vector<OracleResult>* out) {
+  // One round trip, one latency charge: this is the saving batching buys.
+  std::uint64_t us = latency_us_;
+  if (jitter_us_ > 0) us += rng_.below(jitter_us_ + 1);
+  if (us > 0) {
+    total_injected_us_ += us;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  inner().query_batch(xs, out);
 }
 
 // --- checkpoint/resume state blobs -----------------------------------------

@@ -51,6 +51,11 @@ class NoisyOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  // Batch-aware: one inner batch, then flip draws per element in order
+  // (inner and this layer use independent RNG streams, so the interleaving
+  // of draws across layers does not matter — only per-layer element order).
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   double flip_rate_;
@@ -73,6 +78,11 @@ class IntermittentOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  // Batch-aware: drop decisions drawn per element in order first (they
+  // precede the inner query serially), then the surviving subset is
+  // forwarded inward as one batch.
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   double fail_rate_;
@@ -95,6 +105,11 @@ class StuckOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  // Batch-aware: fresh elements accumulate into runs forwarded inward as
+  // sub-batches; a run is flushed before any stale element is served so
+  // last_ is exactly what the serial loop would have remembered.
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   double stick_rate_;
@@ -120,6 +135,11 @@ class BudgetedOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  // Batch-aware: the prefix that fits the remaining budget goes inward as
+  // one batch; everything past the cap is kExhausted without ever
+  // reaching the device.
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   std::size_t max_queries_;
@@ -147,6 +167,14 @@ class LatentOracle final : public OracleDecorator {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  // Batch-aware: ONE latency+jitter charge for the whole batch — a batch
+  // models one tester/network round trip, which is exactly the saving
+  // attack-side batching exists to realize. (Jitter RNG consumption
+  // therefore differs between batched and serial runs; that is fine
+  // because this RNG is outside the determinism contract and the state
+  // blob — latency never alters response bytes.)
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   std::uint64_t latency_us_;

@@ -93,6 +93,7 @@ class Oracle {
   OracleResult query(const BitVec& data) {
     OracleResult r = do_query(data);
     ++queries_;
+    ++round_trips_;
     if (!r.ok()) ++errors_;
     return r;
   }
@@ -103,13 +104,60 @@ class Oracle {
   OracleResult requery(const BitVec& data) {
     OracleResult r = do_query(data);
     ++retries_;
+    ++round_trips_;
     if (!r.ok()) ++errors_;
     return r;
   }
 
+  /// Many queries in one flush (one round trip for oracles that can ship
+  /// them together — RemoteOracle sends one wire frame, LatentOracle
+  /// charges its link latency once). Always fills exactly xs.size()
+  /// results, and each element is accounted exactly as the matching
+  /// serial query()/requery() call would be: `logical` selects per
+  /// element whether it is a fresh logical query (nonzero -> query_count)
+  /// or a retry/vote attempt (zero -> retry_count); nullptr charges every
+  /// element to query_count. Batch determinism contract: a batch is
+  /// byte-identical to issuing its elements serially in order, because
+  /// every decorator draws its per-query RNG state in element order
+  /// (regression-tested in tests/batch_test.cpp).
+  void query_batch(const std::vector<BitVec>& xs,
+                   std::vector<OracleResult>* out,
+                   const std::vector<std::uint8_t>* logical = nullptr) {
+    out->clear();
+    if (xs.empty()) return;  // no traffic, no round trip
+    ORAP_CHECK_MSG(logical == nullptr || logical->size() == xs.size(),
+                   "query_batch logical mask size mismatch");
+    do_query_batch(xs, out);
+    ORAP_CHECK_MSG(out->size() == xs.size(),
+                   "do_query_batch returned a wrong-sized batch");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (logical == nullptr || (*logical)[i] != 0)
+        ++queries_;
+      else
+        ++retries_;
+      if (!(*out)[i].ok()) ++errors_;
+    }
+    ++batches_;
+    ++round_trips_;
+  }
+
+  /// Batch-element semantics: each batch element counts exactly once in
+  /// query_count/retry_count (above); a whole batch counts once in
+  /// batch_count and once in round_trip_count, while each serial
+  /// query()/requery() counts one round trip — so round_trip_count is the
+  /// number of device round trips the attack actually paid.
   std::size_t query_count() const { return queries_; }
   std::size_t retry_count() const { return retries_; }
   std::size_t error_count() const { return errors_; }
+  std::size_t batch_count() const { return batches_; }
+  std::size_t round_trip_count() const { return round_trips_; }
+
+  /// Result-cache accounting (serve/result_cache.h). A cache hit is
+  /// served without touching the device below the cache, so it counts
+  /// zero device queries; the outermost layer reports the whole stack's
+  /// hit/miss totals. Stacks without a cache report zero.
+  virtual std::size_t cache_hits() const { return 0; }
+  virtual std::size_t cache_misses() const { return 0; }
 
   /// Attack-side bookkeeping: a response from this oracle was identified
   /// as corrupted (quarantined / evicted).
@@ -135,10 +183,25 @@ class Oracle {
  protected:
   virtual OracleResult do_query(const BitVec& data) = 0;
 
+  /// Batch hook behind query_batch. The default is the serial element-order
+  /// loop, which keeps every oracle — including decorators that only
+  /// override do_query — batch-correct by construction (the batch simply
+  /// degrades to serial below that layer). Batch-aware oracles override
+  /// this to ship the whole batch at once; an override MUST be
+  /// byte-identical to this loop, which for fault decorators means drawing
+  /// per-query RNG state in element order.
+  virtual void do_query_batch(const std::vector<BitVec>& xs,
+                              std::vector<OracleResult>* out) {
+    out->reserve(xs.size());
+    for (const BitVec& x : xs) out->push_back(do_query(x));
+  }
+
  private:
   std::size_t queries_ = 0;
   std::size_t retries_ = 0;
   std::size_t errors_ = 0;
+  std::size_t batches_ = 0;
+  std::size_t round_trips_ = 0;
   std::size_t corrupted_suspected_ = 0;
 };
 
@@ -151,6 +214,15 @@ class OracleDecorator : public Oracle {
 
   std::size_t num_inputs() const override { return inner_.num_inputs(); }
   std::size_t num_outputs() const override { return inner_.num_outputs(); }
+
+  /// Cache accounting bubbles up through the stack so the attack can read
+  /// it from the outermost oracle. (do_query_batch deliberately keeps the
+  /// serial base default here: blanket-forwarding the batch to inner()
+  /// would silently skip the do_query logic of decorators that are not
+  /// batch-aware. Batch-aware decorators override do_query_batch
+  /// themselves.)
+  std::size_t cache_hits() const override { return inner_.cache_hits(); }
+  std::size_t cache_misses() const override { return inner_.cache_misses(); }
 
   /// Inner-first so a decorator stack serializes bottom-up; overriding
   /// decorators call these and then handle their own state.

@@ -66,6 +66,14 @@ struct AttackContext {
   std::size_t requeried_pairs = 0;
   double oracle_error_rate = -1.0;
 
+  // Attack-side batching (opts.oracle_batch / opts.dip_batch). With batch
+  // off and dip_batch 1 every path below reduces to the exact serial
+  // trajectory; batching is byte-identical to it as long as no retryable
+  // oracle error fires mid-batch (the retry completion then runs serially
+  // after the flush, a different — still deterministic — order).
+  bool batch = false;
+  std::size_t dip_batch = 1;
+
   // Wall-clock deadline (opts.deadline_ms >= 0).
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
@@ -166,6 +174,79 @@ struct AttackContext {
     return true;
   }
 
+  /// Batched form of resilient_query over independent logical inputs: ALL
+  /// vote replicas of ALL inputs ship as ONE query_batch flush, ordered
+  /// [x0 x votes, x1 x votes, ...] — exactly the serial do_query sequence,
+  /// so responses and per-element accounting are byte-identical to the
+  /// serial path when no retryable error fires. Failed attempts are then
+  /// completed with serial retries per slot. Returns the number of leading
+  /// inputs fully answered (== xds.size() on success); ys holds exactly
+  /// that prefix, and a terminal failure sets oracle_failed.
+  std::size_t resilient_query_batch(const std::vector<BitVec>& xds,
+                                    std::vector<BitVec>* ys,
+                                    bool logical = true) {
+    ys->clear();
+    const std::size_t votes = res.votes < 1 ? 1 : res.votes;
+    std::vector<BitVec> flat;
+    std::vector<std::uint8_t> mask;
+    flat.reserve(xds.size() * votes);
+    mask.reserve(xds.size() * votes);
+    for (const BitVec& xd : xds) {
+      for (std::size_t v = 0; v < votes; ++v) {
+        flat.push_back(xd);
+        mask.push_back(v == 0 && logical ? 1 : 0);
+        if (v > 0) ++vote_queries;
+      }
+    }
+    std::vector<OracleResult> rs;
+    oracle->query_batch(flat, &rs, &mask);
+    for (std::size_t i = 0; i < xds.size(); ++i) {
+      BitVec first;
+      std::vector<std::uint32_t> ones;
+      bool have_first = false;
+      bool failed = false;
+      for (std::size_t v = 0; v < votes; ++v) {
+        OracleResult r = rs[i * votes + v];
+        std::size_t attempt = 0;
+        while (!r.ok() && r.error().retryable() && attempt < res.retries) {
+          ++attempt;
+          ++oracle_retries;
+          r = oracle->requery(xds[i]);
+        }
+        if (!r.ok()) {
+          failed = true;
+          break;
+        }
+        const BitVec& yv = r.response();
+        if (!have_first) {
+          first = yv;
+          have_first = true;
+          ones.assign(yv.size(), 0);
+        }
+        for (std::size_t o = 0; o < yv.size(); ++o)
+          if (yv.get(o)) ++ones[o];
+      }
+      if (failed) {
+        oracle_failed = true;
+        return i;
+      }
+      if (votes == 1) {
+        ys->push_back(std::move(first));
+        continue;
+      }
+      BitVec out(first.size());
+      for (std::size_t o = 0; o < out.size(); ++o) {
+        const std::uint32_t count = ones[o];
+        if (2 * count > votes)
+          out.set(o, true);
+        else if (2 * count == votes)  // even split: keep the first response
+          out.set(o, first.get(o));
+      }
+      ys->push_back(std::move(out));
+    }
+    return xds.size();
+  }
+
   // --- pair recording ------------------------------------------------------
 
   enum class RecordStatus { kOk, kEvicted, kInconsistent };
@@ -203,6 +284,68 @@ struct AttackContext {
     solver.add_clause({sat::neg(p.sel)});
     oracle->note_corruption_suspected();
     ++evicted_pairs;
+  }
+
+  // --- k-DIP harvesting ----------------------------------------------------
+
+  /// Call immediately after a kSat solve of the activated miter. Reads the
+  /// model's DIP and, when want > 1, keeps re-solving under a fresh
+  /// harvest selector `h` with per-DIP blocking clauses ({neg(h)} or some
+  /// x bit differs from the harvested input) to collect up to `want`
+  /// DISTINCT DIPs of the same constraint set before any re-encoding —
+  /// slightly more solver work for want-fold fewer oracle round trips.
+  /// Harvesting is opportunistic: kUnsat (no further DIP exists) or
+  /// kUnknown (conflict budget / deadline inside the extra solve) just
+  /// stops it; the DIPs already in hand are genuine DIPs and still
+  /// advance the attack. The selector retires with a unit neg(h) so the
+  /// blocking clauses are permanently satisfied and never constrain a
+  /// later round.
+  std::vector<BitVec> harvest_dips(std::size_t want, std::int64_t budget) {
+    std::vector<BitVec> out;
+    out.push_back(model_bits(x));
+    if (want <= 1) return out;  // classic loop: no extra vars, no clauses
+    const Var h = solver.new_var();
+    while (out.size() < want) {
+      std::vector<Lit> block{sat::neg(h)};
+      const BitVec& last = out.back();
+      for (std::size_t i = 0; i < x.size(); ++i)
+        block.push_back(last.get(i) ? sat::neg(x[i]) : sat::pos(x[i]));
+      solver.add_clause(block);
+      assumps(sat::pos(act));
+      assumps_buf_.push_back(sat::pos(h));
+      if (solver.solve(assumps_buf_, budget) != Solver::Result::kSat) break;
+      out.push_back(model_bits(x));
+    }
+    solver.add_clause({sat::neg(h)});
+    return out;
+  }
+
+  enum class DipRound { kOk, kOracleError, kInconsistent };
+
+  /// Queries the harvested DIPs — one query_batch flush when batching is
+  /// on, the classic serial resilient queries otherwise — and records each
+  /// answered pair in order. Recording never touches the oracle, so the
+  /// device sees the identical query sequence either way.
+  DipRound query_and_record(const std::vector<BitVec>& xds) {
+    std::vector<BitVec> ys;
+    std::size_t got;
+    if (batch) {
+      got = resilient_query_batch(xds, &ys);
+    } else {
+      got = 0;
+      ys.reserve(xds.size());
+      for (const BitVec& xd : xds) {
+        BitVec y;
+        if (!resilient_query(xd, &y)) break;
+        ys.push_back(std::move(y));
+        ++got;
+      }
+    }
+    for (std::size_t j = 0; j < got; ++j) {
+      if (record_pair(xds[j], ys[j]) == RecordStatus::kInconsistent)
+        return DipRound::kInconsistent;
+    }
+    return got == xds.size() ? DipRound::kOk : DipRound::kOracleError;
   }
 
   // --- quarantine repair ---------------------------------------------------
@@ -345,6 +488,10 @@ struct AttackContext {
     result->incremental_rounds = st.incremental_rounds;
     result->clauses_carried = st.clauses_carried;
     result->encode_reused = lenc.encode_reused();
+    result->oracle_batches = oracle->batch_count();
+    result->oracle_round_trips = oracle->round_trip_count();
+    result->cache_hits = oracle->cache_hits();
+    result->cache_misses = oracle->cache_misses();
   }
 
   BitVec model_bits(const std::vector<Var>& vars) const {
@@ -457,28 +604,54 @@ void finish_degraded(AttackContext& ctx, const BitVec& key,
   result->key = key;
   Rng rng(0x0ddf00dULL);
   // Draw every sample up front (same rng stream as drawing per query) and
-  // batch the candidate-key responses through the wide simulator; the
-  // oracle is still asked serially in draw order.
+  // batch the candidate-key responses through the wide simulator.
   std::vector<BitVec> xrs;
   xrs.reserve(ctx.res.degraded_samples);
   for (std::size_t q = 0; q < ctx.res.degraded_samples; ++q)
     xrs.push_back(BitVec::random(ctx.nd(), rng));
   const std::vector<BitVec> ycs = simulate_key_batch(ctx.lc, xrs, key);
   std::size_t mismatched_bits = 0, total_bits = 0;
-  for (std::size_t q = 0; q < xrs.size(); ++q) {
-    // The measurement loop is pure oracle traffic, so the solver's deadline
-    // check never fires in it; with a slow (e.g. remote) oracle it used to
-    // overshoot the deadline by up to degraded_samples round-trips and
-    // still report kDegraded. Deadline expiry must win over the
-    // degraded verdict; the partial error estimate is kept for diagnostics.
-    if (ctx.deadline_expired()) {
-      result->status = SatAttackResult::Status::kSolverBudget;
-      break;
+  if (ctx.batch) {
+    // Batched measurement: chunked query_batch flushes with the deadline
+    // checked BETWEEN chunks, so deadline expiry still wins over the
+    // degraded verdict (kSolverBudget) within one chunk of slack, and a
+    // terminal oracle failure still keeps the partial estimate.
+    constexpr std::size_t kChunk = 16;
+    for (std::size_t q0 = 0; q0 < xrs.size();) {
+      if (ctx.deadline_expired()) {
+        result->status = SatAttackResult::Status::kSolverBudget;
+        break;
+      }
+      const std::size_t q1 = std::min(xrs.size(), q0 + kChunk);
+      const std::vector<BitVec> sub(
+          xrs.begin() + static_cast<std::ptrdiff_t>(q0),
+          xrs.begin() + static_cast<std::ptrdiff_t>(q1));
+      std::vector<BitVec> yos;
+      const std::size_t got = ctx.resilient_query_batch(sub, &yos);
+      for (std::size_t j = 0; j < got; ++j) {
+        mismatched_bits += (yos[j] ^ ycs[q0 + j]).count();
+        total_bits += yos[j].size();
+      }
+      if (got < sub.size()) break;  // keep the partial estimate
+      q0 = q1;
     }
-    BitVec yo;
-    if (!ctx.resilient_query(xrs[q], &yo)) break;  // keep the partial estimate
-    mismatched_bits += (yo ^ ycs[q]).count();
-    total_bits += yo.size();
+  } else {
+    for (std::size_t q = 0; q < xrs.size(); ++q) {
+      // The measurement loop is pure oracle traffic, so the solver's
+      // deadline check never fires in it; with a slow (e.g. remote) oracle
+      // it used to overshoot the deadline by up to degraded_samples
+      // round-trips and still report kDegraded. Deadline expiry must win
+      // over the degraded verdict; the partial error estimate is kept for
+      // diagnostics.
+      if (ctx.deadline_expired()) {
+        result->status = SatAttackResult::Status::kSolverBudget;
+        break;
+      }
+      BitVec yo;
+      if (!ctx.resilient_query(xrs[q], &yo)) break;  // keep partial estimate
+      mismatched_bits += (yo ^ ycs[q]).count();
+      total_bits += yo.size();
+    }
   }
   ctx.oracle_error_rate =
       total_bits == 0 ? -1.0
@@ -567,6 +740,32 @@ ExtractOutcome extract_or_repair(AttackContext& ctx, std::int64_t budget,
   // Evict the minimal inconsistent subset and ask the oracle again about
   // each of its inputs — a fresh answer (new noise draw, retries, votes)
   // usually disagrees with the corrupted one and re-enters cleanly.
+  if (ctx.batch) {
+    // Batched repair: the whole re-query set (with all its vote replicas)
+    // ships as one flush. Deadline checked once up front — the flush is a
+    // single round trip, so the serial loop's per-pair check degenerates
+    // to this one.
+    if (ctx.deadline_expired()) {
+      result->status = SatAttackResult::Status::kSolverBudget;
+      return ExtractOutcome::kDone;
+    }
+    std::vector<BitVec> xds;
+    xds.reserve(suspects.size());
+    for (const std::size_t i : suspects) {
+      xds.push_back(ctx.pairs[i].x);
+      ctx.evict_pair(i);
+      ++ctx.requeried_pairs;
+    }
+    std::vector<BitVec> ys;
+    const std::size_t got =
+        ctx.resilient_query_batch(xds, &ys, /*logical=*/false);
+    for (std::size_t j = 0; j < got; ++j) ctx.record_pair(xds[j], ys[j]);
+    if (got < xds.size()) {
+      result->status = SatAttackResult::Status::kOracleError;
+      return ExtractOutcome::kDone;
+    }
+    return ExtractOutcome::kResume;
+  }
   for (const std::size_t i : suspects) {
     // Re-queries are oracle traffic: nothing on this path reaches the
     // solver's deadline check, so a slow oracle used to drag the repair
@@ -601,6 +800,8 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
 
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
                     opts.resilience, opts.deadline_ms, opts.incremental);
+  ctx.batch = opts.oracle_batch;
+  ctx.dip_batch = opts.dip_batch < 1 ? 1 : opts.dip_batch;
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -646,24 +847,31 @@ SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
         return result;
       }
       if (res == Solver::Result::kUnsat) break;  // no DIP left
-      ++result.iterations;
-      const BitVec xd = ctx.model_bits(ctx.x);
-      BitVec y;
-      if (!ctx.resilient_query(xd, &y)) {
+      // Harvest up to dip_batch DIPs from this solver round (1 = the
+      // classic loop, bit for bit), capped at the iteration budget, and
+      // query them in one flush when batching is on.
+      const std::size_t want = std::min(
+          ctx.dip_batch,
+          static_cast<std::size_t>(opts.max_iterations) - result.iterations);
+      const std::vector<BitVec> xds =
+          ctx.harvest_dips(want, opts.conflict_budget);
+      result.iterations += xds.size();
+      const auto round = ctx.query_and_record(xds);
+      if (round == AttackContext::DipRound::kOracleError) {
         result.status = SatAttackResult::Status::kOracleError;
         finish();
         return result;
       }
-      const auto rs = ctx.record_pair(xd, y);
-      if (rs == AttackContext::RecordStatus::kInconsistent) {
+      if (round == AttackContext::DipRound::kInconsistent) {
         // A key-independent output contradicted the response: no key can
         // explain this oracle (and quarantine is off).
         result.status = SatAttackResult::Status::kInconsistentOracle;
         finish();
         return result;
       }
-      // kEvicted: the corrupted pair was quarantined without constraining
-      // anything; the same DIP resurfaces and is re-queried next round.
+      // kEvicted pairs inside the round were quarantined without
+      // constraining anything; those DIPs resurface and are re-queried in
+      // a later round.
     }
     // finish() exactly once per exit path: a second call after extract_key
     // used to overwrite the stats snapshot and misattribute solver wall
@@ -688,6 +896,7 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
                               const AppSatOptions& opts) {
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
                     opts.resilience, opts.deadline_ms, opts.incremental);
+  ctx.batch = opts.oracle_batch;
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -738,15 +947,16 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
         break;
       }
       ++result.iterations;
-      const BitVec xd = ctx.model_bits(ctx.x);
-      BitVec y;
-      if (!ctx.resilient_query(xd, &y)) {
+      // One DIP per round (the check_period interleave wants that), but
+      // query_and_record still flushes its vote replicas as one batch
+      // when batching is on.
+      const auto round = ctx.query_and_record({ctx.model_bits(ctx.x)});
+      if (round == AttackContext::DipRound::kOracleError) {
         result.status = SatAttackResult::Status::kOracleError;
         finish();
         return result;
       }
-      if (ctx.record_pair(xd, y) ==
-          AttackContext::RecordStatus::kInconsistent) {
+      if (round == AttackContext::DipRound::kInconsistent) {
         result.status = SatAttackResult::Status::kInconsistentOracle;
         finish();
         return result;
@@ -775,20 +985,44 @@ SatAttackResult appsat_attack(const LockedCircuit& locked, Oracle& oracle,
       const std::vector<BitVec> ycs =
           simulate_key_batch(locked, xrs, candidate);
       std::size_t mismatches = 0;
-      for (std::size_t q = 0; q < xrs.size(); ++q) {
-        BitVec yo;
-        if (!ctx.resilient_query(xrs[q], &yo)) {
+      if (ctx.batch) {
+        // The whole sampling round — every sample with every vote replica
+        // — in one flush; mismatches recorded afterwards in sample order
+        // (recording never touches the oracle).
+        std::vector<BitVec> yos;
+        const std::size_t got = ctx.resilient_query_batch(xrs, &yos);
+        for (std::size_t q = 0; q < got; ++q) {
+          if (yos[q] != ycs[q]) {
+            ++mismatches;
+            if (ctx.record_pair(xrs[q], yos[q]) ==
+                AttackContext::RecordStatus::kInconsistent) {
+              result.status = SatAttackResult::Status::kInconsistentOracle;
+              finish();
+              return result;
+            }
+          }
+        }
+        if (got < xrs.size()) {
           result.status = SatAttackResult::Status::kOracleError;
           finish();
           return result;
         }
-        if (yo != ycs[q]) {
-          ++mismatches;
-          if (ctx.record_pair(xrs[q], yo) ==
-              AttackContext::RecordStatus::kInconsistent) {
-            result.status = SatAttackResult::Status::kInconsistentOracle;
+      } else {
+        for (std::size_t q = 0; q < xrs.size(); ++q) {
+          BitVec yo;
+          if (!ctx.resilient_query(xrs[q], &yo)) {
+            result.status = SatAttackResult::Status::kOracleError;
             finish();
             return result;
+          }
+          if (yo != ycs[q]) {
+            ++mismatches;
+            if (ctx.record_pair(xrs[q], yo) ==
+                AttackContext::RecordStatus::kInconsistent) {
+              result.status = SatAttackResult::Status::kInconsistentOracle;
+              finish();
+              return result;
+            }
           }
         }
       }
@@ -822,6 +1056,8 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
                                   const SatAttackOptions& opts) {
   AttackContext ctx(locked, oracle, opts.portfolio_size, opts.cube_depth,
                     opts.resilience, opts.deadline_ms, opts.incremental);
+  ctx.batch = opts.oracle_batch;
+  ctx.dip_batch = opts.dip_batch < 1 ? 1 : opts.dip_batch;
   ctx.x = fresh_vars(ctx.solver, ctx.nd());
   ctx.k1 = fresh_vars(ctx.solver, ctx.nk());
   ctx.k2 = fresh_vars(ctx.solver, ctx.nk());
@@ -888,16 +1124,21 @@ SatAttackResult double_dip_attack(const LockedCircuit& locked, Oracle& oracle,
         return result;
       }
       if (res == Solver::Result::kUnsat) break;
-      ++result.iterations;
-      const BitVec xd = ctx.model_bits(ctx.x);
-      BitVec y;
-      if (!ctx.resilient_query(xd, &y)) {
+      // Same k-DIP harvesting as sat_attack: each harvested input is a
+      // genuine double-DIP of the current constraint set.
+      const std::size_t want = std::min(
+          ctx.dip_batch,
+          static_cast<std::size_t>(opts.max_iterations) - result.iterations);
+      const std::vector<BitVec> xds =
+          ctx.harvest_dips(want, opts.conflict_budget);
+      result.iterations += xds.size();
+      const auto round = ctx.query_and_record(xds);
+      if (round == AttackContext::DipRound::kOracleError) {
         result.status = SatAttackResult::Status::kOracleError;
         finish();
         return result;
       }
-      if (ctx.record_pair(xd, y) ==
-          AttackContext::RecordStatus::kInconsistent) {
+      if (round == AttackContext::DipRound::kInconsistent) {
         result.status = SatAttackResult::Status::kInconsistentOracle;
         finish();
         return result;
@@ -926,20 +1167,26 @@ std::size_t verify_key_against_oracle(const LockedCircuit& locked,
                                       const BitVec& key, Oracle& oracle,
                                       std::size_t samples,
                                       std::uint64_t seed) {
-  // The oracle models a physical device (stateful scan protocol), so its
-  // queries run serially in draw order; the candidate-key simulations are
-  // independent and shard across the pool.
+  // The sample draws are response-independent, so the whole probe set is
+  // drawn up front and shipped as one Oracle::query_batch flush (a single
+  // round trip over a served oracle). Decorators apply their per-query
+  // randomness in element order, so the responses — and therefore the
+  // mismatch count — are byte-identical to the old serial loop.
   Rng rng(seed);
+  std::vector<BitVec> draws;
+  draws.reserve(samples);
+  for (std::size_t q = 0; q < samples; ++q)
+    draws.push_back(BitVec::random(locked.num_data_inputs, rng));
+  std::vector<OracleResult> rs;
+  oracle.query_batch(draws, &rs);
   std::vector<BitVec> xs;
   std::vector<BitVec> ys;
   xs.reserve(samples);
   ys.reserve(samples);
-  for (std::size_t q = 0; q < samples; ++q) {
-    BitVec x = BitVec::random(locked.num_data_inputs, rng);
-    const OracleResult r = oracle.query(x);
-    if (!r.ok()) continue;  // unanswered samples cannot witness a mismatch
-    xs.push_back(std::move(x));
-    ys.push_back(r.response());
+  for (std::size_t q = 0; q < draws.size(); ++q) {
+    if (!rs[q].ok()) continue;  // unanswered samples cannot witness a mismatch
+    xs.push_back(std::move(draws[q]));
+    ys.push_back(rs[q].response());
   }
 
   // Candidate simulation: 64 * kBlockWords samples per wide pass, wide

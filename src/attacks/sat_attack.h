@@ -80,6 +80,23 @@ struct SatAttackOptions {
   /// runs replay bit-identically. Results stay deterministic for any fixed
   /// incremental setting across threads/portfolio/cube.
   bool incremental = false;
+  /// Attack-side oracle batching: ship all majority-vote replicas of a
+  /// logical query, the quarantine re-query set, and the degraded
+  /// measurement samples as Oracle::query_batch flushes (one round trip
+  /// each over a served oracle) instead of serial queries. Byte-identical
+  /// to serial execution as long as no retryable oracle error fires
+  /// mid-batch (then the retry completion order differs — results stay
+  /// deterministic for a fixed setting, and the default OFF preserves the
+  /// serial trajectory exactly).
+  bool oracle_batch = false;
+  /// k-DIP harvesting: enumerate up to this many distinct DIPs per solver
+  /// round via blocking clauses and ship them as one oracle batch before
+  /// re-encoding — slightly more solver work for k-fold fewer oracle
+  /// round trips. 1 = off (the classic one-DIP-per-round loop, exactly).
+  /// A different value is a different (equally valid) attack trajectory;
+  /// the final key agrees whenever the scheme admits one functionally
+  /// correct key.
+  std::size_t dip_batch = 1;
 };
 
 struct SatAttackResult {
@@ -133,6 +150,19 @@ struct SatAttackResult {
   std::uint64_t incremental_rounds = 0;  // solve() calls on the miter
   std::uint64_t clauses_carried = 0;     // learnts alive at solve() entry, summed
   std::uint64_t encode_reused = 0;       // folded-away cone gates
+
+  // Oracle-traffic accounting, read from the outermost oracle layer.
+  // Every batch element counts exactly once in oracle_queries /
+  // oracle_retries / vote_queries (same as its serial equivalent);
+  // oracle_round_trips is what the attack actually paid in device round
+  // trips (each serial query is one, each batch flush is one), and
+  // oracle_batches counts the flushes. cache_hits/cache_misses are the
+  // stack's result-cache totals (serve/result_cache.h; 0 without one) —
+  // a hit is served with zero device traffic.
+  std::size_t oracle_batches = 0;
+  std::size_t oracle_round_trips = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
 };
 
 SatAttackResult sat_attack(const LockedCircuit& locked, Oracle& oracle,
@@ -154,6 +184,11 @@ struct AppSatOptions {
   std::uint32_t cube_depth = 0;      // as in SatAttackOptions
   std::int64_t deadline_ms = -1;     // as in SatAttackOptions
   bool incremental = false;          // as in SatAttackOptions
+  /// As in SatAttackOptions: batches each random-sampling round's
+  /// `random_queries` probes (and all vote replicas) into query_batch
+  /// flushes. AppSAT has no dip_batch — the check_period interleave wants
+  /// one DIP per round.
+  bool oracle_batch = false;
   OracleResilienceOptions resilience;
 };
 

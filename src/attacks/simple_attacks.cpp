@@ -11,15 +11,23 @@ HillClimbResult hill_climb_attack(const LockedCircuit& locked, Oracle& oracle,
   Rng rng(opts.seed);
   Simulator sim(locked.netlist);
 
-  // Fixed probe set; oracle queried once per probe.
+  // Fixed probe set. The draws are response-independent, so all probes
+  // are drawn up front and flushed as one Oracle::query_batch (a single
+  // round trip over a served oracle); decorators randomize in element
+  // order, so the surviving probe/response set is byte-identical to the
+  // old one-query-per-probe loop.
+  std::vector<BitVec> draws;
+  draws.reserve(opts.samples);
+  for (std::size_t i = 0; i < opts.samples; ++i)
+    draws.push_back(BitVec::random(locked.num_data_inputs, rng));
+  std::vector<OracleResult> rs;
+  oracle.query_batch(draws, &rs);
   std::vector<BitVec> probes;
   std::vector<BitVec> responses;
-  for (std::size_t i = 0; i < opts.samples; ++i) {
-    BitVec probe = BitVec::random(locked.num_data_inputs, rng);
-    const OracleResult r = oracle.query(probe);
-    if (!r.ok()) continue;  // failed probe: fit against the ones that landed
-    probes.push_back(std::move(probe));
-    responses.push_back(r.response());
+  for (std::size_t i = 0; i < draws.size(); ++i) {
+    if (!rs[i].ok()) continue;  // failed probe: fit against the ones that landed
+    probes.push_back(std::move(draws[i]));
+    responses.push_back(rs[i].response());
   }
 
   // Fitness is the summed bit-level Hamming distance, not the count of

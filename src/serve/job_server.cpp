@@ -26,9 +26,17 @@ void hash_double(std::vector<std::uint8_t>* buf, double v) {
 /// serialization order (innermost first), so checkpoint state blobs
 /// round-trip through the same shape every run.
 struct OracleStack {
-  explicit OracleStack(const AttackJob& job)
+  explicit OracleStack(const AttackJob& job, OracleResultCache* cache = nullptr)
       : golden(*job.circuit) {
     Oracle* top = &golden;
+    // The cache wraps the golden device directly — BELOW every fault
+    // decorator — so a cached response is indistinguishable from a device
+    // response and the fault layers' RNG trajectories (hence the job's
+    // result) are byte-identical with the cache on or off.
+    if (cache != nullptr) {
+      cached = std::make_unique<CachedOracle>(*top, *cache);
+      top = cached.get();
+    }
     const JobOracleConfig& c = job.oracle;
     if (c.noise_rate > 0.0) {
       noisy = std::make_unique<NoisyOracle>(*top, c.noise_rate, c.noise_seed);
@@ -56,6 +64,7 @@ struct OracleStack {
   }
 
   GoldenOracle golden;
+  std::unique_ptr<CachedOracle> cached;
   std::unique_ptr<NoisyOracle> noisy;
   std::unique_ptr<StuckOracle> stuck;
   std::unique_ptr<IntermittentOracle> drop;
@@ -94,6 +103,13 @@ std::uint64_t job_config_hash(const AttackJob& job) {
   hash_u64(&buf, app ? job.appsat.cube_depth : job.sat.cube_depth);
   hash_u64(&buf, (app ? job.appsat.preprocess : job.sat.preprocess) ? 1 : 0);
   hash_u64(&buf, (app ? job.appsat.incremental : job.sat.incremental) ? 1 : 0);
+  // Batching changes the oracle-traffic trajectory (flush boundaries and,
+  // with dip_batch > 1, which DIPs get asked), so a checkpoint taken at
+  // one setting must not resume at another. The result cache is NOT
+  // hashed: it sits below the fault decorators, so it never changes a
+  // job's trajectory — only its device-traffic counters.
+  hash_u64(&buf, (app ? job.appsat.oracle_batch : job.sat.oracle_batch) ? 1 : 0);
+  hash_u64(&buf, app ? std::uint64_t{1} : job.sat.dip_batch);
   if (app) {
     hash_u64(&buf, job.appsat.check_period);
     hash_u64(&buf, job.appsat.random_queries);
@@ -115,13 +131,27 @@ std::uint64_t job_config_hash(const AttackJob& job) {
   return (static_cast<std::uint64_t>(hi) << 32) | lo;
 }
 
+std::uint64_t chip_fingerprint(const LockedCircuit& circuit) {
+  std::vector<std::uint8_t> buf;
+  hash_u64(&buf, circuit.num_data_inputs);
+  hash_u64(&buf, circuit.num_key_inputs);
+  hash_u64(&buf, circuit.netlist.num_outputs());
+  for (const std::uint64_t w : circuit.correct_key.words()) hash_u64(&buf, w);
+  const std::uint32_t lo = bytes::crc32(buf.data(), buf.size());
+  const std::uint32_t hi = bytes::crc32(buf.data(), buf.size(), 0x9e3779b9u);
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
 JobResult JobServer::run_job(const AttackJob& job) const {
   ORAP_CHECK_MSG(job.circuit != nullptr, "AttackJob without a circuit");
   JobResult out;
   out.id = job.id;
   out.config_hash = job_config_hash(job);
 
-  auto stack = std::make_unique<OracleStack>(job);
+  OracleResultCache* cache =
+      opts_.result_cache ? &caches_.for_chip(chip_fingerprint(*job.circuit))
+                         : nullptr;
+  auto stack = std::make_unique<OracleStack>(job, cache);
   auto ckpt =
       std::make_unique<CheckpointedOracle>(*stack->outer, out.config_hash);
   if (!opts_.checkpoint_dir.empty()) {
@@ -136,7 +166,7 @@ JobResult JobServer::run_job(const AttackJob& job) const {
       // failed state load may have half-written the decorators).
       out.checkpoint_rejected = true;
       ckpt.reset();
-      stack = std::make_unique<OracleStack>(job);
+      stack = std::make_unique<OracleStack>(job, cache);
       ckpt = std::make_unique<CheckpointedOracle>(*stack->outer,
                                                   out.config_hash);
     }

@@ -25,6 +25,7 @@
 
 #include "attacks/sat_attack.h"
 #include "locking/locking.h"
+#include "serve/result_cache.h"
 
 namespace orap::serve {
 
@@ -60,6 +61,16 @@ struct JobServerOptions {
   std::string checkpoint_dir;
   /// Live oracle queries between snapshots.
   std::size_t checkpoint_every = 64;
+  /// Shares a hash-keyed input->response cache (serve/result_cache.h)
+  /// between all jobs attacking the same chip (same circuit fingerprint):
+  /// a query one job already paid for is served to every other job with
+  /// zero device traffic. The cache sits directly above the golden device
+  /// and BELOW the fault decorators, so each job's fault trajectory — and
+  /// therefore its result — is byte-identical with the cache on or off;
+  /// only the device-traffic counters change. Cache entries are process-
+  /// lifetime only and deliberately not checkpointed: a resumed job
+  /// replays its own transcript and re-warms the cache as it goes live.
+  bool result_cache = false;
 };
 
 struct JobResult {
@@ -79,6 +90,11 @@ struct JobResult {
 /// stale file can never resume a different job.
 std::uint64_t job_config_hash(const AttackJob& job);
 
+/// Fingerprint of the chip function alone (shape + correct key), shared
+/// by every job attacking the same circuit regardless of attack kind,
+/// options, or fault config — the result-cache registry key.
+std::uint64_t chip_fingerprint(const LockedCircuit& circuit);
+
 class JobServer {
  public:
   explicit JobServer(const JobServerOptions& opts = {}) : opts_(opts) {}
@@ -90,8 +106,14 @@ class JobServer {
   /// Runs all jobs concurrently on the pool; results in job order.
   std::vector<JobResult> run(const std::vector<AttackJob>& jobs) const;
 
+  /// The per-chip result caches (populated only with result_cache on).
+  const ResultCacheRegistry& caches() const { return caches_; }
+
  private:
   JobServerOptions opts_;
+  // Shared across run()/run_job() calls for the server's lifetime; the
+  // registry hands out one cache per chip fingerprint.
+  mutable ResultCacheRegistry caches_;
 };
 
 }  // namespace orap::serve

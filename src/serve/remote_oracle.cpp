@@ -38,9 +38,8 @@ std::unique_ptr<RemoteOracle> RemoteOracle::connect(
       static_cast<std::size_t>(r.num_outputs)));
 }
 
-bool RemoteOracle::query_batch(const std::vector<BitVec>& xs,
-                               std::vector<OracleResult>* out,
-                               bool requery) {
+bool RemoteOracle::send_batch(const std::vector<BitVec>& xs,
+                              std::vector<OracleResult>* out, bool requery) {
   out->clear();
   if (dead_) return false;
   Frame f;
@@ -63,10 +62,20 @@ OracleResult RemoteOracle::do_query(const BitVec& data) {
   // transients/timeouts of the DEVICE travel inside kBatchReply and keep
   // their own kinds.
   std::vector<OracleResult> rs;
-  if (!query_batch({data}, &rs)) {
+  if (!send_batch({data}, &rs, /*requery=*/false)) {
     return OracleResult::failure(OracleErrorKind::kExhausted);
   }
   return std::move(rs.front());
+}
+
+void RemoteOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                  std::vector<OracleResult>* out) {
+  if (!send_batch(xs, out, /*requery=*/false)) {
+    out->clear();
+    out->reserve(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      out->push_back(OracleResult::failure(OracleErrorKind::kExhausted));
+  }
 }
 
 void RemoteOracle::save_state(std::vector<std::uint8_t>* out) const {

@@ -31,12 +31,6 @@ class RemoteOracle final : public Oracle {
   std::size_t num_inputs() const override { return num_inputs_; }
   std::size_t num_outputs() const override { return num_outputs_; }
 
-  /// Many queries, one round trip. false on a dead transport (the per-
-  /// query results are then unspecified). `requery` routes to the server
-  /// oracle's retry accounting.
-  bool query_batch(const std::vector<BitVec>& xs,
-                   std::vector<OracleResult>* out, bool requery = false);
-
   /// Remote state chain: save_state appends the server stack's state as a
   /// length-prefixed blob; load_state pushes the same blob back. A dead
   /// transport surfaces as an empty blob / false.
@@ -51,10 +45,21 @@ class RemoteOracle final : public Oracle {
 
  protected:
   OracleResult do_query(const BitVec& data) override;
+  /// Batch-aware: the whole batch travels as ONE kQueryBatch frame — one
+  /// wire round trip regardless of batch size. A dead transport fills
+  /// every element with the terminal kExhausted (same rationale as
+  /// do_query).
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
 
  private:
   RemoteOracle(std::unique_ptr<Transport> transport, std::size_t num_inputs,
                std::size_t num_outputs);
+
+  /// One kQueryBatch frame; false on a dead transport (out is then
+  /// cleared). `requery` routes to the server oracle's retry accounting.
+  bool send_batch(const std::vector<BitVec>& xs,
+                  std::vector<OracleResult>* out, bool requery);
 
   std::unique_ptr<Transport> transport_;
   std::size_t num_inputs_;

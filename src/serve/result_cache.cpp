@@ -1,0 +1,87 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace orap::serve {
+
+bool OracleResultCache::lookup(const BitVec& x, BitVec* y) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(x);
+  if (it == map_.end()) return false;
+  *y = it->second;
+  return true;
+}
+
+void OracleResultCache::insert(const BitVec& x, const BitVec& y) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.emplace(x, y);
+}
+
+std::size_t OracleResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+OracleResultCache& ResultCacheRegistry::for_chip(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = caches_[fingerprint];
+  if (!slot) slot = std::make_unique<OracleResultCache>();
+  return *slot;
+}
+
+std::size_t ResultCacheRegistry::num_chips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caches_.size();
+}
+
+OracleResult CachedOracle::do_query(const BitVec& data) {
+  BitVec y;
+  if (cache_.lookup(data, &y)) {
+    ++hits_;
+    return y;
+  }
+  ++misses_;
+  OracleResult r = inner().query(data);
+  if (r.ok()) cache_.insert(data, r.response());
+  return r;
+}
+
+void CachedOracle::do_query_batch(const std::vector<BitVec>& xs,
+                                  std::vector<OracleResult>* out) {
+  out->reserve(xs.size());
+  const OracleResult placeholder =
+      OracleResult::failure(OracleErrorKind::kTransient);
+  // Duplicate inputs inside one batch (vote replicas of the same DIP) are
+  // deduplicated: the device below is deterministic, so one inner query
+  // serves every replica — that is most of what vote batching saves.
+  std::vector<BitVec> miss;
+  std::unordered_map<BitVec, std::size_t, BitVecHash> pending;
+  std::vector<std::pair<std::size_t, std::size_t>> fill;  // out idx, miss idx
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    BitVec y;
+    if (cache_.lookup(xs[i], &y)) {
+      ++hits_;
+      out->push_back(std::move(y));
+      continue;
+    }
+    ++misses_;
+    out->push_back(placeholder);
+    const auto it = pending.find(xs[i]);
+    if (it == pending.end()) {
+      pending.emplace(xs[i], miss.size());
+      fill.emplace_back(i, miss.size());
+      miss.push_back(xs[i]);
+    } else {
+      fill.emplace_back(i, it->second);
+    }
+  }
+  if (miss.empty()) return;
+  std::vector<OracleResult> sub;
+  inner().query_batch(miss, &sub);
+  for (std::size_t j = 0; j < sub.size(); ++j) {
+    if (sub[j].ok()) cache_.insert(miss[j], sub[j].response());
+  }
+  for (const auto& [at, from] : fill) (*out)[at] = sub[from];
+}
+
+}  // namespace orap::serve

@@ -1,0 +1,116 @@
+#pragma once
+// Cross-job oracle result cache.
+//
+// The oracle is the attack's expensive, rate-limited resource; when the
+// job server runs many jobs against the same activated chip (sweeping
+// attack options, resuming after kills), most of their oracle traffic is
+// redundant. OracleResultCache is a shared, hash-keyed input->output memo
+// over the chip's deterministic function, and CachedOracle is the
+// decorator that consults it before any device hit.
+//
+// Placement contract: the cache sits DIRECTLY above the truthful device
+// oracle (GoldenOracle / ChipScanOracle) and BELOW every fault decorator.
+// The device is deterministic, so a cached response is byte-identical to
+// a fresh one, and the fault layers above still draw their per-attempt
+// RNG state in query order — the attack's trajectory is byte-identical
+// with the cache on or off, only the device traffic shrinks. (Above the
+// fault layers the same memo would be wrong: it would freeze one noisy
+// sample as the truth.)
+//
+// Checkpoint semantics: a cache hit is replay, not traffic — it performs
+// zero queries on the device below, exactly like serving a transcript
+// entry. CachedOracle itself is stateless (no RNG, no serialized blob):
+// a resumed job with a cold cache simply re-queries the device and gets
+// the same bytes, so checkpoints stay valid across cache on/off and
+// across process restarts. Hit/miss counts DO depend on job scheduling
+// order and are therefore reported outside any byte-compared job output.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "attacks/oracle.h"
+#include "util/bitvec.h"
+
+namespace orap::serve {
+
+/// Mixes size + payload words so unordered_map buckets spread even for
+/// the low-entropy inputs SAT attacks tend to produce.
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ v.size();
+    for (const std::uint64_t w : v.words()) {
+      h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Thread-safe input->output memo shared by every CachedOracle layered
+/// over the same chip. Exact-match keys (full input bits), never evicts:
+/// an attack's distinct-input working set is bounded by its query count.
+class OracleResultCache {
+ public:
+  /// True and fills *y on a hit.
+  bool lookup(const BitVec& x, BitVec* y) const;
+  /// First insert wins; a second insert for the same input is a no-op
+  /// (the device is deterministic, so the values agree by construction).
+  void insert(const BitVec& x, const BitVec& y);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<BitVec, BitVec, BitVecHash> map_;
+};
+
+/// Hands out one OracleResultCache per chip fingerprint, so concurrent
+/// jobs share a memo exactly when they attack the same chip config and
+/// never when they do not (the same input means different things on
+/// different chips). Returned references stay valid for the registry's
+/// lifetime.
+class ResultCacheRegistry {
+ public:
+  OracleResultCache& for_chip(std::uint64_t fingerprint);
+  std::size_t num_chips() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<OracleResultCache>>
+      caches_;
+};
+
+/// The memo decorator. A hit is served without touching the inner oracle
+/// (zero device queries); a miss queries inward and records the response.
+/// Only OK responses are cached — errors above a truthful device oracle
+/// cannot happen, and caching one would replay a failure forever.
+class CachedOracle final : public OracleDecorator {
+ public:
+  CachedOracle(Oracle& inner, OracleResultCache& cache)
+      : OracleDecorator(inner), cache_(cache) {}
+
+  std::size_t cache_hits() const override {
+    return hits_ + inner().cache_hits();
+  }
+  std::size_t cache_misses() const override {
+    return misses_ + inner().cache_misses();
+  }
+
+ protected:
+  OracleResult do_query(const BitVec& data) override;
+  /// Batch-aware: misses ship inward as one sub-batch in element order;
+  /// hits are filled in place.
+  void do_query_batch(const std::vector<BitVec>& xs,
+                      std::vector<OracleResult>* out) override;
+
+ private:
+  OracleResultCache& cache_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace orap::serve

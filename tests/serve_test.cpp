@@ -308,13 +308,16 @@ TEST(Serve, RemoteOracleMatchesGoldenAndRoundTripsState) {
   for (int i = 0; i < 40; ++i)
     xs.push_back(BitVec::random(lc.num_data_inputs, rng));
   std::vector<OracleResult> first;
-  ASSERT_TRUE(remote->query_batch(xs, &first));
+  remote->query_batch(xs, &first);
+  ASSERT_FALSE(remote->transport_failed());
   ASSERT_EQ(first.size(), xs.size());
 
   bytes::Reader in(state);
   ASSERT_TRUE(remote->load_state(&in));
   std::vector<OracleResult> second;
-  ASSERT_TRUE(remote->query_batch(xs, &second));
+  remote->query_batch(xs, &second);
+  ASSERT_FALSE(remote->transport_failed());
+  ASSERT_EQ(second.size(), xs.size());
   for (std::size_t i = 0; i < xs.size(); ++i) {
     ASSERT_TRUE(first[i].ok());
     ASSERT_TRUE(second[i].ok());
@@ -595,6 +598,86 @@ TEST(Checkpoint, FileRoundTripAndAutosave) {
   EXPECT_EQ(dst.replay_remaining(), 0u);
   EXPECT_FALSE(dst.diverged());
   std::remove(path.c_str());
+}
+
+TEST(Serve, BatchedSatAttackOverTransportMatchesLocal) {
+  // End-to-end batch parity: the batched attack (--oracle-batch with
+  // dip-batch harvesting and votes) over the wire protocol must land the
+  // identical result the same attack produces in-process, while paying
+  // one round trip per flush rather than per query.
+  const LockedCircuit lc = multi_dip_lock();
+  SatAttackOptions opts;
+  opts.oracle_batch = true;
+  opts.dip_batch = 4;
+  opts.resilience.votes = 3;
+
+  GoldenOracle local(lc);
+  const SatAttackResult want = sat_attack(lc, local, opts);
+  ASSERT_EQ(want.status, SatAttackResult::Status::kKeyFound);
+
+  GoldenOracle served(lc);
+  serve::OracleServer server(served);
+  PipePair pipes = make_pipe_pair();
+  std::thread st([&] { server.serve(*pipes.server); });
+
+  std::string err;
+  auto remote = serve::RemoteOracle::connect(std::move(pipes.client), &err);
+  ASSERT_NE(remote, nullptr) << err;
+  const SatAttackResult got = sat_attack(lc, *remote, opts);
+  const std::size_t frames_before_shutdown = server.frames_served();
+  EXPECT_TRUE(remote->shutdown());
+  st.join();
+
+  expect_same_result(got, want);
+  EXPECT_FALSE(remote->transport_failed());
+  EXPECT_EQ(got.oracle_round_trips, want.oracle_round_trips);
+  EXPECT_LT(got.oracle_round_trips, got.oracle_queries);
+  // Each client-side round trip is exactly one wire frame (+1 hello).
+  EXPECT_EQ(frames_before_shutdown, got.oracle_round_trips + 1);
+}
+
+TEST(Checkpoint, KillMidBatchResumesByteIdentical) {
+  // The kill lands inside a batch flush: the KillSwitch only implements
+  // do_query, so the base serial fallback walks the batch element by
+  // element and throws partway through. Responses already produced inside
+  // the interrupted flush are lost (the inner batch never returned), so
+  // the transcript holds some prefix of the reference transcript — and
+  // the resumed batched attack must still finish byte-identical.
+  const LockedCircuit lc = multi_dip_lock();
+  SatAttackOptions opts;
+  opts.oracle_batch = true;
+  opts.dip_batch = 4;
+  opts.resilience.votes = 3;
+
+  GoldenOracle g_ref(lc);
+  CheckpointedOracle ref(g_ref, 99);
+  const SatAttackResult want = sat_attack(lc, ref, opts);
+  ASSERT_EQ(want.status, SatAttackResult::Status::kKeyFound);
+  const std::size_t total = ref.transcript_size();
+  ASSERT_GE(total, 8u) << "circuit too easy to interrupt mid-batch";
+
+  for (const std::size_t kill_at : {std::size_t{2}, total / 2, total - 1}) {
+    GoldenOracle g_part(lc);
+    KillSwitch kill(g_part, kill_at);
+    CheckpointedOracle part(kill, 99);
+    bool killed = false;
+    try {
+      sat_attack(lc, part, opts);
+    } catch (const std::runtime_error&) {
+      killed = true;
+    }
+    ASSERT_TRUE(killed);
+    EXPECT_LE(part.transcript_size(), kill_at);
+    const std::vector<std::uint8_t> blob = part.serialize();
+
+    GoldenOracle g_res(lc);
+    CheckpointedOracle res(g_res, 99);
+    ASSERT_EQ(res.deserialize(blob), CheckpointedOracle::LoadStatus::kOk);
+    const SatAttackResult got = sat_attack(lc, res, opts);
+    expect_same_result(got, want);
+    EXPECT_FALSE(res.diverged());
+    EXPECT_EQ(res.transcript_size(), total) << "kill_at=" << kill_at;
+  }
 }
 
 TEST(Checkpoint, ReplayDivergenceGoesLiveAndIsFlagged) {

@@ -181,6 +181,68 @@ wait "$SERVE_PID"
 cmp "$SD/key_local.txt" "$SD/key_tcp.txt"
 cmp "$SD/key_local.txt" "$SD/key_stdio.txt"
 
+# DIP-batch smoke: the same served circuit attacked over TCP with batching
+# on at --dip-batch 1 and 8 (votes tripled so vote replicas ride the same
+# frames). Both runs must pass their own functional check (the CLI exits
+# nonzero otherwise); the dip-batch=1 key must be byte-identical to the
+# local serial key, and the dip-batch=8 run must pay strictly fewer oracle
+# round trips (parsed from the "oracle traffic" line).
+echo "==== [plain] oracle-serve dip-batch smoke ===="
+for K in 1 8; do
+  "$ORAP_BIN" oracle-serve "$SD/locked.bench" --key "$SD/key.txt" \
+    --port 0 --once > "$SD/serve_d$K.out" 2>/dev/null &
+  SERVE_PID=$!
+  for _ in $(seq 1 100); do
+    grep -q listening "$SD/serve_d$K.out" 2>/dev/null && break
+    sleep 0.1
+  done
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+         "$SD/serve_d$K.out")
+  [[ -n "$PORT" ]]
+  "$ORAP_BIN" attack "$SD/locked.bench" --connect "127.0.0.1:$PORT" \
+    --oracle-batch=1 --oracle-votes=3 --dip-batch="$K" > "$SD/atk_d$K.out"
+  wait "$SERVE_PID"
+  grep '^recovered key' "$SD/atk_d$K.out" > "$SD/key_d$K.txt"
+done
+cmp "$SD/key_local.txt" "$SD/key_d1.txt"
+RT1=$(sed -n 's/^oracle traffic: \([0-9]*\) round trips.*/\1/p' "$SD/atk_d1.out")
+RT8=$(sed -n 's/^oracle traffic: \([0-9]*\) round trips.*/\1/p' "$SD/atk_d8.out")
+[[ -n "$RT1" && -n "$RT8" && "$RT8" -lt "$RT1" ]]
+
+# Shared result-cache smoke: three jobs attacking the SAME chip with the
+# cross-job cache on must produce a "jobs" object byte-identical to the
+# cache-off run (the cache sits below the fault layer, so trajectories
+# cannot move) while actually sharing work (cache_hits > 0 in the record).
+echo "==== [plain] attack-serve --result-cache smoke ===="
+CACHE_ARGS=(--jobs 3 --shared-circuit=1 --scheme xor --key-bits 24 \
+            --gates 300 --inputs 18 --outputs 14 --depth 8 --seed 90)
+"$ORAP_BIN" attack-serve "${CACHE_ARGS[@]}" --json "$SD/cache_off.json" \
+  >/dev/null
+"$ORAP_BIN" attack-serve "${CACHE_ARGS[@]}" --result-cache=1 \
+  --json "$SD/cache_on.json" >/dev/null
+python3 - "$SD/cache_off.json" "$SD/cache_on.json" <<'EOF'
+import json, sys
+off, on = (json.load(open(p)) for p in sys.argv[1:3])
+assert on["jobs"] == off["jobs"], \
+    "--result-cache changed an attack trajectory"
+assert on["cache_hits"] > 0, \
+    "shared-circuit jobs produced no cross-job cache hits"
+assert all(j["status"] == "key_found" for j in on["jobs"].values()), \
+    "cached attack-serve run failed to recover its keys"
+EOF
+
+# Query-batching baseline record: the oracle_serve bench now ends with an
+# attack-level sweep (latency x votes x dip-batch) whose asserts ARE the
+# acceptance bar — byte-identical keys at dip-batch=1, >=5x fewer round
+# trips and lower wall time at 1 ms / votes=3 / dip-batch=8. Running it
+# here catches a regression in either the framing or the harvest logic;
+# the JSON is the same grid that produced BENCH_query_batching.json.
+echo "==== [plain] oracle_serve query-batching smoke ===="
+QB_OUT="$PREFIX/BENCH_query_batching.json"
+"$PREFIX/bench/oracle_serve" --json="$QB_OUT" >/dev/null
+python3 -m json.tool "$QB_OUT" >/dev/null
+grep -q '"atk_lat1000_v3_d8_serial_rt":' "$QB_OUT"
+
 # Kill-and-resume smoke: an attack-serve run killed mid-flight (slowed by
 # injected oracle latency so SIGKILL lands inside the DIP loops) must,
 # when re-run against its checkpoint directory WITHOUT the latency
@@ -221,7 +283,10 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   # The serve suites join too: the oracle server runs on its own thread
   # against client-side attack code, and the job server schedules
   # checkpointed attacks across the pool.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.")
+  # ^Batch\. joins as well: CachedOracle's map is hit from the job
+  # server's pool threads, the exact cross-thread surface the shared
+  # result cache adds.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.|^Batch\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"
@@ -233,7 +298,9 @@ if [[ "$RUN_ASAN" == "1" ]]; then
   CTEST_EXTRA=()
   # Serve suites under ASan: frame decoding is attacker-facing parsing,
   # exactly where a heap overread would hide.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.")
+  # Batched frames carry attacker-chosen element counts — the Batch suite
+  # rides along to scan the batch encode/decode paths for overreads.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.|^Batch\.")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
   run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
 fi
@@ -243,7 +310,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # The Simd suite always joins a filtered UBSan pass: the multi-word
   # kernels and the block simulator are exactly where a shift/alignment
   # mistake would hide.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.|^Batch\.")
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi

@@ -185,6 +185,10 @@ std::uint64_t cli_checkpoint_hash(const Args& a, const LockedCircuit& lc) {
   bytes::put_u64(&buf, a.get_num("budget", 0));
   bytes::put_u64(&buf, a.get_num("quarantine", 0));
   bytes::put_u64(&buf, a.get_num("oracle-votes", 1));
+  // Batching changes the oracle-traffic trajectory, so a checkpoint taken
+  // at one setting must not resume at another.
+  bytes::put_u64(&buf, a.get_num("oracle-batch", 0));
+  bytes::put_u64(&buf, a.get_num("dip-batch", 1));
   const std::uint32_t lo = bytes::crc32(buf.data(), buf.size());
   const std::uint32_t hi = bytes::crc32(buf.data(), buf.size(), 0x5bd1e995u);
   return (static_cast<std::uint64_t>(hi) << 32) | lo;
@@ -450,6 +454,8 @@ int cmd_attack(const Args& a) {
     opts.resilience.retries = a.get_num("oracle-retries", 0);
     opts.resilience.votes = a.get_num("oracle-votes", 1);
     opts.resilience.quarantine = a.get_num("quarantine", 0) != 0;
+    opts.oracle_batch = a.get_num("oracle-batch", 0) != 0;
+    opts.dip_batch = a.get_num("dip-batch", 1);
     SatAttackResult r;
     if (kind == "sat")
       r = sat_attack(lc, oracle, opts);
@@ -463,6 +469,7 @@ int cmd_attack(const Args& a) {
       app_opts.cube_depth = opts.cube_depth;
       app_opts.deadline_ms = opts.deadline_ms;
       app_opts.incremental = opts.incremental;
+      app_opts.oracle_batch = opts.oracle_batch;
       app_opts.resilience = opts.resilience;
       r = appsat_attack(lc, oracle, app_opts);
     }
@@ -487,6 +494,9 @@ int cmd_attack(const Args& a) {
     }
     std::printf("%s attack: %s after %zu DIPs, %zu oracle queries\n",
                 kind.c_str(), status, r.iterations, r.oracle_queries);
+    // Scripts (tools/ci.sh) parse this line to compare traffic shapes.
+    std::printf("oracle traffic: %zu round trips in %zu batches\n",
+                r.oracle_round_trips, r.oracle_batches);
     if (opts.resilience.enabled())
       std::printf("resilience: %zu retries, %zu vote queries, %zu pairs "
                   "evicted, %zu re-queried\n",
@@ -633,6 +643,8 @@ int cmd_attack_serve(const Args& a) {
                          "       [--oracle-noise P] [--oracle-fail-rate P] "
                          "[--oracle-retries N] [--quarantine] "
                          "[--latency-us N]\n"
+                         "       [--oracle-batch] [--dip-batch K] "
+                         "[--result-cache] [--shared-circuit]\n"
                          "       [--checkpoint-dir D] [--checkpoint-every "
                          "K] [--json out.json]");
   GenSpec spec;
@@ -647,9 +659,14 @@ int cmd_attack_serve(const Args& a) {
 
   // Jobs are regenerated deterministically from --seed: run K of the same
   // command line resumes exactly the jobs run K-1 checkpointed.
+  // --shared-circuit points every job at the same chip (the scenario a
+  // shared --result-cache is for: queries one job paid for are served to
+  // the others from the cache).
+  const bool shared_circuit = a.get_num("shared-circuit", 0) != 0;
+  const std::size_t num_circuits = shared_circuit ? 1 : num_jobs;
   std::vector<LockedCircuit> circuits;
-  circuits.reserve(num_jobs);
-  for (std::size_t i = 0; i < num_jobs; ++i) {
+  circuits.reserve(num_circuits);
+  for (std::size_t i = 0; i < num_circuits; ++i) {
     spec.seed = seed + 1000 * i;
     const Netlist n = generate_circuit(spec);
     circuits.push_back(scheme == "xor"
@@ -661,7 +678,7 @@ int cmd_attack_serve(const Args& a) {
   for (std::size_t i = 0; i < num_jobs; ++i) {
     serve::AttackJob& job = jobs[i];
     job.id = "job" + std::to_string(i);
-    job.circuit = &circuits[i];
+    job.circuit = &circuits[shared_circuit ? 0 : i];
     job.kind = kind_s == "appsat"
                    ? serve::AttackJob::Kind::kAppSat
                    : kind_s == "doubledip" ? serve::AttackJob::Kind::kDoubleDip
@@ -671,7 +688,10 @@ int cmd_attack_serve(const Args& a) {
     job.sat.resilience.retries = a.get_num("oracle-retries", 0);
     job.sat.resilience.votes = a.get_num("oracle-votes", 1);
     job.sat.resilience.quarantine = a.get_num("quarantine", 0) != 0;
+    job.sat.oracle_batch = a.get_num("oracle-batch", 0) != 0;
+    job.sat.dip_batch = a.get_num("dip-batch", 1);
     job.appsat.resilience = job.sat.resilience;
+    job.appsat.oracle_batch = job.sat.oracle_batch;
     job.oracle.noise_rate = a.get_rate("oracle-noise", 0.0);
     job.oracle.noise_seed = a.get_num("fault-seed", 7) + i;
     job.oracle.drop_rate = a.get_rate("oracle-fail-rate", 0.0);
@@ -682,6 +702,7 @@ int cmd_attack_serve(const Args& a) {
   serve::JobServerOptions jopts;
   jopts.checkpoint_dir = a.get("checkpoint-dir", "");
   jopts.checkpoint_every = a.get_num("checkpoint-every", 64);
+  jopts.result_cache = a.get_num("result-cache", 0) != 0;
   if (!jopts.checkpoint_dir.empty()) {
     // Checkpoint writes fail silently when the directory is absent (the
     // atomic tmp+rename path treats an unwritable tmp as "skip this
@@ -699,15 +720,19 @@ int cmd_attack_serve(const Args& a) {
           .count();
 
   std::size_t resumed = 0, rejected = 0, succeeded = 0;
+  std::size_t cache_hits = 0, cache_misses = 0;
   for (const serve::JobResult& r : results) {
     resumed += r.resumed ? 1 : 0;
     rejected += r.checkpoint_rejected ? 1 : 0;
+    cache_hits += r.result.cache_hits;
+    cache_misses += r.result.cache_misses;
     const bool ok = r.result.status == SatAttackResult::Status::kKeyFound ||
                     r.result.status == SatAttackResult::Status::kDegraded;
     succeeded += ok ? 1 : 0;
-    std::printf("%s: %s, %zu DIPs, %zu queries%s%s\n", r.id.c_str(),
-                attack_status_slug(r.result.status), r.result.iterations,
-                r.result.oracle_queries,
+    std::printf("%s: %s, %zu DIPs, %zu queries, %zu round trips%s%s\n",
+                r.id.c_str(), attack_status_slug(r.result.status),
+                r.result.iterations, r.result.oracle_queries,
+                r.result.oracle_round_trips,
                 r.resumed ? ", resumed" : "",
                 r.checkpoint_rejected ? ", stale checkpoint rejected" : "");
     if (r.resumed)
@@ -716,6 +741,9 @@ int cmd_attack_serve(const Args& a) {
   }
   std::printf("%zu/%zu jobs recovered a key; %zu resumed; %.1f ms wall\n",
               succeeded, results.size(), resumed, wall_ms);
+  if (jopts.result_cache)
+    std::printf("result cache: %zu hits, %zu misses over %zu chip(s)\n",
+                cache_hits, cache_misses, server.caches().num_chips());
 
   if (a.has("json")) {
     const std::string path = a.get("json", "");
@@ -733,10 +761,16 @@ int cmd_attack_serve(const Args& a) {
         key_str = key_to_string(r.result.key);
         key_str.pop_back();  // trailing newline
       }
+      // round_trips/batches are deterministic per config (replayed
+      // queries count the same as live ones), so they byte-compare across
+      // kill-and-resume; cache hit/miss counts depend on job scheduling
+      // and therefore live OUTSIDE this object.
       os << "    \"" << r.id << "\": {\"status\": \""
          << attack_status_slug(r.result.status)
          << "\", \"iterations\": " << r.result.iterations
          << ", \"oracle_queries\": " << r.result.oracle_queries
+         << ", \"round_trips\": " << r.result.oracle_round_trips
+         << ", \"batches\": " << r.result.oracle_batches
          << ", \"retries\": " << r.result.oracle_retries
          << ", \"evicted_pairs\": " << r.result.evicted_pairs
          << ", \"requeried_pairs\": " << r.result.requeried_pairs
@@ -746,6 +780,8 @@ int cmd_attack_serve(const Args& a) {
     os << "  },\n"
        << "  \"resumed_jobs\": " << resumed << ",\n"
        << "  \"rejected_checkpoints\": " << rejected << ",\n"
+       << "  \"cache_hits\": " << cache_hits << ",\n"
+       << "  \"cache_misses\": " << cache_misses << ",\n"
        << "  \"wall_ms\": " << static_cast<std::uint64_t>(wall_ms) << "\n"
        << "}\n";
     os.flush();
@@ -886,7 +922,8 @@ void usage() {
       "[--budget B] [--portfolio N] [--cube D] [--preprocess] "
       "[--incremental] [--deadline-ms T]\n"
       "               [--oracle-noise P] [--oracle-fail-rate P] "
-      "[--oracle-retries N] [--oracle-votes N] [--quarantine]\n"
+      "[--oracle-retries N] [--oracle-votes N] [--quarantine] "
+      "[--oracle-batch] [--dip-batch K]\n"
       "               [--connect host:port | --oracle-cmd \"...\"] "
       "[--checkpoint file.ckpt [--checkpoint-every K]]\n"
       "  orap oracle-serve <locked.bench> --key key.txt [--port P | "
@@ -894,7 +931,8 @@ void usage() {
       "[--oracle-noise P] [--oracle-fail-rate P] [--oracle-stick-rate P] "
       "[--oracle-max-queries N]\n"
       "  orap attack-serve --jobs N [--kind sat|appsat|doubledip] "
-      "[--key-bits K] [--checkpoint-dir D] [--checkpoint-every K] "
+      "[--key-bits K] [--oracle-batch] [--dip-batch K] [--result-cache] "
+      "[--shared-circuit] [--checkpoint-dir D] [--checkpoint-every K] "
       "[--json out.json]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
@@ -931,7 +969,17 @@ void usage() {
       "--checkpoint-every live queries; rerunning the same\ncommand "
       "resumes to a byte-identical result. `orap attack-serve` runs N "
       "jobs on the\npool with per-job checkpoints under "
-      "--checkpoint-dir.");
+      "--checkpoint-dir.\n"
+      "\n"
+      "Oracle batching (attack / attack-serve): --oracle-batch ships vote "
+      "replicas,\nquarantine re-queries, and measurement samples as "
+      "query_batch flushes — one wire\nround trip each over a served "
+      "oracle. --dip-batch K harvests up to K distinct DIPs\nper solver "
+      "round via blocking clauses and asks them in one batch (sat / "
+      "doubledip).\n--result-cache (attack-serve) shares an input->response "
+      "cache between jobs attacking\nthe same chip (see --shared-circuit); "
+      "cached responses cost zero device queries and\nnever change a job's "
+      "result.");
 }
 
 }  // namespace
