@@ -13,11 +13,13 @@
 #include "attacks/oracle.h"
 #include "attacks/sat_attack.h"
 #include "attacks/simple_attacks.h"
+#include "attacks/structural.h"
 #include "bench_common.h"
 #include "chip/chip.h"
 #include "eval/metrics.h"
 #include "gen/circuit_gen.h"
 #include "locking/locking.h"
+#include "netlist/simulator.h"
 #include "util/parallel.h"
 #include "util/table.h"
 
@@ -89,7 +91,7 @@ int main(int argc, char** argv) {
 
   // --- part 1: SAT-attack DIP counts across schemes (golden oracle) ------
   {
-    Table t({"Scheme", "Key bits", "HD%", "SAT DIPs", "Outcome"});
+    Table t({"Scheme", "Key bits", "HD%", "ErrRate%", "SAT DIPs", "Outcome"});
     const Netlist n = attack_target(gates, 42);
     struct Case {
       const char* name;
@@ -103,6 +105,12 @@ int main(int argc, char** argv) {
         {"SARLock", lock_sarlock(n, 10, 3), {}, {}},
         {"Anti-SAT", lock_antisat(n, 16, 4), {}, {}},
         {"XOR+SARLock", lock_xor_plus_sarlock(n, 8, 10, 5), {}, {}},
+        // SFLL-HD(14,1): ~2^14/C(14,1) DIPs — the provable-resilience row.
+        {"SFLL-HD h=1", lock_sfll_hd(n, 12, 1, 6), {}, {}},
+        // K-Gate input encoding: high corruptibility, few DIPs — its
+        // protection argument rests on guarding the oracle (the paper's
+        // thesis), not on SAT resilience of the netlist.
+        {"K-Gate p=2", lock_kgate(n, 16, 2, 7), {}, {}},
     };
     // Each scheme attacks its own oracle: independent, fan out.
     parallel_for(1, std::size(cases), [&](std::size_t i) {
@@ -142,14 +150,98 @@ int main(int argc, char** argv) {
     for (auto& c : cases) {
       const std::string outcome = status_str(c.r, c.lc.correct_key, c.lc);
       t.add_row({c.name, std::to_string(c.lc.num_key_inputs),
-                 Table::num(c.hd.hd_percent), std::to_string(c.r.iterations),
-                 outcome});
+                 Table::num(c.hd.hd_percent), Table::num(c.hd.error_rate_pct),
+                 std::to_string(c.r.iterations), outcome});
       const std::string tag = std::string("golden_") + c.name;
       report.add(tag + "_dips", c.r.iterations);
       report.add(tag + "_hd_pct", c.hd.hd_percent);
+      report.add(tag + "_err_pct", c.hd.error_rate_pct);
       report.add_string(tag + "_outcome", outcome);
     }
     std::printf("-- SAT attack with golden (conventional scan) oracle --\n");
+    t.print(std::cout);
+    std::printf("\n");
+  }
+
+  // --- part 1b: structural attacks across the scheme zoo -----------------
+  // Removal and bypass report three distinct statuses: success, incomplete
+  // (budget exhaustion — NOT success), and "does not apply". SFLL-HD is
+  // the canonical removal victim: the suspect comes off, but the attacker
+  // recovers only the cube-stripped function, which the bench verifies.
+  {
+    Table t({"Scheme", "Removal", "Bypass"});
+    const Netlist n = attack_target(gates, 44);
+    struct SCase {
+      const char* name;
+      const char* id;  // JSON key fragment
+      LockedCircuit lc;
+      std::string removal, bypass;
+    };
+    SCase cases[] = {
+        {"weighted k=3", "weighted", lock_weighted(n, 18, 3, 2), "", ""},
+        {"SARLock", "sarlock", lock_sarlock(n, 10, 3), "", ""},
+        {"Anti-SAT", "antisat", lock_antisat(n, 16, 4), "", ""},
+        {"SFLL-HD h=1", "sfll_hd", lock_sfll_hd(n, 12, 1, 6), "", ""},
+        {"K-Gate p=2", "kgate", lock_kgate(n, 16, 2, 7), "", ""},
+    };
+    parallel_for(1, std::size(cases), [&](std::size_t i) {
+      SCase& c = cases[i];
+      const auto rem = removal_attack(c.lc, 256, 501 + i);
+      if (!rem.has_value()) {
+        c.removal = "does not apply";
+      } else if (c.lc.scheme == "sfll_hd") {
+        // Verify the canonical SFLL result: recovered == stripped function
+        // (original with output 0 inverted on the secret's HD-h sphere of
+        // inputs 0..k), never the original itself.
+        const std::size_t k = c.lc.num_key_inputs, h = 1;
+        Simulator orig(n), rec(rem->recovered);
+        Rng rng(701 + i);
+        bool stripped_ok = true, differs_somewhere = false;
+        for (int tr = 0; tr < 200 && stripped_ok; ++tr) {
+          BitVec x = BitVec::random(n.num_inputs(), rng);
+          if (tr % 2 == 0) {  // force onto the protected sphere
+            for (std::size_t b = 0; b < k; ++b)
+              x.set(b, c.lc.correct_key.get(b));
+            x.flip(static_cast<std::size_t>(tr) % k);
+          }
+          std::size_t hd = 0;
+          for (std::size_t b = 0; b < k; ++b)
+            hd += x.get(b) != c.lc.correct_key.get(b);
+          const BitVec key = BitVec::random(k, rng);
+          BitVec expect = orig.run_single(x);
+          if (hd == h) {
+            expect.flip(0);
+            differs_somewhere = true;
+          }
+          stripped_ok =
+              rec.run_single(c.lc.assemble_input(x, key)) == expect;
+        }
+        c.removal = stripped_ok && differs_somewhere
+                        ? "REMOVED (stripped fn, not original)"
+                        : "REMOVED (unverified)";
+      } else {
+        c.removal = "REMOVED key logic";
+      }
+      GoldenOracle oracle(c.lc);
+      const auto bp = bypass_attack(c.lc, oracle, 8, 601 + i);
+      if (!bp.has_value())
+        c.bypass = "does not apply";
+      else if (!bp->complete)
+        c.bypass = "incomplete (cap tripped at " +
+                   std::to_string(bp->correction_points) + " cubes)";
+      else
+        c.bypass =
+            "BYPASSED (" + std::to_string(bp->correction_points) + " cubes)";
+    });
+    for (auto& c : cases) {
+      t.add_row({c.name, c.removal, c.bypass});
+      report.add_string(std::string("structural_") + c.id + "_removal",
+                        c.removal);
+      report.add_string(std::string("structural_") + c.id + "_bypass",
+                        c.bypass);
+    }
+    std::printf(
+        "-- structural attacks (SPS-guided removal, CHES'17 bypass) --\n");
     t.print(std::cout);
     std::printf("\n");
   }

@@ -92,6 +92,44 @@ int main(int argc, char** argv) {
                r.ov.delay_overhead_pct);
   }
   table.print(std::cout);
+
+  // --- scheme zoo: what the alternative schemes cost on one core --------
+  // Same measurement as above (resynthesized AND counts / level depth) so
+  // the numbers are comparable to the weighted-locking rows. SFLL-HD pays
+  // for two HD comparator trees; SARLock/Anti-SAT for one point function;
+  // K-Gate for a thin XOR/MUX layer on the encoded inputs.
+  {
+    Table zt({"Scheme", "Key bits", "ArOvhd%", "DelOvhd%"});
+    const BenchmarkProfile& zp = benchmark_profile("s38417");
+    const Netlist zn = make_benchmark(zp, args.scale);
+    struct ZRow {
+      const char* name;
+      const char* id;
+      LockedCircuit lc;
+      OverheadResult ov = {};
+    };
+    ZRow zrows[] = {
+        {"weighted g=3", "weighted", lock_weighted(zn, 24, 3, 21)},
+        {"SARLock", "sarlock", lock_sarlock(zn, 12, 22)},
+        {"Anti-SAT", "antisat", lock_antisat(zn, 16, 23)},
+        {"SFLL-HD h=1", "sfll_hd", lock_sfll_hd(zn, 12, 1, 24)},
+        {"K-Gate p=2", "kgate", lock_kgate(zn, 12, 2, 25)},
+    };
+    parallel_for(1, std::size(zrows), [&](std::size_t i) {
+      zrows[i].ov = measure_overhead(zn, zrows[i].lc.netlist);
+    });
+    for (auto& z : zrows) {
+      zt.add_row({z.name, std::to_string(z.lc.num_key_inputs),
+                  Table::num(z.ov.area_overhead_pct),
+                  Table::num(z.ov.delay_overhead_pct)});
+      report.add(std::string("zoo_") + z.id + "_area_ovh_pct",
+                 z.ov.area_overhead_pct);
+      report.add(std::string("zoo_") + z.id + "_delay_ovh_pct",
+                 z.ov.delay_overhead_pct);
+    }
+    std::printf("\n-- per-scheme overhead on s38417 (no OraP hardware) --\n");
+    zt.print(std::cout);
+  }
   report.finish();
   std::printf(
       "\nNotes: circuits are synthetic stand-ins with the published "

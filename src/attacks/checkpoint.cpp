@@ -101,7 +101,17 @@ void CheckpointedOracle::do_query_batch(const std::vector<BitVec>& xs,
   std::vector<BitVec> live(xs.begin() + static_cast<std::ptrdiff_t>(i),
                            xs.end());
   std::vector<OracleResult> sub;
-  inner().query_batch(live, &sub);
+  try {
+    inner().query_batch(live, &sub);
+  } catch (...) {
+    // The inner oracle died mid-batch. Its serial fallback (and every
+    // element-order decorator) fills `sub` incrementally, so it holds
+    // exactly the answered prefix — record it (triggering autosave) before
+    // propagating, so a resume replays those answers instead of paying for
+    // them again. Only the genuinely unanswered tail is lost.
+    for (std::size_t j = 0; j < sub.size(); ++j) record_live(live[j], sub[j]);
+    throw;
+  }
   for (std::size_t j = 0; j < sub.size(); ++j) {
     record_live(live[j], sub[j]);
     out->push_back(std::move(sub[j]));

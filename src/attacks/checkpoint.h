@@ -102,8 +102,10 @@ class CheckpointedOracle final : public OracleDecorator {
   /// recording element by element (exactly as serial replay would), and
   /// the live remainder ships inward as one batch, each response recorded
   /// and autosave-checked per element — so transcripts and resume points
-  /// are identical whether the attack batched or not, and a kill mid-batch
-  /// loses at most that batch's unrecorded tail.
+  /// are identical whether the attack batched or not. If the inner oracle
+  /// throws mid-batch, the answered prefix it produced is recorded before
+  /// the exception propagates: a kill mid-batch loses only the genuinely
+  /// unanswered tail, and resume replays everything that was answered.
   void do_query_batch(const std::vector<BitVec>& xs,
                       std::vector<OracleResult>* out) override;
 

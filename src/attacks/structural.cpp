@@ -253,7 +253,10 @@ std::optional<BypassResult> bypass_attack(const LockedCircuit& lc,
       c.cube_value = x;
       c.fix_mask = fix;
       corrections.push_back(std::move(c));
-      if (corrections.size() > max_corrections) return std::nullopt;
+      // Cap tripped: the diff set is larger than the attacker budgeted
+      // for. The enumeration ran out, it did not fail structurally —
+      // report an incomplete result below rather than "does not apply".
+      if (corrections.size() > max_corrections) break;
     }
     // Block the whole cube.
     std::vector<sat::Lit> block;
@@ -262,7 +265,17 @@ std::optional<BypassResult> bypass_attack(const LockedCircuit& lc,
     if (block.empty()) return std::nullopt;  // diff everywhere: not bypassable
     s.add_clause(block);
   }
-  if (!complete) return std::nullopt;
+  if (!complete) {
+    // Ran out of corrections (or iterations) before the diff enumeration
+    // went UNSAT. No usable bypassed netlist exists, but this is a budget
+    // exhaustion, not structural inapplicability — callers must not count
+    // it as a successful bypass.
+    BypassResult r;
+    r.wrong_key = wrong_key;
+    r.correction_points = corrections.size();
+    r.complete = false;
+    return r;
+  }
 
   // Build the bypassed netlist: the locked circuit with the wrong key
   // hardwired, plus a comparator per correction that flips the recorded

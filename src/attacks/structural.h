@@ -57,8 +57,16 @@ struct BypassResult {
 /// SAT-enumerate the inputs where it can disagree with another key (for
 /// point-function schemes this set is tiny), query the oracle there, and
 /// wrap the wrong-key circuit with a comparator-driven correction unit.
-/// Fails (complete=false) when the diff set exceeds `max_corrections` —
-/// which is exactly what high-corruptibility schemes guarantee.
+/// Three outcomes:
+///   - a result with complete=true: `bypassed` is a working unlocked
+///     netlist with `correction_points` comparator cubes;
+///   - a result with complete=false: the diff set exceeded
+///     `max_corrections` (budget exhaustion — what high-corruptibility
+///     schemes guarantee). `bypassed` is empty and MUST NOT be used;
+///     callers report this as a failed/incomplete bypass, never success;
+///   - nullopt: the attack does not apply structurally (diff region is not
+///     cube-shaped, an unobservable cube, or the keys disagree
+///     everywhere).
 std::optional<BypassResult> bypass_attack(const LockedCircuit& lc,
                                           Oracle& oracle,
                                           std::size_t max_corrections,

@@ -13,6 +13,8 @@ namespace {
 struct HdTally {
   std::uint64_t diff_bits = 0;
   std::uint64_t total_bits = 0;
+  std::uint64_t err_patterns = 0;    // patterns with >= 1 corrupted output
+  std::uint64_t total_patterns = 0;  // (pattern, wrong key) pairs
 };
 
 }  // namespace
@@ -69,10 +71,17 @@ HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
               sim.set_input_word(i, words[i]);
             set_key(key);
             sim.run();
-            for (std::size_t o = 0; o < n.num_outputs(); ++o)
+            std::uint64_t diff_any = 0;
+            for (std::size_t o = 0; o < n.num_outputs(); ++o) {
+              const std::uint64_t d = golden[o] ^ sim.output_word(o);
               t.diff_bits += static_cast<std::uint64_t>(
-                  __builtin_popcountll(golden[o] ^ sim.output_word(o)));
+                  __builtin_popcountll(d));
+              diff_any |= d;
+            }
+            t.err_patterns +=
+                static_cast<std::uint64_t>(__builtin_popcountll(diff_any));
             t.total_bits += n.num_outputs() * 64;
+            t.total_patterns += 64;
           }
         }
         return t;
@@ -80,12 +89,16 @@ HdResult hamming_corruptibility(const LockedCircuit& lc, std::size_t num_words,
       [](HdTally acc, HdTally part) {
         acc.diff_bits += part.diff_bits;
         acc.total_bits += part.total_bits;
+        acc.err_patterns += part.err_patterns;
+        acc.total_patterns += part.total_patterns;
         return acc;
       });
 
   HdResult r;
   r.hd_percent = 100.0 * static_cast<double>(tally.diff_bits) /
                  static_cast<double>(tally.total_bits);
+  r.error_rate_pct = 100.0 * static_cast<double>(tally.err_patterns) /
+                     static_cast<double>(tally.total_patterns);
   r.patterns = num_words * 64;
   r.keys = num_keys;
   return r;

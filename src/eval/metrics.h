@@ -11,7 +11,13 @@
 namespace orap {
 
 struct HdResult {
-  double hd_percent = 0.0;   // avg % of output bits differing from correct
+  double hd_percent = 0.0;  // avg % of output bits differing from correct
+  // % of (pattern, wrong key) pairs with at least one corrupted output —
+  // the "error rate" corruptibility measure from the SFLL literature.
+  // Point-function schemes (SARLock, SFLL-HD at small h) have a near-zero
+  // error rate even when individual errors exist; XOR/weighted locking
+  // corrupts nearly every pattern.
+  double error_rate_pct = 0.0;
   std::size_t patterns = 0;  // total input patterns simulated
   std::size_t keys = 0;      // wrong keys sampled
 };

@@ -5,6 +5,18 @@
 
 #include "netlist/simulator.h"
 
+// Argument validation for the lock_* constructors: throws a typed
+// LockError (rather than tripping ORAP_CHECK) so callers can tell a bad
+// locking request apart from an internal invariant failure.
+#define ORAP_LOCK_REQUIRE(cond, scheme, msg)       \
+  do {                                             \
+    if (!(cond)) {                                 \
+      std::ostringstream orap_lock_os_;            \
+      orap_lock_os_ << scheme << ": " << msg;      \
+      throw ::orap::LockError(orap_lock_os_.str()); \
+    }                                              \
+  } while (false)
+
 namespace orap {
 
 BitVec LockedCircuit::assemble_input(const BitVec& data,
@@ -81,6 +93,31 @@ LockedCircuit finish(CopyContext ctx, const Netlist& original,
 
 /// Candidate lock sites: real logic gates (no inverters/buffers), skipping
 /// gates that drive nothing.
+/// Ones-count(bits) == target as a gate network: a bit-serial increment
+/// chain into a ceil(log2(n+1))-bit counter, then a constant comparator.
+/// The final increment carry is dropped — the counter is wide enough that
+/// it can never overflow.
+GateId count_equals(Netlist& nl, const std::vector<GateId>& bits,
+                    std::size_t target) {
+  std::size_t width = 1;
+  while ((std::size_t{1} << width) <= bits.size()) ++width;
+  std::vector<GateId> sum(width, nl.add_const(false));
+  for (const GateId b : bits) {
+    GateId carry = b;
+    for (std::size_t j = 0; j < width; ++j) {
+      const GateId ns = nl.add_xor2(sum[j], carry);
+      carry = nl.add_and2(sum[j], carry);
+      sum[j] = ns;
+    }
+  }
+  std::vector<GateId> eq(width);
+  for (std::size_t j = 0; j < width; ++j) {
+    const bool want = ((target >> j) & 1) != 0;
+    eq[j] = want ? sum[j] : nl.add_not(sum[j]);
+  }
+  return width == 1 ? eq[0] : nl.add_gate(GateType::kAnd, eq);
+}
+
 std::vector<GateId> lock_candidates(const Netlist& n) {
   const auto fo = [&] {
     std::vector<std::uint32_t> f(n.num_gates(), 0);
@@ -140,10 +177,13 @@ std::vector<double> fault_impact(const Netlist& n,
 
 LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
                               std::uint64_t seed) {
+  ORAP_LOCK_REQUIRE(key_bits >= 1, "random_xor", "needs at least one key bit");
   Rng rng(seed);
   auto cands = lock_candidates(original);
-  ORAP_CHECK_MSG(cands.size() >= key_bits,
-                 "circuit too small for " << key_bits << " key gates");
+  ORAP_LOCK_REQUIRE(cands.size() >= key_bits, "random_xor",
+                    "circuit has " << cands.size()
+                                   << " lockable gates, key needs "
+                                   << key_bits);
   std::shuffle(cands.begin(), cands.end(), rng);
   cands.resize(key_bits);
   std::sort(cands.begin(), cands.end());
@@ -168,14 +208,22 @@ LockedCircuit lock_random_xor(const Netlist& original, std::size_t key_bits,
 
 LockedCircuit lock_weighted(const Netlist& original, std::size_t key_bits,
                             std::size_t ctrl_inputs, std::uint64_t seed) {
-  ORAP_CHECK(ctrl_inputs >= 2);
+  ORAP_LOCK_REQUIRE(ctrl_inputs >= 2, "weighted",
+                    "control gates need at least 2 key inputs, got "
+                        << ctrl_inputs);
   Rng rng(seed);
   const std::size_t num_key_gates = key_bits / ctrl_inputs;
-  ORAP_CHECK_MSG(num_key_gates >= 1, "key too small for control-gate width");
+  ORAP_LOCK_REQUIRE(num_key_gates >= 1, "weighted",
+                    "key of " << key_bits
+                              << " bits is narrower than one control gate ("
+                              << ctrl_inputs << " inputs)");
 
   // Fault-analysis site selection: sample candidates, rank by impact.
   auto cands = lock_candidates(original);
-  ORAP_CHECK(cands.size() >= num_key_gates);
+  ORAP_LOCK_REQUIRE(cands.size() >= num_key_gates, "weighted",
+                    "circuit has " << cands.size()
+                                   << " lockable gates, key needs "
+                                   << num_key_gates);
   std::shuffle(cands.begin(), cands.end(), rng);
   const std::size_t sample =
       std::min(cands.size(), std::max<std::size_t>(num_key_gates * 4, 64));
@@ -230,9 +278,17 @@ LockedCircuit lock_sarlock(const Netlist& original, std::size_t key_bits,
                            std::uint64_t seed, std::size_t tap_inputs) {
   Rng rng(seed);
   if (tap_inputs == 0) tap_inputs = original.num_inputs();
-  ORAP_CHECK(tap_inputs <= original.num_inputs());
-  ORAP_CHECK(tap_inputs >= key_bits);
-  ORAP_CHECK(original.num_outputs() >= 1);
+  ORAP_LOCK_REQUIRE(key_bits >= 1, "sarlock", "needs at least one key bit");
+  ORAP_LOCK_REQUIRE(tap_inputs <= original.num_inputs(), "sarlock",
+                    "tap window of " << tap_inputs
+                                     << " exceeds the primary-input count "
+                                     << original.num_inputs());
+  ORAP_LOCK_REQUIRE(tap_inputs >= key_bits, "sarlock",
+                    "key of " << key_bits
+                              << " bits is wider than the comparator taps ("
+                              << tap_inputs << " inputs)");
+  ORAP_LOCK_REQUIRE(original.num_outputs() >= 1, "sarlock",
+                    "circuit has no output to flip");
   // Select key_bits data inputs for the comparator.
   std::vector<std::size_t> in_pos(tap_inputs);
   std::iota(in_pos.begin(), in_pos.end(), std::size_t{0});
@@ -271,6 +327,8 @@ LockedCircuit lock_xor_plus_sarlock(const Netlist& original,
                                     std::size_t xor_bits,
                                     std::size_t sar_bits,
                                     std::uint64_t seed) {
+  ORAP_LOCK_REQUIRE(xor_bits >= 1 && sar_bits >= 1, "xor+sarlock",
+                    "both layers need at least one key bit");
   LockedCircuit base = lock_random_xor(original, xor_bits, seed);
   // Layer SARLock on the locked netlist; its key inputs land after the
   // XOR keys, and the comparator taps only real data inputs.
@@ -292,10 +350,16 @@ LockedCircuit lock_xor_plus_sarlock(const Netlist& original,
 
 LockedCircuit lock_antisat(const Netlist& original, std::size_t key_bits,
                            std::uint64_t seed) {
-  ORAP_CHECK_MSG(key_bits % 2 == 0, "Anti-SAT uses two equal key halves");
+  ORAP_LOCK_REQUIRE(key_bits >= 2 && key_bits % 2 == 0, "antisat",
+                    "needs an even key (two equal halves), got " << key_bits);
   const std::size_t n_half = key_bits / 2;
   Rng rng(seed);
-  ORAP_CHECK(original.num_inputs() >= n_half);
+  ORAP_LOCK_REQUIRE(original.num_inputs() >= n_half, "antisat",
+                    "key half of " << n_half
+                                   << " bits exceeds the primary-input count "
+                                   << original.num_inputs());
+  ORAP_LOCK_REQUIRE(original.num_outputs() >= 1, "antisat",
+                    "circuit has no output to flip");
   std::vector<std::size_t> in_pos(original.num_inputs());
   std::iota(in_pos.begin(), in_pos.end(), std::size_t{0});
   std::shuffle(in_pos.begin(), in_pos.end(), rng);
@@ -330,6 +394,119 @@ LockedCircuit lock_antisat(const Netlist& original, std::size_t key_bits,
   nl.set_output_gate(0, flipped);
   return finish(std::move(ctx), original, key_bits, std::move(key),
                 "antisat");
+}
+
+LockedCircuit lock_sfll_hd(const Netlist& original, std::size_t key_bits,
+                           std::size_t h, std::uint64_t seed) {
+  ORAP_LOCK_REQUIRE(key_bits >= 1, "sfll_hd", "needs at least one key bit");
+  ORAP_LOCK_REQUIRE(key_bits <= original.num_inputs(), "sfll_hd",
+                    "key of " << key_bits
+                              << " bits exceeds the primary-input count "
+                              << original.num_inputs());
+  ORAP_LOCK_REQUIRE(h <= key_bits, "sfll_hd",
+                    "Hamming target " << h << " exceeds the key width "
+                                      << key_bits);
+  ORAP_LOCK_REQUIRE(original.num_outputs() >= 1, "sfll_hd",
+                    "circuit has no output to strip");
+  Rng rng(seed);
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) key.set(i, rng.bit());
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  copy_gates(original, ctx, [](GateId copy, GateId) { return copy; });
+  Netlist& nl = ctx.out;
+
+  // Strip unit (hardwired secret: X_i XOR secret_i is a wire or an
+  // inverter) and restore unit (keyed: X_i XOR K_i). Both compare their
+  // ones-count against h; under the correct key they agree everywhere and
+  // the two XORs below cancel.
+  std::vector<GateId> strip_bits(key_bits), restore_bits(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) {
+    const GateId xin = ctx.map[original.inputs()[i]];
+    strip_bits[i] = key.get(i) ? nl.add_not(xin) : xin;
+    restore_bits[i] =
+        nl.add_gate(GateType::kXor, {xin, ctx.key_inputs[i]});
+  }
+  const GateId strip = count_equals(nl, strip_bits, h);
+  const GateId restore = count_equals(nl, restore_bits, h);
+
+  // The stored netlist implements the cube-stripped function (output 0
+  // XOR strip); the keyed restore output feeds the final PO XOR — the
+  // structure SPS ranking and the removal attack are meant to find.
+  const GateId stripped =
+      nl.add_gate(GateType::kXor, {nl.outputs()[0].gate, strip});
+  const GateId restored = nl.add_gate(GateType::kXor, {stripped, restore});
+  nl.set_output_gate(0, restored);
+  return finish(std::move(ctx), original, key_bits, std::move(key),
+                "sfll_hd");
+}
+
+LockedCircuit lock_kgate(const Netlist& original, std::size_t key_bits,
+                         std::size_t keys_per_gate, std::uint64_t seed) {
+  ORAP_LOCK_REQUIRE(keys_per_gate >= 2, "kgate",
+                    "encoding gates need at least 2 key inputs, got "
+                        << keys_per_gate);
+  ORAP_LOCK_REQUIRE(key_bits >= keys_per_gate &&
+                        key_bits % keys_per_gate == 0,
+                    "kgate",
+                    "key of " << key_bits
+                              << " bits is not a positive multiple of "
+                              << keys_per_gate);
+  const std::size_t groups = key_bits / keys_per_gate;
+
+  // Each group encodes a pair of *driven* primary inputs (an input with no
+  // fanout would make its key bits dead).
+  std::vector<std::uint32_t> fo(original.num_gates(), 0);
+  for (GateId g = 0; g < original.num_gates(); ++g)
+    for (const GateId x : original.fanins(g)) ++fo[x];
+  for (const auto& po : original.outputs()) ++fo[po.gate];
+  std::vector<std::size_t> usable;
+  for (std::size_t pos = 0; pos < original.num_inputs(); ++pos)
+    if (fo[original.inputs()[pos]] > 0) usable.push_back(pos);
+  ORAP_LOCK_REQUIRE(usable.size() >= 2 * groups, "kgate",
+                    "needs " << 2 * groups
+                             << " driven primary inputs, circuit has "
+                             << usable.size());
+  Rng rng(seed);
+  std::shuffle(usable.begin(), usable.end(), rng);
+  usable.resize(2 * groups);
+
+  BitVec key(key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) key.set(i, rng.bit());
+
+  CopyContext ctx = begin_copy(original, key_bits);
+  Netlist& nl = ctx.out;
+  // Build the encoding chains first, then remap the selected inputs so the
+  // copied logic consumes the encoded wires instead of the raw inputs.
+  for (std::size_t g = 0; g < groups; ++g) {
+    GateId a = ctx.map[original.inputs()[usable[2 * g]]];
+    GateId b = ctx.map[original.inputs()[usable[2 * g + 1]]];
+    for (std::size_t j = 0; j < keys_per_gate; ++j) {
+      const std::size_t ki = g * keys_per_gate + j;
+      const GateId kin = ctx.key_inputs[ki];
+      if (j % 2 == 0) {
+        // Keyed inversion stage on alternating targets: XOR is
+        // transparent when the secret bit is 0, XNOR when it is 1.
+        const GateType t = key.get(ki) ? GateType::kXnor : GateType::kXor;
+        if ((j / 2) % 2 == 0)
+          a = nl.add_gate(t, {a, kin});
+        else
+          b = nl.add_gate(t, {b, kin});
+      } else {
+        // Keyed swap stage: ctrl is 0 under the correct key, so both
+        // muxes pass through; a wrong bit swaps the pair.
+        const GateId ctrl = key.get(ki) ? nl.add_not(kin) : kin;
+        const GateId na = nl.add_gate(GateType::kMux, {ctrl, a, b});
+        const GateId nb = nl.add_gate(GateType::kMux, {ctrl, b, a});
+        a = na;
+        b = nb;
+      }
+    }
+    ctx.map[original.inputs()[usable[2 * g]]] = a;
+    ctx.map[original.inputs()[usable[2 * g + 1]]] = b;
+  }
+  copy_gates(original, ctx, [](GateId copy, GateId) { return copy; });
+  return finish(std::move(ctx), original, key_bits, std::move(key), "kgate");
 }
 
 }  // namespace orap

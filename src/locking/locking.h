@@ -18,9 +18,20 @@
 
 #include "netlist/netlist.h"
 #include "util/bitvec.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace orap {
+
+/// Thrown by the lock_* constructors when the requested configuration does
+/// not fit the circuit (key wider than the primary-input count, odd
+/// Anti-SAT key, Hamming target above the comparator width, ...). Derives
+/// from CheckError so existing catch sites keep working, but lets callers
+/// distinguish a bad locking request from an internal invariant failure.
+class LockError : public CheckError {
+ public:
+  explicit LockError(const std::string& what) : CheckError(what) {}
+};
 
 struct LockedCircuit {
   Netlist netlist;
@@ -68,6 +79,32 @@ LockedCircuit lock_xor_plus_sarlock(const Netlist& original,
 /// XORed into one output; correct keys satisfy K1 == K2.
 LockedCircuit lock_antisat(const Netlist& original, std::size_t key_bits,
                            std::uint64_t seed);
+
+/// SFLL-HD(k, h) [Yasin et al., CCS'17 "Provably-Secure Logic Locking"]:
+/// the first `key_bits` primary inputs are the protected-cube selector
+/// X_sel. A hardwired *strip unit* flips output 0 whenever
+/// HD(X_sel, K_secret) == h (so the stored netlist implements the
+/// cube-stripped function, not the original), and a keyed *restore unit*
+/// flips it back whenever HD(X_sel, K) == h. The two cancel exactly under
+/// the correct key. h == 0 degenerates to TTLock. SAT resilience scales as
+/// 2^k / C(k, h) DIPs while corruptibility scales as C(k, h) / 2^k — the
+/// scheme's signature trade-off. The protected-input selection is
+/// deterministic (inputs 0..key_bits) so experiments can enumerate the
+/// protected cubes; the secret key is drawn from `seed`.
+LockedCircuit lock_sfll_hd(const Netlist& original, std::size_t key_bits,
+                           std::size_t h, std::uint64_t seed);
+
+/// K-Gate Lock (multi-key input encoding, arXiv 2501.02118): key bits are
+/// grouped `keys_per_gate` at a time; each group drives an encoding chain
+/// on a pair of primary inputs that alternates keyed XOR/XNOR masking
+/// stages with keyed MUX swap stages. Under the correct key every stage is
+/// the identity; any wrong bit permutes/inverts the encoded inputs before
+/// they reach the original logic, so corruption is input-wide (no single
+/// removable point function — structural attacks find nothing to cut).
+/// `key_bits` must be a multiple of `keys_per_gate`, and the circuit needs
+/// 2 * (key_bits / keys_per_gate) distinct driven primary inputs.
+LockedCircuit lock_kgate(const Netlist& original, std::size_t key_bits,
+                         std::size_t keys_per_gate, std::uint64_t seed);
 
 /// Fault-impact scores: for each candidate gate, the average number of
 /// output bits that flip when the gate's value is inverted (64 random

@@ -139,11 +139,35 @@ TEST(Integration, ArmsRaceOnOneDesign) {
     GoldenOracle bp_oracle(lc);
     const auto bp = bypass_attack(lc, bp_oracle, 8, 4);
     ASSERT_TRUE(bp.has_value());
+    EXPECT_TRUE(bp->complete);
   }
   // Round 3: Anti-SAT falls to SPS-guided removal.
   {
     const LockedCircuit lc = lock_antisat(design, 20, 5);
     EXPECT_TRUE(removal_attack(lc, 64, 6).has_value());
+  }
+  // Round 3b: SFLL-HD also resists SAT (HD-sphere pruning) but its
+  // restore unit falls to the same removal attack — yielding only the
+  // stripped circuit, not the original.
+  {
+    const LockedCircuit lc = lock_sfll_hd(design, 14, 1, 11);
+    GoldenOracle sat_oracle(lc);
+    SatAttackOptions opts;
+    opts.max_iterations = 100;  // far below 2^14 / C(14,1)
+    EXPECT_EQ(sat_attack(lc, sat_oracle, opts).status,
+              SatAttackResult::Status::kIterationLimit);
+    EXPECT_TRUE(removal_attack(lc, 64, 12).has_value());
+  }
+  // Round 3c: K-Gate input encoding defeats the structural attacks (the
+  // key logic cannot be disconnected) though a golden oracle still yields
+  // to SAT — the scheme's protection argument rests on guarding the
+  // oracle, which is the paper's point.
+  {
+    const LockedCircuit lc = lock_kgate(design, 12, 2, 13);
+    EXPECT_FALSE(removal_attack(lc, 64, 14).has_value());
+    GoldenOracle bp_oracle(lc);
+    const auto bp = bypass_attack(lc, bp_oracle, 8, 15);
+    EXPECT_TRUE(!bp.has_value() || !bp->complete);
   }
   // Round 4: OraP + weighted locking: the oracle itself is gone.
   {

@@ -639,10 +639,11 @@ TEST(Serve, BatchedSatAttackOverTransportMatchesLocal) {
 TEST(Checkpoint, KillMidBatchResumesByteIdentical) {
   // The kill lands inside a batch flush: the KillSwitch only implements
   // do_query, so the base serial fallback walks the batch element by
-  // element and throws partway through. Responses already produced inside
-  // the interrupted flush are lost (the inner batch never returned), so
-  // the transcript holds some prefix of the reference transcript — and
-  // the resumed batched attack must still finish byte-identical.
+  // element and throws partway through. The responses already produced
+  // inside the interrupted flush must survive into the transcript (the
+  // checkpoint layer records the answered prefix before re-throwing), so
+  // the transcript holds *exactly* the kill_at answered queries — and the
+  // resumed batched attack must still finish byte-identical.
   const LockedCircuit lc = multi_dip_lock();
   SatAttackOptions opts;
   opts.oracle_batch = true;
@@ -667,7 +668,9 @@ TEST(Checkpoint, KillMidBatchResumesByteIdentical) {
       killed = true;
     }
     ASSERT_TRUE(killed);
-    EXPECT_LE(part.transcript_size(), kill_at);
+    // Every query the inner oracle answered before the kill — including
+    // the prefix of the interrupted flush — is in the transcript.
+    EXPECT_EQ(part.transcript_size(), kill_at) << "kill_at=" << kill_at;
     const std::vector<std::uint8_t> blob = part.serialize();
 
     GoldenOracle g_res(lc);
@@ -677,6 +680,41 @@ TEST(Checkpoint, KillMidBatchResumesByteIdentical) {
     expect_same_result(got, want);
     EXPECT_FALSE(res.diverged());
     EXPECT_EQ(res.transcript_size(), total) << "kill_at=" << kill_at;
+  }
+}
+
+TEST(Checkpoint, MidBatchKillRecordsAnsweredPrefix) {
+  // Oracle-level version of the kill-mid-batch contract: one batch of 8,
+  // killed after 5 answers. The 5 answered elements must be recorded and
+  // served from replay on resume — only the 3 unanswered ones go live.
+  const Netlist n = serve_circuit(98);
+  const LockedCircuit lc = lock_weighted(n, 12, 3, 99);
+  Rng rng(101);
+  std::vector<BitVec> xs;
+  for (int i = 0; i < 8; ++i)
+    xs.push_back(BitVec::random(lc.num_data_inputs, rng));
+
+  GoldenOracle g(lc);
+  KillSwitch kill(g, 5);
+  CheckpointedOracle part(kill, 7);
+  std::vector<OracleResult> out;
+  EXPECT_THROW(part.query_batch(xs, &out), std::runtime_error);
+  ASSERT_EQ(part.transcript_size(), 5u);
+  const std::vector<std::uint8_t> blob = part.serialize();
+
+  GoldenOracle g2(lc);
+  CheckpointedOracle res(g2, 7);
+  ASSERT_EQ(res.deserialize(blob), CheckpointedOracle::LoadStatus::kOk);
+  std::vector<OracleResult> got;
+  res.query_batch(xs, &got);
+  ASSERT_EQ(got.size(), xs.size());
+  EXPECT_EQ(g2.query_count(), 3u);  // answered prefix came from replay
+  EXPECT_FALSE(res.diverged());
+  GoldenOracle check(lc);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_TRUE(got[i].ok());
+    EXPECT_EQ(got[i].response().words(),
+              check.query(xs[i]).response().words());
   }
 }
 

@@ -116,12 +116,31 @@ TEST(Bypass, DefeatsSarlockWithGoldenOracle) {
 }
 
 TEST(Bypass, FailsOnWeightedLocking) {
-  // High output corruptibility = astronomically many diff points; the
-  // enumeration cap trips and the attack reports failure.
+  // High output corruptibility: the diff regions are not cube-shaped, so
+  // the attack reports structural inapplicability (nullopt) or — if the
+  // enumeration gets that far — budget exhaustion (complete=false).
+  // Either way it must never be counted as success.
   const Netlist n = target(6);
   const LockedCircuit lc = lock_weighted(n, 18, 3, 14);
   GoldenOracle oracle(lc);
-  EXPECT_FALSE(bypass_attack(lc, oracle, 16, 15).has_value());
+  const auto r = bypass_attack(lc, oracle, 16, 15);
+  EXPECT_TRUE(!r.has_value() || !r->complete);
+}
+
+TEST(Bypass, SurfacesBudgetExhaustionAsIncomplete) {
+  // SARLock needs exactly one correction cube (the committed key's own
+  // match point); with a zero correction budget the enumeration trips the
+  // cap on finding it. That is budget exhaustion, not inapplicability:
+  // the result must exist, carry complete=false with the corrections
+  // found so far, and no netlist.
+  const Netlist n = target(5);
+  const LockedCircuit lc = lock_sarlock(n, 12, 11);
+  GoldenOracle oracle(lc);
+  const auto r = bypass_attack(lc, oracle, 0, 12);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_FALSE(r->complete);
+  EXPECT_EQ(r->correction_points, 1u);
+  EXPECT_EQ(r->bypassed.num_gates(), 0u);  // no usable netlist on incomplete
 }
 
 TEST(Bypass, AgainstOrapReproducesOnlyLockedBehaviour) {
@@ -151,6 +170,135 @@ TEST(Bypass, AgainstOrapReproducesOnlyLockedBehaviour) {
       ++agree;
   }
   EXPECT_EQ(agree, 100);
+}
+
+TEST(Sps, RankingHandlesFewerCandidatesThanTopK) {
+  // c17 locked with a 3-bit SARLock has only a handful of key-dependent
+  // gates feeding a PO XOR — far fewer than the default top_k of 16. The
+  // ranking must simply return what exists, sorted by skew.
+  const Netlist n = make_c17();
+  const LockedCircuit lc = lock_sarlock(n, 3, 21);
+  const auto ranking = sps_rank(lc, 64, 22, 16);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_LT(ranking.size(), 16u);
+  for (std::size_t i = 1; i < ranking.size(); ++i)
+    EXPECT_GE(ranking[i - 1].skew, ranking[i].skew);
+}
+
+TEST(Sps, ConstantOutputConesAreNotAttackSurface) {
+  // A design with constant-driven output cones: the constants have maximal
+  // skew but are not key-dependent, so they must never be ranked — and the
+  // removal attack must still recover the original through the noise.
+  Netlist n;
+  n.set_name("const_cone");
+  std::vector<GateId> ins;
+  for (int i = 0; i < 8; ++i)
+    ins.push_back(n.add_input("a" + std::to_string(i)));
+  const GateId zero = n.add_const(false);
+  const GateId one = n.add_const(true);
+  const GateId x0 = n.add_xor2(ins[0], ins[1]);
+  const GateId a0 = n.add_and2(x0, ins[2]);
+  const GateId o0 = n.add_or2(a0, ins[3]);
+  n.mark_output(o0, "y0");
+  n.mark_output(zero, "tied_low");   // constant-output cones
+  n.mark_output(one, "tied_high");
+  const GateId dead = n.add_and2(zero, ins[4]);  // constant internal cone
+  n.mark_output(dead, "dead");
+  n.validate();
+
+  // 6 key bits: the flip point fires on 2^-6 of patterns, skew ~0.48.
+  const LockedCircuit lc = lock_sarlock(n, 6, 23);
+  for (const auto& c : sps_rank(lc, 64, 24)) {
+    const GateType t = lc.netlist.type(c.gate);
+    EXPECT_NE(t, GateType::kConst0);
+    EXPECT_NE(t, GateType::kConst1);
+  }
+  const auto r = removal_attack(lc, 64, 25);
+  ASSERT_TRUE(r.has_value());
+  Simulator orig(n), rec(r->recovered);
+  Rng rng(26);
+  for (int t = 0; t < 100; ++t) {
+    const BitVec x = BitVec::random(n.num_inputs(), rng);
+    const BitVec key = BitVec::random(lc.num_key_inputs, rng);
+    const BitVec out = rec.run_single(lc.assemble_input(x, key));
+    const BitVec expect = orig.run_single(x);
+    for (std::size_t o = 0; o < n.num_outputs(); ++o)
+      ASSERT_EQ(out.get(o), expect.get(o));
+  }
+}
+
+TEST(Sps, SfllRestoreUnitTopsRanking) {
+  // SFLL-HD's restore comparator fires on C(k,h)/2^k of random (X, K):
+  // near-maximal skew, key-dependent, feeding the PO XOR — the textbook
+  // SPS victim. The strip unit has the same skew but no key dependence,
+  // so it must NOT be the ranked suspect.
+  const Netlist n = target(30);
+  const LockedCircuit lc = lock_sfll_hd(n, 12, 1, 31);
+  const auto ranking = sps_rank(lc, 256, 32);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_GT(ranking[0].skew, 0.45);
+  EXPECT_LT(ranking[0].prob_one, 0.05);
+}
+
+TEST(Removal, RecoversSfllStrippedCircuitNotOriginal) {
+  // The canonical SFLL result: removal of the restore unit succeeds (the
+  // key logic dies), but what the attacker recovers is the *stripped*
+  // function — it disagrees with the original on exactly the secret's
+  // HD-h sphere of the protected inputs (inputs 0..k by construction),
+  // on output 0.
+  const Netlist n = target(33);
+  const std::size_t k = 12, h = 1;
+  const LockedCircuit lc = lock_sfll_hd(n, k, h, 34);
+  const auto r = removal_attack(lc, 256, 35);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_GT(r->skew, 0.45);
+
+  Simulator orig(n), rec(r->recovered);
+  Rng rng(36);
+  int sphere = 0, off_sphere = 0;
+  for (int t = 0; t < 400; ++t) {
+    BitVec x = BitVec::random(n.num_inputs(), rng);
+    if (t % 2 == 0) {
+      // Half the probes are forced onto the protected sphere:
+      // HD(x[0..k), secret) == h.
+      for (std::size_t i = 0; i < k; ++i) x.set(i, lc.correct_key.get(i));
+      x.flip(t % k);
+    }
+    std::size_t hd = 0;
+    for (std::size_t i = 0; i < k; ++i)
+      hd += x.get(i) != lc.correct_key.get(i);
+    const BitVec key = BitVec::random(lc.num_key_inputs, rng);
+    const BitVec out = rec.run_single(lc.assemble_input(x, key));
+    BitVec expect = orig.run_single(x);
+    if (hd == h) {
+      expect.flip(0);  // stripped function: output 0 inverted on the sphere
+      ++sphere;
+    } else {
+      ++off_sphere;
+    }
+    ASSERT_EQ(out, expect) << "trial " << t << " hd=" << hd;
+  }
+  ASSERT_GT(sphere, 100);
+  ASSERT_GT(off_sphere, 100);
+}
+
+TEST(Removal, DoesNotApplyToKgate) {
+  // Input encoding entangles every key bit with the functional logic:
+  // there is no single gate whose tie-off disconnects the key inputs.
+  const Netlist n = target(37);
+  const LockedCircuit lc = lock_kgate(n, 16, 2, 38);
+  EXPECT_FALSE(removal_attack(lc, 64, 39).has_value());
+}
+
+TEST(Bypass, IncompleteOnSfllBeyondCap) {
+  // SFLL-HD(k, h>0) corrupts C(k,h)-many cubes per wrong key — more than
+  // a small correction budget. The bypass must surface budget exhaustion
+  // (complete=false), not claim success and not claim inapplicability.
+  const Netlist n = target(40);
+  const LockedCircuit lc = lock_sfll_hd(n, 10, 2, 41);
+  GoldenOracle oracle(lc);
+  const auto r = bypass_attack(lc, oracle, 4, 42);
+  ASSERT_TRUE(!r.has_value() || !r->complete);
 }
 
 TEST(Verilog, WritesParsableStructure) {

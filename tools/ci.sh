@@ -128,6 +128,39 @@ assert a["results"] == b["results"], \
     "attack_suite results differ between SIMD dispatch and ORAP_SIMD=scalar"
 EOF
 
+# Scheme-zoo smoke: SFLL-HD and K-Gate ride every attack_suite run above,
+# so the 1-vs-4-thread byte-compares already cover their determinism —
+# assert their keys are actually present, then check the structural
+# landscape: SFLL-HD must fall to SPS-guided removal yielding the
+# cube-stripped function (the CCS'17 canonical result), and K-Gate's input
+# encoding must resist both structural attacks. Finally run the scheme_zoo
+# bench and require the SFLL-HD(k,h) literature laws (resilience
+# 2^k/C(k,h) falls as h -> k/2, error rate rises, resilience grows with k).
+echo "==== [plain] scheme zoo smoke ===="
+python3 - "$CUBE_OUT1" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))["results"]
+assert any("sfll" in k for k in r) and any("kgate" in k for k in r), \
+    "attack_suite record is missing the SFLL-HD / K-Gate scheme rows"
+assert "stripped fn, not original" in r["structural_sfll_hd_removal"], \
+    "removal attack failed to defeat SFLL-HD with the stripped function"
+assert r["structural_kgate_removal"] == "does not apply", \
+    "K-Gate input encoding should resist the removal attack"
+assert r["structural_kgate_bypass"] == "does not apply", \
+    "K-Gate input encoding should resist the bypass attack"
+EOF
+ZOO_OUT="$PREFIX/scheme_zoo_smoke.json"
+"$PREFIX/bench/scheme_zoo" --scale=0.05 --json="$ZOO_OUT" >/dev/null
+python3 - "$ZOO_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))["results"]
+for flag in ("zoo_sfll_resilience_falls_with_h", "zoo_sfll_err_rises_with_h",
+             "zoo_sfll_resilience_grows_with_k"):
+    assert r[flag] == 1, "SFLL-HD law violated: " + flag
+assert r["zoo_sfll_k10_h0_dips"] > 100, "TTLock row lost its SAT resilience"
+assert r["zoo_weighted_dips"] <= 4, "weighted locking should fall in a few DIPs"
+EOF
+
 # Cube-scaling baseline record: dip_scaling with --cube=2, the same grid
 # that produced BENCH_cube_scaling.json (wall times vary per machine; the
 # JSON just has to be well-formed and carry the cube counters).
@@ -286,7 +319,7 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   # ^Batch\. joins as well: CachedOracle's map is hit from the job
   # server's pool threads, the exact cross-thread surface the shared
   # result cache adds.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.|^Batch\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"
@@ -300,7 +333,7 @@ if [[ "$RUN_ASAN" == "1" ]]; then
   # exactly where a heap overread would hide.
   # Batched frames carry attacker-chosen element counts — the Batch suite
   # rides along to scan the batch encode/decode paths for overreads.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.|^Batch\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
   run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
 fi
@@ -310,7 +343,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # The Simd suite always joins a filtered UBSan pass: the multi-word
   # kernels and the block simulator are exactly where a shift/alignment
   # mistake would hide.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.|^Batch\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.")
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi

@@ -234,7 +234,8 @@ int cmd_stats(const Args& a) {
 int cmd_lock(const Args& a) {
   if (a.positional.empty())
     die("usage: orap lock <in.bench> --scheme weighted --key-bits 64 "
-        "[--ctrl 3] [--seed S] [-o out.bench] [--key-out key.txt]");
+        "[--ctrl 3] [--hd-h 1] [--keys-per-gate 2] [--seed S] "
+        "[-o out.bench] [--key-out key.txt]");
   const Netlist n = read_bench_file(a.positional[0]);
   const std::string scheme = a.get("scheme", "weighted");
   const std::size_t key_bits = a.get_num("key-bits", 64);
@@ -248,6 +249,10 @@ int cmd_lock(const Args& a) {
     lc = lock_sarlock(n, key_bits, seed);
   else if (scheme == "antisat")
     lc = lock_antisat(n, key_bits, seed);
+  else if (scheme == "sfll-hd")
+    lc = lock_sfll_hd(n, key_bits, a.get_num("hd-h", 1), seed);
+  else if (scheme == "kgate")
+    lc = lock_kgate(n, key_bits, a.get_num("keys-per-gate", 2), seed);
   else
     die("unknown scheme '" + scheme + "'");
 
@@ -909,9 +914,10 @@ void usage() {
       "  orap gen     [--profile b17 --scale 0.1 | --gates N --inputs N "
       "--outputs N --depth D] [--seed S] [-o out.bench]\n"
       "  orap stats   <file.bench>\n"
-      "  orap lock    <in.bench> --scheme weighted|xor|sarlock|antisat "
-      "--key-bits K [--ctrl W] [-o out.bench] [--key-out key.txt] "
-      "[--verilog out.v]\n"
+      "  orap lock    <in.bench> --scheme "
+      "weighted|xor|sarlock|antisat|sfll-hd|kgate "
+      "--key-bits K [--ctrl W] [--hd-h H] [--keys-per-gate P] "
+      "[-o out.bench] [--key-out key.txt] [--verilog out.v]\n"
       "  orap resynth <in.bench> [-o out.bench]\n"
       "  orap hd      <locked.bench> --key key.txt [--words N] [--keys N]\n"
       "  orap atpg    <in.bench> [--random-words N] [--budget B] "
