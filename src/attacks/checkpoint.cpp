@@ -52,9 +52,19 @@ OracleResult CheckpointedOracle::do_query(const BitVec& data) {
     diverged_ = true;
     transcript_.resize(replay_pos_);
   }
+  check_stop();
   OracleResult r = inner().query(data);
   record_live(data, r);
   return r;
+}
+
+void CheckpointedOracle::check_stop() {
+  if (stop_ == nullptr || !stop_->load(std::memory_order_relaxed)) return;
+  // Flush before unwinding: the thrown-through attack cannot save, and the
+  // whole point of a drain is that this exact query boundary is resumable.
+  if (!autosave_path_.empty() && save_file(autosave_path_)) ++autosaves_;
+  throw AttackStopped("stop requested: checkpoint flushed at query " +
+                      std::to_string(transcript_.size()));
 }
 
 void CheckpointedOracle::record_live(const BitVec& x, const OracleResult& r) {
@@ -95,6 +105,7 @@ void CheckpointedOracle::do_query_batch(const std::vector<BitVec>& xs,
           static_cast<OracleErrorKind>(e.status - 1)));
   }
   if (i == xs.size()) return;
+  check_stop();
   // Live remainder: one inner batch (replay_pos_ is at or past the
   // transcript end here, and record_live keeps it pinned there, so every
   // remaining element is live).

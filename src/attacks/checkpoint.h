@@ -40,7 +40,9 @@
 // the CRC plus the bounds-latched Reader, and load_file never half-applies
 // a bad file.
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,15 @@
 #include "util/bitvec.h"
 
 namespace orap {
+
+/// Thrown out of a CheckpointedOracle live query when its stop flag goes
+/// true (graceful drain): the checkpoint is flushed first, so the unwound
+/// attack is resumable from exactly the query it stopped at. JobServer
+/// catches this and reports the job as stopped, not failed.
+class AttackStopped : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class CheckpointedOracle final : public OracleDecorator {
  public:
@@ -96,6 +107,14 @@ class CheckpointedOracle final : public OracleDecorator {
   void enable_autosave(std::string path, std::size_t every_n);
   std::uint64_t autosaves() const { return autosaves_; }
 
+  /// Graceful-drain hook: when *stop is true at the next LIVE query, the
+  /// checkpoint is flushed to the autosave path (when one is set) and
+  /// AttackStopped is thrown, unwinding the attack at a resumable point.
+  /// Replayed queries never check — replay touches no device and racing a
+  /// drain against free work would only lose progress. The flag must
+  /// outlive the oracle; nullptr (the default) disables the check.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+
  protected:
   OracleResult do_query(const BitVec& data) override;
   /// Batch-aware: the replayable prefix of the batch is served from the
@@ -120,6 +139,9 @@ class CheckpointedOracle final : public OracleDecorator {
   /// live response (shared by the serial and batch paths).
   void record_live(const BitVec& x, const OracleResult& r);
 
+  /// Flush-and-throw when the stop flag is raised (live paths only).
+  void check_stop();
+
   std::uint64_t config_hash_;
   std::vector<Entry> transcript_;
   std::size_t replay_pos_ = 0;
@@ -129,6 +151,7 @@ class CheckpointedOracle final : public OracleDecorator {
   std::size_t autosave_every_ = 0;
   std::size_t live_since_save_ = 0;
   std::uint64_t autosaves_ = 0;
+  const std::atomic<bool>* stop_ = nullptr;
 };
 
 }  // namespace orap

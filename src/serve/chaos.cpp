@@ -1,0 +1,146 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace orap::serve {
+namespace {
+
+// Maps a 64-bit word to a uniform double in [0, 1).
+double unit(std::uint64_t w) {
+  return static_cast<double>(w >> 11) * (1.0 / 9007199254740992.0);
+}
+
+void sleep_us(std::uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void sleep_ms(std::uint64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ChaosEngine::Fate ChaosEngine::draw(bool* delay) {
+  ++ops_;
+  const double d = unit(rng_.word());
+  const double f = unit(rng_.word());
+  *delay = d < opts_.delay_rate;
+  if (*delay) ++delays_;
+  if (f < opts_.disconnect_rate) {
+    ++disconnects_;
+    return Fate::kDisconnect;
+  }
+  if (f < opts_.disconnect_rate + opts_.corrupt_rate) {
+    ++corruptions_;
+    return Fate::kCorrupt;
+  }
+  if (f < opts_.disconnect_rate + opts_.corrupt_rate + opts_.truncate_rate) {
+    ++truncations_;
+    return Fate::kTruncate;
+  }
+  return Fate::kClean;
+}
+
+bool ChaosTransport::read_full(void* buf, std::size_t n) {
+  if (inner_ == nullptr) return false;
+  bool delay = false;
+  const ChaosEngine::Fate fate = chaos_->draw(&delay);
+  if (delay) sleep_us(chaos_->options().delay_us);
+  switch (fate) {
+    case ChaosEngine::Fate::kDisconnect:
+      inner_.reset();
+      return false;
+    case ChaosEngine::Fate::kTruncate: {
+      // Deliver a random strict prefix, then hang up mid-read: the caller
+      // sees a short read, the peer (on its next op) sees a dead stream.
+      const std::size_t keep =
+          static_cast<std::size_t>(chaos_->pick(static_cast<std::uint64_t>(n)));
+      if (keep > 0) inner_->read_full(buf, keep);
+      inner_.reset();
+      return false;
+    }
+    case ChaosEngine::Fate::kCorrupt: {
+      if (!inner_->read_full(buf, n)) {
+        inner_.reset();
+        return false;
+      }
+      if (n > 0) {
+        const std::uint64_t bit = chaos_->pick(static_cast<std::uint64_t>(n) * 8);
+        static_cast<std::uint8_t*>(buf)[bit >> 3] ^=
+            static_cast<std::uint8_t>(1u << (bit & 7));
+      }
+      return true;
+    }
+    case ChaosEngine::Fate::kClean:
+      break;
+  }
+  if (!inner_->read_full(buf, n)) {
+    inner_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool ChaosTransport::write_full(const void* buf, std::size_t n) {
+  if (inner_ == nullptr) return false;
+  bool delay = false;
+  const ChaosEngine::Fate fate = chaos_->draw(&delay);
+  if (delay) sleep_us(chaos_->options().delay_us);
+  switch (fate) {
+    case ChaosEngine::Fate::kDisconnect:
+      inner_.reset();
+      return false;
+    case ChaosEngine::Fate::kTruncate: {
+      const std::size_t keep =
+          static_cast<std::size_t>(chaos_->pick(static_cast<std::uint64_t>(n)));
+      if (keep > 0) inner_->write_full(buf, keep);
+      inner_.reset();
+      return false;
+    }
+    case ChaosEngine::Fate::kCorrupt: {
+      if (n == 0) return inner_->write_full(buf, n);
+      std::vector<std::uint8_t> copy(static_cast<const std::uint8_t*>(buf),
+                                     static_cast<const std::uint8_t*>(buf) + n);
+      const std::uint64_t bit = chaos_->pick(static_cast<std::uint64_t>(n) * 8);
+      copy[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+      if (!inner_->write_full(copy.data(), n)) {
+        inner_.reset();
+        return false;
+      }
+      return true;
+    }
+    case ChaosEngine::Fate::kClean:
+      break;
+  }
+  if (!inner_->write_full(buf, n)) {
+    inner_.reset();
+    return false;
+  }
+  return true;
+}
+
+bool ReconnectingTransport::reconnect() {
+  inner_.reset();
+  std::uint64_t backoff = opts_.backoff_ms;
+  for (std::size_t attempt = 0; attempt < opts_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::uint64_t jitter = backoff > 0 ? jitter_.below(backoff) : 0;
+      sleep_ms(backoff + jitter);
+      backoff = backoff < opts_.backoff_max_ms
+                    ? std::min(backoff * 2, opts_.backoff_max_ms)
+                    : opts_.backoff_max_ms;
+    }
+    ++dial_attempts_;
+    inner_ = connect_();
+    if (inner_ != nullptr) {
+      ++reconnects_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace orap::serve

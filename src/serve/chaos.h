@@ -1,0 +1,167 @@
+#pragma once
+// Transport fault injection and self-healing redial.
+//
+// Two decorators over serve::Transport:
+//
+//  * ChaosTransport — wraps any transport and injects faults at seeded,
+//    deterministic per-operation rates: hard disconnects (the inner
+//    transport is destroyed, so a TCP peer sees EOF/RST), single-bit byte
+//    corruption (caught by the frame CRC on the other side), frame
+//    truncation (a random prefix is delivered, then the stream dies), and
+//    extra delay. All randomness comes from one ChaosEngine so a given
+//    (options, seed) pair replays the exact same fault script — chaos runs
+//    are reproducible test vectors, not flaky noise.
+//
+//  * ReconnectingTransport — owns a connector factory (dial a TCP host,
+//    respawn a subprocess, ...) and re-dials on demand with exponential
+//    backoff, seeded jitter, and a max-attempt cap. It does NOT hide
+//    failures from the caller: a dead stream still fails the current
+//    read/write, because the frame boundary is gone and only a
+//    protocol-aware layer (RemoteOracle) knows how to resynchronize.
+//    RemoteOracle calls reconnect() and then re-runs its handshake.
+//
+// Rates are charged per transport operation (one read_full/write_full
+// call). A protocol frame is a handful of operations (header write + body
+// write on the way out; type byte + rest-of-header + body on the way in),
+// so the effective per-frame fault rate is a small multiple of the per-op
+// rate.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "serve/transport.h"
+#include "util/rng.h"
+
+namespace orap::serve {
+
+struct ChaosOptions {
+  /// Per-operation probability of each fate. Disconnect wins over corrupt
+  /// wins over truncate when the single uniform draw lands in overlapping
+  /// mass; keep the sum well below 1.
+  double disconnect_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double truncate_rate = 0.0;
+  /// Independent per-operation probability of sleeping delay_us before the
+  /// operation runs (models a congested or throttled link).
+  double delay_rate = 0.0;
+  std::uint64_t delay_us = 0;
+  std::uint64_t seed = 1;
+
+  bool any() const {
+    return disconnect_rate > 0.0 || corrupt_rate > 0.0 ||
+           truncate_rate > 0.0 || delay_rate > 0.0;
+  }
+};
+
+/// Seeded fault scheduler shared by every ChaosTransport a connector
+/// factory creates, so the fault script continues deterministically across
+/// reconnections instead of restarting from the seed on every redial.
+class ChaosEngine {
+ public:
+  enum class Fate : std::uint8_t { kClean, kDisconnect, kCorrupt, kTruncate };
+
+  explicit ChaosEngine(const ChaosOptions& opts)
+      : opts_(opts), rng_(opts.seed) {}
+
+  /// Draws the fate of the next transport operation. Always consumes
+  /// exactly two RNG words (one for delay, one for the fate) so the stream
+  /// position depends only on how many operations ran, not on which rates
+  /// are enabled.
+  Fate draw(bool* delay);
+
+  /// Uniform draw in [0, bound) for corruption bit / truncation length
+  /// placement.
+  std::uint64_t pick(std::uint64_t bound) {
+    return bound == 0 ? 0 : rng_.below(bound);
+  }
+
+  const ChaosOptions& options() const { return opts_; }
+  std::uint64_t ops() const { return ops_; }
+  std::uint64_t disconnects() const { return disconnects_; }
+  std::uint64_t corruptions() const { return corruptions_; }
+  std::uint64_t truncations() const { return truncations_; }
+  std::uint64_t delays() const { return delays_; }
+
+ private:
+  ChaosOptions opts_;
+  Rng rng_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::uint64_t truncations_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+/// Fault-injecting decorator. Owns the inner transport; a disconnect or
+/// truncation fate destroys it (closing its fds, so a socket peer observes
+/// a hard hangup) and every later operation fails until the whole
+/// ChaosTransport is discarded by a redial.
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner, ChaosEngine* chaos)
+      : inner_(std::move(inner)), chaos_(chaos) {}
+
+  bool read_full(void* buf, std::size_t n) override;
+  bool write_full(const void* buf, std::size_t n) override;
+
+  bool alive() const { return inner_ != nullptr; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  ChaosEngine* chaos_;
+};
+
+/// Dials a fresh transport. Returns nullptr when the dial fails (host
+/// down, subprocess spawn failure); ReconnectingTransport backs off and
+/// retries up to its attempt cap.
+using TransportFactory = std::function<std::unique_ptr<Transport>()>;
+
+struct ReconnectOptions {
+  /// Dial attempts per reconnect() call before giving up.
+  std::size_t max_attempts = 8;
+  /// First-retry backoff; doubles per failed attempt, capped at
+  /// backoff_max_ms. Seeded jitter in [0, backoff) is added on top so
+  /// herds of clients do not redial in lockstep.
+  std::uint64_t backoff_ms = 10;
+  std::uint64_t backoff_max_ms = 2000;
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Redialing decorator. Forwards I/O to the current inner transport and
+/// exposes reconnect() to replace a dead stream with a freshly dialed one.
+class ReconnectingTransport final : public Transport {
+ public:
+  ReconnectingTransport(TransportFactory connect, const ReconnectOptions& opts,
+                        std::unique_ptr<Transport> initial)
+      : connect_(std::move(connect)),
+        opts_(opts),
+        jitter_(opts.jitter_seed),
+        inner_(std::move(initial)) {}
+
+  bool read_full(void* buf, std::size_t n) override {
+    return inner_ != nullptr && inner_->read_full(buf, n);
+  }
+  bool write_full(const void* buf, std::size_t n) override {
+    return inner_ != nullptr && inner_->write_full(buf, n);
+  }
+
+  /// Drops the current stream and dials a new one with exponential backoff
+  /// and jitter. Returns false once max_attempts dials in this call all
+  /// failed; the caller may call again (each call gets a fresh budget).
+  bool reconnect();
+
+  bool connected() const { return inner_ != nullptr; }
+  std::uint64_t reconnects() const { return reconnects_; }
+  std::uint64_t dial_attempts() const { return dial_attempts_; }
+
+ private:
+  TransportFactory connect_;
+  ReconnectOptions opts_;
+  Rng jitter_;
+  std::unique_ptr<Transport> inner_;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t dial_attempts_ = 0;
+};
+
+}  // namespace orap::serve

@@ -1,6 +1,9 @@
 #include "serve/job_server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "attacks/checkpoint.h"
@@ -143,6 +146,56 @@ std::uint64_t chip_fingerprint(const LockedCircuit& circuit) {
 }
 
 JobResult JobServer::run_job(const AttackJob& job) const {
+  std::uint64_t backoff = opts_.retry_backoff_ms;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    if (opts_.stop != nullptr &&
+        opts_.stop->load(std::memory_order_relaxed)) {
+      // Drained before this attempt started: any existing checkpoint on
+      // disk is already the resume point; do not touch it.
+      JobResult out;
+      out.id = job.id;
+      out.stopped = true;
+      out.attempts = attempt - 1;
+      out.error = "stopped before start";
+      return out;
+    }
+    try {
+      JobResult out = run_job_attempt(job);
+      out.attempts = attempt;
+      return out;
+    } catch (const AttackStopped& e) {
+      // The drain flag fired mid-attack; the checkpoint was flushed at the
+      // exact query boundary before the unwind, so this job is resumable.
+      JobResult out;
+      out.id = job.id;
+      out.stopped = true;
+      out.attempts = attempt;
+      out.error = e.what();
+      if (!opts_.checkpoint_dir.empty())
+        out.checkpoint_path = opts_.checkpoint_dir + "/" + job.id + ".ckpt";
+      return out;
+    } catch (const std::exception& e) {
+      if (attempt > opts_.max_job_retries) {
+        JobResult out;
+        out.id = job.id;
+        out.failed = true;
+        out.attempts = attempt;
+        out.error = e.what();
+        return out;
+      }
+      // Transient failure (a flaky oracle stack, an exhausted budget that
+      // a retry policy forgives, ...): back off, then retry. With
+      // checkpointing on, the retry resumes from the autosaved transcript
+      // rather than repaying the queries the failed attempt answered.
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+        backoff = std::min<std::uint64_t>(backoff * 2, 60'000);
+      }
+    }
+  }
+}
+
+JobResult JobServer::run_job_attempt(const AttackJob& job) const {
   ORAP_CHECK_MSG(job.circuit != nullptr, "AttackJob without a circuit");
   JobResult out;
   out.id = job.id;
@@ -172,6 +225,7 @@ JobResult JobServer::run_job(const AttackJob& job) const {
     }
     ckpt->enable_autosave(out.checkpoint_path, opts_.checkpoint_every);
   }
+  ckpt->set_stop_flag(opts_.stop);
 
   switch (job.kind) {
     case AttackJob::Kind::kSat:

@@ -19,6 +19,7 @@
 // byte-identity guarantee exactly as they do in-process; checkpointed
 // jobs normally leave them off.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -71,6 +72,19 @@ struct JobServerOptions {
   /// lifetime only and deliberately not checkpointed: a resumed job
   /// replays its own transcript and re-warms the cache as it goes live.
   bool result_cache = false;
+  /// Supervision: a job whose attack throws is retried up to this many
+  /// extra attempts — each resuming from the job's checkpoint when
+  /// checkpointing is on, so transiently-failed progress is not repaid —
+  /// with exponential backoff starting at retry_backoff_ms between
+  /// attempts. A job that fails every attempt is contained in
+  /// JobResult::failed/error; run() itself never throws for a job failure.
+  std::size_t max_job_retries = 0;
+  std::uint64_t retry_backoff_ms = 0;
+  /// Graceful drain: when *stop goes true (SIGTERM/SIGINT handler), every
+  /// running job flushes its checkpoint at its next live oracle query and
+  /// returns a stopped JobResult; queued jobs return stopped without
+  /// starting. nullptr disables.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct JobResult {
@@ -83,6 +97,12 @@ struct JobResult {
                                      // belonged to a different config
   std::uint64_t checkpoints_written = 0;
   std::string checkpoint_path;       // empty when checkpointing is off
+  // Supervision outcome. At most one of failed/stopped is set; when
+  // either is, `result` is meaningless and `error` says why.
+  bool failed = false;    // threw on every allowed attempt
+  bool stopped = false;   // drained via the stop flag; checkpoint flushed
+  std::string error;
+  std::uint32_t attempts = 0;  // 1 = first try succeeded
 };
 
 /// Fingerprint of everything that shapes a job's trajectory (circuit,
@@ -100,16 +120,22 @@ class JobServer {
   explicit JobServer(const JobServerOptions& opts = {}) : opts_(opts) {}
 
   /// Runs one job to completion (resuming from its checkpoint if one is
-  /// valid) and writes a final snapshot.
+  /// valid) and writes a final snapshot. Supervised: exceptions are
+  /// contained into JobResult::failed (after max_job_retries resume-and-
+  /// retry attempts) and a drain unwinds into JobResult::stopped.
   JobResult run_job(const AttackJob& job) const;
 
-  /// Runs all jobs concurrently on the pool; results in job order.
+  /// Runs all jobs concurrently on the pool; results in job order. Never
+  /// crashes on a failing job: each result carries its own outcome.
   std::vector<JobResult> run(const std::vector<AttackJob>& jobs) const;
 
   /// The per-chip result caches (populated only with result_cache on).
   const ResultCacheRegistry& caches() const { return caches_; }
 
  private:
+  /// One unsupervised attempt (the pre-supervision run_job body).
+  JobResult run_job_attempt(const AttackJob& job) const;
+
   JobServerOptions opts_;
   // Shared across run()/run_job() calls for the server's lifetime; the
   // registry hands out one cache per chip fingerprint.

@@ -11,14 +11,40 @@ OracleServer::OracleServer(Oracle& oracle, const OracleServerOptions& opts)
     : oracle_(oracle), opts_(opts), jitter_rng_(opts.jitter_seed) {}
 
 bool OracleServer::serve(Transport& t) {
+  ++connections_;
   Frame f;
   while (true) {
-    if (!read_frame(t, &f)) return true;  // EOF: the client hung up
+    if (opts_.stop != nullptr &&
+        opts_.stop->load(std::memory_order_relaxed))
+      return true;  // drain requested: finish between frames
+    switch (read_frame_ex(t, &f)) {
+      case FrameRead::kFrame:
+        break;
+      case FrameRead::kEof:
+        return true;  // the client hung up cleanly between frames
+      case FrameRead::kTorn:
+        // Stream died mid-frame: nothing can be sent back (the peer is
+        // gone or desynchronized), but it is this connection's failure
+        // alone.
+        ++protocol_errors_;
+        return false;
+      case FrameRead::kBad:
+        // Oversized, unknown type, or CRC mismatch. The stream position
+        // may still be intact (hand-rolled bad frame) or not (corrupted
+        // length); either way the error frame is best-effort and the
+        // connection is done.
+        ++protocol_errors_;
+        write_frame(t, FrameType::kError,
+                    encode_error("bad frame: oversized, unknown type, or "
+                                 "CRC mismatch"));
+        return false;
+    }
     ++frames_;
     switch (f.type) {
       case FrameType::kHello: {
         std::uint32_t version = 0;
         if (!decode_hello(f.body, &version) || version != kProtoVersion) {
+          ++protocol_errors_;
           write_frame(t, FrameType::kError,
                       encode_error("unsupported protocol version"));
           return false;
@@ -33,9 +59,11 @@ bool OracleServer::serve(Transport& t) {
       }
       case FrameType::kQueryBatch: {
         bool requery = false;
+        bool want_state = false;
         std::vector<BitVec> xs;
-        if (!decode_query_batch(f.body, oracle_.num_inputs(), &requery,
-                                &xs)) {
+        if (!decode_query_batch(f.body, oracle_.num_inputs(), &requery, &xs,
+                                &want_state)) {
+          ++protocol_errors_;
           write_frame(t, FrameType::kError,
                       encode_error("malformed query batch"));
           return false;
@@ -52,7 +80,13 @@ bool OracleServer::serve(Transport& t) {
         for (const BitVec& x : xs)
           rs.push_back(requery ? oracle_.requery(x) : oracle_.query(x));
         queries_ += xs.size();
-        if (!write_frame(t, FrameType::kBatchReply, encode_batch_reply(rs)))
+        // want_state: answers + post-batch stack state in ONE reply, so a
+        // reconnecting client's recovery cache can never be stale relative
+        // to answers it consumed.
+        std::vector<std::uint8_t> state;
+        if (want_state) oracle_.save_state(&state);
+        if (!write_frame(t, FrameType::kBatchReply,
+                         encode_batch_reply(rs, want_state ? &state : nullptr)))
           return true;
         break;
       }
@@ -73,6 +107,7 @@ bool OracleServer::serve(Transport& t) {
         write_frame(t, FrameType::kAck, encode_ack(true));
         return true;
       default:
+        ++protocol_errors_;
         write_frame(t, FrameType::kError,
                     encode_error("unexpected frame type"));
         return false;

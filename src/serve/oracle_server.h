@@ -10,6 +10,7 @@
 // makes the batching-vs-latency tradeoff real: B batched queries pay one
 // round trip, B unbatched queries pay B.
 
+#include <atomic>
 #include <cstdint>
 
 #include "attacks/oracle.h"
@@ -24,20 +25,34 @@ struct OracleServerOptions {
   std::uint64_t latency_us = 0;
   std::uint64_t jitter_us = 0;
   std::uint64_t jitter_seed = 1;
+  /// Graceful drain: when *stop goes true (a SIGTERM/SIGINT handler sets
+  /// it), serve() finishes the frame in flight and returns as an orderly
+  /// end. Pair with FdTransport::set_interrupt_flag so a read blocked on
+  /// an idle client unwinds too. nullptr disables the check.
+  const std::atomic<bool>* stop = nullptr;
 };
 
+/// Per-connection error isolation: serve() handles exactly one client and
+/// reports how it ended; a malformed, corrupted, or chaos-killed client
+/// tears down that one connection — the caller's accept loop (and every
+/// other client it serves) keeps running. Nothing a peer sends can throw
+/// out of serve(): the wire decoders reject rather than trust, and a frame
+/// that fails its CRC is a protocol error, not an oracle call.
 class OracleServer {
  public:
   OracleServer(Oracle& oracle, const OracleServerOptions& opts = {});
 
-  /// Serves one connection until kShutdown, EOF, or a protocol error.
-  /// Returns true on an orderly end (shutdown or EOF), false when the
-  /// peer broke the protocol (a kError frame is sent first when the
-  /// stream still works).
+  /// Serves one connection until kShutdown, EOF, drain, or a protocol
+  /// error. Returns true on an orderly end (shutdown, EOF, or drain),
+  /// false when the peer broke the protocol (a kError frame is sent first
+  /// when the stream still works).
   bool serve(Transport& t);
 
   std::uint64_t frames_served() const { return frames_; }
   std::uint64_t queries_served() const { return queries_; }
+  std::uint64_t connections_served() const { return connections_; }
+  /// Connections torn down for torn/corrupt/malformed traffic.
+  std::uint64_t protocol_errors() const { return protocol_errors_; }
 
  private:
   Oracle& oracle_;
@@ -45,6 +60,8 @@ class OracleServer {
   Rng jitter_rng_;
   std::uint64_t frames_ = 0;
   std::uint64_t queries_ = 0;
+  std::uint64_t connections_ = 0;
+  std::uint64_t protocol_errors_ = 0;
 };
 
 }  // namespace orap::serve

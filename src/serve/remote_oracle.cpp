@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "serve/chaos.h"
 #include "serve/wire.h"
 
 namespace orap::serve {
@@ -13,52 +14,168 @@ RemoteOracle::RemoteOracle(std::unique_ptr<Transport> transport,
       num_outputs_(num_outputs) {}
 
 std::unique_ptr<RemoteOracle> RemoteOracle::connect(
-    std::unique_ptr<Transport> transport, std::string* error) {
+    std::unique_ptr<Transport> transport, std::string* error,
+    const RemoteOracleOptions& opts) {
   const auto fail = [error](const char* msg) {
     if (error != nullptr) *error = msg;
     return nullptr;
   };
   if (!transport) return fail("no transport");
-  if (!write_frame(*transport, FrameType::kHello, encode_hello()))
-    return fail("handshake write failed");
-  Frame f;
-  if (!read_frame(*transport, &f)) return fail("handshake read failed");
-  if (f.type == FrameType::kError) {
-    std::string msg;
-    decode_error(f.body, &msg);
-    if (error != nullptr) *error = "server rejected hello: " + msg;
-    return nullptr;
+  auto oracle = std::unique_ptr<RemoteOracle>(
+      new RemoteOracle(std::move(transport), 0, 0));
+  oracle->opts_ = opts;
+  if (opts.max_recoveries > 0) {
+    oracle->reconn_ =
+        dynamic_cast<ReconnectingTransport*>(oracle->transport_.get());
+    if (oracle->reconn_ == nullptr)
+      return fail("reconnect policy requires a ReconnectingTransport");
   }
   HelloReply r;
-  if (f.type != FrameType::kHelloReply || !decode_hello_reply(f.body, &r) ||
-      r.version != kProtoVersion)
-    return fail("bad hello reply");
-  return std::unique_ptr<RemoteOracle>(new RemoteOracle(
-      std::move(transport), static_cast<std::size_t>(r.num_inputs),
-      static_cast<std::size_t>(r.num_outputs)));
+  for (;;) {
+    Frame f;
+    if (write_frame(*oracle->transport_, FrameType::kHello, encode_hello()) &&
+        read_frame(*oracle->transport_, &f)) {
+      if (f.type == FrameType::kHelloReply && decode_hello_reply(f.body, &r) &&
+          r.version == kProtoVersion)
+        break;
+      if (f.type == FrameType::kError) {
+        // The server refused us. Without a redial policy that is final
+        // (version skew, shape policy — redialing would get the same no).
+        // WITH one, the refusal may be self-inflicted: fault injection can
+        // corrupt OUR hello in flight, and the server answers kError for a
+        // frame it cannot trust. Retry within the recovery budget; a
+        // genuine refusal is deterministic, so it exhausts the budget and
+        // surfaces this same diagnostic.
+        std::string msg;
+        decode_error(f.body, &msg);
+        if (error != nullptr) *error = "server rejected hello: " + msg;
+        if (oracle->reconn_ == nullptr ||
+            oracle->recoveries_ >= opts.max_recoveries)
+          return nullptr;
+      } else {
+        return fail("bad hello reply");
+      }
+    }
+    // Stream death (or a possibly-corruption-induced rejection) mid-
+    // handshake: recoverable when a redial policy exists.
+    if (oracle->reconn_ == nullptr ||
+        oracle->recoveries_ >= opts.max_recoveries)
+      return fail("handshake failed");
+    ++oracle->recoveries_;
+    if (!oracle->reconn_->reconnect())
+      return fail("handshake failed: redial policy exhausted");
+  }
+  oracle->num_inputs_ = static_cast<std::size_t>(r.num_inputs);
+  oracle->num_outputs_ = static_cast<std::size_t>(r.num_outputs);
+  if (oracle->reconn_ != nullptr) {
+    // Seed the recovery cache with the stack's starting state. An empty
+    // blob marks the stack stateless: re-pushing "nothing" is always
+    // correct, so such clients skip state capture entirely.
+    std::vector<std::uint8_t> blob;
+    while (!oracle->state_get_once(&blob)) {
+      if (!oracle->recover()) return fail("initial state sync failed");
+    }
+    oracle->stateless_ = blob.empty();
+    oracle->state_blob_ = std::move(blob);
+    oracle->have_state_ = true;
+  }
+  return oracle;
+}
+
+bool RemoteOracle::hello_once(HelloReply* r) {
+  Frame f;
+  return write_frame(*transport_, FrameType::kHello, encode_hello()) &&
+         read_frame(*transport_, &f) && f.type == FrameType::kHelloReply &&
+         decode_hello_reply(f.body, r) && r->version == kProtoVersion;
+}
+
+bool RemoteOracle::state_get_once(std::vector<std::uint8_t>* blob) {
+  Frame f;
+  if (!write_frame(*transport_, FrameType::kStateGet, {}) ||
+      !read_frame(*transport_, &f) || f.type != FrameType::kStateBlob)
+    return false;
+  *blob = std::move(f.body);
+  return true;
+}
+
+bool RemoteOracle::recover() {
+  if (reconn_ == nullptr) return false;
+  while (recoveries_ < opts_.max_recoveries) {
+    ++recoveries_;
+    if (!reconn_->reconnect()) return false;
+    HelloReply r;
+    if (!hello_once(&r) ||
+        static_cast<std::size_t>(r.num_inputs) != num_inputs_ ||
+        static_cast<std::size_t>(r.num_outputs) != num_outputs_)
+      continue;  // the fresh stream died too: charge a recovery, redial
+    if (have_state_ && !stateless_) {
+      // Roll the (possibly restarted) server stack back to the last batch
+      // boundary this client consumed, so fault-decorator RNG trajectories
+      // resume exactly where the answers we hold left off.
+      Frame f;
+      bool ok = false;
+      if (!write_frame(*transport_, FrameType::kStateSet, state_blob_) ||
+          !read_frame(*transport_, &f) || f.type != FrameType::kAck ||
+          !decode_ack(f.body, &ok) || !ok)
+        continue;
+    }
+    return true;
+  }
+  return false;
 }
 
 bool RemoteOracle::send_batch(const std::vector<BitVec>& xs,
                               std::vector<OracleResult>* out, bool requery) {
   out->clear();
   if (dead_) return false;
-  Frame f;
-  if (!write_frame(*transport_, FrameType::kQueryBatch,
-                   encode_query_batch(xs, requery)) ||
-      !read_frame(*transport_, &f) || f.type != FrameType::kBatchReply ||
-      !decode_batch_reply(f.body, num_outputs_, out) ||
-      out->size() != xs.size()) {
-    dead_ = true;
+  bool as_requery = requery;
+  for (;;) {
+    // Capture the post-batch stack state in the same round trip every Nth
+    // batch: reply + state arrive atomically, so there is no window where
+    // a crash leaves the cache stale relative to answers already consumed.
+    const bool want_state = reconn_ != nullptr && !stateless_ &&
+                            batches_since_sync_ + 1 >=
+                                opts_.state_refresh_batches;
+    Frame f;
+    bool has_state = false;
+    std::vector<std::uint8_t> new_state;
+    if (write_frame(*transport_, FrameType::kQueryBatch,
+                    encode_query_batch(xs, as_requery, want_state)) &&
+        read_frame(*transport_, &f) && f.type == FrameType::kBatchReply &&
+        decode_batch_reply(f.body, num_outputs_, out, &has_state,
+                           &new_state) &&
+        out->size() == xs.size() && has_state == want_state) {
+      if (has_state) {
+        state_blob_ = std::move(new_state);
+        have_state_ = true;
+        ++state_syncs_;
+        batches_since_sync_ = 0;
+      } else {
+        ++batches_since_sync_;
+      }
+      return true;
+    }
     out->clear();
-    return false;
+    if (!recover()) {
+      dead_ = true;
+      return false;
+    }
+    // The server may have answered the lost frame before the stream died,
+    // so the retransmission is flagged requery: the state re-push already
+    // rolled the stack back, making the redraw identical, and the server
+    // charges the repeat to retry accounting instead of inflating the
+    // logical query count.
+    as_requery = true;
+    ++retransmits_;
   }
-  return true;
 }
 
 OracleResult RemoteOracle::do_query(const BitVec& data) {
-  // A broken stream never recovers (the frame boundary is gone), so it is
-  // a terminal kExhausted, not a retryable transient — retrying into a
-  // dead link would spin the resilience policy for nothing. Genuine
+  // Without a recovery policy a broken stream never heals (the frame
+  // boundary is gone), so it is a terminal kExhausted, not a retryable
+  // transient — retrying into a dead link would spin the resilience
+  // policy for nothing. With one, send_batch only fails after the policy
+  // is exhausted, and kExhausted is still the honest verdict. Genuine
   // transients/timeouts of the DEVICE travel inside kBatchReply and keep
   // their own kinds.
   std::vector<OracleResult> rs;
@@ -79,14 +196,22 @@ void RemoteOracle::do_query_batch(const std::vector<BitVec>& xs,
 }
 
 void RemoteOracle::save_state(std::vector<std::uint8_t>* out) const {
+  auto* self = const_cast<RemoteOracle*>(this);
   std::vector<std::uint8_t> state;
   if (!dead_) {
-    Frame f;
-    if (write_frame(*transport_, FrameType::kStateGet, {}) &&
-        read_frame(*transport_, &f) && f.type == FrameType::kStateBlob) {
-      state = std::move(f.body);
-    } else {
-      dead_ = true;
+    for (;;) {
+      if (self->state_get_once(&state)) {
+        if (reconn_ != nullptr) {
+          self->state_blob_ = state;
+          self->have_state_ = true;
+        }
+        break;
+      }
+      state.clear();
+      if (!self->recover()) {
+        dead_ = true;
+        break;
+      }
     }
   }
   bytes::put_blob(out, state.data(), state.size());
@@ -96,15 +221,23 @@ bool RemoteOracle::load_state(bytes::Reader* in) {
   std::vector<std::uint8_t> state;
   if (!in->blob(&state)) return false;
   if (dead_) return false;
-  Frame f;
-  bool ok = false;
-  if (!write_frame(*transport_, FrameType::kStateSet, state) ||
-      !read_frame(*transport_, &f) || f.type != FrameType::kAck ||
-      !decode_ack(f.body, &ok)) {
-    dead_ = true;
-    return false;
+  for (;;) {
+    Frame f;
+    bool ok = false;
+    if (write_frame(*transport_, FrameType::kStateSet, state) &&
+        read_frame(*transport_, &f) && f.type == FrameType::kAck &&
+        decode_ack(f.body, &ok)) {
+      if (ok && reconn_ != nullptr) {
+        state_blob_ = std::move(state);
+        have_state_ = true;
+      }
+      return ok;
+    }
+    if (!recover()) {
+      dead_ = true;
+      return false;
+    }
   }
-  return ok;
 }
 
 bool RemoteOracle::shutdown() {

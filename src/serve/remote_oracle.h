@@ -10,6 +10,20 @@
 // holding many independent inputs should use query_batch, and truly
 // latency-bound callers can pipeline whole frames by driving wire.h
 // directly (the bench does).
+//
+// Self-healing (opt-in via RemoteOracleOptions::max_recoveries over a
+// ReconnectingTransport): a dead stream is no longer terminal. The client
+// keeps a cached copy of the server stack's save_state blob — captured
+// atomically with each batch reply via the want_state bit — and on
+// transport death it redials, re-runs the Hello handshake, re-pushes that
+// blob with kStateSet, and retransmits the in-flight batch flagged as a
+// requery. Because the pushed state is from the last batch boundary the
+// client actually consumed, a restarted (or mid-reply-killed) server
+// replays exactly the fault-decorator trajectory the uninterrupted run
+// would have produced: at-least-once retransmission becomes exactly-once
+// semantics, and the recovered attack is byte-identical. Only after the
+// recovery budget is exhausted does the client fall back to the old
+// behavior and surface kExhausted.
 
 #include <cstdint>
 #include <memory>
@@ -21,12 +35,33 @@
 
 namespace orap::serve {
 
+class ReconnectingTransport;
+struct HelloReply;
+
+struct RemoteOracleOptions {
+  /// Total transport recoveries (redial + rehandshake + state re-push)
+  /// allowed over the oracle's lifetime. 0 = legacy behavior: any stream
+  /// death is terminal. > 0 requires the transport to be a
+  /// ReconnectingTransport (connect() fails otherwise).
+  std::size_t max_recoveries = 0;
+  /// Capture the server stack's state every N batches (want_state bit in
+  /// kQueryBatch). 1 — the default — is the only setting that guarantees
+  /// byte-identical recovery for STATEFUL server stacks (noisy/stuck/...);
+  /// larger N trades that guarantee for fewer state bytes on the wire.
+  /// Stacks whose state blob is empty (a bare GoldenOracle) are detected
+  /// at connect time and never pay for state capture at all.
+  std::size_t state_refresh_batches = 1;
+};
+
 class RemoteOracle final : public Oracle {
  public:
   /// Performs the Hello handshake; returns nullptr (with a diagnostic in
   /// *error) when the transport dies or the server speaks another version.
+  /// With opts.max_recoveries > 0 the handshake itself is retried across
+  /// redials, and the initial state blob is fetched as the recovery seed.
   static std::unique_ptr<RemoteOracle> connect(
-      std::unique_ptr<Transport> transport, std::string* error = nullptr);
+      std::unique_ptr<Transport> transport, std::string* error = nullptr,
+      const RemoteOracleOptions& opts = {});
 
   std::size_t num_inputs() const override { return num_inputs_; }
   std::size_t num_outputs() const override { return num_outputs_; }
@@ -37,11 +72,16 @@ class RemoteOracle final : public Oracle {
   void save_state(std::vector<std::uint8_t>* out) const override;
   bool load_state(bytes::Reader* in) override;
 
-  /// Orderly server shutdown (kShutdown + ack). The transport stays owned
-  /// until destruction.
+  /// Orderly server shutdown (kShutdown + ack). Never triggers recovery:
+  /// tearing down a link we are about to drop would be wasted redials.
   bool shutdown();
 
   bool transport_failed() const { return dead_; }
+
+  /// Self-healing telemetry.
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t state_syncs() const { return state_syncs_; }
 
  protected:
   OracleResult do_query(const BitVec& data) override;
@@ -58,13 +98,36 @@ class RemoteOracle final : public Oracle {
 
   /// One kQueryBatch frame; false on a dead transport (out is then
   /// cleared). `requery` routes to the server oracle's retry accounting.
+  /// With recovery enabled, loops redial + rehandshake + retransmit until
+  /// success or policy exhaustion.
   bool send_batch(const std::vector<BitVec>& xs,
                   std::vector<OracleResult>* out, bool requery);
+
+  /// One Hello round trip on the current stream (no shape check).
+  bool hello_once(HelloReply* r);
+  /// Redial + Hello + shape check + state re-push. Consumes recovery
+  /// budget; false once it is spent or the dial policy gives up.
+  bool recover();
+  /// kStateGet on the current stream, refreshing the cached blob.
+  bool state_get_once(std::vector<std::uint8_t>* blob);
 
   std::unique_ptr<Transport> transport_;
   std::size_t num_inputs_;
   std::size_t num_outputs_;
   mutable bool dead_ = false;
+
+  RemoteOracleOptions opts_;
+  /// Set when recovery is enabled; points into *transport_.
+  ReconnectingTransport* reconn_ = nullptr;
+  /// Last server-stack state blob the client knows the server reached.
+  std::vector<std::uint8_t> state_blob_;
+  bool have_state_ = false;
+  /// The stack's state blob is empty: nothing to re-push, skip capture.
+  bool stateless_ = false;
+  std::size_t batches_since_sync_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t state_syncs_ = 0;
 };
 
 }  // namespace orap::serve

@@ -1,6 +1,7 @@
 #include "serve/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -9,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 namespace orap::serve {
@@ -49,7 +51,7 @@ bool FdTransport::wait_ready(bool for_read) {
   int rc;
   do {
     rc = ::poll(&p, 1, timeout_ms_);
-  } while (rc < 0 && errno == EINTR);
+  } while (rc < 0 && errno == EINTR && !(for_read && interrupted()));
   // POLLHUP/POLLERR still let the read/write run and report definitively.
   return rc > 0;
 }
@@ -57,10 +59,14 @@ bool FdTransport::wait_ready(bool for_read) {
 bool FdTransport::read_full(void* buf, std::size_t n) {
   auto* p = static_cast<std::uint8_t*>(buf);
   while (n > 0) {
+    if (interrupted()) return false;
     if (!wait_ready(/*for_read=*/true)) return false;
     const ssize_t got = is_socket_ ? ::recv(rfd_, p, n, 0) : ::read(rfd_, p, n);
     if (got < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        if (interrupted()) return false;
+        continue;
+      }
       return false;
     }
     if (got == 0) return false;  // EOF mid-frame
@@ -149,8 +155,8 @@ std::unique_ptr<FdTransport> TcpListener::accept(int timeout_ms,
 }
 
 std::unique_ptr<FdTransport> tcp_connect(const std::string& host,
-                                         std::uint16_t port,
-                                         int io_timeout_ms) {
+                                         std::uint16_t port, int io_timeout_ms,
+                                         int connect_timeout_ms) {
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -158,15 +164,43 @@ std::unique_ptr<FdTransport> tcp_connect(const std::string& host,
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return nullptr;
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return nullptr;
+  // Non-blocking connect + poll: a host that never answers the SYN (the
+  // usual failure for a killed or firewalled server) fails after the
+  // caller's deadline instead of the kernel's minutes-long one, which is
+  // what lets the reconnect backoff loop make progress.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (connect_timeout_ms >= 0 && flags >= 0)
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                    sizeof(addr));
   } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && connect_timeout_ms >= 0 && errno == EINPROGRESS) {
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLOUT;
+    p.revents = 0;
+    do {
+      rc = ::poll(&p, 1, connect_timeout_ms);
+    } while (rc < 0 && errno == EINTR);
+    if (rc <= 0) {  // timeout or poll error: give up on this dial
+      close_quiet(fd);
+      return nullptr;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close_quiet(fd);
+      return nullptr;
+    }
+    rc = 0;
+  }
   if (rc != 0) {
     close_quiet(fd);
     return nullptr;
   }
+  if (connect_timeout_ms >= 0 && flags >= 0) ::fcntl(fd, F_SETFL, flags);
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return std::make_unique<FdTransport>(fd, fd, io_timeout_ms,
@@ -220,13 +254,37 @@ SubprocessTransport::SubprocessTransport(pid_t pid, int read_fd, int write_fd,
     : pid_(pid),
       io_(std::make_unique<FdTransport>(read_fd, write_fd, io_timeout_ms)) {}
 
-SubprocessTransport::~SubprocessTransport() {
+bool SubprocessTransport::reap() {
+  if (reaped_) return exit_clean_;
   io_.reset();  // closing the child's stdin tells it to exit
   int status = 0;
   pid_t rc;
   do {
     rc = ::waitpid(pid_, &status, 0);
   } while (rc < 0 && errno == EINTR);
+  reaped_ = true;
+  if (rc < 0) {
+    exit_diag_ = "waitpid failed: " + std::string(std::strerror(errno));
+  } else if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    exit_clean_ = code == 0;
+    exit_diag_ = "exit status " + std::to_string(code);
+  } else if (WIFSIGNALED(status)) {
+    exit_diag_ = "killed by signal " + std::to_string(WTERMSIG(status));
+  } else {
+    exit_diag_ = "unknown wait status " + std::to_string(status);
+  }
+  return exit_clean_;
+}
+
+SubprocessTransport::~SubprocessTransport() {
+  if (!reap()) {
+    // An oracle server that died abnormally is worth a diagnostic even on
+    // the teardown path: it is usually the root cause of the kExhausted
+    // the attack just reported.
+    std::fprintf(stderr, "oracle subprocess (pid %ld): %s\n",
+                 static_cast<long>(pid_), exit_diag_.c_str());
+  }
 }
 
 bool SubprocessTransport::read_full(void* buf, std::size_t n) {

@@ -14,6 +14,7 @@
 // MSG_NOSIGNAL so a vanished peer reports an error rather than raising
 // SIGPIPE.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -52,13 +53,24 @@ class FdTransport final : public Transport {
   bool read_full(void* buf, std::size_t n) override;
   bool write_full(const void* buf, std::size_t n) override;
 
+  /// Graceful-drain hook: while *flag is true, reads fail promptly instead
+  /// of (re)blocking — a signal handler sets the flag and the EINTR from
+  /// the interrupted poll/recv unwinds the serve loop. Writes are left
+  /// alone so an in-flight reply still completes. The flag must outlive
+  /// the transport; nullptr (the default) disables the check.
+  void set_interrupt_flag(const std::atomic<bool>* flag) { intr_ = flag; }
+
  private:
   bool wait_ready(bool for_read);
+  bool interrupted() const {
+    return intr_ != nullptr && intr_->load(std::memory_order_relaxed);
+  }
 
   int rfd_;
   int wfd_;
   int timeout_ms_;
   bool is_socket_;
+  const std::atomic<bool>* intr_ = nullptr;
 };
 
 /// Listening IPv4 socket. Binds 127.0.0.1 only: the protocol carries no
@@ -89,10 +101,14 @@ class TcpListener {
   std::uint16_t port_ = 0;
 };
 
-/// Connects to host:port. Returns nullptr on failure.
+/// Connects to host:port. Returns nullptr on failure. The connect itself
+/// is non-blocking + poll so an unresponsive host (SYN black hole) fails
+/// after `connect_timeout_ms` instead of hanging for the kernel's
+/// multi-minute TCP timeout; < 0 keeps the kernel default.
 std::unique_ptr<FdTransport> tcp_connect(const std::string& host,
                                          std::uint16_t port,
-                                         int io_timeout_ms = -1);
+                                         int io_timeout_ms = -1,
+                                         int connect_timeout_ms = -1);
 
 /// Forks `argv` with a pipe pair wired to the child's stdin/stdout and
 /// speaks the protocol over them. The child is reaped on destruction
@@ -108,12 +124,23 @@ class SubprocessTransport final : public Transport {
   bool read_full(void* buf, std::size_t n) override;
   bool write_full(const void* buf, std::size_t n) override;
 
+  /// Closes the child's stdin and reaps it (EINTR-safe), recording how it
+  /// ended. Idempotent; the destructor calls it and logs an abnormal exit
+  /// to stderr. Returns true when the child exited with status 0.
+  bool reap();
+  /// Human-readable exit summary after reap(): "exit status N",
+  /// "killed by signal N", or "" while the child is still running.
+  const std::string& exit_diagnostic() const { return exit_diag_; }
+
  private:
   SubprocessTransport(pid_t pid, int read_fd, int write_fd,
                       int io_timeout_ms);
 
   pid_t pid_;
   std::unique_ptr<FdTransport> io_;
+  bool reaped_ = false;
+  bool exit_clean_ = false;
+  std::string exit_diag_;
 };
 
 }  // namespace orap::serve

@@ -4,28 +4,46 @@
 
 namespace orap::serve {
 
-bool read_frame(Transport& t, Frame* out) {
-  std::uint8_t head[5];
-  if (!t.read_full(head, sizeof(head))) return false;
+std::uint32_t frame_crc(FrameType type, const std::vector<std::uint8_t>& body) {
+  const std::uint8_t tb = static_cast<std::uint8_t>(type);
+  const std::uint32_t seed = bytes::crc32(&tb, 1);
+  return bytes::crc32(body.data(), body.size(), seed);
+}
+
+FrameRead read_frame_ex(Transport& t, Frame* out) {
+  // The header is read in two pieces so a peer that hangs up cleanly
+  // between frames (zero header bytes delivered) is distinguishable from
+  // one that died mid-frame.
+  std::uint8_t head[9];
+  if (!t.read_full(head, 1)) return FrameRead::kEof;
+  if (!t.read_full(head + 1, sizeof(head) - 1)) return FrameRead::kTorn;
   bytes::Reader hr(head, sizeof(head));
   const std::uint32_t len = hr.u32();
   const std::uint8_t type = hr.u8();
-  if (len > kMaxFrameBody) return false;
+  const std::uint32_t crc = hr.u32();
+  if (len > kMaxFrameBody) return FrameRead::kBad;
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
       type > static_cast<std::uint8_t>(FrameType::kError))
-    return false;
+    return FrameRead::kBad;
   out->type = static_cast<FrameType>(type);
   out->body.resize(len);
-  return len == 0 || t.read_full(out->body.data(), len);
+  if (len != 0 && !t.read_full(out->body.data(), len)) return FrameRead::kTorn;
+  if (crc != frame_crc(out->type, out->body)) return FrameRead::kBad;
+  return FrameRead::kFrame;
+}
+
+bool read_frame(Transport& t, Frame* out) {
+  return read_frame_ex(t, out) == FrameRead::kFrame;
 }
 
 bool write_frame(Transport& t, FrameType type,
                  const std::vector<std::uint8_t>& body) {
   if (body.size() > kMaxFrameBody) return false;
   std::vector<std::uint8_t> head;
-  head.reserve(5);
+  head.reserve(9);
   bytes::put_u32(&head, static_cast<std::uint32_t>(body.size()));
   bytes::put_u8(&head, static_cast<std::uint8_t>(type));
+  bytes::put_u32(&head, frame_crc(type, body));
   return t.write_full(head.data(), head.size()) &&
          (body.empty() || t.write_full(body.data(), body.size()));
 }
@@ -76,9 +94,10 @@ bool unpack_bits(bytes::Reader* in, std::size_t nbits, BitVec* out) {
 }
 
 std::vector<std::uint8_t> encode_query_batch(const std::vector<BitVec>& xs,
-                                             bool requery) {
+                                             bool requery, bool want_state) {
   std::vector<std::uint8_t> body;
-  bytes::put_u8(&body, requery ? 1 : 0);
+  bytes::put_u8(&body, static_cast<std::uint8_t>((requery ? 1 : 0) |
+                                                 (want_state ? 2 : 0)));
   bytes::put_u32(&body, static_cast<std::uint32_t>(xs.size()));
   for (const BitVec& x : xs) pack_bits(&body, x);
   return body;
@@ -86,11 +105,12 @@ std::vector<std::uint8_t> encode_query_batch(const std::vector<BitVec>& xs,
 
 bool decode_query_batch(const std::vector<std::uint8_t>& body,
                         std::size_t num_inputs, bool* requery,
-                        std::vector<BitVec>* xs) {
+                        std::vector<BitVec>* xs, bool* want_state) {
   bytes::Reader in(body);
   const std::uint8_t kind = in.u8();
-  if (kind > 1) return false;
-  *requery = kind == 1;
+  if (kind > 3) return false;
+  *requery = (kind & 1) != 0;
+  if (want_state != nullptr) *want_state = (kind & 2) != 0;
   const std::uint32_t count = in.u32();
   if (!in.ok()) return false;
   // Cheap overrun check before reserving anything: each input is a fixed
@@ -109,7 +129,8 @@ bool decode_query_batch(const std::vector<std::uint8_t>& body,
 }
 
 std::vector<std::uint8_t> encode_batch_reply(
-    const std::vector<OracleResult>& rs) {
+    const std::vector<OracleResult>& rs,
+    const std::vector<std::uint8_t>* state) {
   std::vector<std::uint8_t> body;
   bytes::put_u32(&body, static_cast<std::uint32_t>(rs.size()));
   for (const OracleResult& r : rs) {
@@ -121,12 +142,15 @@ std::vector<std::uint8_t> encode_batch_reply(
                     static_cast<std::uint8_t>(r.error().kind) + 1);
     }
   }
+  bytes::put_u8(&body, state != nullptr ? 1 : 0);
+  if (state != nullptr) bytes::put_blob(&body, state->data(), state->size());
   return body;
 }
 
 bool decode_batch_reply(const std::vector<std::uint8_t>& body,
                         std::size_t num_outputs,
-                        std::vector<OracleResult>* rs) {
+                        std::vector<OracleResult>* rs, bool* has_state,
+                        std::vector<std::uint8_t>* state) {
   bytes::Reader in(body);
   const std::uint32_t count = in.u32();
   if (!in.ok()) return false;
@@ -144,6 +168,14 @@ bool decode_batch_reply(const std::vector<std::uint8_t>& body,
     } else {
       return false;
     }
+  }
+  const std::uint8_t carries = in.u8();
+  if (!in.ok() || carries > 1) return false;
+  if (has_state != nullptr) *has_state = carries == 1;
+  if (carries == 1) {
+    std::vector<std::uint8_t> blob;
+    if (!in.blob(&blob)) return false;
+    if (state != nullptr) *state = std::move(blob);
   }
   return in.ok() && in.remaining() == 0;
 }

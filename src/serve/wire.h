@@ -3,7 +3,15 @@
 //
 // Frame layout (little-endian, helpers in util/bytes.h):
 //
-//   u32 body_length | u8 frame_type | body
+//   u32 body_length | u8 frame_type | u32 crc32(frame_type || body) | body
+//
+// The CRC (protocol v2) exists because the serving layer is chaos-tested:
+// a flipped bit anywhere in a frame must surface as a detectable protocol
+// error — killing that one connection so the client can reconnect and
+// retransmit — never as a silently wrong oracle answer poisoning a SAT
+// attack. It covers the type byte and body; corruption of the length field
+// desynchronizes the stream and is caught by the same check (the CRC of
+// whatever got framed will not match).
 //
 // Conversation: the client opens with kHello (its protocol version); the
 // server answers kHelloReply with the oracle's I/O shape. After that the
@@ -18,14 +26,20 @@
 //   kHello       -> kHelloReply     version/shape handshake
 //   kQueryBatch  -> kBatchReply     n packed inputs -> n status+response
 //   kStateGet    -> kStateBlob      Oracle::save_state of the served stack
-//   kStateSet    -> kAck            Oracle::load_state (checkpoint resume)
+//   kStateSet    -> kAck            Oracle::load_state (checkpoint resume /
+//                                   reconnect state re-push)
 //   kShutdown    -> kAck            orderly server exit
 //   (anything malformed) -> kError  message + connection close
 //
 // Query inputs and responses are packed fixed-width — ceil(nbits/64)
 // words, no per-item length — because both shapes are fixed by the
-// handshake; a batch of B inputs costs 5 + 1 + 4 + B*8*words bytes on the
-// wire.
+// handshake; a batch of B inputs costs 9 + 1 + 4 + B*8*words bytes on the
+// wire. A kQueryBatch may set the want_state bit, asking the server to
+// append its stack's post-batch save_state blob to the kBatchReply: that
+// makes "answer the batch and capture the resulting decorator state" one
+// atomic round trip, which is what lets a reconnecting client roll a
+// restarted server back and retransmit the in-flight batch with
+// exactly-once semantics even for stateful (noisy/stuck) oracle stacks.
 
 #include <cstdint>
 #include <string>
@@ -37,7 +51,8 @@
 
 namespace orap::serve {
 
-constexpr std::uint32_t kProtoVersion = 1;
+/// v2: frame-level CRC-32 + want_state batch replies.
+constexpr std::uint32_t kProtoVersion = 2;
 /// Upper bound on a frame body; anything larger is a protocol error (and
 /// a malicious peer cannot make the server allocate unbounded memory).
 constexpr std::uint32_t kMaxFrameBody = 1u << 26;
@@ -60,10 +75,23 @@ struct Frame {
   std::vector<std::uint8_t> body;
 };
 
-/// Reads one frame. false on EOF/timeout/oversized body (stream dead).
+/// How a read_frame_ex attempt ended. The server cares about the
+/// difference: kEof is an orderly hangup between frames; kTorn and kBad
+/// are protocol errors that tear down the one offending connection.
+enum class FrameRead : std::uint8_t {
+  kFrame = 0,  // a complete, CRC-valid frame
+  kEof = 1,    // peer hung up cleanly between frames
+  kTorn = 2,   // stream died mid-frame (truncation, disconnect, timeout)
+  kBad = 3,    // oversized body, unknown type, or CRC mismatch
+};
+
+FrameRead read_frame_ex(Transport& t, Frame* out);
+/// Reads one frame; false on anything but a complete valid frame.
 bool read_frame(Transport& t, Frame* out);
 bool write_frame(Transport& t, FrameType type,
                  const std::vector<std::uint8_t>& body);
+/// CRC over the type byte followed by the body, as carried in the header.
+std::uint32_t frame_crc(FrameType type, const std::vector<std::uint8_t>& body);
 
 /// kHello body: u32 proto version. kHelloReply body: u32 version accepted,
 /// u64 num_inputs, u64 num_outputs.
@@ -86,21 +114,28 @@ void pack_bits(std::vector<std::uint8_t>* out, const BitVec& v);
 /// Unpacks `nbits`; false when the tail word carries garbage bits.
 bool unpack_bits(bytes::Reader* in, std::size_t nbits, BitVec* out);
 
-/// kQueryBatch body: u8 kind (0 = logical query, 1 = requery; server-side
-/// accounting only), u32 count, count packed inputs.
+/// kQueryBatch body: u8 kind bitmask (bit 0 = requery, for server-side
+/// accounting; bit 1 = want_state, asking for the stack's post-batch state
+/// blob in the reply), u32 count, count packed inputs.
 std::vector<std::uint8_t> encode_query_batch(const std::vector<BitVec>& xs,
-                                             bool requery);
+                                             bool requery,
+                                             bool want_state = false);
 bool decode_query_batch(const std::vector<std::uint8_t>& body,
                         std::size_t num_inputs, bool* requery,
-                        std::vector<BitVec>* xs);
+                        std::vector<BitVec>* xs,
+                        bool* want_state = nullptr);
 
 /// kBatchReply body: u32 count, then per query u8 status (0 = ok, else
-/// OracleErrorKind + 1) and the packed response when ok.
+/// OracleErrorKind + 1) and the packed response when ok; then u8 has_state
+/// and, when set, the u32-length-prefixed post-batch state blob.
 std::vector<std::uint8_t> encode_batch_reply(
-    const std::vector<OracleResult>& rs);
+    const std::vector<OracleResult>& rs,
+    const std::vector<std::uint8_t>* state = nullptr);
 bool decode_batch_reply(const std::vector<std::uint8_t>& body,
                         std::size_t num_outputs,
-                        std::vector<OracleResult>* rs);
+                        std::vector<OracleResult>* rs,
+                        bool* has_state = nullptr,
+                        std::vector<std::uint8_t>* state = nullptr);
 
 /// kAck body: u8 ok. kError body: length-prefixed message.
 std::vector<std::uint8_t> encode_ack(bool ok);

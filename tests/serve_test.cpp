@@ -257,26 +257,57 @@ TEST(Serve, FrameRoundTripAndRejection) {
   EXPECT_EQ(f.type, FrameType::kQueryBatch);
   EXPECT_EQ(f.body, body);
 
-  // Truncated header / truncated body.
+  // Truncated header / truncated body: torn, not EOF.
   MemTransport t2;
   t2.buf_ = {0x04, 0x00};
-  EXPECT_FALSE(serve::read_frame(t2, &f));
+  EXPECT_EQ(serve::read_frame_ex(t2, &f), serve::FrameRead::kTorn);
   MemTransport t3;
   bytes::put_u32(&t3.buf_, 100);
   bytes::put_u8(&t3.buf_, static_cast<std::uint8_t>(FrameType::kAck));
-  EXPECT_FALSE(serve::read_frame(t3, &f));
+  bytes::put_u32(&t3.buf_, 0);  // crc field; body never arrives
+  EXPECT_EQ(serve::read_frame_ex(t3, &f), serve::FrameRead::kTorn);
+
+  // A clean hangup (zero bytes) is EOF, distinguishable from torn.
+  MemTransport t_eof;
+  EXPECT_EQ(serve::read_frame_ex(t_eof, &f), serve::FrameRead::kEof);
 
   // Oversized body length: rejected before any allocation.
   MemTransport t4;
   bytes::put_u32(&t4.buf_, serve::kMaxFrameBody + 1);
   bytes::put_u8(&t4.buf_, static_cast<std::uint8_t>(FrameType::kQueryBatch));
-  EXPECT_FALSE(serve::read_frame(t4, &f));
+  bytes::put_u32(&t4.buf_, 0);
+  EXPECT_EQ(serve::read_frame_ex(t4, &f), serve::FrameRead::kBad);
 
   // Unknown frame type byte.
   MemTransport t5;
   bytes::put_u32(&t5.buf_, 0);
   bytes::put_u8(&t5.buf_, 200);
-  EXPECT_FALSE(serve::read_frame(t5, &f));
+  bytes::put_u32(&t5.buf_, 0);
+  EXPECT_EQ(serve::read_frame_ex(t5, &f), serve::FrameRead::kBad);
+}
+
+TEST(Serve, FrameCrcCatchesCorruption) {
+  const std::vector<std::uint8_t> body = {9, 8, 7, 6, 5};
+  Frame f;
+  // Flip each bit of the frame in turn: every corruption must surface as
+  // a protocol error (kBad) or a structurally impossible frame — never as
+  // a successfully decoded frame with different bytes.
+  MemTransport ref;
+  ASSERT_TRUE(serve::write_frame(ref, FrameType::kStateSet, body));
+  const std::vector<std::uint8_t> wire = ref.buf_;
+  for (std::size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    MemTransport t;
+    t.buf_ = wire;
+    t.buf_[bit >> 3] ^= static_cast<std::uint8_t>(1u << (bit & 7));
+    const serve::FrameRead r = serve::read_frame_ex(t, &f);
+    EXPECT_NE(r, serve::FrameRead::kFrame) << "bit=" << bit;
+  }
+  // And the pristine frame still reads back.
+  MemTransport t;
+  t.buf_ = wire;
+  ASSERT_EQ(serve::read_frame_ex(t, &f), serve::FrameRead::kFrame);
+  EXPECT_EQ(f.type, FrameType::kStateSet);
+  EXPECT_EQ(f.body, body);
 }
 
 // --- server + client over a real transport --------------------------------
@@ -380,6 +411,81 @@ TEST(Serve, ServerRejectsMalformedFrameWithError) {
   EXPECT_TRUE(serve::decode_error(f.body, &msg));
   st.join();
   EXPECT_FALSE(orderly);
+}
+
+TEST(Serve, ServerSurvivesHostileClientsAndKeepsServing) {
+  const Netlist n = serve_circuit(43);
+  const LockedCircuit lc = lock_weighted(n, 10, 3, 44);
+  GoldenOracle served(lc);
+  serve::OracleServer server(served);
+
+  // Hostile client 1: garbage handshake (structurally valid frame, junk
+  // hello body). The server must answer kError and drop the connection.
+  {
+    PipePair pipes = make_pipe_pair();
+    bool orderly = true;
+    std::thread st([&] { orderly = server.serve(*pipes.server); });
+    ASSERT_TRUE(serve::write_frame(*pipes.client, FrameType::kHello,
+                                   {0xde, 0xad, 0xbe, 0xef, 0x00}));
+    Frame f;
+    ASSERT_TRUE(serve::read_frame(*pipes.client, &f));
+    EXPECT_EQ(f.type, FrameType::kError);
+    st.join();
+    EXPECT_FALSE(orderly);
+  }
+
+  // Hostile client 2: a torn frame — half a header, then the peer dies.
+  // Nothing can be sent back; the connection is torn down, not the server.
+  {
+    PipePair pipes = make_pipe_pair();
+    bool orderly = true;
+    std::thread st([&] { orderly = server.serve(*pipes.server); });
+    const std::uint8_t partial[3] = {0x10, 0x00, 0x00};
+    ASSERT_TRUE(pipes.client->write_full(partial, sizeof(partial)));
+    pipes.client.reset();  // hang up mid-frame
+    st.join();
+    EXPECT_FALSE(orderly);
+  }
+
+  // Hostile client 3: an oversized body length. Rejected before any
+  // allocation, answered with kError.
+  {
+    PipePair pipes = make_pipe_pair();
+    bool orderly = true;
+    std::thread st([&] { orderly = server.serve(*pipes.server); });
+    std::vector<std::uint8_t> head;
+    bytes::put_u32(&head, serve::kMaxFrameBody + 1);
+    bytes::put_u8(&head, static_cast<std::uint8_t>(FrameType::kQueryBatch));
+    bytes::put_u32(&head, 0);
+    ASSERT_TRUE(pipes.client->write_full(head.data(), head.size()));
+    Frame f;
+    ASSERT_TRUE(serve::read_frame(*pipes.client, &f));
+    EXPECT_EQ(f.type, FrameType::kError);
+    st.join();
+    EXPECT_FALSE(orderly);
+  }
+
+  EXPECT_EQ(server.protocol_errors(), 3u);
+  EXPECT_EQ(server.connections_served(), 3u);
+
+  // After all that abuse, the SAME server object serves a well-behaved
+  // client a complete attack with the exact key.
+  {
+    PipePair pipes = make_pipe_pair();
+    std::thread st([&] { server.serve(*pipes.server); });
+    std::string err;
+    auto remote = serve::RemoteOracle::connect(std::move(pipes.client), &err);
+    ASSERT_NE(remote, nullptr) << err;
+    SatAttackOptions opts;
+    const SatAttackResult got = sat_attack(lc, *remote, opts);
+    GoldenOracle local(lc);
+    const SatAttackResult want = sat_attack(lc, local, opts);
+    expect_same_result(got, want);
+    EXPECT_TRUE(remote->shutdown());
+    st.join();
+  }
+  EXPECT_EQ(server.protocol_errors(), 3u);
+  EXPECT_EQ(server.connections_served(), 4u);
 }
 
 TEST(Serve, ClientSurfacesDeadTransportAsExhausted) {

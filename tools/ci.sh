@@ -242,6 +242,36 @@ RT1=$(sed -n 's/^oracle traffic: \([0-9]*\) round trips.*/\1/p' "$SD/atk_d1.out"
 RT8=$(sed -n 's/^oracle traffic: \([0-9]*\) round trips.*/\1/p' "$SD/atk_d8.out")
 [[ -n "$RT1" && -n "$RT8" && "$RT8" -lt "$RT1" ]]
 
+# Chaos reconnect smoke: the same served circuit attacked through a
+# client-side fault-injected link (seeded disconnects + byte corruption)
+# with the self-healing policy on. The attack must survive, report at
+# least one recovery on the "self-healing" line, and recover the exact
+# key the undisturbed local run found. The server is then drained with
+# SIGTERM and must exit on its own (no KILL).
+echo "==== [plain] chaos reconnect smoke ===="
+"$ORAP_BIN" oracle-serve "$SD/locked.bench" --key "$SD/key.txt" \
+  --port 0 > "$SD/serve_chaos.out" 2> "$SD/serve_chaos.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  grep -q listening "$SD/serve_chaos.out" 2>/dev/null && break
+  sleep 0.1
+done
+PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+       "$SD/serve_chaos.out")
+[[ -n "$PORT" ]]
+"$ORAP_BIN" attack "$SD/locked.bench" --connect "127.0.0.1:$PORT" \
+  --oracle-votes=3 --oracle-retries=2 --quarantine \
+  --reconnect 1000 --chaos-disconnect-rate 0.03 --chaos-corrupt-rate 0.01 \
+  --chaos-seed 7 > "$SD/atk_chaos.out"
+grep '^recovered key' "$SD/atk_chaos.out" > "$SD/key_chaos.txt"
+cmp "$SD/key_local.txt" "$SD/key_chaos.txt"
+RECOV=$(sed -n 's/^self-healing: \([0-9]*\) recoveries.*/\1/p' \
+        "$SD/atk_chaos.out")
+[[ -n "$RECOV" && "$RECOV" -gt 0 ]]
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || true
+grep -q 'stop signal received' "$SD/serve_chaos.err"
+
 # Shared result-cache smoke: three jobs attacking the SAME chip with the
 # cross-job cache on must produce a "jobs" object byte-identical to the
 # cache-off run (the cache sits below the fault layer, so trajectories
@@ -300,6 +330,28 @@ assert all(j["status"] == "key_found" for j in ref["jobs"].values()), \
     "reference attack-serve run failed to recover its keys"
 EOF
 
+# SIGTERM-drain smoke: the same grid drained with SIGTERM instead of
+# SIGKILL. The supervised server must contain the drain — at least one
+# job reports "stopped (resumable ...)", checkpoints are on disk — and a
+# rerun against the same checkpoint directory must finish byte-identical
+# to the uninterrupted reference.
+echo "==== [plain] attack-serve SIGTERM drain smoke ===="
+rm -rf "$SD/ckterm" && mkdir -p "$SD/ckterm"
+timeout -s TERM 1 "$ORAP_BIN" attack-serve "${SERVE_ARGS[@]}" \
+  --latency-us 300000 --checkpoint-dir "$SD/ckterm" --checkpoint-every 1 \
+  > "$SD/term.out" 2>&1 || true
+grep -q 'stopped (resumable' "$SD/term.out"
+grep -q 'supervision: ' "$SD/term.out"
+ls "$SD/ckterm"/*.ckpt >/dev/null
+"$ORAP_BIN" attack-serve "${SERVE_ARGS[@]}" --checkpoint-dir "$SD/ckterm" \
+  --json "$SD/term_resumed.json" >/dev/null
+python3 - "$SD/ref.json" "$SD/term_resumed.json" <<'EOF'
+import json, sys
+ref, res = (json.load(open(p)) for p in sys.argv[1:3])
+assert res["jobs"] == ref["jobs"], \
+    "TERM-drained + resumed attack-serve jobs differ from the reference"
+EOF
+
 # One pass over the engine microbenchmarks (smallest size per bench,
 # minimal repetitions) so a bench that asserts or regresses into a hang
 # is caught here, not at release time.
@@ -319,7 +371,9 @@ if [[ "$RUN_TSAN" == "1" ]]; then
   # ^Batch\. joins as well: CachedOracle's map is hit from the job
   # server's pool threads, the exact cross-thread surface the shared
   # result cache adds.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.")
+  # ^Chaos\.|^Reconnect\. ride along: reconnection races the server
+  # thread against a redialing client, the precise surface TSan is for.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Budget\.|^Resilience\.|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Chaos\.|^Reconnect\.")
   # Force >1 pool threads so TSan actually sees concurrent stealing even
   # on single-core runners.
   export ORAP_THREADS="${ORAP_THREADS:-4}"
@@ -333,7 +387,9 @@ if [[ "$RUN_ASAN" == "1" ]]; then
   # exactly where a heap overread would hide.
   # Batched frames carry attacker-chosen element counts — the Batch suite
   # rides along to scan the batch encode/decode paths for overreads.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.")
+  # Chaos corruption feeds adversarial bytes into the frame decoder —
+  # heap-overread territory — so the chaos suites join too.
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Serve\.|^Checkpoint\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.|^Chaos\.|^Reconnect\.")
   export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
   run_pass "$PREFIX-asan" "asan" -DORAP_SANITIZE=address
 fi
@@ -343,7 +399,7 @@ if [[ "$RUN_UBSAN" == "1" ]]; then
   # The Simd suite always joins a filtered UBSan pass: the multi-word
   # kernels and the block simulator are exactly where a shift/alignment
   # mistake would hide.
-  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.")
+  [[ -n "$TSAN_FILTER" ]] && CTEST_EXTRA=(-R "$TSAN_FILTER|^Resilience\.|^Simd\.|^Serve\.|^Batch\.|^SchemeZoo\.|^LockValidation\.|^Sps\.|^Removal\.|^Bypass\.|^Chaos\.|^Reconnect\.")
   export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
   run_pass "$PREFIX-ubsan" "ubsan" -DORAP_SANITIZE=undefined
 fi

@@ -15,9 +15,11 @@
 
 #include <cstdio>
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -47,6 +49,7 @@
 #include "netlist/analysis.h"
 #include "netlist/bench_io.h"
 #include "netlist/verilog_io.h"
+#include "serve/chaos.h"
 #include "serve/job_server.h"
 #include "serve/oracle_server.h"
 #include "serve/remote_oracle.h"
@@ -103,6 +106,24 @@ struct Args {
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "orap: %s\n", msg.c_str());
   std::exit(1);
+}
+
+// Graceful drain for the serving commands: SIGTERM/SIGINT raise a flag the
+// serve loops poll. sigaction WITHOUT SA_RESTART, so a blocked accept/read
+// returns EINTR and the loop gets to observe the flag instead of sleeping
+// through the shutdown.
+std::atomic<bool> g_stop{false};
+
+void stop_signal_handler(int) { g_stop.store(true); }
+
+void install_stop_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = stop_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
 }
 
 void write_file(const std::string& path, const std::string& content) {
@@ -335,6 +356,12 @@ int cmd_attack(const Args& a) {
         "[--max-iter N]\n"
         "       orap attack <locked.bench> --connect host:port | "
         "--oracle-cmd \"orap oracle-serve ... --stdio\"\n"
+        "       [--connect-timeout-ms T] [--reconnect N "
+        "[--reconnect-attempts A] [--reconnect-backoff-ms B] "
+        "[--reconnect-backoff-max-ms M] [--reconnect-state-every K]]\n"
+        "       [--chaos-disconnect-rate P] [--chaos-corrupt-rate P] "
+        "[--chaos-truncate-rate P] [--chaos-delay-rate P "
+        "--chaos-delay-us U] [--chaos-seed S]\n"
         "(--oracle golden: conventional scan access; --oracle orap: the "
         "queries go through a real OraP chip's scan protocol; --connect/"
         "--oracle-cmd: a served oracle holds the device — no key file "
@@ -344,28 +371,81 @@ int cmd_attack(const Args& a) {
   // served oracle reached over TCP / a subprocess's stdio.
   std::unique_ptr<OrapChip> chip;
   std::unique_ptr<Oracle> oracle_holder;
+  std::unique_ptr<serve::ChaosEngine> chaos_engine;
   std::unique_ptr<serve::RemoteOracle> remote_holder;
+  const std::size_t reconnect_budget = a.get_num("reconnect", 0);
   if (remote_oracle) {
-    std::unique_ptr<serve::Transport> transport;
+    const int io_timeout = static_cast<int>(a.get_num("io-timeout-ms", 30000));
+    const int connect_timeout =
+        static_cast<int>(a.get_num("connect-timeout-ms", 10000));
+    // Client-side link fault injection (--chaos-*): one engine shared by
+    // every transport the dial factory creates, so the fault script runs
+    // on deterministically across redials instead of restarting from the
+    // seed. Default rates are 0 — the wrapper is only built when asked.
+    serve::ChaosOptions chaos;
+    chaos.disconnect_rate = a.get_rate("chaos-disconnect-rate", 0.0);
+    chaos.corrupt_rate = a.get_rate("chaos-corrupt-rate", 0.0);
+    chaos.truncate_rate = a.get_rate("chaos-truncate-rate", 0.0);
+    chaos.delay_rate = a.get_rate("chaos-delay-rate", 0.0);
+    chaos.delay_us = a.get_num("chaos-delay-us", 100);
+    chaos.seed = a.get_num("chaos-seed", 1);
+    if (chaos.any()) {
+      chaos_engine = std::make_unique<serve::ChaosEngine>(chaos);
+      std::printf("oracle link chaos: disconnect %.4f, corrupt %.4f, "
+                  "truncate %.4f, delay %.4f x %llu us (seed %llu)\n",
+                  chaos.disconnect_rate, chaos.corrupt_rate,
+                  chaos.truncate_rate, chaos.delay_rate,
+                  static_cast<unsigned long long>(chaos.delay_us),
+                  static_cast<unsigned long long>(chaos.seed));
+    }
+    serve::TransportFactory dial;
     if (a.has("connect")) {
       const std::string hp = a.get("connect", "");
       const auto colon = hp.rfind(':');
       if (colon == std::string::npos) die("--connect expects host:port");
-      transport = serve::tcp_connect(
-          hp.substr(0, colon),
-          static_cast<std::uint16_t>(std::stoul(hp.substr(colon + 1))),
-          static_cast<int>(a.get_num("io-timeout-ms", 30000)));
-      if (!transport) die("cannot connect to " + hp);
+      const std::string host = hp.substr(0, colon);
+      const auto port =
+          static_cast<std::uint16_t>(std::stoul(hp.substr(colon + 1)));
+      dial = [host, port, io_timeout, connect_timeout,
+              engine =
+                  chaos_engine.get()]() -> std::unique_ptr<serve::Transport> {
+        std::unique_ptr<serve::Transport> t =
+            serve::tcp_connect(host, port, io_timeout, connect_timeout);
+        if (!t || engine == nullptr) return t;
+        return std::make_unique<serve::ChaosTransport>(std::move(t), engine);
+      };
     } else {
       std::vector<std::string> cmd_argv;
       std::istringstream is(a.get("oracle-cmd", ""));
       for (std::string tok; is >> tok;) cmd_argv.push_back(tok);
-      transport = serve::SubprocessTransport::spawn(
-          cmd_argv, static_cast<int>(a.get_num("io-timeout-ms", 30000)));
-      if (!transport) die("cannot spawn oracle command");
+      dial = [cmd_argv, io_timeout,
+              engine =
+                  chaos_engine.get()]() -> std::unique_ptr<serve::Transport> {
+        std::unique_ptr<serve::Transport> t =
+            serve::SubprocessTransport::spawn(cmd_argv, io_timeout);
+        if (!t || engine == nullptr) return t;
+        return std::make_unique<serve::ChaosTransport>(std::move(t), engine);
+      };
+    }
+    std::unique_ptr<serve::Transport> transport = dial();
+    if (!transport)
+      die(a.has("connect") ? "cannot connect to " + a.get("connect", "")
+                           : "cannot spawn oracle command");
+    serve::RemoteOracleOptions ropts;
+    if (reconnect_budget > 0) {
+      serve::ReconnectOptions rc;
+      rc.max_attempts = a.get_num("reconnect-attempts", 8);
+      rc.backoff_ms = a.get_num("reconnect-backoff-ms", 10);
+      rc.backoff_max_ms = a.get_num("reconnect-backoff-max-ms", 2000);
+      rc.jitter_seed = chaos.seed + 17;
+      transport = std::make_unique<serve::ReconnectingTransport>(
+          dial, rc, std::move(transport));
+      ropts.max_recoveries = reconnect_budget;
+      ropts.state_refresh_batches = a.get_num("reconnect-state-every", 1);
     }
     std::string err;
-    remote_holder = serve::RemoteOracle::connect(std::move(transport), &err);
+    remote_holder =
+        serve::RemoteOracle::connect(std::move(transport), &err, ropts);
     if (!remote_holder) die("oracle handshake failed: " + err);
     if (remote_holder->num_inputs() != lc.num_data_inputs ||
         remote_holder->num_outputs() != lc.netlist.num_outputs())
@@ -502,6 +582,13 @@ int cmd_attack(const Args& a) {
     // Scripts (tools/ci.sh) parse this line to compare traffic shapes.
     std::printf("oracle traffic: %zu round trips in %zu batches\n",
                 r.oracle_round_trips, r.oracle_batches);
+    if (remote_holder && reconnect_budget > 0)
+      std::printf("self-healing: %llu recoveries, %llu retransmits, "
+                  "%llu state re-syncs\n",
+                  static_cast<unsigned long long>(remote_holder->recoveries()),
+                  static_cast<unsigned long long>(remote_holder->retransmits()),
+                  static_cast<unsigned long long>(
+                      remote_holder->state_syncs()));
     if (opts.resilience.enabled())
       std::printf("resilience: %zu retries, %zu vote queries, %zu pairs "
                   "evicted, %zu re-queried\n",
@@ -561,6 +648,9 @@ int cmd_oracle_serve(const Args& a) {
         "`orap attack --oracle-cmd`; --port listens on 127.0.0.1, 0 picks "
         "an ephemeral port)");
   const bool stdio = a.has("stdio");
+  // SIGTERM/SIGINT drain: finish the frame in flight, fall out of the
+  // serve loop, print the tallies — never die mid-frame.
+  install_stop_handlers();
   const LockedCircuit lc = load_locked(a.positional[0], a.get("key", ""));
   // Diagnostics go to stderr: in --stdio mode the protocol owns stdout.
   std::unique_ptr<OrapChip> chip;
@@ -609,11 +699,15 @@ int cmd_oracle_serve(const Args& a) {
   sopts.latency_us = a.get_num("latency-us", 0);
   sopts.jitter_us = a.get_num("jitter-us", 0);
   sopts.jitter_seed = a.get_num("fault-seed", 7) + 3;
+  sopts.stop = &g_stop;
   serve::OracleServer server(*top, sopts);
 
   if (stdio) {
     serve::FdTransport t(STDIN_FILENO, STDOUT_FILENO);
+    t.set_interrupt_flag(&g_stop);
     server.serve(t);
+    if (g_stop.load())
+      std::fprintf(stderr, "stop signal received; draining\n");
     std::fprintf(stderr, "served %llu queries in %llu frames\n",
                  static_cast<unsigned long long>(server.queries_served()),
                  static_cast<unsigned long long>(server.frames_served()));
@@ -627,12 +721,22 @@ int cmd_oracle_serve(const Args& a) {
   std::printf("listening on 127.0.0.1:%u\n", listener.port());
   std::fflush(stdout);
   const bool once = a.has("once");
-  do {
-    auto t = listener.accept();
-    if (!t) break;
+  const int io_timeout =
+      a.has("io-timeout-ms")
+          ? static_cast<int>(a.get_num("io-timeout-ms", 0))
+          : -1;
+  // Poll-accept so the stop flag is observed between connections too, not
+  // only when a client is mid-conversation.
+  while (!g_stop.load()) {
+    auto t = listener.accept(/*timeout_ms=*/200, io_timeout);
+    if (!t) continue;  // accept timeout or EINTR: re-check the flag
+    t->set_interrupt_flag(&g_stop);
     if (!server.serve(*t))
       std::fprintf(stderr, "protocol error; connection dropped\n");
-  } while (!once);
+    if (once) break;
+  }
+  if (g_stop.load())
+    std::fprintf(stderr, "stop signal received; draining\n");
   std::fprintf(stderr, "served %llu queries in %llu frames\n",
                static_cast<unsigned long long>(server.queries_served()),
                static_cast<unsigned long long>(server.frames_served()));
@@ -651,7 +755,9 @@ int cmd_attack_serve(const Args& a) {
                          "       [--oracle-batch] [--dip-batch K] "
                          "[--result-cache] [--shared-circuit]\n"
                          "       [--checkpoint-dir D] [--checkpoint-every "
-                         "K] [--json out.json]");
+                         "K] [--json out.json]\n"
+                         "       [--job-retries N] "
+                         "[--job-retry-backoff-ms B]");
   GenSpec spec;
   spec.num_inputs = a.get_num("inputs", 20);
   spec.num_outputs = a.get_num("outputs", 16);
@@ -708,6 +814,12 @@ int cmd_attack_serve(const Args& a) {
   jopts.checkpoint_dir = a.get("checkpoint-dir", "");
   jopts.checkpoint_every = a.get_num("checkpoint-every", 64);
   jopts.result_cache = a.get_num("result-cache", 0) != 0;
+  // Supervision: contain + retry per-job failures, and drain every job
+  // (checkpoints flushed) on SIGTERM/SIGINT instead of dying mid-write.
+  jopts.max_job_retries = a.get_num("job-retries", 0);
+  jopts.retry_backoff_ms = a.get_num("job-retry-backoff-ms", 50);
+  install_stop_handlers();
+  jopts.stop = &g_stop;
   if (!jopts.checkpoint_dir.empty()) {
     // Checkpoint writes fail silently when the directory is absent (the
     // atomic tmp+rename path treats an unwritable tmp as "skip this
@@ -725,10 +837,28 @@ int cmd_attack_serve(const Args& a) {
           .count();
 
   std::size_t resumed = 0, rejected = 0, succeeded = 0;
+  std::size_t stopped = 0, failed = 0;
   std::size_t cache_hits = 0, cache_misses = 0;
+  std::size_t retried_attempts = 0;
   for (const serve::JobResult& r : results) {
     resumed += r.resumed ? 1 : 0;
     rejected += r.checkpoint_rejected ? 1 : 0;
+    retried_attempts += r.attempts > 1 ? r.attempts - 1 : 0;
+    // Supervised outcomes: `result` carries no attack outcome for a
+    // stopped or failed job, so report the supervision verdict instead.
+    if (r.stopped) {
+      ++stopped;
+      std::printf("%s: stopped (resumable%s%s)\n", r.id.c_str(),
+                  r.checkpoint_path.empty() ? "" : " from ",
+                  r.checkpoint_path.c_str());
+      continue;
+    }
+    if (r.failed) {
+      ++failed;
+      std::printf("%s: failed after %u attempt(s): %s\n", r.id.c_str(),
+                  r.attempts, r.error.c_str());
+      continue;
+    }
     cache_hits += r.result.cache_hits;
     cache_misses += r.result.cache_misses;
     const bool ok = r.result.status == SatAttackResult::Status::kKeyFound ||
@@ -746,6 +876,10 @@ int cmd_attack_serve(const Args& a) {
   }
   std::printf("%zu/%zu jobs recovered a key; %zu resumed; %.1f ms wall\n",
               succeeded, results.size(), resumed, wall_ms);
+  if (stopped > 0 || failed > 0 || retried_attempts > 0)
+    std::printf("supervision: %zu stopped, %zu failed, %zu retried "
+                "attempt(s)\n",
+                stopped, failed, retried_attempts);
   if (jopts.result_cache)
     std::printf("result cache: %zu hits, %zu misses over %zu chip(s)\n",
                 cache_hits, cache_misses, server.caches().num_chips());
@@ -760,6 +894,15 @@ int cmd_attack_serve(const Args& a) {
     os << "{\n  \"schema\": \"orap.attack_serve.v1\",\n  \"jobs\": {\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
       const serve::JobResult& r = results[i];
+      // A supervised (stopped/failed) job has no attack outcome: emit only
+      // the supervision slug so a drained run never byte-matches a
+      // completed one by accident.
+      if (r.stopped || r.failed) {
+        os << "    \"" << r.id << "\": {\"status\": \""
+           << (r.stopped ? "stopped" : "failed") << "\"}"
+           << (i + 1 < results.size() ? ",\n" : "\n");
+        continue;
+      }
       std::string key_str;
       if (r.result.status == SatAttackResult::Status::kKeyFound ||
           r.result.status == SatAttackResult::Status::kDegraded) {
@@ -932,6 +1075,12 @@ void usage() {
       "[--oracle-batch] [--dip-batch K]\n"
       "               [--connect host:port | --oracle-cmd \"...\"] "
       "[--checkpoint file.ckpt [--checkpoint-every K]]\n"
+      "               [--connect-timeout-ms T] [--reconnect N "
+      "[--reconnect-attempts A] [--reconnect-backoff-ms B] "
+      "[--reconnect-backoff-max-ms M] [--reconnect-state-every K]]\n"
+      "               [--chaos-disconnect-rate P] [--chaos-corrupt-rate P] "
+      "[--chaos-truncate-rate P] [--chaos-delay-rate P --chaos-delay-us U] "
+      "[--chaos-seed S]\n"
       "  orap oracle-serve <locked.bench> --key key.txt [--port P | "
       "--stdio] [--once] [--latency-us N] [--jitter-us N] "
       "[--oracle-noise P] [--oracle-fail-rate P] [--oracle-stick-rate P] "
@@ -939,7 +1088,7 @@ void usage() {
       "  orap attack-serve --jobs N [--kind sat|appsat|doubledip] "
       "[--key-bits K] [--oracle-batch] [--dip-batch K] [--result-cache] "
       "[--shared-circuit] [--checkpoint-dir D] [--checkpoint-every K] "
-      "[--json out.json]\n"
+      "[--json out.json] [--job-retries N] [--job-retry-backoff-ms B]\n"
       "  orap protect <locked.bench> --key key.txt [--variant "
       "basic|modified] — build the OraP chip, report costs\n"
       "  orap solve   <file.cnf> [--budget N] [--portfolio N] [--cube D] "
@@ -976,6 +1125,22 @@ void usage() {
       "resumes to a byte-identical result. `orap attack-serve` runs N "
       "jobs on the\npool with per-job checkpoints under "
       "--checkpoint-dir.\n"
+      "\n"
+      "Chaos & self-healing (attack over a served oracle): --chaos-* "
+      "flags inject seeded,\ndeterministic link faults client-side "
+      "(disconnects, byte corruption caught by the\nframe CRC, frame "
+      "truncation, delay). --reconnect N lets the client survive up to "
+      "N\nstream deaths: it redials (--reconnect-attempts per outage, "
+      "exponential backoff from\n--reconnect-backoff-ms), re-runs the "
+      "handshake, re-pushes the server's fault-stack\nstate, and "
+      "retransmits the in-flight batch as a re-query — the recovered key "
+      "and\nall attack counters are byte-identical to an undisturbed run. "
+      "oracle-serve and\nattack-serve drain gracefully on SIGTERM/SIGINT "
+      "(frame in flight finishes,\ncheckpoints flush, jobs report "
+      "\"stopped\" and resume on rerun); attack-serve\n--job-retries N "
+      "retries a throwing job from its checkpoint with "
+      "--job-retry-backoff-ms\nbackoff before containing it as "
+      "\"failed\".\n"
       "\n"
       "Oracle batching (attack / attack-serve): --oracle-batch ships vote "
       "replicas,\nquarantine re-queries, and measurement samples as "
